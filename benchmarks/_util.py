@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (figure, example, theorem, or
+prose claim — see DESIGN.md's experiment index).  Results are printed AND
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md tables can be
+refreshed from the files after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.bench import render_table, shape_line
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def report(
+    experiment: str,
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    shapes: Sequence[str] = (),
+    note: Optional[str] = None,
+) -> str:
+    """Render, print, and persist one experiment's table."""
+    text = render_table(title, columns, rows, note=note)
+    for line in shapes:
+        text += line + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+    print("\n" + text, file=sys.stderr)
+    return text
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds (coarse, for table columns;
+    the pytest-benchmark fixture provides the precise timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,140 @@
+"""Experiment X1 — the introduction's virtual/materialized crossover claim.
+
+"Speaking broadly, the virtual approach may be better if the information
+sources are changing frequently, whereas the materialized approach may be
+better if the information sources change infrequently and very fast query
+response time is needed."
+
+Sweep the query:update ratio and measure total wall time (maintenance +
+queries) for the fully materialized, fully virtual, and hybrid (Example
+2.3) annotations of the Figure 1 view.  Expected shape: materialized wins
+on query-heavy mixes, virtual wins on update-heavy mixes, the crossover
+falls in between, and the hybrid interpolates.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import annotate
+from repro.workloads import (
+    FIGURE1_ANNOTATIONS,
+    UpdateStream,
+    choice_of,
+    figure1_mediator,
+    figure1_sources,
+    uniform_int,
+)
+
+from _util import report
+from repro.bench import shape_line
+
+# (updates, queries) mixes from update-heavy to query-heavy; constant total.
+MIXES = [(180, 5), (120, 30), (60, 60), (30, 120), (5, 180)]
+
+ANNOTATIONS = {
+    "materialized": "ex21",
+    "hybrid (ex 2.3)": "ex23",
+}
+
+HOT_QUERY = "project[r1, s1](T)"
+
+
+def fully_virtual_mediator(seed):
+    from repro.core import SquirrelMediator
+    from repro.workloads import figure1_vdp
+
+    sources = figure1_sources(r_rows=150, s_rows=40, seed=seed)
+    annotated = annotate(figure1_vdp(), {}, default="v")
+    mediator = SquirrelMediator(annotated, sources)
+    mediator.initialize()
+    return mediator, sources
+
+
+_KEYSPACE = [1_000_000]
+
+
+def run_mix(mediator, sources, n_updates, n_queries, seed):
+    rng = random.Random(seed)
+    _KEYSPACE[0] += 100_000  # disjoint insert keys per invocation
+    stream = UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 40),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=rng,
+        key_start=_KEYSPACE[0],
+    )
+    ops = ["u"] * n_updates + ["q"] * n_queries
+    rng.shuffle(ops)
+    start = time.perf_counter()
+    for op in ops:
+        if op == "u":
+            stream.run(1)
+            mediator.refresh()
+        else:
+            mediator.query(HOT_QUERY)
+    return time.perf_counter() - start
+
+
+def test_crossover_sweep():
+    rows = []
+    winners = []
+    for n_updates, n_queries in MIXES:
+        cell = {}
+        for label, example in ANNOTATIONS.items():
+            mediator, sources = figure1_mediator(
+                example, sources=figure1_sources(r_rows=150, s_rows=40, seed=3)
+            )
+            cell[label] = run_mix(mediator, sources, n_updates, n_queries, seed=11)
+        mediator, sources = fully_virtual_mediator(seed=3)
+        cell["virtual"] = run_mix(mediator, sources, n_updates, n_queries, seed=11)
+
+        winner = min(cell, key=cell.get)
+        winners.append(winner)
+        rows.append(
+            [
+                f"{n_updates}:{n_queries}",
+                f"{cell['materialized'] * 1e3:.1f}",
+                f"{cell['hybrid (ex 2.3)'] * 1e3:.1f}",
+                f"{cell['virtual'] * 1e3:.1f}",
+                winner,
+            ]
+        )
+
+    shapes = [
+        shape_line(
+            "the virtual approach wins the most update-heavy mix",
+            winners[0] == "virtual",
+            f"winner at {MIXES[0]}: {winners[0]}",
+        ),
+        shape_line(
+            "the materialized approach wins the most query-heavy mix",
+            winners[-1] in ("materialized", "hybrid (ex 2.3)"),
+            f"winner at {MIXES[-1]}: {winners[-1]}",
+        ),
+        shape_line(
+            "a crossover exists inside the sweep",
+            winners[0] != winners[-1],
+        ),
+    ]
+    report(
+        "X1_crossover",
+        "X1 (intro claim): total time (ms) vs update:query mix — who wins where",
+        ["updates:queries", "materialized ms", "hybrid ms", "virtual ms", "winner"],
+        rows,
+        shapes=shapes,
+    )
+    assert winners[0] != winners[-1], "no crossover observed"
+
+
+@pytest.mark.parametrize("example", ["ex21", "ex23"])
+def test_crossover_cell_benchmark(benchmark, example):
+    mediator, sources = figure1_mediator(example, seed=12)
+    benchmark.pedantic(
+        lambda: run_mix(mediator, sources, 5, 5, seed=13), rounds=3
+    )

@@ -1,0 +1,89 @@
+"""Experiment X2 — ablation of the Eager Compensation Algorithm (§6.3).
+
+The ECA rewinds poll answers past in-flight/queued updates so virtual data
+matches the state the materialized data reflects.  This ablation re-runs
+the deterministic race of the runtime tests (an R modification in flight
+while an S update forces a poll of R) with compensation on and off.
+
+Expected shape: with ECA the trace is consistent and compensations fire;
+without it the environment either records an inconsistent view state or
+corrupts maintenance outright (bag underflow).
+"""
+
+import pytest
+
+from repro.correctness import check_consistency, view_function_from_vdp
+
+from _util import report
+from repro.bench import shape_line
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests" / "runtime"))
+from test_simulated_environment import _eca_scenario  # noqa: E402
+
+
+def run_scenario(eca_enabled):
+    env = _eca_scenario(eca_enabled=eca_enabled)
+    outcome = {"crashed": False, "consistent": None, "compensations": 0}
+    try:
+        env.schedule_query(1.8)
+        env.run_until(10.0)
+        verdict = check_consistency(env.trace, view_function_from_vdp(env.mediator.vdp))
+        outcome["consistent"] = verdict.consistent
+    except Exception as exc:  # corruption surfaces as DeltaError/MediatorError
+        outcome["crashed"] = True
+        outcome["error"] = type(exc).__name__
+    outcome["compensations"] = env.mediator.vap.stats.compensations
+    return outcome
+
+
+def test_eca_ablation():
+    with_eca = run_scenario(True)
+    without_eca = run_scenario(False)
+
+    rows = [
+        [
+            "ECA on",
+            with_eca["compensations"],
+            with_eca["consistent"],
+            with_eca["crashed"],
+        ],
+        [
+            "ECA off",
+            without_eca["compensations"],
+            without_eca["consistent"],
+            without_eca["crashed"],
+        ],
+    ]
+    broke = without_eca["crashed"] or without_eca["consistent"] is False
+    shapes = [
+        shape_line(
+            "with compensation the race stays consistent",
+            bool(with_eca["consistent"]) and not with_eca["crashed"],
+        ),
+        shape_line(
+            "without compensation the same race breaks the environment",
+            broke,
+            without_eca.get("error", "inconsistent trace"),
+        ),
+        shape_line(
+            "compensation actually fired in the ECA-on run",
+            with_eca["compensations"] > 0,
+        ),
+    ]
+    report(
+        "X2_eca_ablation",
+        "X2 (§6.3 ECA ablation): in-flight R modification racing an S-triggered poll",
+        ["configuration", "compensations", "trace consistent", "maintenance crashed"],
+        rows,
+        shapes=shapes,
+    )
+    assert with_eca["consistent"] and not with_eca["crashed"]
+    assert broke
+
+
+def test_eca_scenario_benchmark(benchmark):
+    outcome = benchmark.pedantic(lambda: run_scenario(True), rounds=3)
+    assert outcome["consistent"]

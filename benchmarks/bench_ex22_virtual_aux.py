@@ -1,0 +1,137 @@
+"""Experiment E22 — Example 2.2: selectively virtual auxiliary data.
+
+"Updates to relation R are frequent, but updates to relation S are
+infrequent.  To reduce the overhead of continually maintaining R' and to
+conserve space in the mediator, we change the annotation of R' to be
+virtual ... In the rare case when updates to relation S occur, the mediator
+must incur the expense of sending queries to relation R."
+
+Regenerated table: under an R-heavy update mix, compare Example 2.1's
+fully-materialized-support annotation with Example 2.2's virtual-R'
+annotation — storage, propagation work, and when polls happen.
+"""
+
+import random
+
+import pytest
+
+from repro.correctness import assert_view_correct
+from repro.workloads import UpdateStream, choice_of, figure1_mediator, uniform_int
+
+from _util import report
+from repro.bench import shape_line
+
+R_UPDATES = 60
+S_UPDATES = 3
+
+
+def drive(example):
+    mediator, sources = figure1_mediator(example, seed=31)
+    rng = random.Random(8)
+    r_stream = UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 50),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=rng,
+    )
+    s_stream = UpdateStream(
+        sources["db2"],
+        "S",
+        policies={"s2": uniform_int(0, 1000), "s3": uniform_int(0, 100)},
+        rng=rng,
+    )
+    mediator.reset_stats()
+
+    # Phase 1: the frequent R updates.
+    polls_during_r = 0
+    for _ in range(R_UPDATES):
+        r_stream.run(1)
+        mediator.refresh()
+    polls_during_r = mediator.vap.stats.polls
+
+    # Phase 2: the rare S updates.
+    for _ in range(S_UPDATES):
+        s_stream.run(1)
+        mediator.refresh()
+    polls_total = mediator.vap.stats.polls
+
+    assert_view_correct(mediator)
+    stats = mediator.stats()
+    return {
+        "storage": stats.stored_rows,
+        "rules": stats.rules_fired,
+        "polls_r_phase": polls_during_r,
+        "polls_s_phase": polls_total - polls_during_r,
+        "polled_rows": stats.polled_rows,
+    }
+
+
+def test_ex22_virtual_auxiliary_tradeoff():
+    ex21 = drive("ex21")
+    ex22 = drive("ex22")
+
+    rows = [
+        ["ex 2.1 (R' materialized)", ex21["storage"], ex21["rules"],
+         ex21["polls_r_phase"], ex21["polls_s_phase"], ex21["polled_rows"]],
+        ["ex 2.2 (R' virtual)", ex22["storage"], ex22["rules"],
+         ex22["polls_r_phase"], ex22["polls_s_phase"], ex22["polled_rows"]],
+    ]
+    shapes = [
+        shape_line(
+            "virtual R' stores less mediator data",
+            ex22["storage"] < ex21["storage"],
+            f"{ex22['storage']} vs {ex21['storage']} rows",
+        ),
+        shape_line(
+            "frequent R updates propagate without any polling",
+            ex22["polls_r_phase"] == 0,
+        ),
+        shape_line(
+            "rare S updates are the only events that query R",
+            ex22["polls_s_phase"] > 0,
+            f"{ex22['polls_s_phase']} polls across {S_UPDATES} S-updates",
+        ),
+        shape_line(
+            "fully materialized support never polls at all",
+            ex21["polls_r_phase"] == 0 and ex21["polls_s_phase"] == 0,
+        ),
+    ]
+    report(
+        "E22_virtual_aux",
+        f"E22 (Example 2.2): R-heavy mix ({R_UPDATES} R-updates, {S_UPDATES} S-updates)",
+        ["annotation", "stored rows", "rules fired", "polls in R-phase",
+         "polls in S-phase", "polled rows"],
+        rows,
+        shapes=shapes,
+    )
+    assert ex22["storage"] < ex21["storage"]
+    assert ex22["polls_r_phase"] == 0
+    assert ex22["polls_s_phase"] > 0
+
+
+@pytest.mark.parametrize("example", ["ex21", "ex22"])
+def test_ex22_propagation_benchmark(benchmark, example):
+    """Timing of one R-update propagation under each annotation."""
+    mediator, sources = figure1_mediator(example, seed=32)
+    rng = random.Random(9)
+    stream = UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 50),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=rng,
+    )
+
+    def setup():
+        stream.run(1)
+        mediator.collect_announcements()
+        return (), {}
+
+    benchmark.pedantic(mediator.run_update_transaction, setup=setup, rounds=30)

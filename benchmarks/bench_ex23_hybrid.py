@@ -1,0 +1,103 @@
+"""Experiment E23 — Example 2.3: hybrid views and key-based construction.
+
+Two claims from the example are regenerated:
+
+1. "The response time to the queries that only refer to r1 and s1 is not
+   affected by the fact that r3 and s2 are virtual" — hot-attribute query
+   latency under the hybrid annotation matches the fully materialized one.
+2. "The key-based construction of T_tmp from R' and T is more efficient
+   than the construction from R' and S', because π_{r1,s1}T is materialized
+   while S' is fully virtual" — key-based construction answers the
+   virtual-attribute query polling one source instead of two.
+"""
+
+import pytest
+
+from repro.workloads import figure1_mediator
+
+from _util import report, time_callable
+from repro.bench import shape_line
+
+HOT = "project[r1, s1](T)"
+COLD = "project[r3, s1](select[r3 < 100](T))"
+
+
+def measure(example, key_based=True):
+    mediator, _ = figure1_mediator(example, seed=41, key_based_enabled=key_based)
+    # Counters from exactly one execution of each query...
+    mediator.reset_stats()
+    mediator.query(HOT)
+    hot_polls = mediator.vap.stats.polls
+    mediator.reset_stats()
+    mediator.query(COLD)
+    cold = {
+        "polls": mediator.vap.stats.polls,
+        "sources": mediator.vap.stats.polled_sources,
+        "key_based": mediator.vap.stats.key_based_used > 0,
+        "rows": mediator.vap.stats.polled_rows,
+    }
+    # ...timings from best-of-N.
+    hot_time = time_callable(lambda: mediator.query(HOT), repeats=5)
+    cold_time = time_callable(lambda: mediator.query(COLD), repeats=5)
+    return hot_time, hot_polls, cold_time, cold, mediator
+
+
+def test_ex23_hybrid_query_profile():
+    hot_m, hp_m, cold_m, coldinfo_m, _ = measure("ex21")           # fully materialized
+    hot_h, hp_h, cold_h, coldinfo_h, med = measure("ex23")         # hybrid, key-based
+    hot_c, hp_c, cold_c, coldinfo_c, _ = measure("ex23", False)    # hybrid, children-based
+
+    rows = [
+        ["ex 2.1 all materialized", f"{hot_m*1e3:.3f}", hp_m,
+         f"{cold_m*1e3:.3f}", coldinfo_m["sources"], "n/a"],
+        ["ex 2.3 hybrid + key-based", f"{hot_h*1e3:.3f}", hp_h,
+         f"{cold_h*1e3:.3f}", coldinfo_h["sources"], coldinfo_h["key_based"]],
+        ["ex 2.3 hybrid, children-based", f"{hot_c*1e3:.3f}", hp_c,
+         f"{cold_c*1e3:.3f}", coldinfo_c["sources"], coldinfo_c["key_based"]],
+    ]
+    shapes = [
+        shape_line(
+            "hot-attribute queries are unaffected by virtual attributes (no polls)",
+            hp_h == 0 and hot_h < 5 * max(hot_m, 1e-9),
+            f"{hot_h*1e3:.3f}ms vs {hot_m*1e3:.3f}ms, 0 polls",
+        ),
+        shape_line(
+            "key-based construction polls fewer sources than children-based",
+            coldinfo_h["sources"] < coldinfo_c["sources"],
+            f"{coldinfo_h['sources']} vs {coldinfo_c['sources']} sources",
+        ),
+        shape_line(
+            "virtual-attribute queries cost more than materialized ones",
+            cold_h > hot_h,
+        ),
+    ]
+    report(
+        "E23_hybrid",
+        "E23 (Example 2.3): hybrid T[r1^m,r3^v,s1^m,s2^v] query profile",
+        ["configuration", "hot query ms", "hot polls",
+         "cold query ms", "cold sources polled", "key-based used"],
+        rows,
+        shapes=shapes,
+        note=f"hot = {HOT}   cold = {COLD}",
+    )
+    assert hp_h == 0
+    assert coldinfo_h["key_based"] and not coldinfo_c["key_based"]
+    assert coldinfo_h["sources"] == 1 and coldinfo_c["sources"] == 2
+
+
+def test_ex23_hot_query_benchmark(benchmark):
+    mediator, _ = figure1_mediator("ex23", seed=42)
+    benchmark(lambda: mediator.query(HOT))
+    assert mediator.vap.stats.polls == 0
+
+
+def test_ex23_cold_query_key_based_benchmark(benchmark):
+    mediator, _ = figure1_mediator("ex23", seed=42)
+    benchmark(lambda: mediator.query(COLD))
+    assert mediator.vap.stats.key_based_used > 0
+
+
+def test_ex23_cold_query_children_based_benchmark(benchmark):
+    mediator, _ = figure1_mediator("ex23", seed=42, key_based_enabled=False)
+    benchmark(lambda: mediator.query(COLD))
+    assert mediator.vap.stats.key_based_used == 0

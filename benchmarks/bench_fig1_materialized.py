@@ -1,0 +1,118 @@
+"""Experiment F1 — Figure 1 / Example 2.1: fully materialized support.
+
+Reproduces the paper's headline mechanism: with every relation (including
+the auxiliaries R', S') materialized, the view T is maintained purely from
+incremental updates and mediator-local data — "without polling of the
+source databases".
+
+Regenerated table: incremental maintenance cost vs full recomputation as
+the source grows; expected shape — incremental wins by a growing factor,
+and source polls are identically zero.
+"""
+
+import random
+
+import pytest
+
+from repro.correctness import assert_view_correct, recompute
+from repro.workloads import UpdateStream, choice_of, figure1_mediator, uniform_int
+
+from _util import report, time_callable
+
+SIZES = [100, 400, 1600]
+UPDATES_PER_ROUND = 20
+
+
+def make_stream(sources, seed):
+    return UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 50),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=random.Random(seed),
+    )
+
+
+def run_round(mediator, stream):
+    """Commit updates (untimed workload), then time only the propagation."""
+    stream.run(UPDATES_PER_ROUND)
+    return lambda: mediator.refresh()
+
+
+def test_fig1_incremental_vs_recompute():
+    from repro.workloads import figure1_sources
+
+    rows = []
+    for size in SIZES:
+        sources = figure1_sources(r_rows=size, s_rows=40, seed=13)
+        mediator, _ = figure1_mediator("ex21", sources=sources)
+
+        stream = make_stream(sources, seed=size + 1)
+        mediator.reset_stats()
+        refresh = run_round(mediator, stream)
+        incr_time = time_callable(refresh, repeats=1)
+        polls = mediator.vap.stats.polls
+        recompute_time = time_callable(
+            lambda: recompute(mediator.vdp, sources, "T"), repeats=2
+        )
+        per_update = incr_time / UPDATES_PER_ROUND
+        rows.append(
+            [
+                size,
+                f"{per_update * 1e3:.3f}",
+                f"{recompute_time * 1e3:.3f}",
+                f"{recompute_time / per_update:.1f}x",
+                polls,
+            ]
+        )
+        assert polls == 0, "Example 2.1 must never poll"
+        assert_view_correct(mediator)
+
+    large = float(rows[-1][3].rstrip("x"))
+    report(
+        "F1_fig1_materialized",
+        "F1 (Figure 1 / Ex 2.1): fully materialized support — incremental vs recompute",
+        ["|R|", "incr ms/update", "recompute ms", "recompute/incr", "source polls"],
+        rows,
+        shapes=[
+            _shape(
+                "incremental maintenance beats recomputation, increasingly with size",
+                large > 1.0 and float(rows[-1][3].rstrip("x")) >= float(rows[0][3].rstrip("x")),
+            ),
+            _shape("maintenance requires zero source polls", all(r[4] == 0 for r in rows)),
+        ],
+    )
+
+
+def _shape(claim, holds):
+    from repro.bench import shape_line
+
+    return shape_line(claim, holds)
+
+
+@pytest.fixture
+def fig1_setup():
+    mediator, sources = figure1_mediator("ex21", seed=21)
+    stream = make_stream(sources, seed=77)
+    return mediator, stream
+
+
+def test_fig1_update_transaction_benchmark(benchmark, fig1_setup):
+    """pytest-benchmark timing of one full update transaction."""
+    mediator, stream = fig1_setup
+
+    def one_round():
+        stream.run(5)
+        mediator.refresh()
+
+    benchmark.pedantic(one_round, rounds=20, iterations=1)
+    assert mediator.vap.stats.polls == 0
+
+
+def test_fig1_materialized_query_benchmark(benchmark, fig1_setup):
+    mediator, _ = fig1_setup
+    result = benchmark(lambda: mediator.query("project[r1, s1](T)"))
+    assert result.cardinality() >= 0

@@ -1,0 +1,79 @@
+"""Experiment F2 — Figure 2 / Remark 3.1: pseudo-consistency ≠ consistency.
+
+Regenerates Figure 2's six-step table verbatim and runs the mechanized
+checkers over it: the scenario must be judged pseudo-consistent (every pair
+of view instants has ordered valid vectors) but NOT consistent (no single
+order-preserving ``reflect`` function exists).
+"""
+
+import pytest
+
+from repro.correctness import check_consistency, check_pseudo_consistency
+from repro.workloads import figure2_trace
+
+from _util import report
+from repro.bench import shape_line
+
+
+def render_states(trace):
+    rows = []
+    for i, view in enumerate(trace.view_history()):
+        source = trace.source_state_at("db", view.time)
+        r_rows = sorted(
+            f"R({r['x']},{r['y']})" for r, _ in source.state["R"].items()
+        )
+        v_rows = sorted(f"S({r['y']})" for r, _ in view.state["S"].items())
+        rows.append([f"t{i + 1}", " ".join(r_rows), " ".join(v_rows)])
+    return rows
+
+
+def test_fig2_scenario_table_and_verdicts():
+    trace, view_fn = figure2_trace()
+    verdict = check_consistency(trace, view_fn)
+    pseudo = check_pseudo_consistency(trace, view_fn)
+
+    rows = render_states(trace)
+    shapes = [
+        shape_line("the scenario satisfies pseudo-consistency", pseudo),
+        shape_line("the scenario violates (full) consistency", not verdict.consistent),
+        shape_line(
+            "the violation is in order preservation, not validity",
+            any("order preservation" in f for f in verdict.failures),
+        ),
+    ]
+    report(
+        "F2_consistency",
+        "F2 (Figure 2): scenario satisfying pseudo-consistency but not consistency",
+        ["time", "state(DB)", "state(V)"],
+        rows,
+        shapes=shapes,
+        note="view definition: S = π₂(R); exact reproduction of the paper's table",
+    )
+    assert pseudo and not verdict.consistent
+
+
+def test_fig2_checker_benchmark(benchmark):
+    trace, view_fn = figure2_trace()
+    verdict = benchmark(lambda: check_consistency(trace, view_fn))
+    assert not verdict.consistent
+
+
+def test_fig2_trap_closes_at_the_fifth_step():
+    """Prefixes t1..t4 are still consistent; t5 closes the trap: reflect(t4)
+    must be ≥ reflect(t3)=t2, but the only state showing {b} for t5 is t2
+    itself, forcing reflect(t4)=t2 — whose projection is {b}, not {a}."""
+    trace, view_fn = figure2_trace()
+    views = trace.view_history()
+    from repro.correctness import IntegrationTrace
+
+    history = trace.source_history("db")
+    verdicts = []
+    for k in range(1, len(views) + 1):
+        prefix = IntegrationTrace(["db"])
+        for record in history:
+            if record.time <= views[k - 1].time:
+                prefix.record_source_state("db", record.time, record.state)
+        for view in views[:k]:
+            prefix.record_view_state(view.time, view.kind, view.state)
+        verdicts.append(check_consistency(prefix, view_fn).consistent)
+    assert verdicts == [True, True, True, True, False, False]

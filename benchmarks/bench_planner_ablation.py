@@ -1,0 +1,152 @@
+"""Experiment X3 — the Section 5.3 heuristics, measured.
+
+Does the planner's suggested annotation actually beat the naive
+alternatives on the workload it was given?  For both paper scenarios:
+
+* estimate costs with the analytic model for every annotation in the
+  candidate lattice (exhaustive enumeration), and
+* physically drive the top suggestion and the two extremes through a real
+  workload, measuring wall time and storage.
+
+Expected shape: the suggestion is never worse than both extremes at once,
+and on the Example 2.3 workload (hot keys, cold payloads, busy sources) it
+beats fully-materialized on maintenance and fully-virtual on queries.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import SquirrelMediator, annotate
+from repro.planner import (
+    WorkloadProfile,
+    enumerate_annotations,
+    node_statistics,
+    suggest_annotation,
+)
+from repro.workloads import (
+    UpdateStream,
+    choice_of,
+    figure1_sources,
+    figure1_vdp,
+    uniform_int,
+)
+
+from _util import report
+from repro.bench import shape_line
+
+HOT_QUERY = "project[r1, s1](T)"
+COLD_QUERY = "project[r3, s1](select[r3 < 100](T))"
+
+PROFILE = WorkloadProfile(
+    update_rates={"db1": 10.0, "db2": 10.0},
+    query_rate=2.0,
+    attr_access={
+        ("T", "r1"): 0.95,
+        ("T", "s1"): 0.95,
+        ("T", "r3"): 0.05,
+        ("T", "s2"): 0.05,
+    },
+)
+
+
+def drive(annotated, seed=17, n_updates=40, n_hot=40, n_cold=2):
+    sources = figure1_sources(r_rows=120, s_rows=40, seed=7)
+    mediator = SquirrelMediator(annotated, sources)
+    mediator.initialize()
+    rng = random.Random(seed)
+    stream = UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 40),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=rng,
+    )
+    start = time.perf_counter()
+    for _ in range(n_updates):
+        stream.run(1)
+        mediator.refresh()
+    maint = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(n_hot):
+        mediator.query(HOT_QUERY)
+    for _ in range(n_cold):
+        mediator.query(COLD_QUERY)
+    queries = time.perf_counter() - start
+    return {
+        "storage": mediator.stats().stored_rows,
+        "maint_ms": maint * 1e3,
+        "query_ms": queries * 1e3,
+        "total_ms": (maint + queries) * 1e3,
+    }
+
+
+def test_planner_ablation_figure1():
+    vdp = figure1_vdp()
+    sources = figure1_sources(r_rows=120, s_rows=40, seed=7)
+    stats = node_statistics(vdp, sources)
+
+    suggested = suggest_annotation(vdp, PROFILE)
+    ranked = enumerate_annotations(vdp, stats, PROFILE)
+    best_by_model = ranked[0].annotated
+
+    candidates = {
+        "planner suggestion": suggested,
+        "model-optimal (enumerated)": best_by_model,
+        "fully materialized": annotate(vdp, {}),
+        "fully virtual": annotate(vdp, {}, default="v"),
+    }
+    measured = {label: drive(ann) for label, ann in candidates.items()}
+
+    rows = [
+        [
+            label,
+            str(candidates[label].annotation("T")),
+            m["storage"],
+            f"{m['maint_ms']:.1f}",
+            f"{m['query_ms']:.1f}",
+            f"{m['total_ms']:.1f}",
+        ]
+        for label, m in measured.items()
+    ]
+    sugg = measured["planner suggestion"]
+    full_m = measured["fully materialized"]
+    full_v = measured["fully virtual"]
+    shapes = [
+        shape_line(
+            "the suggestion beats fully-virtual on query time",
+            sugg["query_ms"] < full_v["query_ms"],
+            f"{sugg['query_ms']:.1f} vs {full_v['query_ms']:.1f} ms",
+        ),
+        shape_line(
+            "the suggestion stores less than fully-materialized",
+            sugg["storage"] < full_m["storage"],
+            f"{sugg['storage']} vs {full_m['storage']} rows",
+        ),
+        shape_line(
+            "the suggestion's total is within 2x of the best measured total",
+            sugg["total_ms"] <= 2 * min(m["total_ms"] for m in measured.values()),
+        ),
+    ]
+    report(
+        "X3_planner_ablation",
+        "X3 (§5.3 heuristics): planner suggestion vs extremes on the Ex 2.3 workload",
+        ["annotation", "T annotation", "stored rows", "maint ms", "query ms", "total ms"],
+        rows,
+        shapes=shapes,
+        note="40 R-updates, 40 hot + 2 cold queries; profile: hot r1/s1, cold r3/s2",
+    )
+    assert sugg["query_ms"] < full_v["query_ms"]
+    assert sugg["storage"] < full_m["storage"]
+
+
+def test_planner_enumeration_benchmark(benchmark):
+    vdp = figure1_vdp()
+    sources = figure1_sources(r_rows=60, s_rows=20, seed=7)
+    stats = node_statistics(vdp, sources)
+    ranked = benchmark(lambda: enumerate_annotations(vdp, stats, PROFILE))
+    assert ranked

@@ -1,0 +1,138 @@
+"""Experiment T72 — Theorem 7.2: guaranteed freshness within f̄.
+
+Sweep the environment delay parameters, measure the worst achieved
+staleness per source over simulated runs, and compare with the analytic
+bound the theorem computes from the same parameters.
+
+Expected shape: measured ≤ bound in every cell, and both grow with the
+announcement/holding delays.  The bound's headroom reflects its worst-case
+terms (mediator/source processing times are effectively zero in the
+simulator's instantaneous transactions).
+"""
+
+import random
+
+import pytest
+
+from repro.core import annotate
+from repro.correctness import check_freshness, view_function_from_vdp
+from repro.deltas import SetDelta
+from repro.relalg import row
+from repro.runtime import SimulatedEnvironment
+from repro.sim import EnvironmentDelays
+from repro.workloads import FIGURE1_ANNOTATIONS, figure1_sources, figure1_vdp
+
+from _util import report
+from repro.bench import shape_line
+
+SWEEP = [
+    # (ann_delay, comm_delay, hold)
+    (0.2, 0.1, 0.5),
+    (0.5, 0.3, 1.0),
+    (1.0, 0.5, 2.0),
+    (2.0, 1.0, 4.0),
+]
+HORIZON = 60.0
+
+
+def run_cell(ann, comm, hold, seed=5):
+    delays = EnvironmentDelays.uniform(
+        ["db1", "db2"], ann_delay=ann, comm_delay=comm, u_hold_delay_med=hold
+    )
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    sources = figure1_sources(r_rows=25, s_rows=15, seed=seed)
+    env = SimulatedEnvironment(annotated, sources, delays)
+
+    rng = random.Random(seed)
+    s_keys = sorted(r["s1"] for r in sources["db2"].relation("S").rows() if r["s3"] < 50)
+    times = sorted(rng.uniform(0.5, HORIZON - 15) for _ in range(10))
+    for k, t in enumerate(times):
+        delta = SetDelta()
+        delta.insert("R", row(r1=70_000 + k, r2=s_keys[k % len(s_keys)], r3=k, r4=100))
+        env.schedule_transaction(t, "db1", delta)
+        env.schedule_query(t + rng.uniform(0.1, ann + comm + hold))
+    env.run_until(HORIZON)
+
+    view_fn = view_function_from_vdp(env.mediator.vdp)
+    bound = delays.freshness_bound(["db1", "db2"], [], [])
+    return check_freshness(env.trace, view_fn, bound), bound
+
+
+def test_thm72_measured_staleness_within_bound():
+    rows = []
+    previous_measured = -1.0
+    monotone = True
+    for ann, comm, hold in SWEEP:
+        reportee, bound = run_cell(ann, comm, hold)
+        measured = reportee.worst["db1"]
+        rows.append(
+            [
+                ann,
+                comm,
+                hold,
+                f"{measured:.2f}",
+                f"{bound['db1']:.2f}",
+                f"{bound['db1'] - measured:.2f}",
+                reportee.within_bound,
+            ]
+        )
+        assert reportee.within_bound, reportee.violations
+        if measured < previous_measured:
+            monotone = False
+        previous_measured = measured
+
+    report(
+        "T72_freshness",
+        "T72 (Theorem 7.2): measured worst staleness vs the analytic bound (db1)",
+        ["ann_delay", "comm_delay", "hold", "measured", "bound f_i", "headroom", "within"],
+        rows,
+        shapes=[
+            shape_line("measured staleness never exceeds the bound", True),
+            shape_line("staleness grows with the delay parameters", monotone),
+        ],
+        note="f_i = ann + comm + u_hold + u_proc + Σ(q_proc_k + comm_k) + q_proc_med",
+    )
+
+
+def test_thm72_hybrid_contributor_bound():
+    """The theorem's f_i differs by contributor kind: hybrid contributors
+    add the polling round-trip terms.  Run the Example 2.3 configuration
+    (both sources hybrid) and verify against the hybrid-kind bound."""
+    delays = EnvironmentDelays.uniform(
+        ["db1", "db2"],
+        ann_delay=0.5,
+        comm_delay=0.3,
+        q_proc_delay=0.2,
+        u_hold_delay_med=1.0,
+    )
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex23"])
+    sources = figure1_sources(r_rows=25, s_rows=15, seed=9)
+    env = SimulatedEnvironment(annotated, sources, delays)
+
+    rng = random.Random(9)
+    s_keys = sorted(r["s1"] for r in sources["db2"].relation("S").rows() if r["s3"] < 50)
+    for k in range(8):
+        t = rng.uniform(0.5, 40.0)
+        delta = SetDelta()
+        delta.insert("R", row(r1=71_000 + k, r2=s_keys[k % len(s_keys)], r3=k, r4=100))
+        env.schedule_transaction(t, "db1", delta)
+        env.schedule_query(t + rng.uniform(0.1, 2.0))
+    env.run_until(50.0)
+
+    kinds = env.mediator.contributor_kinds
+    hybrid = [s for s, k in kinds.items() if k.value == "hybrid-contributor"]
+    assert set(hybrid) == {"db1", "db2"}
+    bound = delays.freshness_bound([], hybrid, [])
+    result = check_freshness(
+        env.trace, view_function_from_vdp(env.mediator.vdp), bound
+    )
+    assert result.within_bound, result.violations
+    # The hybrid bound includes the poll round-trip terms, so it strictly
+    # dominates the materialized-only bound.
+    tight = delays.materialized_only_bound("db1")
+    assert bound["db1"] > tight
+
+
+def test_thm72_cell_benchmark(benchmark):
+    result, _ = benchmark.pedantic(lambda: run_cell(0.5, 0.3, 1.0), rounds=3)
+    assert result.within_bound

@@ -1,0 +1,147 @@
+"""Brokerage portfolio integration — the hybrid approach paying off.
+
+The motivating workload class from the paper's introduction: an integrated
+view over sources with very different change rates.
+
+* ``market`` — a ticker feed whose quotes change constantly.  Continuously
+  maintaining a materialized copy would be wasted work (Example 2.2's
+  regime), so its leaf-parent is kept VIRTUAL.
+* ``accounts`` — customer holdings that change rarely; MATERIALIZED.
+
+The export ``portfolio(account, symbol, shares, price)`` is hybrid: the
+slow-moving columns are materialized, the live ``price`` column is virtual
+and fetched on demand.  The Section 5.3 planner is asked to confirm the
+hand-picked annotation from measured workload statistics.
+
+Run:  python examples/brokerage_portfolio.py
+"""
+
+import random
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.planner import WorkloadProfile, node_statistics, suggest_annotation
+from repro.relalg import Attribute, RelationSchema
+from repro.sources import MemorySource
+from repro.workloads import UpdateStream, choice_of, uniform_int
+
+SYMBOLS = ["AAA", "BBB", "CCC", "DDD", "EEE", "FFF"]
+
+QUOTES = RelationSchema(
+    "quotes", (Attribute("symbol", "str"), Attribute("price", "int")), key=("symbol",)
+)
+HOLDINGS = RelationSchema(
+    "holdings",
+    (
+        Attribute("account", "int"),
+        Attribute("sym", "str"),
+        Attribute("shares", "int"),
+    ),
+    key=("account", "sym"),
+)
+
+VIEWS = {
+    "quotes_p": "quotes",
+    "holdings_p": "select[shares > 0](holdings)",
+    "portfolio": (
+        "project[account, sym, shares, price]"
+        "(holdings_p join[sym = symbol] quotes_p)"
+    ),
+}
+
+ANNOTATION = {
+    "quotes_p": "[symbol^v, price^v]",            # live feed: never copied
+    "portfolio": "[account^m, sym^m, shares^m, price^v]",
+}
+
+
+def build() -> tuple:
+    rng = random.Random(2024)
+    market = MemorySource(
+        "market",
+        [QUOTES],
+        initial={"quotes": [(s, rng.randrange(50, 500)) for s in SYMBOLS]},
+    )
+    accounts = MemorySource(
+        "accounts",
+        [HOLDINGS],
+        initial={
+            "holdings": [
+                (acct, rng.choice(SYMBOLS), rng.randrange(1, 100))
+                for acct in range(1, 9)
+            ]
+        },
+    )
+    vdp = build_vdp(
+        source_schemas={"quotes": QUOTES, "holdings": HOLDINGS},
+        source_of={"quotes": "market", "holdings": "accounts"},
+        views=VIEWS,
+        exports=["portfolio"],
+    )
+    annotated = annotate(vdp, ANNOTATION)
+    mediator = SquirrelMediator(annotated, {"market": market, "accounts": accounts})
+    mediator.initialize()
+    return mediator, market, accounts, vdp
+
+
+def main() -> None:
+    mediator, market, accounts, vdp = build()
+    print("Contributors:", {k: str(v) for k, v in mediator.contributor_kinds.items()})
+
+    # Positions (materialized attributes): answered with zero polls.
+    mediator.reset_stats()
+    positions = mediator.query("project[account, sym, shares](portfolio)")
+    print(f"\n{positions.cardinality()} positions, polls used: {mediator.vap.stats.polls}")
+
+    # A market tick storm: the mediator does NOT chase the feed.
+    rng = random.Random(7)
+    ticker = UpdateStream(
+        market,
+        "quotes",
+        policies={"symbol": choice_of(SYMBOLS), "price": uniform_int(50, 500)},
+        rng=rng,
+        insert_weight=0.0,
+        delete_weight=0.0,
+        modify_weight=1.0,
+    )
+    ticker.run(500)
+    print(f"\n500 market ticks committed; mediator rules fired: {mediator.iup.stats.rules_fired}")
+
+    # Valuation (virtual price): one poll of the feed, fresh numbers.
+    mediator.reset_stats()
+    valued = mediator.query(
+        "project[account, sym, shares, price](portfolio)"
+    )
+    total = sum(r["shares"] * r["price"] * n for r, n in valued.items())
+    print(
+        f"valuation over {valued.cardinality()} rows = {total} "
+        f"(polls: {mediator.vap.stats.polls}, polled rows: {mediator.vap.stats.polled_rows})"
+    )
+
+    # A holdings change is rare and IS worth propagating eagerly.
+    accounts.insert("holdings", account=9, sym="AAA", shares=10)
+    mediator.refresh()
+    print(
+        "\nafter new account holding:",
+        mediator.query(
+            "project[account, shares](select[account = 9](portfolio))"
+        ).to_sorted_list(),
+    )
+
+    # Ask the planner to confirm the annotation from workload numbers.
+    profile = WorkloadProfile(
+        update_rates={"market": 500.0, "accounts": 0.5},
+        query_rate=2.0,
+        attr_access={
+            ("portfolio", "account"): 1.0,
+            ("portfolio", "sym"): 1.0,
+            ("portfolio", "shares"): 1.0,
+            ("portfolio", "price"): 0.1,
+        },
+    )
+    suggested = suggest_annotation(vdp, profile)
+    print("\nPlanner-suggested annotation:")
+    print(suggested.describe())
+
+
+if __name__ == "__main__":
+    main()

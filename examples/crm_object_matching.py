@@ -1,0 +1,113 @@
+"""Object matching across two CRMs — the [ZHKF95] companion in action.
+
+Two customer databases describe overlapping people with different keys and
+messy formatting.  A :class:`MatchRule` (name casefolded, phone reduced to
+digits) drives a :class:`MatchingEngine` whose match table becomes a third
+source relation; a Squirrel mediator joins both CRMs *through* it into a
+unified customer view that stays maintained as either CRM changes.
+
+Run:  python examples/crm_object_matching.py
+"""
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.matching import (
+    MatchCriterion,
+    MatchRule,
+    MatchingEngine,
+    casefold_trim,
+    digits_only,
+)
+from repro.relalg import make_schema
+from repro.sources import MemorySource
+
+CUSTOMERS = make_schema("customers", ["cid", "name", "phone", "tier"], key=["cid"])
+CLIENTS = make_schema("clients", ["clid", "fullname", "tel", "spend"], key=["clid"])
+
+
+def main() -> None:
+    acquired = MemorySource(
+        "acquired_crm",
+        [CUSTOMERS],
+        initial={
+            "customers": [
+                (1, "Ada Lovelace", "+1 (303) 555-0101", "gold"),
+                (2, "Grace Hopper", "303-555-0202", "silver"),
+                (3, "Alan Turing", "303.555.0303", "gold"),
+            ]
+        },
+    )
+    house = MemorySource(
+        "house_crm",
+        [CLIENTS],
+        initial={
+            "clients": [
+                (901, "ada   lovelace", "+1 303 555 0101", 1200),
+                (902, "GRACE HOPPER", "303 555 0202", 340),
+                (903, "Edsger Dijkstra", "303 555 0404", 75),
+            ]
+        },
+    )
+
+    rule = MatchRule(
+        "cust_match",
+        "customers",
+        "clients",
+        (
+            MatchCriterion("name", "fullname", casefold_trim),
+            MatchCriterion("phone", "tel", digits_only),
+        ),
+        left_keys=("cid",),
+        right_keys=("clid",),
+    )
+    engine = MatchingEngine([rule], acquired, house)
+    print("initial match table:", engine.match_table("cust_match").to_sorted_list())
+
+    vdp = build_vdp(
+        source_schemas={
+            "customers": CUSTOMERS,
+            "clients": CLIENTS,
+            "cust_match": rule.schema(),
+        },
+        source_of={
+            "customers": "acquired_crm",
+            "clients": "house_crm",
+            "cust_match": "matcher",
+        },
+        views={
+            "cust_p": "customers",
+            "cli_p": "clients",
+            "match_p": "cust_match",
+            "golden": (
+                "project[cid, clid, name, tier, spend]"
+                "((cust_p join[cid = l_cid] match_p) join[r_clid = clid] cli_p)"
+            ),
+        },
+        exports=["golden"],
+    )
+    mediator = SquirrelMediator(
+        annotate(vdp, {"golden": "[cid^m, clid^m, name^m, tier^m, spend^v]"}),
+        {"acquired_crm": acquired, "house_crm": house, "matcher": engine.source},
+    )
+    mediator.initialize()
+
+    print("\ngolden records (materialized columns):")
+    for values, _ in mediator.query("project[cid, clid, name, tier](golden)").to_sorted_list():
+        print("  ", values)
+
+    # Alan appears in the house CRM with messy formatting: the engine pairs
+    # him automatically and the mediator's next refresh unifies him.
+    house.insert("clients", clid=904, fullname="  alan TURING ", tel="(303) 555-0303", spend=980)
+    mediator.refresh()
+    print("\nafter the house CRM learns about Alan:")
+    for values, _ in mediator.query("project[cid, clid, name, tier](golden)").to_sorted_list():
+        print("  ", values)
+
+    # Spend (virtual) is fetched on demand from the house CRM.
+    spends = mediator.query("project[name, spend](golden)")
+    print("\nspend by matched customer:")
+    for (name, spend), _ in spends.to_sorted_list():
+        print(f"   {name}: {spend}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Integrating a legacy SQL database as a virtual-contributor.
+
+Section 4: "Since a virtual-contributor database only needs to be able to
+answer queries, its role can be played by all kinds of DBMS, including
+legacy systems that do not have active database capabilities."
+
+Here a hospital's active patient registry (in-memory, announces updates)
+is integrated with a legacy billing system (SQLite).  Two export relations
+demonstrate the classification rules:
+
+* ``directory`` — materialized, derived from the registry only;
+* ``balances`` — a FULLY VIRTUAL join of registry and billing data.
+
+Because nothing materialized depends on billing, the mediator classifies
+it as a *virtual-contributor*: it is never asked to announce anything, and
+every balance query is compiled to SQL and executed inside SQLite on
+demand.  The registry, feeding both the materialized directory and the
+virtual balances, is a *hybrid-contributor*.
+
+Run:  python examples/legacy_integration.py
+"""
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.relalg import Attribute, RelationSchema
+from repro.sources import MemorySource, SQLiteSource, compile_expression
+
+PATIENTS = RelationSchema(
+    "patients",
+    (
+        Attribute("patient_id", "int"),
+        Attribute("name", "str"),
+        Attribute("ward", "str"),
+    ),
+    key=("patient_id",),
+)
+INVOICES = RelationSchema(
+    "invoices",
+    (
+        Attribute("invoice_id", "int"),
+        Attribute("pid", "int"),
+        Attribute("amount", "int"),
+        Attribute("status", "str"),
+    ),
+    key=("invoice_id",),
+)
+
+VIEWS = {
+    "patients_p": "patients",
+    "open_invoices": "project[pid, amount](select[status = 'open'](invoices))",
+    "directory": "project[patient_id, name, ward](patients_p)",
+    "balances": (
+        "project[patient_id, name, amount]"
+        "(patients_p join[patient_id = pid] open_invoices)"
+    ),
+}
+
+ANNOTATION = {
+    "patients_p": "materialized",
+    "directory": "materialized",
+    "open_invoices": "virtual",
+    "balances": "virtual",
+}
+
+
+def main() -> None:
+    registry = MemorySource(
+        "registry",
+        [PATIENTS],
+        initial={
+            "patients": [
+                (1, "ada", "west"),
+                (2, "grace", "east"),
+                (3, "alan", "west"),
+            ]
+        },
+    )
+    billing = SQLiteSource(
+        "billing",
+        [INVOICES],
+        initial={
+            "invoices": [
+                (100, 1, 250, "open"),
+                (101, 1, 80, "paid"),
+                (102, 2, 40, "open"),
+                (103, 3, 900, "open"),
+                (104, 3, 120, "open"),
+            ]
+        },
+    )
+
+    vdp = build_vdp(
+        source_schemas={"patients": PATIENTS, "invoices": INVOICES},
+        source_of={"patients": "registry", "invoices": "billing"},
+        views=VIEWS,
+        exports=["directory", "balances"],
+    )
+    # Build annotations explicitly (keyword forms live in the spec language).
+    from repro.core import Annotation
+
+    overrides = {}
+    for name, keyword in ANNOTATION.items():
+        attrs = vdp.node(name).schema.attribute_names
+        overrides[name] = (
+            Annotation.all_materialized(attrs)
+            if keyword == "materialized"
+            else Annotation.all_virtual(attrs)
+        )
+    annotated = annotate(vdp, overrides)
+    mediator = SquirrelMediator(annotated, {"registry": registry, "billing": billing})
+    mediator.initialize()
+
+    kinds = {k: str(v) for k, v in mediator.contributor_kinds.items()}
+    print("Contributors:", kinds)
+    assert kinds["billing"] == "virtual-contributor"
+
+    # Show the SQL the legacy system actually receives for a poll.
+    poll_expr = vdp.node("open_invoices").definition
+    sql, params = compile_expression(poll_expr, {"invoices": INVOICES})
+    print("\nSQL pushed to the legacy DB:\n ", sql, params)
+
+    # Directory query: materialized, zero polls.
+    mediator.reset_stats()
+    west = mediator.query("project[patient_id, name](select[ward = 'west'](directory))")
+    print("\nwest-ward patients:", west.to_sorted_list(), "| polls:", mediator.vap.stats.polls)
+
+    # Balance query: fully virtual — one SQLite poll, fresh numbers.
+    owed = mediator.query("project[patient_id, amount](balances)")
+    per_patient = {}
+    for r, n in owed.items():
+        per_patient[r["patient_id"]] = per_patient.get(r["patient_id"], 0) + r["amount"] * n
+    print("open balances:", dict(sorted(per_patient.items())), "| polls:", mediator.vap.stats.polls)
+
+    # The legacy side settles an invoice.  No announcement machinery exists
+    # or is needed: the next balance query simply sees the new state.
+    billing.update(
+        "invoices",
+        {"invoice_id": 103, "pid": 3, "amount": 900, "status": "open"},
+        {"invoice_id": 103, "pid": 3, "amount": 900, "status": "paid"},
+    )
+    owed = mediator.query("project[patient_id, amount](balances)")
+    total = sum(r["amount"] * n for r, n in owed.items())
+    print("after settlement, total open:", total)
+    assert total == 250 + 40 + 120
+
+    # The registry side announces; the materialized directory is maintained
+    # incrementally while billing stays poll-only.
+    registry.insert("patients", patient_id=4, name="edsger", ward="east")
+    mediator.refresh()
+    print(
+        "directory now:",
+        sorted(r["name"] for r, _ in mediator.query("project[name](directory)").items()),
+    )
+    print("billing announcements ever requested:", billing.query_count > 0 and "none (polled only)")
+
+    billing.close()
+
+
+if __name__ == "__main__":
+    main()

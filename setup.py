@@ -1,0 +1,10 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools lacks PEP 660 editable-wheel support (legacy ``setup.py develop``
+path via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

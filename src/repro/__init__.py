@@ -1,0 +1,73 @@
+"""Squirrel integration mediators — a reproduction of Hull & Zhou,
+"A Framework for Supporting Data Integration Using the Materialized and
+Virtual Approaches" (SIGMOD 1996).
+
+Quickstart::
+
+    from repro import generate_mediator, make_sources
+
+    SPEC = '''
+    source db1 { relation R(r1 key, r2, r3, r4) }
+    source db2 { relation S(s1 key, s2, s3) }
+    view R_p = project[r1, r2, r3](select[r4 = 100](R))
+    view S_p = project[s1, s2](select[s3 < 50](S))
+    export T = project[r1, r3, s1, s2](R_p join[r2 = s1] S_p)
+    annotate T [r1^m, r3^v, s1^m, s2^v]
+    annotate R_p virtual
+    annotate S_p virtual
+    '''
+
+    sources = make_sources(SPEC, initial={"db1": {"R": [(1, 10, 7, 100)]},
+                                          "db2": {"S": [(10, 42, 5)]}})
+    mediator = generate_mediator(SPEC, sources)
+    print(mediator.query("project[r1, s1](T)").to_sorted_list())
+
+Package map: :mod:`repro.relalg` (algebra substrate), :mod:`repro.deltas`
+(Heraclitus deltas), :mod:`repro.sources` (autonomous sources, incl.
+SQLite), :mod:`repro.sim` + :mod:`repro.runtime` (discrete-event
+environments), :mod:`repro.core` (VDPs and the mediator), :mod:`repro.planner`
+(Section 5.3 heuristics), :mod:`repro.generator` (spec language),
+:mod:`repro.correctness` (Section 3 checkers), :mod:`repro.workloads` and
+:mod:`repro.bench` (experiment scaffolding).
+"""
+
+from repro.core import (
+    Annotation,
+    AnnotatedVDP,
+    SquirrelMediator,
+    VDP,
+    annotate,
+    build_vdp,
+)
+from repro.correctness import (
+    assert_view_correct,
+    check_consistency,
+    check_freshness,
+    view_function_from_vdp,
+)
+from repro.generator import generate_mediator, make_sources, parse_spec
+from repro.relalg import parse_expression, parse_predicate
+from repro.sources import MemorySource, SQLiteSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotation",
+    "AnnotatedVDP",
+    "VDP",
+    "SquirrelMediator",
+    "annotate",
+    "build_vdp",
+    "generate_mediator",
+    "make_sources",
+    "parse_spec",
+    "parse_expression",
+    "parse_predicate",
+    "MemorySource",
+    "SQLiteSource",
+    "assert_view_correct",
+    "check_consistency",
+    "check_freshness",
+    "view_function_from_vdp",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Benchmark harness utilities: table rendering and parameter sweeps."""
+
+from repro.bench.reporting import format_value, render_table, shape_line
+from repro.bench.sweep import Sweep, grid
+
+__all__ = ["render_table", "shape_line", "format_value", "Sweep", "grid"]

@@ -1,0 +1,61 @@
+"""Plain-text reporting for the benchmark harness.
+
+Every benchmark prints its result as a table via :func:`render_table`, in
+the same rows/series structure the corresponding paper artifact uses, plus
+a one-line "shape" statement (who wins, by what factor) via
+:func:`shape_line`.  Keeping this in the library (rather than in each
+benchmark file) makes the EXPERIMENTS.md tables regenerable verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "shape_line", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: floats to 3 significant-ish digits, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    formatted = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in formatted)) if formatted else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    lines.append("=" * max(len(title), sum(widths) + 3 * (len(columns) - 1)))
+    lines.append(title)
+    lines.append("-" * max(len(title), sum(widths) + 3 * (len(columns) - 1)))
+    lines.append("   ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    for row in formatted:
+        lines.append("   ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def shape_line(claim: str, holds: bool, detail: str = "") -> str:
+    """A one-line verdict on whether the paper's qualitative shape held."""
+    status = "HOLDS" if holds else "DIVERGES"
+    suffix = f" ({detail})" if detail else ""
+    return f"shape[{status}]: {claim}{suffix}"

@@ -1,0 +1,43 @@
+"""Parameter-sweep driver for benchmarks.
+
+A :class:`Sweep` runs one measurement function over a parameter grid and
+collects rows; benchmarks use it so every table/figure regeneration is a
+declarative grid rather than hand-rolled loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["Sweep", "grid"]
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """The cross product of named parameter axes, as dicts."""
+    names = list(axes)
+    combos = itertools.product(*(axes[n] for n in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass
+class Sweep:
+    """Runs ``measure(params) -> row dict`` over a list of parameter dicts."""
+
+    measure: Callable[[Dict[str, Any]], Dict[str, Any]]
+
+    def run(self, points: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        """Measure every point; each result row includes its parameters."""
+        rows: List[Dict[str, Any]] = []
+        for params in points:
+            result = self.measure(dict(params))
+            row = dict(params)
+            row.update(result)
+            rows.append(row)
+        return rows
+
+    @staticmethod
+    def to_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str]) -> List[List[Any]]:
+        """Project result rows onto an ordered column list."""
+        return [[row.get(col, "") for col in columns] for row in rows]

@@ -1,0 +1,177 @@
+"""Command-line interface: deploy a mediator from a spec and query it.
+
+Usage::
+
+    python -m repro describe SPEC                 # show the annotated VDP
+    python -m repro query SPEC "project[a](V)"    # one-shot query
+    python -m repro repl SPEC                     # interactive session
+
+``SPEC`` is a mediator specification file (see :mod:`repro.generator.spec`).
+Initial data is loaded from an optional ``--data FILE.json`` whose shape is
+``{"source": {"relation": [[v, v, ...], ...]}}``.  The REPL accepts algebra
+queries plus the commands ``\\vdp``, ``\\stats``, ``\\refresh``,
+``\\insert source relation v1 v2 ...``, ``\\delete source relation v1 v2 ...``
+and ``\\quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core import SquirrelMediator
+from repro.errors import ReproError
+from repro.generator import generate_mediator, make_sources, parse_spec
+
+__all__ = ["main", "build_mediator_from_files"]
+
+
+def _load_data(path: Optional[str]) -> Dict[str, Dict[str, List[Sequence[Any]]]]:
+    if path is None:
+        return {}
+    with open(path) as handle:
+        raw = json.load(handle)
+    return {
+        source: {rel: [tuple(row) for row in rows] for rel, rows in relations.items()}
+        for source, relations in raw.items()
+    }
+
+
+def build_mediator_from_files(
+    spec_path: str, data_path: Optional[str] = None, backend: str = "memory"
+) -> SquirrelMediator:
+    """Deploy an initialized mediator from a spec file (+ optional data)."""
+    with open(spec_path) as handle:
+        spec = parse_spec(handle.read())
+    sources = make_sources(spec, initial=_load_data(data_path), backend=backend)
+    return generate_mediator(spec, sources)
+
+
+def _print_relation(relation, out) -> None:
+    names = relation.schema.attribute_names
+    print("  " + " | ".join(names), file=out)
+    for values, count in relation.to_sorted_list():
+        suffix = f"  (x{count})" if count != 1 else ""
+        print("  " + " | ".join(str(v) for v in values) + suffix, file=out)
+    print(f"  [{relation.cardinality()} rows]", file=out)
+
+
+def _cmd_describe(args, out) -> int:
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    print(mediator.annotated.describe(), file=out)
+    print(file=out)
+    print(
+        "contributors: "
+        + ", ".join(f"{k}={v.value}" for k, v in sorted(mediator.contributor_kinds.items())),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    answer = mediator.query(args.expression)
+    _print_relation(answer, out)
+    return 0
+
+
+def _parse_value(token: str) -> Any:
+    for caster in (int, float):
+        try:
+            return caster(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _repl_command(mediator: SquirrelMediator, line: str, out) -> bool:
+    """Handle one REPL line; returns False to exit."""
+    if line in ("\\quit", "\\q"):
+        return False
+    if line == "\\vdp":
+        print(mediator.annotated.describe(), file=out)
+        return True
+    if line == "\\stats":
+        for field, value in vars(mediator.stats()).items():
+            print(f"  {field}: {value}", file=out)
+        return True
+    if line == "\\refresh":
+        result = mediator.refresh()
+        print(
+            f"  {result.flushed_messages} messages, {result.rules_fired} rules, "
+            f"nodes {list(result.processed_nodes)}",
+            file=out,
+        )
+        return True
+    if line.startswith("\\insert ") or line.startswith("\\delete "):
+        op, source_name, relation, *values = line[1:].split()
+        source = mediator.sources[source_name]
+        names = source.schema(relation).attribute_names
+        if len(values) != len(names):
+            print(f"  expected {len(names)} values for {names}", file=out)
+            return True
+        kwargs = {n: _parse_value(v) for n, v in zip(names, values)}
+        (source.insert if op == "insert" else source.delete)(relation, **kwargs)
+        print("  ok (use \\refresh to propagate)", file=out)
+        return True
+    answer = mediator.query(line)
+    _print_relation(answer, out)
+    return True
+
+
+def _cmd_repl(args, out) -> int:
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    print("squirrel mediator ready; \\vdp \\stats \\refresh \\insert \\delete \\quit", file=out)
+    while True:
+        try:
+            line = input("squirrel> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        try:
+            if not _repl_command(mediator, line, out):
+                break
+        except ReproError as exc:
+            print(f"  error: {exc}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Squirrel integration mediators"
+    )
+    parser.add_argument("--data", help="JSON file with initial source data")
+    parser.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="memory",
+        help="source database backend",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_describe = subparsers.add_parser("describe", help="show the annotated VDP")
+    p_describe.add_argument("spec")
+
+    p_query = subparsers.add_parser("query", help="run one query")
+    p_query.add_argument("spec")
+    p_query.add_argument("expression")
+
+    p_repl = subparsers.add_parser("repl", help="interactive session")
+    p_repl.add_argument("spec")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "describe":
+            return _cmd_describe(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
+        return _cmd_repl(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,124 @@
+"""Attribute annotations: materialized (``m``) vs virtual (``v``).
+
+Section 5.1: "an *annotation* for R is a function from its attributes into
+``{m, v}``"; an annotation for a VDP assigns one to every non-leaf node.
+The notation of the paper — ``[r1^m, r3^v, s1^m, s2^v]`` — is accepted by
+:meth:`Annotation.parse` and produced by ``str()``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import AnnotationError
+
+__all__ = ["Annotation", "MATERIALIZED", "VIRTUAL"]
+
+MATERIALIZED = "m"
+VIRTUAL = "v"
+
+_ANNOTATION_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*\^\s*([mv])\s*$")
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """An m/v assignment for the attributes of one relation."""
+
+    marks: Tuple[Tuple[str, str], ...]  # (attribute, 'm'|'v') in attribute order
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, mark in self.marks:
+            if mark not in (MATERIALIZED, VIRTUAL):
+                raise AnnotationError(f"annotation mark must be 'm' or 'v', got {mark!r}")
+            if name in seen:
+                raise AnnotationError(f"duplicate attribute {name!r} in annotation")
+            seen.add(name)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, mapping: Mapping[str, str]) -> "Annotation":
+        """From a ``{attribute: 'm'|'v'}`` mapping."""
+        return cls(tuple(mapping.items()))
+
+    @classmethod
+    def all_materialized(cls, attributes: Iterable[str]) -> "Annotation":
+        """Every attribute materialized."""
+        return cls(tuple((a, MATERIALIZED) for a in attributes))
+
+    @classmethod
+    def all_virtual(cls, attributes: Iterable[str]) -> "Annotation":
+        """Every attribute virtual."""
+        return cls(tuple((a, VIRTUAL) for a in attributes))
+
+    @classmethod
+    def parse(cls, text: str) -> "Annotation":
+        """Parse the paper's notation, e.g. ``[r1^m, r3^v, s1^m]``."""
+        body = text.strip()
+        if body.startswith("[") and body.endswith("]"):
+            body = body[1:-1]
+        marks = []
+        for part in body.split(","):
+            match = _ANNOTATION_RE.match(part)
+            if not match:
+                raise AnnotationError(f"cannot parse annotation element {part.strip()!r}")
+            marks.append((match.group(1), match.group(2)))
+        return cls(tuple(marks))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All annotated attribute names, in order."""
+        return tuple(name for name, _ in self.marks)
+
+    def mark(self, attribute: str) -> str:
+        """The mark ('m' or 'v') of one attribute."""
+        for name, mark in self.marks:
+            if name == attribute:
+                return mark
+        raise AnnotationError(f"attribute {attribute!r} not in annotation")
+
+    def is_materialized(self, attribute: str) -> bool:
+        """True when ``attribute`` is annotated ``m``."""
+        return self.mark(attribute) == MATERIALIZED
+
+    @property
+    def materialized_attrs(self) -> Tuple[str, ...]:
+        """Attributes annotated ``m``, in order."""
+        return tuple(n for n, mk in self.marks if mk == MATERIALIZED)
+
+    @property
+    def virtual_attrs(self) -> Tuple[str, ...]:
+        """Attributes annotated ``v``, in order."""
+        return tuple(n for n, mk in self.marks if mk == VIRTUAL)
+
+    @property
+    def fully_materialized(self) -> bool:
+        """True when every attribute is ``m``."""
+        return not self.virtual_attrs
+
+    @property
+    def fully_virtual(self) -> bool:
+        """True when every attribute is ``v``."""
+        return not self.materialized_attrs
+
+    @property
+    def hybrid(self) -> bool:
+        """True when the relation mixes materialized and virtual attributes
+        — the paper's *partially materialized* case (c)."""
+        return bool(self.materialized_attrs) and bool(self.virtual_attrs)
+
+    def covers(self, attributes: Iterable[str]) -> bool:
+        """True when every given attribute is materialized."""
+        mat = set(self.materialized_attrs)
+        return all(a in mat for a in attributes)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}^{mark}" for name, mark in self.marks)
+        return f"[{inner}]"

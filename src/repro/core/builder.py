@@ -1,0 +1,221 @@
+"""Building VDPs from named view definitions.
+
+The Squirrel generator ([ZHK95]) turns high-level view specifications into
+deployed mediators; this module is the structural half of that pipeline.
+Given
+
+* the schemas of the source relations and which source owns each one, and
+* an (unordered) mapping of view names to algebra definitions — text in the
+  :mod:`repro.relalg.parser` mini-language or expression trees,
+
+:func:`build_vdp` produces a validated :class:`~repro.core.vdp.VDP`:
+definitions are ordered by dependency, node kinds are classified, and any
+select/project/rename chain applied *directly* to a source relation inside
+a larger definition is hoisted into its own leaf-parent node (Section 5.1
+restriction (a) — only leaf-parents may touch leaves, and only with
+select/project).  Hoisted nodes are named ``<relation>_p`` (the paper's
+``R'``), with ``_p2``, ``_p3``… when one relation is used under different
+chains.
+
+:func:`annotate` attaches annotations, defaulting every unmentioned node to
+fully materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
+
+from repro.core.annotations import Annotation
+from repro.core.vdp import VDP, AnnotatedVDP, NodeKind, VDPNode, classify_definition
+from repro.errors import VDPError
+from repro.relalg import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    RelationSchema,
+    Scan,
+    Select,
+    Union,
+    parse_expression,
+)
+
+__all__ = ["build_vdp", "annotate"]
+
+ViewDef = TypingUnion[str, Expression]
+
+
+def build_vdp(
+    source_schemas: Mapping[str, RelationSchema],
+    source_of: Mapping[str, str],
+    views: Mapping[str, ViewDef],
+    exports: Sequence[str],
+) -> VDP:
+    """Assemble and validate a VDP from named view definitions."""
+    parsed: Dict[str, Expression] = {}
+    for name, definition in views.items():
+        if name in source_schemas:
+            raise VDPError(f"view {name!r} clashes with a source relation name")
+        parsed[name] = parse_expression(definition) if isinstance(definition, str) else definition
+
+    ordered = _dependency_order(parsed, source_schemas)
+    hoisted: Dict[str, Expression] = {}
+    hoist_counter: Dict[str, int] = {}
+
+    nodes: List[VDPNode] = []
+    schemas: Dict[str, RelationSchema] = dict(source_schemas)
+    used_leaves: set = set()
+
+    def add_view_node(name: str, definition: Expression) -> None:
+        kind = classify_definition(definition)
+        schema = definition.infer_schema(schemas, name).rename_relation(name)
+        schemas[name] = schema
+        nodes.append(VDPNode(name, schema, kind, definition=definition))
+
+    for name in ordered:
+        definition = parsed[name]
+        refs = definition.relation_names()
+        direct_sources = refs & set(source_schemas)
+        is_chain_over_source = (
+            len(refs) == 1 and direct_sources and _is_chain(definition)
+        )
+        if direct_sources and not is_chain_over_source:
+            definition = _hoist_source_chains(
+                definition, source_schemas, hoisted, hoist_counter
+            )
+        used_leaves |= definition.relation_names() & set(source_schemas)
+        parsed[name] = definition
+
+    # Materialize hoisted leaf-parents first (they are below everything).
+    for lp_name, lp_def in hoisted.items():
+        used_leaves |= lp_def.relation_names()
+        add_view_node(lp_name, lp_def)
+    for name in ordered:
+        add_view_node(name, parsed[name])
+
+    for leaf in sorted(used_leaves):
+        source = source_of.get(leaf)
+        if source is None:
+            raise VDPError(f"no source database declared for relation {leaf!r}")
+        nodes.append(VDPNode(leaf, source_schemas[leaf], NodeKind.LEAF, source=source))
+
+    return VDP(nodes, exports)
+
+
+def _dependency_order(
+    parsed: Mapping[str, Expression], source_schemas: Mapping[str, RelationSchema]
+) -> List[str]:
+    order: List[str] = []
+    state: Dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        mark = state.get(name, 0)
+        if mark == 2:
+            return
+        if mark == 1:
+            raise VDPError(f"cyclic view definitions through {name!r}")
+        state[name] = 1
+        for ref in sorted(parsed[name].relation_names()):
+            if ref in parsed:
+                visit(ref)
+            elif ref not in source_schemas:
+                raise VDPError(f"view {name!r} references unknown relation {ref!r}")
+        state[name] = 2
+        order.append(name)
+
+    for name in sorted(parsed):
+        visit(name)
+    return order
+
+
+def _is_chain(expr: Expression) -> bool:
+    while isinstance(expr, (Select, Project, Rename)):
+        if isinstance(expr, Project) and expr.dedup:
+            return False
+        expr = expr.children()[0]
+    return isinstance(expr, Scan)
+
+
+def _hoist_source_chains(
+    expr: Expression,
+    source_schemas: Mapping[str, RelationSchema],
+    hoisted: Dict[str, Expression],
+    counter: Dict[str, int],
+) -> Expression:
+    """Replace maximal chains over source scans with leaf-parent references."""
+
+    def hoist(chain: Expression, relation: str) -> Expression:
+        # Reuse an identical existing hoist for the same relation.
+        for existing_name, existing_def in hoisted.items():
+            if existing_def == chain:
+                return Scan(existing_name)
+        counter[relation] = counter.get(relation, 0) + 1
+        suffix = "_p" if counter[relation] == 1 else f"_p{counter[relation]}"
+        name = f"{relation}{suffix}"
+        if name in hoisted or name in source_schemas:
+            raise VDPError(f"hoisted node name {name!r} collides; rename your views")
+        hoisted[name] = chain
+        return Scan(name)
+
+    def rewrite(node: Expression, at_top: bool = False) -> Expression:
+        refs = node.relation_names()
+        touches_source = bool(refs & set(source_schemas))
+        if not touches_source:
+            return node
+        if _is_chain(node):
+            relation = next(iter(refs))
+            if relation in source_schemas:
+                return hoist(node, relation)
+            return node
+        if isinstance(node, Select):
+            return Select(rewrite(node.child), node.predicate)
+        if isinstance(node, Project):
+            return Project(rewrite(node.child), node.attrs, node.dedup)
+        if isinstance(node, Rename):
+            return Rename(rewrite(node.child), node.mapping_dict)
+        if isinstance(node, Join):
+            return Join(rewrite(node.left), rewrite(node.right), node.condition)
+        if isinstance(node, Union):
+            return Union(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, Difference):
+            return Difference(rewrite(node.left), rewrite(node.right))
+        raise VDPError(f"unsupported node while hoisting: {type(node).__name__}")
+
+    return rewrite(expr, at_top=True)
+
+
+def annotate(
+    vdp: VDP,
+    overrides: Optional[Mapping[str, TypingUnion[str, Annotation]]] = None,
+    default: str = "m",
+) -> AnnotatedVDP:
+    """Attach annotations to a VDP.
+
+    ``overrides`` maps node names to annotations — either
+    :class:`Annotation` objects or the paper's text form (``"[a^m, b^v]"``).
+    Unmentioned nodes default to fully materialized (``default='m'``) or
+    fully virtual (``default='v'``).
+    """
+    if default not in ("m", "v"):
+        raise VDPError(f"default annotation must be 'm' or 'v', got {default!r}")
+    resolved: Dict[str, Annotation] = {}
+    overrides = dict(overrides or {})
+    for name in vdp.non_leaves():
+        override = overrides.pop(name, None)
+        if override is None:
+            attrs = vdp.node(name).schema.attribute_names
+            resolved[name] = (
+                Annotation.all_materialized(attrs)
+                if default == "m"
+                else Annotation.all_virtual(attrs)
+            )
+        elif isinstance(override, Annotation):
+            resolved[name] = override
+        else:
+            resolved[name] = Annotation.parse(override)
+    if overrides:
+        from repro.errors import AnnotationError
+
+        raise AnnotationError(f"annotations for unknown nodes: {sorted(overrides)}")
+    return AnnotatedVDP(vdp, resolved)

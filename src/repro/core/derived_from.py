@@ -1,0 +1,232 @@
+"""The ``derived_from`` function and attribute-lineage analysis (Section 6.3).
+
+Given a request ``(R, A, f)`` — "we need ``π_A σ_f R``" — ``derived_from``
+determines, for each child relation ``S_i`` of ``R``'s node, the minimal
+projection/selection ``(S_i, B_i, g_i)`` of that child from which the
+request can be reconstructed.  The paper spells out four cases (project-
+select, join, union, difference); this module implements them via a single
+recursive lineage walk over the node-definition expression, which also
+covers the paper's "arbitrary combination of selects, projects and joins"
+bag nodes and the renaming the paper elides.
+
+Rules applied during the walk:
+
+* attributes referenced by definition-internal selection and join
+  conditions are *needed* (the paper's ``D_i`` sets);
+* a conjunct of ``f`` is pushed down to a child only when all its
+  attributes come from that child (sound; the residual is evaluated after
+  reconstruction, which is why ``f``'s attributes are added to ``A`` up
+  front);
+* for a difference node both operands also need every output attribute
+  ``C`` (the paper's case (4)): set membership of a full output row is what
+  the subtraction tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.vdp import VDP, NodeKind
+from repro.errors import VDPError
+from repro.relalg import (
+    Difference,
+    Expression,
+    Join,
+    Predicate,
+    Project,
+    Rename,
+    RelationSchema,
+    Scan,
+    Select,
+    TRUE,
+    Union,
+    conjoin,
+    conjuncts,
+    disjoin,
+)
+
+__all__ = ["TempRequest", "derived_from", "child_requirements", "narrow_definition"]
+
+
+@dataclass(frozen=True)
+class TempRequest:
+    """A request for (a projection/selection of) one relation's data.
+
+    Mirrors the paper's ``(R, A, f)`` triples: ``relation`` is a VDP node
+    name, ``attrs`` the needed attributes, ``predicate`` the selection that
+    may be applied when fetching.
+    """
+
+    relation: str
+    attrs: FrozenSet[str]
+    predicate: Predicate = TRUE
+
+    def merge(self, other: "TempRequest") -> "TempRequest":
+        """Merge two requests for the same relation (paper step (2b)):
+        union the attribute sets and disjoin the selections."""
+        if other.relation != self.relation:
+            raise VDPError(f"cannot merge requests for {self.relation!r} and {other.relation!r}")
+        return TempRequest(
+            self.relation,
+            self.attrs | other.attrs,
+            disjoin(self.predicate, other.predicate),
+        )
+
+    def sorted_attrs(self) -> Tuple[str, ...]:
+        """The attributes as a deterministic tuple (for projections)."""
+        return tuple(sorted(self.attrs))
+
+
+def _output_attrs(expr: Expression, schemas: Mapping[str, RelationSchema]) -> FrozenSet[str]:
+    return frozenset(expr.infer_schema(schemas, "lineage").attribute_names)
+
+
+def _walk(
+    expr: Expression,
+    needed: FrozenSet[str],
+    pushdown: List[Predicate],
+    schemas: Mapping[str, RelationSchema],
+    out: Dict[str, TempRequest],
+) -> None:
+    """Accumulate per-child requirements into ``out``."""
+    if isinstance(expr, Scan):
+        attrs = frozenset(schemas[expr.name].attribute_names)
+        req_attrs = needed & attrs
+        placed = [c for c in pushdown if c.attributes() <= attrs]
+        request = TempRequest(expr.name, req_attrs, conjoin(*placed) if placed else TRUE)
+        if expr.name in out:
+            out[expr.name] = out[expr.name].merge(request)
+        else:
+            out[expr.name] = request
+        return
+    if isinstance(expr, Select):
+        _walk(expr.child, needed | expr.predicate.attributes(), pushdown, schemas, out)
+        return
+    if isinstance(expr, Project):
+        # Everything needed above must survive the projection; attributes of
+        # definition-internal conditions were added below this point.
+        _walk(expr.child, needed, pushdown, schemas, out)
+        return
+    if isinstance(expr, Rename):
+        inverse = {new: old for old, new in expr.mapping_dict.items()}
+        renamed_needed = frozenset(inverse.get(a, a) for a in needed)
+        renamed_pushdown = [c.rename(inverse) for c in pushdown]
+        _walk(expr.child, renamed_needed, renamed_pushdown, schemas, out)
+        return
+    if isinstance(expr, Join):
+        left_attrs = _output_attrs(expr.left, schemas)
+        right_attrs = _output_attrs(expr.right, schemas)
+        if expr.condition is not None:
+            needed = needed | expr.condition.attributes()
+        else:
+            needed = needed | (left_attrs & right_attrs)  # natural-join attributes
+        left_push = [c for c in pushdown if c.attributes() <= left_attrs]
+        right_push = [c for c in pushdown if c.attributes() <= right_attrs]
+        _walk(expr.left, needed & left_attrs, left_push, schemas, out)
+        _walk(expr.right, needed & right_attrs, right_push, schemas, out)
+        return
+    if isinstance(expr, (Union, Difference)):
+        # Both operands are union-compatible with the output; a difference
+        # additionally needs every output attribute on both sides (case (4)).
+        extra = _output_attrs(expr, schemas) if isinstance(expr, Difference) else frozenset()
+        for side in (expr.left, expr.right):
+            _walk(side, needed | extra, list(pushdown), schemas, out)
+        return
+    raise VDPError(f"unsupported expression node in lineage walk: {type(expr).__name__}")
+
+
+def child_requirements(
+    definition: Expression,
+    needed_attrs: FrozenSet[str],
+    selection: Predicate,
+    schemas: Mapping[str, RelationSchema],
+) -> Dict[str, TempRequest]:
+    """Per-child data requirements to reconstruct ``π_needed σ_selection(def)``.
+
+    The returned mapping gives, for every child relation mentioned by the
+    definition, the minimal ``TempRequest`` covering the reconstruction.
+    """
+    needed = frozenset(needed_attrs) | selection.attributes()
+    out: Dict[str, TempRequest] = {}
+    _walk(definition, needed, conjuncts(selection), schemas, out)
+    return out
+
+
+def narrow_definition(
+    expr: Expression,
+    needed: FrozenSet[str],
+    schemas: Mapping[str, RelationSchema],
+) -> Expression:
+    """Rewrite a node definition to produce only the ``needed`` attributes.
+
+    Used when constructing reduced-width temporary relations: the children
+    supply exactly the attributes ``derived_from`` requested, so the
+    definition's internal projection lists must be trimmed to match.
+    Attributes required by definition-internal selection and join conditions
+    are kept automatically; difference operands are never narrowed (set
+    membership is over full output rows).
+    """
+    if isinstance(expr, Scan):
+        return expr
+    if isinstance(expr, Select):
+        return Select(
+            narrow_definition(expr.child, needed | expr.predicate.attributes(), schemas),
+            expr.predicate,
+        )
+    if isinstance(expr, Project):
+        keep = tuple(a for a in expr.attrs if a in needed)
+        if not keep:
+            keep = expr.attrs[:1]  # a projection must keep at least one attribute
+        return Project(
+            narrow_definition(expr.child, frozenset(keep), schemas), keep, expr.dedup
+        )
+    if isinstance(expr, Rename):
+        inverse = {new: old for old, new in expr.mapping_dict.items()}
+        child_needed = frozenset(inverse.get(a, a) for a in needed)
+        child = narrow_definition(expr.child, child_needed, schemas)
+        child_attrs = frozenset(child.infer_schema(schemas, "narrow").attribute_names)
+        mapping = {old: new for old, new in expr.mapping_dict.items() if old in child_attrs}
+        return Rename(child, mapping) if mapping else child
+    if isinstance(expr, Join):
+        left_attrs = _output_attrs(expr.left, schemas)
+        right_attrs = _output_attrs(expr.right, schemas)
+        if expr.condition is not None:
+            needed = needed | expr.condition.attributes()
+        else:
+            needed = needed | (left_attrs & right_attrs)
+        return Join(
+            narrow_definition(expr.left, needed & left_attrs, schemas),
+            narrow_definition(expr.right, needed & right_attrs, schemas),
+            expr.condition,
+        )
+    if isinstance(expr, Union):
+        return Union(
+            narrow_definition(expr.left, needed, schemas),
+            narrow_definition(expr.right, needed, schemas),
+        )
+    if isinstance(expr, Difference):
+        return expr  # operands must keep full output width
+    raise VDPError(f"unsupported node while narrowing: {type(expr).__name__}")
+
+
+def derived_from(
+    vdp: VDP,
+    relation: str,
+    attrs: FrozenSet[str],
+    selection: Predicate = TRUE,
+) -> List[TempRequest]:
+    """The paper's ``derived_from(R, A, f)`` over a VDP node.
+
+    Returns one :class:`TempRequest` per child of ``R``'s node, covering the
+    four cases of Section 6.3 (and their generalizations to deeper SPJ
+    definitions and renaming).
+    """
+    node = vdp.node(relation)
+    if node.is_leaf:
+        raise VDPError(f"derived_from is defined on non-leaf nodes, got leaf {relation!r}")
+    unknown = frozenset(attrs) - frozenset(node.schema.attribute_names)
+    if unknown:
+        raise VDPError(f"node {relation!r} has no attributes {sorted(unknown)}")
+    requirements = child_requirements(node.definition, frozenset(attrs), selection, vdp.schemas())
+    return [requirements[name] for name in sorted(requirements)]

@@ -1,0 +1,302 @@
+"""The Incremental Update Processor (Section 6.4).
+
+An update transaction has three phases:
+
+(a) **Preparation** — a dry-run of the kernel over the flushed delta to
+    determine which rules will fire and which virtual/hybrid relations those
+    rules must read; each such read becomes a :class:`TempRequest`.
+(b) **VAP call** — materialize the requested temporaries.  The VAP
+    populates them to the state ``ref'(t_{i-1})`` by compensating poll
+    answers against both the flushed delta and anything still queued.
+(c) **Kernel** — the IUP Kernel Algorithm proper: traverse the VDP
+    children-first; *process* each node with a pending delta by firing all
+    rules out of it (accumulating contributions into its parents' ΔR
+    repositories) and only then applying its own delta to its repository —
+    the ordering discipline that captures every ``ΔR ⋈ ΔS`` cross-term
+    exactly once (Example 6.1).
+
+Temporary relations stand in for virtual/hybrid relations during the
+kernel; when a node with a temporary is processed, its delta is applied to
+the temporary too, so sibling reads observe the same
+new-if-processed/old-if-not states as materialized repositories do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.derived_from import TempRequest, child_requirements
+from repro.core.local_store import LocalStore
+from repro.core.rulebase import RuleBase
+from repro.core.update_queue import QueuedUpdate, UpdateQueue
+from repro.core.vap import VirtualAttributeProcessor
+from repro.core.vdp import AnnotatedVDP, NodeKind
+from repro.deltas import AnyDelta, BagDelta, SetDelta, select_project, set_to_bag
+from repro.errors import MediatorError
+from repro.relalg import TRUE, Relation
+
+__all__ = ["IUPStats", "UpdateTransactionResult", "IncrementalUpdateProcessor"]
+
+
+@dataclass
+class IUPStats:
+    """Counters exposed to benchmarks."""
+
+    transactions: int = 0
+    empty_transactions: int = 0
+    rules_fired: int = 0
+    nodes_processed: int = 0
+    temp_requests: int = 0
+    delta_atoms_applied: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.transactions = 0
+        self.empty_transactions = 0
+        self.rules_fired = 0
+        self.nodes_processed = 0
+        self.temp_requests = 0
+        self.delta_atoms_applied = 0
+
+
+@dataclass
+class UpdateTransactionResult:
+    """What one update transaction did (for observers and benchmarks)."""
+
+    flushed_messages: int
+    flushed_atoms: int
+    processed_nodes: Tuple[str, ...]
+    rules_fired: int
+    temps_requested: Tuple[str, ...]
+    sources_polled: int
+
+    @property
+    def was_empty(self) -> bool:
+        """True when the queue was empty and nothing happened."""
+        return self.flushed_messages == 0
+
+
+class IncrementalUpdateProcessor:
+    """Propagates queued source updates into the materialized data."""
+
+    def __init__(
+        self,
+        annotated: AnnotatedVDP,
+        store: LocalStore,
+        rulebase: RuleBase,
+        vap: VirtualAttributeProcessor,
+        queue: UpdateQueue,
+    ):
+        self.annotated = annotated
+        self.vdp = annotated.vdp
+        self.store = store
+        self.rulebase = rulebase
+        self.vap = vap
+        self.queue = queue
+        self.stats = IUPStats()
+
+    # ------------------------------------------------------------------
+    # The general IUP algorithm
+    # ------------------------------------------------------------------
+    def run_transaction(self) -> UpdateTransactionResult:
+        """Flush the queue and propagate everything in it (one transaction)."""
+        self.stats.transactions += 1
+        combined, entries = self.queue.flush()
+        if combined is None:
+            self.stats.empty_transactions += 1
+            return UpdateTransactionResult(0, 0, (), 0, (), 0)
+
+        leaf_deltas = self._leaf_deltas(combined)
+
+        # Phase (a): determine needed temporary relations.
+        requests = self._prepare(leaf_deltas)
+        self.stats.temp_requests += len(requests)
+
+        # Phase (b): populate them through the VAP (state ref'(t_{i-1})).
+        polls_before = self.vap.stats.polled_sources
+        in_flight = self._in_flight_by_source(entries)
+        temps = self.vap.materialize(requests.values(), in_flight) if requests else {}
+        sources_polled = self.vap.stats.polled_sources - polls_before
+
+        # Phase (c): the kernel, reading temporaries in place of virtual data.
+        processed, fired = self._kernel(leaf_deltas, temps)
+
+        return UpdateTransactionResult(
+            flushed_messages=len(entries),
+            flushed_atoms=combined.atom_count(),
+            processed_nodes=tuple(processed),
+            rules_fired=fired,
+            temps_requested=tuple(sorted(requests)),
+            sources_polled=sources_polled,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _leaf_deltas(self, combined: SetDelta) -> Dict[str, BagDelta]:
+        """Split the flushed delta into per-leaf bag deltas.
+
+        Leaf node names coincide with source relation names; atoms naming
+        relations outside the VDP are ignored (the source announced more
+        than this mediator integrates).
+        """
+        out: Dict[str, BagDelta] = {}
+        for leaf in self.vdp.leaves():
+            restricted = combined.restrict_to([leaf])
+            if not restricted.is_empty():
+                out[leaf] = set_to_bag(restricted)
+        return out
+
+    def _in_flight_by_source(self, entries: List[QueuedUpdate]) -> Dict[str, List[SetDelta]]:
+        grouped: Dict[str, List[SetDelta]] = {}
+        for entry in entries:
+            grouped.setdefault(entry.source, []).append(entry.delta)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Phase (a): the IUP Preparation Algorithm
+    # ------------------------------------------------------------------
+    def _prepare(self, leaf_deltas: Mapping[str, BagDelta]) -> Dict[str, TempRequest]:
+        """Dry-run the kernel to collect temporary-relation requests.
+
+        Conservatively treats every node reachable from an updated leaf as
+        affected (a real run might see its delta cancel to empty); for every
+        rule that would fire, the relations the rule reads that are not
+        covered by materialized storage are requested at the width the
+        rule's definition references.
+        """
+        affected: Set[str] = set(leaf_deltas)
+        requests: Dict[str, TempRequest] = {}
+        schemas = self.vdp.schemas()
+        for name in self.vdp.topological_order():
+            if name not in affected:
+                continue
+            for rule in self.rulebase.rules_out_of(name):
+                parent = rule.parent
+                affected.add(parent)
+                parent_node = self.vdp.node(parent)
+                needs = child_requirements(
+                    parent_node.definition,
+                    frozenset(parent_node.schema.attribute_names),
+                    TRUE,
+                    schemas,
+                )
+                for sibling in rule.sibling_names():
+                    requirement = needs.get(sibling)
+                    if requirement is None:
+                        continue
+                    if self._covered(requirement):
+                        continue
+                    existing = requests.get(sibling)
+                    requests[sibling] = (
+                        existing.merge(requirement) if existing else requirement
+                    )
+        return requests
+
+    def _covered(self, request: TempRequest) -> bool:
+        if not self.store.has_repo(request.relation):
+            return False
+        ann = self.annotated.annotation(request.relation)
+        return ann.covers(request.attrs | request.predicate.attributes())
+
+    # ------------------------------------------------------------------
+    # Phase (c): the IUP Kernel Algorithm
+    # ------------------------------------------------------------------
+    def _kernel(
+        self,
+        leaf_deltas: Mapping[str, BagDelta],
+        temps: Dict[str, Relation],
+    ) -> Tuple[List[str], int]:
+        processed: List[str] = []
+        fired = 0
+
+        # Initialization (step 1): fire all rules out of updated leaves.
+        for leaf in sorted(leaf_deltas):
+            fired += self._fire_rules_out_of(leaf, leaf_deltas[leaf], temps)
+
+        # Upward traversal (step 2): process nodes children-first.
+        for name in self.vdp.non_leaves():
+            if not self.store.has_pending_delta(name):
+                continue
+            delta = self.store.delta(name)
+            node = self.vdp.node(name)
+            if node.kind is NodeKind.SET:
+                delta = self._normalize_set_delta(name, delta, temps)
+                if delta.is_empty():
+                    self.store.clear_delta(name)
+                    continue
+            fired += self._fire_rules_out_of(name, delta, temps)
+            self._apply_to_node(name, delta, temps)
+            self.store.clear_delta(name)
+            processed.append(name)
+            self.stats.nodes_processed += 1
+        return processed, fired
+
+    def _normalize_set_delta(
+        self, name: str, delta: SetDelta, temps: Mapping[str, Relation]
+    ) -> SetDelta:
+        """Drop redundant atoms from a set node's accumulated delta.
+
+        Normalizes against the node's repository when it stores full rows,
+        else against its (old-state) temporary, so the propagated delta is
+        the exact net change in either case.
+        """
+        if self.store.has_repo(name) and self.annotated.is_fully_materialized(name):
+            return self.store.normalize_set_delta(name, delta)
+        temp = temps.get(name)
+        if temp is None:
+            return delta
+        out = SetDelta()
+        for r, sign in delta.atoms_for(name):
+            present = temp.contains(r)
+            if sign > 0 and not present:
+                out.insert(name, r)
+            elif sign < 0 and present:
+                out.delete(name, r)
+        return out
+
+    def _fire_rules_out_of(
+        self, name: str, delta: AnyDelta, temps: Mapping[str, Relation]
+    ) -> int:
+        fired = 0
+        bag_delta = set_to_bag(delta) if isinstance(delta, SetDelta) else delta
+        for rule in self.rulebase.rules_out_of(name):
+            catalog = {}
+            for sibling in rule.sibling_names():
+                catalog[sibling] = self._resolve(sibling, temps)
+            contribution = rule.fire(bag_delta, catalog, self.store.counters)
+            if not contribution.is_empty():
+                self.store.accumulate(rule.parent, contribution)
+            fired += 1
+            self.stats.rules_fired += 1
+        return fired
+
+    def _resolve(self, name: str, temps: Mapping[str, Relation]) -> Relation:
+        if name in temps:
+            return temps[name]
+        if self.store.has_repo(name):
+            # For a hybrid node this is the projection onto its materialized
+            # attributes — sufficient exactly when preparation found the
+            # rule's requirement covered (otherwise a temporary exists).
+            return self.store.repo(name)
+        raise MediatorError(
+            f"rule needs virtual node {name!r} but no temporary was prepared"
+        )
+
+    def _apply_to_node(
+        self, name: str, delta: AnyDelta, temps: Dict[str, Relation]
+    ) -> None:
+        """Apply a processed node's delta to its repository and temporary."""
+        if isinstance(delta, SetDelta):
+            self.stats.delta_atoms_applied += delta.atom_count()
+        else:
+            self.stats.delta_atoms_applied += delta.entry_count()
+        self.store.apply_delta(name, delta)
+        temp = temps.get(name)
+        if temp is not None:
+            bag_delta = set_to_bag(delta) if isinstance(delta, SetDelta) else delta
+            projected = select_project(
+                bag_delta, name, TRUE, tuple(temp.schema.attribute_names)
+            )
+            projected.apply_to(temp, name)

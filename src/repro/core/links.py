@@ -1,0 +1,90 @@
+"""Source links: how the mediator reaches source databases.
+
+A :class:`SourceLink` answers queries against one source and guarantees the
+ordering property the Eager Compensation Algorithm needs: *every
+announcement the source sent before answering a poll is delivered to the
+mediator's update queue before the answer is used*.  With in-order channels
+(Section 4's message assumption) this holds automatically; link
+implementations enforce it explicitly:
+
+* :class:`DirectLink` — in-process calls.  Before answering, any pending
+  (committed but unannounced) net update of an announcing source is taken
+  and handed to the mediator's queue ("flush-before-answer").
+* The simulation driver (:mod:`repro.runtime`) wraps a link around a
+  delayed channel and *expedites* in-flight announcements before answering,
+  which is the same FIFO guarantee under simulated latency.
+
+Links also package all of one poll round's queries to a source into a
+single source transaction (one snapshot), which is how the VAP ensures "no
+more than one state of the same source can contribute to the view state".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.deltas import SetDelta
+from repro.relalg import Evaluator, Expression, Relation
+from repro.sources.base import SourceDatabase
+
+__all__ = ["SourceLink", "DirectLink"]
+
+AnnouncementSink = Callable[[str, SetDelta], None]
+
+
+class SourceLink:
+    """Abstract link from the mediator to one source database."""
+
+    def __init__(self, source_name: str):
+        self.source_name = source_name
+        self.poll_count = 0
+        self.polled_rows = 0
+
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        """Answer several queries against one snapshot of the source.
+
+        Implementations must first deliver every announcement the source
+        has already produced (the FIFO/flush-before-answer guarantee).
+        """
+        raise NotImplementedError
+
+
+class DirectLink(SourceLink):
+    """In-process link to a :class:`SourceDatabase`."""
+
+    def __init__(
+        self,
+        source: SourceDatabase,
+        announcement_sink: Optional[AnnouncementSink] = None,
+        announces: bool = True,
+    ):
+        """``announcement_sink`` receives flushed announcements (usually the
+        mediator's queue); ``announces=False`` marks a pure
+        virtual-contributor, whose pending updates are irrelevant and are
+        discarded rather than delivered."""
+        super().__init__(source.name)
+        self.source = source
+        self.announcement_sink = announcement_sink
+        self.announces = announces
+
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        self._flush_before_answer()
+        snapshot = self.source.state()
+        self.source.query_count += len(queries)
+        self.poll_count += 1
+        answers: Dict[str, Relation] = {}
+        evaluator = Evaluator(snapshot)
+        for name, expr in queries.items():
+            answer = evaluator.evaluate(expr, name)
+            self.polled_rows += answer.cardinality()
+            answers[name] = answer
+        return answers
+
+    def _flush_before_answer(self) -> None:
+        announcement = self.source.take_announcement()
+        if announcement is None:
+            return
+        if self.announces and self.announcement_sink is not None:
+            self.announcement_sink(self.source_name, announcement)
+        # Non-announcing (virtual-contributor) sources simply drop the
+        # accumulated net update: nothing materialized depends on it.

@@ -1,0 +1,294 @@
+"""The Squirrel integration mediator (Section 4, Figure 3).
+
+A mediator consists of five components wired together here:
+
+* the **local store** — the annotated VDP, the materialized portions of the
+  view, auxiliary materialized data, and the rulebase;
+* the **query processor (QP)** — the interface for querying the view;
+* the **virtual attributes processor (VAP)** — constructs temporary
+  relations for virtual data, polling sources as needed;
+* the **update queue** — holds incremental updates announced by sources;
+* the **incremental update processor (IUP)** — propagates queued updates
+  into the materialized data under rulebase control.
+
+The three information flows of Section 4 map onto three methods:
+announcements arrive through :meth:`SquirrelMediator.enqueue_update` (flow
+1, processed by :meth:`run_update_transaction`), the VAP's polls travel
+through the source links (flow 2), and queries enter through
+:meth:`SquirrelMediator.query` (flow 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union as TypingUnion
+
+from repro.core.iup import IncrementalUpdateProcessor, UpdateTransactionResult
+from repro.core.links import DirectLink, SourceLink
+from repro.core.local_store import LocalStore
+from repro.core.query_processor import QueryProcessor
+from repro.core.rulebase import RuleBase
+from repro.core.update_queue import UpdateQueue
+from repro.core.vap import VirtualAttributeProcessor
+from repro.core.vdp import AnnotatedVDP
+from repro.deltas import SetDelta
+from repro.errors import MediatorError
+from repro.relalg import (
+    TRUE,
+    Expression,
+    Predicate,
+    Relation,
+    parse_expression,
+)
+from repro.sources.base import SourceDatabase
+from repro.sources.contributors import ContributorKind
+
+__all__ = ["MediatorStats", "SquirrelMediator"]
+
+QueryInput = TypingUnion[str, Expression]
+
+
+@dataclass
+class MediatorStats:
+    """A one-stop snapshot of every component's counters."""
+
+    queries: int
+    materialized_only_queries: int
+    virtual_queries: int
+    update_transactions: int
+    rules_fired: int
+    polls: int
+    polled_rows: int
+    compensations: int
+    key_based_constructions: int
+    stored_rows: int
+    stored_cells: int
+    rows_scanned: int
+
+
+class SquirrelMediator:
+    """A deployed Squirrel integration mediator."""
+
+    def __init__(
+        self,
+        annotated: AnnotatedVDP,
+        sources: Mapping[str, SourceDatabase],
+        links: Optional[Mapping[str, SourceLink]] = None,
+        eca_enabled: bool = True,
+        key_based_enabled: bool = True,
+    ):
+        """Wire a mediator over the given sources.
+
+        ``links`` overrides the default in-process :class:`DirectLink` per
+        source — the simulation runtime passes channel-aware links here.
+        ``eca_enabled`` / ``key_based_enabled`` exist for the ablation
+        benchmarks; production use leaves them on.
+        """
+        self.annotated = annotated
+        self.vdp = annotated.vdp
+        self.sources = dict(sources)
+        self.contributor_kinds: Dict[str, ContributorKind] = annotated.contributor_kinds()
+        self._check_sources()
+
+        self.queue = UpdateQueue()
+        self.store = LocalStore(annotated)
+        self.rulebase = RuleBase(self.vdp)
+        self.links: Dict[str, SourceLink] = dict(links) if links else {}
+        for name, source in self.sources.items():
+            if name not in self.links:
+                kind = self.contributor_kinds.get(name)
+                self.links[name] = DirectLink(
+                    source,
+                    announcement_sink=self.enqueue_update,
+                    announces=bool(kind and kind.announces),
+                )
+        self.vap = VirtualAttributeProcessor(
+            annotated,
+            self.store,
+            self.links,
+            self.queue,
+            self.contributor_kinds,
+            eca_enabled=eca_enabled,
+            key_based_enabled=key_based_enabled,
+        )
+        self.iup = IncrementalUpdateProcessor(
+            annotated, self.store, self.rulebase, self.vap, self.queue
+        )
+        self.qp = QueryProcessor(annotated, self.store, self.vap)
+        self._initialized = False
+
+    def _check_sources(self) -> None:
+        for leaf in self.vdp.leaves():
+            source_name = self.vdp.source_of_leaf(leaf)
+            source = self.sources.get(source_name)
+            if source is None:
+                raise MediatorError(f"no source database named {source_name!r} supplied")
+            if leaf not in source.schemas:
+                raise MediatorError(
+                    f"source {source_name!r} has no relation {leaf!r} (leaf names must "
+                    "match source relation names)"
+                )
+            leaf_schema = self.vdp.node(leaf).schema
+            if source.schemas[leaf].attribute_names != leaf_schema.attribute_names:
+                raise MediatorError(
+                    f"leaf {leaf!r} schema mismatch between VDP and source {source_name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # View initialization
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Load every materialized node bottom-up from the current sources.
+
+        This is ``t_view_init``: the initial population is computed from one
+        snapshot of each source (sources are read one at a time — the view
+        then reflects a state *vector*, as the consistency definition
+        allows).
+        """
+        leaf_values: Dict[str, Relation] = {}
+        for source_name in sorted({self.vdp.source_of_leaf(l) for l in self.vdp.leaves()}):
+            source = self.sources[source_name]
+            snapshot = source.state()
+            for leaf in self.vdp.leaves_of_source(source_name):
+                leaf_values[leaf] = snapshot[leaf]
+            # Announcements covering the snapshot are already reflected;
+            # discard anything pending so it is not double-applied.
+            source.take_announcement()
+        self.store.initialize(leaf_values)
+        self._initialized = True
+
+    @property
+    def initialized(self) -> bool:
+        """True once :meth:`initialize` has run."""
+        return self._initialized
+
+    def install_source_prefilters(self) -> int:
+        """Enable the Section 6.2 source-side optimization.
+
+        Builds one :class:`~repro.deltas.LeafParentFilter` per leaf-parent
+        node from its definition chain and installs the set at each
+        announcing source, so atoms irrelevant to every leaf-parent are
+        dropped *before* transmission.  Returns the number of filters
+        installed.  (Correct by construction: an atom is kept whenever any
+        leaf-parent's selection accepts it or its relation is unfiltered.)
+        """
+        from repro.deltas import LeafParentFilter
+
+        per_source: Dict[str, list] = {}
+        for lp in self.vdp.leaf_parents():
+            definition = self.vdp.node(lp).definition
+            filt = LeafParentFilter.from_chain(lp, definition)
+            source_name = self.vdp.source_of_leaf(self.vdp.children(lp)[0])
+            per_source.setdefault(source_name, []).append(filt)
+        installed = 0
+        for source_name, filters in per_source.items():
+            kind = self.contributor_kinds.get(source_name)
+            if kind is None or not kind.announces:
+                continue
+            self.sources[source_name].set_prefilters(filters)
+            installed += len(filters)
+        return installed
+
+    # ------------------------------------------------------------------
+    # Flow 1: incremental updates
+    # ------------------------------------------------------------------
+    def enqueue_update(
+        self,
+        source_name: str,
+        delta: SetDelta,
+        send_time: Optional[float] = None,
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Receive one announcement message from a source."""
+        if source_name not in self.sources:
+            raise MediatorError(f"announcement from unknown source {source_name!r}")
+        self.queue.enqueue(source_name, delta, send_time, arrival_time)
+
+    def collect_announcements(self) -> int:
+        """Pull pending net updates from every announcing source (the
+        in-process stand-in for sources actively pushing); returns the
+        number of messages enqueued."""
+        self._require_init()
+        collected = 0
+        for name, kind in sorted(self.contributor_kinds.items()):
+            if not kind.announces:
+                continue
+            announcement = self.sources[name].take_announcement()
+            if announcement is not None:
+                self.enqueue_update(name, announcement)
+                collected += 1
+        return collected
+
+    def run_update_transaction(self) -> UpdateTransactionResult:
+        """One IUP execution over whatever the queue currently holds."""
+        self._require_init()
+        return self.iup.run_transaction()
+
+    def refresh(self) -> UpdateTransactionResult:
+        """Convenience: collect announcements, then run an update transaction."""
+        self.collect_announcements()
+        return self.run_update_transaction()
+
+    # ------------------------------------------------------------------
+    # Flow 3: queries
+    # ------------------------------------------------------------------
+    def query(self, query: QueryInput, name: str = "answer") -> Relation:
+        """Answer a query (text or expression) over the integrated view."""
+        self._require_init()
+        expr = parse_expression(query) if isinstance(query, str) else query
+        return self.qp.query(expr, name)
+
+    def query_relation(
+        self,
+        relation: str,
+        attrs: Optional[Sequence[str]] = None,
+        predicate: Predicate = TRUE,
+    ) -> Relation:
+        """The paper's ``π_A σ_f R`` query form against one view relation."""
+        self._require_init()
+        return self.qp.query_relation(relation, attrs, predicate)
+
+    def export_state(self, relation: str) -> Relation:
+        """The full current value of one export relation (virtual attributes
+        are fetched as needed) — used by examples and correctness checkers."""
+        if relation not in self.vdp.exports:
+            raise MediatorError(f"{relation!r} is not an export relation")
+        return self.query_relation(relation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> MediatorStats:
+        """Aggregate counters across all components."""
+        return MediatorStats(
+            queries=self.qp.stats.queries,
+            materialized_only_queries=self.qp.stats.materialized_only,
+            virtual_queries=self.qp.stats.with_virtual,
+            update_transactions=self.iup.stats.transactions,
+            rules_fired=self.iup.stats.rules_fired,
+            polls=self.vap.stats.polls,
+            polled_rows=self.vap.stats.polled_rows,
+            compensations=self.vap.stats.compensations,
+            key_based_constructions=self.vap.stats.key_based_used,
+            stored_rows=self.store.total_stored_rows(),
+            stored_cells=self.store.total_stored_cells(),
+            rows_scanned=self.store.counters.rows_scanned,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every component counter (benchmark hygiene)."""
+        self.qp.stats.reset()
+        self.iup.stats.reset()
+        self.vap.stats.reset()
+        self.store.counters.rows_scanned = 0
+        self.store.counters.rows_produced = 0
+        self.store.counters.joins_executed = 0
+        self.store.counters.hash_probes = 0
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise MediatorError("mediator not initialized; call initialize() first")
+
+    def __repr__(self) -> str:
+        kinds = {k: v.value for k, v in self.contributor_kinds.items()}
+        return f"<SquirrelMediator exports={list(self.vdp.exports)} sources={kinds}>"

@@ -1,0 +1,203 @@
+"""Persistence and warm restart for the mediator's local store.
+
+A production mediator should not rebuild its materialized data from scratch
+after a restart — Section 2 notes the whole point of materialization is to
+avoid re-reading the sources.  This module adds a snapshot/restore protocol
+on top of SQLite:
+
+* :func:`save_mediator` — persist every repository plus a *cursor* (each
+  source's transaction sequence number at save time) into one SQLite file.
+  The mediator must be quiescent (queue empty); call ``refresh()`` first.
+* :func:`restore_mediator` — rebuild a mediator from the snapshot WITHOUT
+  re-reading source relations wholesale, then *catch up*: each announcing
+  source replays its transaction log past the saved cursor, the replayed
+  net delta is enqueued, and one update transaction brings the view
+  current.  Only the updates committed while the mediator was down are
+  processed.
+
+Rows are stored as JSON arrays aligned with the stored schema's attribute
+order, with a multiplicity column (always 1 for set nodes).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.mediator import SquirrelMediator
+from repro.core.vdp import AnnotatedVDP, NodeKind
+from repro.deltas import SetDelta, net_accumulate
+from repro.errors import MediatorError
+from repro.relalg import BagRelation, Row, SetRelation
+from repro.sources.base import SourceDatabase
+
+__all__ = ["save_mediator", "restore_mediator"]
+
+_META_DDL = """
+CREATE TABLE IF NOT EXISTS squirrel_meta (
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (kind, name)
+)
+"""
+_ROWS_DDL = """
+CREATE TABLE IF NOT EXISTS squirrel_rows (
+    node TEXT NOT NULL,
+    row_json TEXT NOT NULL,
+    multiplicity INTEGER NOT NULL
+)
+"""
+
+
+def save_mediator(mediator: SquirrelMediator, path: str) -> int:
+    """Snapshot a quiescent mediator's local store; returns rows written.
+
+    Raises :class:`MediatorError` if the update queue is non-empty or a
+    source still has unannounced updates — flush first with ``refresh()``
+    so the cursor semantics are unambiguous.
+    """
+    if not mediator.initialized:
+        raise MediatorError("cannot save an uninitialized mediator")
+    if not mediator.queue.is_empty():
+        raise MediatorError("queue not empty: call refresh() before save")
+    for name, kind in mediator.contributor_kinds.items():
+        if kind.announces and mediator.sources[name].has_pending_announcement():
+            raise MediatorError(
+                f"source {name!r} has unannounced updates: call refresh() before save"
+            )
+
+    conn = sqlite3.connect(path)
+    try:
+        cur = conn.cursor()
+        cur.execute(_META_DDL)
+        cur.execute(_ROWS_DDL)
+        cur.execute("DELETE FROM squirrel_meta")
+        cur.execute("DELETE FROM squirrel_rows")
+
+        for source_name, source in mediator.sources.items():
+            cur.execute(
+                "INSERT INTO squirrel_meta VALUES ('cursor', ?, ?)",
+                (source_name, str(source.txn_count)),
+            )
+
+        written = 0
+        for node_name in mediator.annotated.nodes_with_storage():
+            repo = mediator.store.repo(node_name)
+            names = repo.schema.attribute_names
+            cur.execute(
+                "INSERT INTO squirrel_meta VALUES ('node', ?, ?)",
+                (node_name, json.dumps(list(names))),
+            )
+            for r, n in repo.items():
+                cur.execute(
+                    "INSERT INTO squirrel_rows VALUES (?, ?, ?)",
+                    (node_name, json.dumps(list(r.values_for(names))), n),
+                )
+                written += 1
+        conn.commit()
+        return written
+    finally:
+        conn.close()
+
+
+def _load_snapshot(path: str):
+    conn = sqlite3.connect(path)
+    try:
+        cur = conn.cursor()
+        cursors: Dict[str, int] = {}
+        node_columns: Dict[str, List[str]] = {}
+        for kind, name, payload in cur.execute("SELECT kind, name, payload FROM squirrel_meta"):
+            if kind == "cursor":
+                cursors[name] = int(payload)
+            elif kind == "node":
+                node_columns[name] = json.loads(payload)
+        rows: Dict[str, List] = {name: [] for name in node_columns}
+        for node, row_json, multiplicity in cur.execute(
+            "SELECT node, row_json, multiplicity FROM squirrel_rows"
+        ):
+            rows[node].append((json.loads(row_json), multiplicity))
+        return cursors, node_columns, rows
+    finally:
+        conn.close()
+
+
+def restore_mediator(
+    annotated: AnnotatedVDP,
+    sources: Mapping[str, SourceDatabase],
+    path: str,
+    eca_enabled: bool = True,
+    key_based_enabled: bool = True,
+) -> SquirrelMediator:
+    """Rebuild a mediator from a snapshot and catch up from source logs.
+
+    Sources must be the same databases (or replicas thereof) whose
+    transaction logs extend the saved cursors; updates committed after the
+    snapshot are replayed as one net delta per source and propagated
+    incrementally.  Sources whose log no longer reaches back to the cursor
+    would need a cold ``initialize()`` instead — that case raises.
+    """
+    cursors, node_columns, rows = _load_snapshot(path)
+    mediator = SquirrelMediator(
+        annotated,
+        sources,
+        eca_enabled=eca_enabled,
+        key_based_enabled=key_based_enabled,
+    )
+
+    expected = set(annotated.nodes_with_storage())
+    if expected != set(node_columns):
+        raise MediatorError(
+            f"snapshot covers nodes {sorted(node_columns)}, annotation stores {sorted(expected)}"
+        )
+
+    # Populate repositories straight from the snapshot.
+    for node_name, columns in node_columns.items():
+        node = annotated.vdp.node(node_name)
+        stored_schema = mediator.store.stored_schema(node_name)
+        if list(stored_schema.attribute_names) != columns:
+            raise MediatorError(
+                f"snapshot of {node_name!r} has columns {columns}, "
+                f"current annotation stores {list(stored_schema.attribute_names)}"
+            )
+        if node.kind is NodeKind.SET:
+            repo = SetRelation(stored_schema)
+            for values, _ in rows[node_name]:
+                repo.insert(Row(dict(zip(columns, values))))
+        else:
+            repo = BagRelation(stored_schema)
+            for values, multiplicity in rows[node_name]:
+                repo.insert(Row(dict(zip(columns, values))), multiplicity)
+        mediator.store._repos[node_name] = repo
+    mediator.store._initialized = True
+    mediator._initialized = True
+
+    # Catch up: replay each announcing source's log past the cursor.
+    for source_name, kind in sorted(mediator.contributor_kinds.items()):
+        if not kind.announces:
+            continue
+        source = mediator.sources[source_name]
+        cursor = cursors.get(source_name)
+        if cursor is None:
+            raise MediatorError(f"snapshot lacks a cursor for source {source_name!r}")
+        missed = [delta for seq, delta in source.log() if seq > cursor]
+        if len([seq for seq, _ in source.log() if seq <= cursor]) != cursor:
+            raise MediatorError(
+                f"source {source_name!r} log does not reach back to cursor {cursor}; "
+                "cold-initialize instead"
+            )
+        # The missed updates are about to be applied from the log; whatever
+        # sits in the pending-announcement accumulator describes the same
+        # transactions and must not be delivered twice.
+        source.take_announcement()
+        # Fold with cancellation (not smash): insert-then-delete across
+        # missed transactions must net to nothing, exactly like a source's
+        # own announcement accumulator.
+        net = SetDelta()
+        for delta in missed:
+            net = net_accumulate(net, delta)
+        if not net.is_empty():
+            mediator.enqueue_update(source_name, net)
+    mediator.run_update_transaction()
+    return mediator

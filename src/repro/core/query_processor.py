@@ -1,0 +1,162 @@
+"""The Query Processor (Section 4, Section 6.3).
+
+The QP is the mediator's query interface.  "Upon receiving a query against
+the view, the QP determines first whether the query can be answered solely
+based on the materialized portion of the view.  In case virtual data is
+needed ... the QP requests the VAP to construct temporary relations
+containing the relevant data."
+
+Queries are algebra expressions over the VDP's non-leaf relations (usually
+the export relations).  The QP computes, per referenced relation, the
+attribute set the query touches (the same lineage walk that powers
+``derived_from``); relations whose touched attributes are all materialized
+are read straight from the local store, the rest go through the VAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.derived_from import TempRequest, child_requirements
+from repro.core.local_store import LocalStore
+from repro.core.vap import VirtualAttributeProcessor
+from repro.core.vdp import AnnotatedVDP
+from repro.errors import MediatorError
+from repro.relalg import (
+    TRUE,
+    Evaluator,
+    Expression,
+    Predicate,
+    Project,
+    Relation,
+    Scan,
+    Select,
+    TruePredicate,
+)
+
+__all__ = ["QPStats", "QueryProcessor"]
+
+
+@dataclass
+class QPStats:
+    """Counters exposed to benchmarks."""
+
+    queries: int = 0
+    materialized_only: int = 0
+    with_virtual: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.materialized_only = 0
+        self.with_virtual = 0
+
+
+class QueryProcessor:
+    """Answers queries against the integrated view."""
+
+    def __init__(
+        self,
+        annotated: AnnotatedVDP,
+        store: LocalStore,
+        vap: VirtualAttributeProcessor,
+    ):
+        self.annotated = annotated
+        self.vdp = annotated.vdp
+        self.store = store
+        self.vap = vap
+        self.stats = QPStats()
+
+    # ------------------------------------------------------------------
+    def query(self, expr: Expression, name: str = "answer") -> Relation:
+        """Answer an algebra query over the mediator's non-leaf relations."""
+        refs = sorted(expr.relation_names())
+        self._check_refs(refs)
+        self.stats.queries += 1
+
+        requests = self._requests_for(expr, refs)
+        uncovered = [r for r in requests.values() if not self._covered(r)]
+        if uncovered:
+            self.stats.with_virtual += 1
+            temps = self.vap.materialize(requests.values())
+        else:
+            self.stats.materialized_only += 1
+            temps = {}
+
+        catalog: Dict[str, Relation] = {}
+        for ref in refs:
+            if ref in temps:
+                catalog[ref] = temps[ref]
+            elif self.store.has_repo(ref):
+                catalog[ref] = self.store.repo(ref)
+            else:
+                raise MediatorError(f"no data available for relation {ref!r}")
+        schemas = {alias: rel.schema.rename_relation(alias) for alias, rel in catalog.items()}
+        evaluator = Evaluator(catalog, schemas=schemas, counters=self.store.counters)
+        return evaluator.evaluate(expr, name)
+
+    def query_relation(
+        self,
+        relation: str,
+        attrs: Optional[Sequence[str]] = None,
+        predicate: Predicate = TRUE,
+        name: str = "answer",
+    ) -> Relation:
+        """The paper's query form ``π_A σ_f R`` against one view relation."""
+        node = self.vdp.node(relation)
+        attrs = tuple(attrs) if attrs is not None else node.schema.attribute_names
+        expr: Expression = Scan(relation)
+        if not isinstance(predicate, TruePredicate):
+            expr = Select(expr, predicate)
+        return self.query(Project(expr, attrs), name)
+
+    # ------------------------------------------------------------------
+    def _check_refs(self, refs: Iterable[str]) -> None:
+        for ref in refs:
+            node = self.vdp.node(ref)  # raises for unknown names
+            if node.is_leaf:
+                raise MediatorError(
+                    f"queries run against mediator relations, not source leaf {ref!r}"
+                )
+
+    def _requests_for(self, expr: Expression, refs: Sequence[str]) -> Dict[str, TempRequest]:
+        """Per-relation data requirements of the query.
+
+        For the common single-relation chain ``π_A σ_f (R)`` the request is
+        formed directly with ``f`` pushed into it (so a poll fetches only
+        the selected rows); general expressions use the lineage walk.
+        """
+        chain = self._as_chain(expr)
+        if chain is not None:
+            relation, attrs, predicate = chain
+            return {relation: TempRequest(relation, attrs, predicate)}
+        schemas = self.vdp.schemas()
+        output = frozenset(expr.infer_schema(schemas, "q").attribute_names)
+        return child_requirements(expr, output, TRUE, schemas)
+
+    @staticmethod
+    def _as_chain(expr: Expression) -> Optional[Tuple[str, FrozenSet[str], Predicate]]:
+        attrs: Optional[FrozenSet[str]] = None
+        predicate: Predicate = TRUE
+        node = expr
+        while True:
+            if isinstance(node, Project):
+                if attrs is None:
+                    attrs = frozenset(node.attrs)
+                node = node.child
+            elif isinstance(node, Select):
+                predicate = predicate & node.predicate if not isinstance(predicate, TruePredicate) else node.predicate
+                node = node.child
+            elif isinstance(node, Scan):
+                if attrs is None:
+                    return None  # full scan: fall through to the generic path
+                return node.name, attrs | predicate.attributes(), predicate
+            else:
+                return None
+
+    def _covered(self, request: TempRequest) -> bool:
+        if not self.store.has_repo(request.relation):
+            return False
+        ann = self.annotated.annotation(request.relation)
+        return ann.covers(request.attrs | request.predicate.attributes())

@@ -1,0 +1,344 @@
+"""Update-propagation rules, one per VDP edge (Section 5.2).
+
+For a bag node ``T = π_p σ_f (π_{p1} σ_{f1} R_1 ⋈ … ⋈ π_{pn} σ_{fn} R_n)``
+the rule for edge ``(T, R_i)`` computes (bag semantics)::
+
+    ΔT = π_p σ_f (… ⋈ π_{pi} σ_{fi} ΔR_i ⋈ …)
+
+with the *other* operands read from their **current repositories**.  Because
+the IUP applies a node's accumulated delta to its repository only after
+firing its out-edge rules, and processes nodes children-first, siblings
+processed earlier are read in their new state and later ones in their old
+state — which is exactly the correction of Example 6.1
+(``ΔT = (R' ⋈ ΔS') ∪ (ΔR' ⋈ apply(S', ΔS'))``): no ``ΔR ⋈ ΔS`` cross-term
+is missed and none is double-counted.
+
+For a set node ``T = L − R`` the paper gives::
+
+    on ΔR_1:  (ΔT)+ = (ΔR_1)+ − R_2        (ΔT)− = (ΔR_1)− − R_2
+    on ΔR_2:  (ΔT)+ = (ΔR_2)− ∩ R_1        (ΔT)− = (ΔR_2)+ ∩ R_1
+
+(The paper's text prints the first rule's deletion case with ``∩``; that is
+a typo — a row leaving ``R_1`` leaves ``T`` only if it is *not* in ``R_2``,
+i.e. set-minus.  The reproduction implements the corrected rule and the
+test suite pins the counterexample.)
+
+Bag deltas carry signed multiplicities; the linear operators (select,
+project, join, union) distribute over them, so a rule evaluates the
+definition once with the delta's positive part and once with its negative
+part and combines the results with signs.  A child appearing *k* times in a
+definition (self-join; the paper's footnote 2) contributes *k* occurrence
+terms, with earlier occurrences read post-update and later ones pre-update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.deltas import BagDelta, SetDelta
+from repro.errors import VDPError
+from repro.relalg import (
+    BagRelation,
+    Difference,
+    EvalCounters,
+    Evaluator,
+    Expression,
+    Join,
+    Project,
+    Relation,
+    Rename,
+    RelationSchema,
+    Scan,
+    Select,
+    SetRelation,
+    Union,
+)
+from repro.relalg.tuples import Row
+
+__all__ = [
+    "spj_delta",
+    "operand_support_delta",
+    "BagNodeRule",
+    "SetNodeRule",
+    "build_rule",
+]
+
+
+def _count_occurrences(expr: Expression, name: str) -> int:
+    if isinstance(expr, Scan):
+        return 1 if expr.name == name else 0
+    return sum(_count_occurrences(c, name) for c in expr.children())
+
+
+def _replace_occurrences(
+    expr: Expression, name: str, replacements: List[str], counter: List[int]
+) -> Expression:
+    """Rebuild ``expr`` with the k-th Scan(name) replaced by Scan(replacements[k])."""
+    if isinstance(expr, Scan):
+        if expr.name == name:
+            idx = counter[0]
+            counter[0] += 1
+            return Scan(replacements[idx])
+        return expr
+    if isinstance(expr, Select):
+        return Select(_replace_occurrences(expr.child, name, replacements, counter), expr.predicate)
+    if isinstance(expr, Project):
+        return Project(_replace_occurrences(expr.child, name, replacements, counter), expr.attrs, expr.dedup)
+    if isinstance(expr, Rename):
+        return Rename(_replace_occurrences(expr.child, name, replacements, counter), expr.mapping_dict)
+    if isinstance(expr, Join):
+        left = _replace_occurrences(expr.left, name, replacements, counter)
+        right = _replace_occurrences(expr.right, name, replacements, counter)
+        return Join(left, right, expr.condition)
+    if isinstance(expr, Union):
+        left = _replace_occurrences(expr.left, name, replacements, counter)
+        right = _replace_occurrences(expr.right, name, replacements, counter)
+        return Union(left, right)
+    if isinstance(expr, Difference):
+        left = _replace_occurrences(expr.left, name, replacements, counter)
+        right = _replace_occurrences(expr.right, name, replacements, counter)
+        return Difference(left, right)
+    raise VDPError(f"unsupported node in rule rewriting: {type(expr).__name__}")
+
+
+def _delta_parts(
+    delta: BagDelta, relation: str, schema: RelationSchema
+) -> Tuple[BagRelation, BagRelation]:
+    """Split a bag delta into positive and negative part bags."""
+    pos = BagRelation(schema)
+    neg = BagRelation(schema)
+    for r, n in delta.entries_for(relation):
+        if n > 0:
+            pos.insert(r, n)
+        else:
+            neg.insert(r, -n)
+    return pos, neg
+
+
+def spj_delta(
+    definition: Expression,
+    parent: str,
+    child: str,
+    child_delta: BagDelta,
+    catalog: Mapping[str, Relation],
+    child_schema: RelationSchema,
+    counters: Optional[EvalCounters] = None,
+) -> BagDelta:
+    """The incremental update to ``parent`` induced by ``child_delta``.
+
+    ``catalog`` must resolve every *other* relation referenced by
+    ``definition`` (siblings read their current repositories or temporary
+    relations), and — for self-joins — the child itself.
+    """
+    occurrences = _count_occurrences(definition, child)
+    if occurrences == 0:
+        raise VDPError(f"definition of {parent!r} does not reference {child!r}")
+
+    pos_name = f"__dpos__{child}"
+    neg_name = f"__dneg__{child}"
+    new_name = f"__new__{child}"
+    pos, neg = _delta_parts(child_delta, child, child_schema)
+
+    extended: Dict[str, Relation] = dict(catalog)
+    extended[pos_name] = pos
+    extended[neg_name] = neg
+    if occurrences > 1:
+        new_rel = catalog[child].copy()
+        child_delta.apply_to(new_rel, child)
+        extended[new_name] = new_rel
+
+    schemas = {name: rel.schema.rename_relation(name) for name, rel in extended.items()}
+    # Special scans must expose the child's attribute list.
+    for alias in (pos_name, neg_name, new_name):
+        schemas[alias] = child_schema.rename_relation(alias)
+
+    result = BagDelta()
+    evaluator = Evaluator(extended, schemas=schemas, counters=counters)
+    for occ in range(occurrences):
+        for delta_name, sign in ((pos_name, +1), (neg_name, -1)):
+            replacements = [
+                new_name if k < occ else (delta_name if k == occ else child)
+                for k in range(occurrences)
+            ]
+            rewritten = _replace_occurrences(definition, child, replacements, [0])
+            contribution = evaluator.evaluate(rewritten, parent)
+            for r, n in contribution.items():
+                result.add(parent, r, sign * n)
+    return result
+
+
+def _operand_for_child(definition: Difference, child: str) -> List[Tuple[str, Expression, Expression]]:
+    """The sides of a difference referencing ``child``: (side, operand, other)."""
+    sides = []
+    if child in definition.left.relation_names():
+        sides.append(("left", definition.left, definition.right))
+    if child in definition.right.relation_names():
+        sides.append(("right", definition.right, definition.left))
+    if not sides:
+        raise VDPError(f"difference definition does not reference {child!r}")
+    return sides
+
+
+def operand_support_delta(
+    operand: Expression,
+    child: str,
+    child_delta: BagDelta,
+    catalog: Mapping[str, Relation],
+    child_schema: RelationSchema,
+    counters: Optional[EvalCounters] = None,
+) -> Tuple[List[Row], List[Row]]:
+    """Rows entering and leaving the *support* of a difference operand.
+
+    The operand is a select/project/rename chain over ``child`` evaluated
+    under bag semantics; the set node subtracts supports, so only 0↔positive
+    transitions matter.  Requires the child's pre-update value in
+    ``catalog`` (the IUP fires rules before applying the child's delta, so
+    the repository is exactly that).
+    """
+    schemas = {name: rel.schema.rename_relation(name) for name, rel in catalog.items()}
+    schemas[child] = child_schema.rename_relation(child)
+    evaluator = Evaluator(catalog, schemas=schemas, counters=counters)
+    old_bag = evaluator.evaluate(operand, "operand_old")
+    delta_bag = spj_delta(operand, "operand", child, child_delta, catalog, child_schema, counters)
+
+    entering: List[Row] = []
+    leaving: List[Row] = []
+    for r, n in delta_bag.entries_for("operand"):
+        before = old_bag.count(r)
+        after = before + n
+        if after < 0:
+            raise VDPError(f"operand multiplicity went negative for row {dict(r)}")
+        if before == 0 and after > 0:
+            entering.append(r)
+        elif before > 0 and after == 0:
+            leaving.append(r)
+    return entering, leaving
+
+
+@dataclass
+class BagNodeRule:
+    """Rule for an edge into a bag node (SPJ or union)."""
+
+    parent: str
+    child: str
+    definition: Expression
+    child_schema: RelationSchema
+
+    def fire(
+        self,
+        child_delta: BagDelta,
+        catalog: Mapping[str, Relation],
+        counters: Optional[EvalCounters] = None,
+    ) -> BagDelta:
+        """Compute the parent's bag delta for this child's delta.
+
+        A top-level union is handled per side: only the operand chains that
+        actually reference the child contribute (substituting into the full
+        union would wrongly re-emit the other operand in its entirety).
+        """
+        result = BagDelta()
+        for part in self._relevant_parts():
+            contribution = spj_delta(
+                part,
+                self.parent,
+                self.child,
+                child_delta,
+                catalog,
+                self.child_schema,
+                counters,
+            )
+            result = result.smash(contribution)
+        return result
+
+    def _relevant_parts(self) -> List[Expression]:
+        if isinstance(self.definition, Union):
+            return [
+                side
+                for side in (self.definition.left, self.definition.right)
+                if self.child in side.relation_names()
+            ]
+        return [self.definition]
+
+    def sibling_names(self) -> Tuple[str, ...]:
+        """Relations (other than the delta itself) the rule must read."""
+        names = set()
+        self_join = False
+        for part in self._relevant_parts():
+            names |= part.relation_names()
+            if _count_occurrences(part, self.child) > 1:
+                self_join = True
+        if self_join:
+            return tuple(sorted(names))  # self-join also reads the child
+        return tuple(sorted(names - {self.child}))
+
+
+@dataclass
+class SetNodeRule:
+    """Rule for an edge into a set (difference) node."""
+
+    parent: str
+    child: str
+    definition: Difference
+    child_schema: RelationSchema
+
+    def fire(
+        self,
+        child_delta: BagDelta,
+        catalog: Mapping[str, Relation],
+        counters: Optional[EvalCounters] = None,
+    ) -> SetDelta:
+        """Compute the parent's set delta for this child's delta.
+
+        Applies the (corrected) diff1 rule when the child feeds the left
+        operand and the diff2 rule when it feeds the right operand; a child
+        feeding both sides fires both parts sequentially.
+        """
+        result = SetDelta()
+        schemas = {name: rel.schema.rename_relation(name) for name, rel in catalog.items()}
+        schemas[self.child] = self.child_schema.rename_relation(self.child)
+        evaluator = Evaluator(catalog, schemas=schemas, counters=counters)
+        for side, operand, other in _operand_for_child(self.definition, self.child):
+            entering, leaving = operand_support_delta(
+                operand, self.child, child_delta, catalog, self.child_schema, counters
+            )
+            other_support = evaluator.evaluate(other, "other").support()
+            if side == "left":
+                # diff1 (corrected): rows entering L join T unless in R;
+                # rows leaving L leave T unless shadowed by R already.
+                for r in entering:
+                    if r not in other_support:
+                        result = result.smash(_atom(self.parent, r, +1))
+                for r in leaving:
+                    if r not in other_support:
+                        result = result.smash(_atom(self.parent, r, -1))
+            else:
+                # diff2: rows entering R evict L-rows from T; rows leaving R
+                # re-admit L-rows into T.
+                for r in entering:
+                    if r in other_support:
+                        result = result.smash(_atom(self.parent, r, -1))
+                for r in leaving:
+                    if r in other_support:
+                        result = result.smash(_atom(self.parent, r, +1))
+        return result
+
+    def sibling_names(self) -> Tuple[str, ...]:
+        """Relations the rule must read besides the incoming delta."""
+        return tuple(sorted(self.definition.relation_names()))
+
+
+def _atom(relation: str, r: Row, sign: int) -> SetDelta:
+    d = SetDelta()
+    if sign > 0:
+        d.insert(relation, r)
+    else:
+        d.delete(relation, r)
+    return d
+
+
+def build_rule(parent: str, definition: Expression, child: str, child_schema: RelationSchema):
+    """Construct the edge rule for ``(parent, child)`` from the node kind."""
+    if isinstance(definition, Difference):
+        return SetNodeRule(parent, child, definition, child_schema)
+    return BagNodeRule(parent, child, definition, child_schema)

@@ -1,0 +1,96 @@
+"""The mediator's incremental-update queue (Section 4, Section 6.1).
+
+Holds announcements from source databases in arrival order.  The IUP's
+initialization step "flushes" the queue — takes every currently queued
+update — and smashes them into a single delta (:meth:`UpdateQueue.flush`).
+Updates arriving during an update transaction "remain in the queue until
+the next cycle" (Section 6.4 step 1b); with our transactional drivers that
+simply means they are enqueued after the flush.
+
+For the Eager Compensation Algorithm (Section 6.3),
+:meth:`UpdateQueue.pending_for_source` exposes the queued-but-unprocessed
+deltas of one source without consuming them: those are exactly the updates
+whose inverse smash brings a freshly polled answer back to the state the
+materialized data reflects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.deltas import SetDelta, net_accumulate
+
+__all__ = ["QueuedUpdate", "UpdateQueue"]
+
+
+@dataclass(frozen=True)
+class QueuedUpdate:
+    """One announcement sitting in the queue."""
+
+    source: str
+    delta: SetDelta
+    send_time: Optional[float] = None  # simulated send time, when available
+    arrival_time: Optional[float] = None
+
+
+class UpdateQueue:
+    """An in-order queue of source announcements."""
+
+    def __init__(self) -> None:
+        self._entries: List[QueuedUpdate] = []
+        self.total_enqueued = 0
+        self.total_flushed = 0
+
+    def enqueue(
+        self,
+        source: str,
+        delta: SetDelta,
+        send_time: Optional[float] = None,
+        arrival_time: Optional[float] = None,
+    ) -> None:
+        """Append one announcement (a single indivisible net-update message)."""
+        self._entries.append(QueuedUpdate(source, delta, send_time, arrival_time))
+        self.total_enqueued += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def is_empty(self) -> bool:
+        """True when nothing is queued."""
+        return not self._entries
+
+    def flush(self) -> Tuple[Optional[SetDelta], List[QueuedUpdate]]:
+        """Empty the queue; return the combined net delta and the entries.
+
+        This is the IUP's ``empty_queue`` moment.  Entries are folded in
+        arrival order with *cancellation* semantics (``net_accumulate``),
+        not smash: two in-order messages from one source may carry ``+X``
+        then ``-X`` (insert then delete between flushes), whose true net
+        effect is nothing — smash would instead keep a spurious ``-X`` that
+        corrupts leaf-parent bag multiplicities.  Entries from different
+        sources mention disjoint relations, so one sequential fold is both
+        safe and order-faithful.
+        """
+        entries = self._entries
+        self._entries = []
+        self.total_flushed += len(entries)
+        if not entries:
+            return None, entries
+        combined = SetDelta()
+        for entry in entries:
+            combined = net_accumulate(combined, entry.delta)
+        return combined, entries
+
+    def pending_for_source(self, source: str) -> List[SetDelta]:
+        """Queued (unflushed) deltas of one source, in arrival order."""
+        return [e.delta for e in self._entries if e.source == source]
+
+    def last_send_time(self, source: str) -> Optional[float]:
+        """Send time of the most recent queued announcement from a source."""
+        times = [e.send_time for e in self._entries if e.source == source and e.send_time is not None]
+        return times[-1] if times else None
+
+    def peek(self) -> List[QueuedUpdate]:
+        """A copy of the current entries (observers only)."""
+        return list(self._entries)

@@ -1,0 +1,39 @@
+"""Correctness formalism: consistency, pseudo-consistency, freshness.
+
+Implements the Section 3 definitions as checkers over recorded traces:
+:class:`IntegrationTrace` records source and view state histories;
+:func:`check_consistency` searches for a ``reflect`` function (validity +
+chronology + order preservation); :func:`check_pseudo_consistency` tests
+Remark 3.1's strictly weaker property; :func:`check_freshness` measures
+achieved staleness against an analytic bound (Theorem 7.2).  The
+:mod:`~repro.correctness.recompute` oracle recomputes any view relation
+bottom-up from live sources.
+"""
+
+from repro.correctness.consistency import (
+    ConsistencyVerdict,
+    check_consistency,
+    check_pseudo_consistency,
+    find_candidate_vectors,
+    view_function_from_vdp,
+)
+from repro.correctness.freshness import FreshnessReport, check_freshness, measure_staleness
+from repro.correctness.recompute import assert_view_correct, recompute, recompute_all
+from repro.correctness.trace import IntegrationTrace, SourceStateRecord, ViewStateRecord
+
+__all__ = [
+    "IntegrationTrace",
+    "SourceStateRecord",
+    "ViewStateRecord",
+    "ConsistencyVerdict",
+    "check_consistency",
+    "check_pseudo_consistency",
+    "find_candidate_vectors",
+    "view_function_from_vdp",
+    "FreshnessReport",
+    "check_freshness",
+    "measure_staleness",
+    "recompute",
+    "recompute_all",
+    "assert_view_correct",
+]

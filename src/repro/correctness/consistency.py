@@ -1,0 +1,224 @@
+"""Consistency and pseudo-consistency checking (Section 3).
+
+An integration environment is *consistent* when a function
+``reflect : Time → Time^n`` exists satisfying
+
+* **Validity** — ``state(V, t) = ν(state(DB, reflect(t)))``,
+* **Chronology** — ``reflect(t)_i ≤ t`` (the view never forecasts), and
+* **Order preservation** — ``t1 ≤ t2 ⇒ reflect(t1) ≤ reflect(t2)``.
+
+*Pseudo-consistency* (Remark 3.1) only demands, for each *pair* of view
+times, some pair of ordered valid vectors — strictly weaker, as Figure 2's
+six-step scenario shows (reproduced in the tests and in
+``benchmarks/bench_fig2_consistency.py``).
+
+The checker does an exact search: for every recorded view state it
+enumerates the source-state vectors that are valid and chronological, then
+looks for a monotone chain through those candidate sets via depth-first
+search with memoized dead-ends.  Traces from the simulator are small
+(tens of states), so exactness is affordable — and the search *constructs*
+the ``reflect`` function as its witness, matching how Section 6.1 builds
+``ref`` from transaction timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.correctness.trace import IntegrationTrace, _freeze_state
+from repro.relalg import Evaluator, Relation
+from repro.core.vdp import VDP
+
+__all__ = [
+    "ConsistencyVerdict",
+    "view_function_from_vdp",
+    "find_candidate_vectors",
+    "check_consistency",
+    "check_pseudo_consistency",
+]
+
+# A view function: {source: {relation: value}} -> {export: value}
+ViewFunction = Callable[[Mapping[str, Mapping[str, Relation]]], Dict[str, Relation]]
+
+
+def view_function_from_vdp(vdp: VDP) -> ViewFunction:
+    """The view definition ``ν`` induced by a VDP: evaluate all exports
+    bottom-up over given source states."""
+
+    def nu(source_states: Mapping[str, Mapping[str, Relation]]) -> Dict[str, Relation]:
+        catalog: Dict[str, Relation] = {}
+        for leaf in vdp.leaves():
+            source = vdp.source_of_leaf(leaf)
+            catalog[leaf] = source_states[source][leaf]
+        for name in vdp.topological_order():
+            node = vdp.node(name)
+            if node.is_leaf:
+                continue
+            catalog[name] = Evaluator(catalog).evaluate(node.definition, name)
+        return {export: catalog[export] for export in vdp.exports}
+
+    return nu
+
+
+@dataclass
+class ConsistencyVerdict:
+    """Outcome of a consistency analysis."""
+
+    consistent: bool
+    pseudo_consistent: bool
+    reflect: Optional[List[Dict[str, float]]] = None  # per view record, per source
+    failures: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        flags = f"consistent={self.consistent} pseudo_consistent={self.pseudo_consistent}"
+        if self.failures:
+            return f"{flags}; failures: {'; '.join(self.failures)}"
+        return flags
+
+
+class _CandidateFinder:
+    """Enumerates valid, chronological source-state vectors per view record."""
+
+    def __init__(self, trace: IntegrationTrace, view_fn: ViewFunction):
+        self.trace = trace
+        self.view_fn = view_fn
+        self.sources = trace.source_names
+        self._nu_cache: Dict[Tuple[int, ...], Tuple] = {}
+
+    def _nu_fingerprint(self, vector: Tuple[int, ...]) -> Tuple:
+        cached = self._nu_cache.get(vector)
+        if cached is not None:
+            return cached
+        states = {
+            source: self.trace.source_history(source)[idx].state
+            for source, idx in zip(self.sources, vector)
+        }
+        result = self.view_fn(states)
+        fingerprint = _freeze_state(result)
+        self._nu_cache[vector] = fingerprint
+        return fingerprint
+
+    def candidates(self, record_index: int) -> List[Tuple[int, ...]]:
+        """All vectors (source-record indices) valid for one view record."""
+        view = self.trace.view_history()[record_index]
+        per_source: List[List[int]] = [
+            self.trace.candidate_indices(source, view.time) for source in self.sources
+        ]
+        if any(not options for options in per_source):
+            return []
+        found: List[Tuple[int, ...]] = []
+        for vector in _product(per_source):
+            if self._nu_fingerprint(vector) == view.fingerprint:
+                found.append(vector)
+        return found
+
+
+def _product(options: Sequence[Sequence[int]]):
+    if not options:
+        yield ()
+        return
+    head, *tail = options
+    for h in head:
+        for rest in _product(tail):
+            yield (h,) + rest
+
+
+def find_candidate_vectors(
+    trace: IntegrationTrace, view_fn: ViewFunction
+) -> List[List[Tuple[int, ...]]]:
+    """Candidate (valid + chronological) vectors for every view record."""
+    trace.validate()
+    finder = _CandidateFinder(trace, view_fn)
+    return [finder.candidates(i) for i in range(len(trace.view_history()))]
+
+
+def _leq(u: Tuple[int, ...], v: Tuple[int, ...]) -> bool:
+    return all(a <= b for a, b in zip(u, v))
+
+
+def check_consistency(trace: IntegrationTrace, view_fn: ViewFunction) -> ConsistencyVerdict:
+    """Run the full Section 3 analysis over a recorded trace."""
+    candidates = find_candidate_vectors(trace, view_fn)
+    failures: List[str] = []
+    views = trace.view_history()
+
+    for i, options in enumerate(candidates):
+        if not options:
+            failures.append(
+                f"view state at t={views[i].time} ({views[i].kind}) matches no "
+                "chronological source-state vector (validity/chronology violated)"
+            )
+    pseudo = not failures and _pseudo_consistent(candidates)
+
+    chain: Optional[List[Tuple[int, ...]]] = None
+    if not failures:
+        width = len(trace.source_names)
+        chain = _chain_dfs(candidates, width)
+        if chain is None:
+            failures.append(
+                "every view state is individually valid, but no order-preserving "
+                "reflect chain exists (order preservation violated)"
+            )
+
+    reflect = None
+    if chain is not None:
+        reflect = []
+        for vector in chain:
+            reflect.append(
+                {
+                    source: trace.source_history(source)[idx].time
+                    for source, idx in zip(trace.source_names, vector)
+                }
+            )
+    return ConsistencyVerdict(
+        consistent=chain is not None,
+        pseudo_consistent=pseudo,
+        reflect=reflect,
+        failures=failures,
+    )
+
+
+def _chain_dfs(
+    candidates: List[List[Tuple[int, ...]]], width: int
+) -> Optional[List[Tuple[int, ...]]]:
+    dead: Set[Tuple[int, Tuple[int, ...]]] = set()
+
+    def dfs(index: int, previous: Tuple[int, ...]) -> Optional[List[Tuple[int, ...]]]:
+        if index == len(candidates):
+            return []
+        key = (index, previous)
+        if key in dead:
+            return None
+        viable = sorted(
+            (v for v in candidates[index] if _leq(previous, v)),
+            key=lambda v: (sum(v), v),
+        )
+        for vector in viable:
+            rest = dfs(index + 1, vector)
+            if rest is not None:
+                return [vector] + rest
+        dead.add(key)
+        return None
+
+    return dfs(0, tuple([0] * width))
+
+
+def check_pseudo_consistency(
+    trace: IntegrationTrace, view_fn: ViewFunction
+) -> bool:
+    """Remark 3.1's weaker property, checked directly from its definition."""
+    candidates = find_candidate_vectors(trace, view_fn)
+    if any(not options for options in candidates):
+        return False
+    return _pseudo_consistent(candidates)
+
+
+def _pseudo_consistent(candidates: List[List[Tuple[int, ...]]]) -> bool:
+    for i in range(len(candidates)):
+        for j in range(i, len(candidates)):
+            if not any(
+                _leq(u, v) for u in candidates[i] for v in candidates[j]
+            ):
+                return False
+    return True

@@ -1,0 +1,118 @@
+"""Freshness measurement against the Theorem 7.2 bound (Sections 3 and 7).
+
+An environment is *guaranteed fresh within* ``f̄`` when, for every time
+``t``, some valid source-state vector ``t'`` has ``t − t'_i ≤ f_i`` for all
+``i``.  Measurement over a recorded trace:
+
+* per view record, among all valid + chronological source-state vectors,
+  pick the one minimizing the worst per-source staleness (ties broken by
+  total staleness) — this is the environment's *achieved* staleness at that
+  instant;
+* the run-level report is the per-source maximum over records, which is the
+  tightest ``f̄`` the observed run actually exhibited.
+
+``check_freshness`` compares the achieved vector against an analytic bound
+(e.g. :meth:`repro.sim.EnvironmentDelays.freshness_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.correctness.consistency import ViewFunction, find_candidate_vectors
+from repro.correctness.trace import IntegrationTrace
+
+__all__ = ["FreshnessReport", "measure_staleness", "check_freshness"]
+
+
+@dataclass
+class FreshnessReport:
+    """Achieved staleness over a run, and (optionally) a bound comparison."""
+
+    per_record: List[Dict[str, float]]  # best staleness vector per view record
+    worst: Dict[str, float]             # per-source max over all records
+    bound: Optional[Dict[str, float]] = None
+    within_bound: Optional[bool] = None
+    violations: List[str] = field(default_factory=list)
+
+    def headroom(self) -> Optional[Dict[str, float]]:
+        """``bound - worst`` per source (how loose the bound was)."""
+        if self.bound is None:
+            return None
+        return {s: self.bound[s] - self.worst.get(s, 0.0) for s in self.bound}
+
+
+def measure_staleness(
+    trace: IntegrationTrace, view_fn: ViewFunction
+) -> List[Dict[str, float]]:
+    """The best achievable staleness vector for every view record.
+
+    A record with no valid vector yields an infinite staleness for every
+    source (the view was simply wrong at that instant — the consistency
+    checker will say so too).
+    """
+    candidates = find_candidate_vectors(trace, view_fn)
+    views = trace.view_history()
+    sources = trace.source_names
+    results: List[Dict[str, float]] = []
+    for record, options in zip(views, candidates):
+        if not options:
+            results.append({s: float("inf") for s in sources})
+            continue
+        best: Optional[Tuple[float, float, Dict[str, float]]] = None
+        for vector in options:
+            staleness = {
+                source: _staleness(trace, source, idx, record.time)
+                for source, idx in zip(sources, vector)
+            }
+            key = (max(staleness.values()), sum(staleness.values()))
+            if best is None or key < best[:2]:
+                best = (key[0], key[1], staleness)
+        results.append(best[2])
+    return results
+
+
+def _staleness(trace: IntegrationTrace, source: str, idx: int, view_time: float) -> float:
+    """How far behind ``view_time`` the ``idx``-th recorded state of
+    ``source`` is.
+
+    A state is valid on ``[t_idx, t_{idx+1})``; the definition's ``t'`` may
+    be any instant in that interval, so staleness is measured from the
+    *latest* valid instant not after ``view_time``: zero when the state is
+    still current, else the time since it was replaced.
+    """
+    history = trace.source_history(source)
+    if idx + 1 >= len(history):
+        return 0.0
+    replaced_at = history[idx + 1].time
+    return max(0.0, view_time - replaced_at)
+
+
+def check_freshness(
+    trace: IntegrationTrace,
+    view_fn: ViewFunction,
+    bound: Mapping[str, float],
+) -> FreshnessReport:
+    """Measure achieved staleness and verify it stays within ``bound``."""
+    per_record = measure_staleness(trace, view_fn)
+    views = trace.view_history()
+    sources = trace.source_names
+    worst: Dict[str, float] = {s: 0.0 for s in sources}
+    violations: List[str] = []
+    for record, staleness in zip(views, per_record):
+        for source, value in staleness.items():
+            worst[source] = max(worst[source], value)
+            limit = bound.get(source)
+            if limit is not None and value > limit + 1e-9:
+                violations.append(
+                    f"t={record.time} ({record.kind}): source {source!r} staleness "
+                    f"{value:.3f} exceeds bound {limit:.3f}"
+                )
+    return FreshnessReport(
+        per_record=per_record,
+        worst=worst,
+        bound=dict(bound),
+        within_bound=not violations,
+        violations=violations,
+    )

@@ -1,0 +1,66 @@
+"""Ground-truth recomputation of view relations from source snapshots.
+
+The oracle against which incremental maintenance is checked everywhere in
+the test suite and benchmarks: evaluate every VDP node definition bottom-up
+over the sources' *current* states.  If the mediator is quiescent (all
+announcements collected and propagated), each materialized relation must
+equal its recomputation exactly — multiplicities included.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.mediator import SquirrelMediator
+from repro.core.vdp import VDP
+from repro.relalg import Evaluator, Relation
+from repro.sources.base import SourceDatabase
+
+__all__ = ["recompute_all", "recompute", "assert_view_correct"]
+
+
+def recompute_all(vdp: VDP, sources: Mapping[str, SourceDatabase]) -> Dict[str, Relation]:
+    """Evaluate every node of ``vdp`` over current source snapshots."""
+    catalog: Dict[str, Relation] = {}
+    snapshots: Dict[str, Dict[str, Relation]] = {}
+    for leaf in vdp.leaves():
+        source_name = vdp.source_of_leaf(leaf)
+        if source_name not in snapshots:
+            snapshots[source_name] = sources[source_name].state()
+        catalog[leaf] = snapshots[source_name][leaf]
+    for name in vdp.topological_order():
+        node = vdp.node(name)
+        if node.is_leaf:
+            continue
+        evaluator = Evaluator(catalog)
+        catalog[name] = evaluator.evaluate(node.definition, name)
+    return catalog
+
+
+def recompute(
+    vdp: VDP, sources: Mapping[str, SourceDatabase], relation: str
+) -> Relation:
+    """Ground-truth value of one node (full width)."""
+    return recompute_all(vdp, sources)[relation]
+
+
+def assert_view_correct(
+    mediator: SquirrelMediator, relation: Optional[str] = None
+) -> None:
+    """Assert every export (or one relation) matches its recomputation.
+
+    The mediator must be quiescent; this pulls full current values through
+    the QP (fetching virtual attributes as needed) and compares with the
+    bottom-up recomputation over the live sources.
+    """
+    truth = recompute_all(mediator.vdp, mediator.sources)
+    targets = [relation] if relation else list(mediator.vdp.exports)
+    for name in targets:
+        current = mediator.query_relation(name)
+        expected = truth[name]
+        if current != expected:
+            raise AssertionError(
+                f"view {name!r} diverged from ground truth:\n"
+                f"  mediator: {sorted(current.to_sorted_list())[:10]}\n"
+                f"  truth:    {sorted(expected.to_sorted_list())[:10]}"
+            )

@@ -1,0 +1,143 @@
+"""Trace recording for the correctness definitions of Section 3.
+
+The definitions quantify over ``state(DB_i, t)`` and ``state(V, t)`` under a
+global time no process can read.  The observer side of the reproduction
+records exactly those: each source's state history (a snapshot at every
+commit) and the view's state at interesting times (view-init, update
+transaction commits, query answers).  The checkers in
+:mod:`repro.correctness.consistency` and :mod:`repro.correctness.freshness`
+then search for a ``reflect`` function over the recorded trace.
+
+State snapshots are compared structurally, and consecutive identical source
+states are collapsed — ``reflect`` ranges over *states*, so duplicates only
+inflate the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConsistencyError
+from repro.relalg import Relation
+
+__all__ = ["SourceStateRecord", "ViewStateRecord", "IntegrationTrace"]
+
+SourceState = Mapping[str, Relation]  # relation name -> value
+ViewState = Mapping[str, Relation]    # export name -> value
+
+
+def _freeze_state(state: Mapping[str, Relation]) -> Tuple[Tuple[str, Tuple], ...]:
+    """A hashable structural fingerprint of a multi-relation state."""
+    return tuple(
+        (name, tuple(state[name].to_sorted_list())) for name in sorted(state)
+    )
+
+
+@dataclass
+class SourceStateRecord:
+    """One source database state, valid from ``time`` until the next record."""
+
+    time: float
+    state: Dict[str, Relation]
+    fingerprint: Tuple = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = _freeze_state(self.state)
+
+
+@dataclass
+class ViewStateRecord:
+    """The view's observed state at one instant."""
+
+    time: float
+    kind: str  # "init" | "update" | "query"
+    state: Dict[str, Relation]
+    fingerprint: Tuple = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = _freeze_state(self.state)
+
+
+class IntegrationTrace:
+    """The recorded history of one integration environment run."""
+
+    def __init__(self, source_names: List[str]):
+        self.source_names = sorted(source_names)
+        self._sources: Dict[str, List[SourceStateRecord]] = {n: [] for n in self.source_names}
+        self._views: List[ViewStateRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_source_state(self, source: str, time: float, state: Mapping[str, Relation]) -> None:
+        """Record a source's state (call at init and after every commit)."""
+        history = self._history(source)
+        record = SourceStateRecord(time, dict(state))
+        if history:
+            if time < history[-1].time:
+                raise ConsistencyError(
+                    f"out-of-order source record for {source!r}: {time} < {history[-1].time}"
+                )
+            if history[-1].fingerprint == record.fingerprint:
+                return  # no observable change; collapse
+        history.append(record)
+
+    def record_view_state(
+        self, time: float, kind: str, state: Mapping[str, Relation]
+    ) -> None:
+        """Record the view's state (init / update-commit / query answer)."""
+        if self._views and time < self._views[-1].time:
+            raise ConsistencyError(
+                f"out-of-order view record: {time} < {self._views[-1].time}"
+            )
+        self._views.append(ViewStateRecord(time, kind, dict(state)))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _history(self, source: str) -> List[SourceStateRecord]:
+        try:
+            return self._sources[source]
+        except KeyError as exc:
+            raise ConsistencyError(f"unknown source {source!r} in trace") from exc
+
+    def source_history(self, source: str) -> List[SourceStateRecord]:
+        """All recorded states of one source, in time order."""
+        return list(self._history(source))
+
+    def view_history(self, kinds: Optional[Tuple[str, ...]] = None) -> List[ViewStateRecord]:
+        """Recorded view states, optionally filtered by record kind."""
+        if kinds is None:
+            return list(self._views)
+        return [v for v in self._views if v.kind in kinds]
+
+    def source_state_at(self, source: str, time: float) -> Optional[SourceStateRecord]:
+        """The latest source record with ``record.time <= time``."""
+        best = None
+        for record in self._history(source):
+            if record.time <= time:
+                best = record
+            else:
+                break
+        return best
+
+    def candidate_indices(self, source: str, time: float) -> List[int]:
+        """Indices of all source records valid at or before ``time``."""
+        return [
+            i for i, record in enumerate(self._history(source)) if record.time <= time
+        ]
+
+    def validate(self) -> None:
+        """Sanity-check the trace before analysis."""
+        for source in self.source_names:
+            if not self._sources[source]:
+                raise ConsistencyError(f"no recorded states for source {source!r}")
+        if not self._views:
+            raise ConsistencyError("no recorded view states")
+
+    def __repr__(self) -> str:
+        per_source = {s: len(h) for s, h in self._sources.items()}
+        return f"<IntegrationTrace views={len(self._views)} sources={per_source}>"

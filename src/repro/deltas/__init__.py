@@ -1,0 +1,37 @@
+"""Heraclitus-style deltas: first-class database differences (Section 6.2).
+
+Set deltas (:class:`SetDelta`) model the paper's insertion/deletion-atom
+deltas with ``apply``, ``smash`` and ``inverse``; bag deltas
+(:class:`BagDelta`) are the signed-multiplicity generalization used by the
+mediator's bag nodes.  :mod:`~repro.deltas.operations` holds the generic
+operators and the select/project commutation; :mod:`~repro.deltas.filtering`
+adapts source deltas to leaf-parent nodes.
+"""
+
+from repro.deltas.bag_delta import BagDelta
+from repro.deltas.delta import SetDelta
+from repro.deltas.filtering import LeafParentFilter
+from repro.deltas.operations import (
+    AnyDelta,
+    net_accumulate,
+    apply_delta,
+    bag_to_set,
+    rename_delta,
+    select_project,
+    set_to_bag,
+    smash_all,
+)
+
+__all__ = [
+    "SetDelta",
+    "BagDelta",
+    "AnyDelta",
+    "LeafParentFilter",
+    "net_accumulate",
+    "apply_delta",
+    "smash_all",
+    "set_to_bag",
+    "bag_to_set",
+    "select_project",
+    "rename_delta",
+]

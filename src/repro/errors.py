@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Squirrel reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+downstream users can catch the whole family with one ``except`` clause while
+still being able to distinguish schema problems from planning problems from
+runtime mediator faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a projection references an attribute that the
+    input relation does not have, or when a join would produce duplicate
+    attribute names.
+    """
+
+
+class EvaluationError(ReproError):
+    """An algebra expression could not be evaluated against a catalog."""
+
+
+class ParseError(ReproError):
+    """A textual algebra expression or mediator spec failed to parse."""
+
+
+class DeltaError(ReproError):
+    """A delta value is inconsistent or incompatible with its target."""
+
+
+class VDPError(ReproError):
+    """A View Decomposition Plan is structurally invalid.
+
+    Covers violations of the node-definition restrictions of Section 5.1 of
+    the paper (e.g. a leaf-parent node using a join, or a difference nested
+    under a join within a single node definition).
+    """
+
+
+class AnnotationError(ReproError):
+    """An attribute annotation (materialized/virtual) is invalid for its VDP."""
+
+
+class MediatorError(ReproError):
+    """The mediator was driven into an unsupported state at runtime."""
+
+
+class SourceError(ReproError):
+    """A source database rejected an operation (unknown relation, bad delta)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misconfigured or used out of order."""
+
+
+class PlanningError(ReproError):
+    """The annotation planner could not produce a plan for a VDP."""
+
+
+class ConsistencyError(ReproError):
+    """A correctness checker found the recorded trace to be malformed.
+
+    Note: a trace that is well-formed but *inconsistent* is reported through
+    checker verdict objects, not exceptions; this error means the trace itself
+    could not be analyzed.
+    """

@@ -1,0 +1,21 @@
+"""The Squirrel generator: mediator specs → deployed mediators."""
+
+from repro.generator.generate import build_vdp_from_spec, generate_mediator, make_sources
+from repro.generator.spec import (
+    MediatorSpec,
+    RelationSpec,
+    SourceSpec,
+    ViewSpec,
+    parse_spec,
+)
+
+__all__ = [
+    "MediatorSpec",
+    "SourceSpec",
+    "RelationSpec",
+    "ViewSpec",
+    "parse_spec",
+    "build_vdp_from_spec",
+    "generate_mediator",
+    "make_sources",
+]

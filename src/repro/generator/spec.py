@@ -1,0 +1,211 @@
+"""The mediator specification language.
+
+Squirrel "is a tool that can be used to generate these mediators from
+high-level specifications" ([ZHK95], Section 1).  This module implements a
+compact textual spec format covering the parts of that language this paper
+exercises — source declarations, named view definitions in the algebra
+mini-language, export marking, and annotations::
+
+    source db1 {
+        relation R(r1 key, r2, r3, r4)
+    }
+    source db2 {
+        relation S(s1 key, s2, s3)
+    }
+
+    view R_p = project[r1, r2, r3](select[r4 = 100](R))
+    view S_p = project[s1, s2](select[s3 < 50](S))
+    export T = project[r1, r3, s1, s2](R_p join[r2 = s1] S_p)
+
+    annotate T [r1^m, r3^v, s1^m, s2^v]
+    annotate R_p virtual
+    annotate S_p virtual
+
+Unannotated relations default to fully materialized; ``annotate X virtual``
+and ``annotate X materialized`` are shorthands.  Attribute types may be
+given as ``name: int`` (used by the SQLite source for column affinities).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotations import Annotation
+from repro.errors import ParseError
+from repro.relalg import Attribute, RelationSchema
+
+__all__ = ["RelationSpec", "SourceSpec", "ViewSpec", "MediatorSpec", "parse_spec"]
+
+_SOURCE_RE = re.compile(r"^source\s+([A-Za-z_][\w]*)\s*\{$")
+_SOURCE_INLINE_RE = re.compile(r"^source\s+([A-Za-z_][\w]*)\s*\{(.*)\}$")
+_RELATION_RE = re.compile(r"^relation\s+([A-Za-z_][\w]*)\s*\((.*)\)$")
+_RELATION_FIND_RE = re.compile(r"relation\s+([A-Za-z_][\w]*)\s*\(([^)]*)\)")
+_VIEW_RE = re.compile(r"^(view|export)\s+([A-Za-z_][\w]*)\s*=\s*(.+)$")
+_ANNOTATE_RE = re.compile(r"^annotate\s+([A-Za-z_][\w]*)\s+(.+)$")
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One declared source relation."""
+
+    schema: RelationSchema
+
+
+@dataclass
+class SourceSpec:
+    """One declared source database."""
+
+    name: str
+    relations: List[RelationSpec] = field(default_factory=list)
+
+    def schemas(self) -> List[RelationSchema]:
+        """The relation schemas declared for this source."""
+        return [r.schema for r in self.relations]
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """One named view definition (text form; parsed lazily by the builder)."""
+
+    name: str
+    definition: str
+    export: bool
+
+
+@dataclass
+class MediatorSpec:
+    """A parsed mediator specification."""
+
+    sources: Dict[str, SourceSpec] = field(default_factory=dict)
+    views: List[ViewSpec] = field(default_factory=list)
+    annotations: Dict[str, str] = field(default_factory=dict)  # name -> text/keyword
+
+    def source_schemas(self) -> Dict[str, RelationSchema]:
+        """All declared relation schemas, keyed by relation name."""
+        out: Dict[str, RelationSchema] = {}
+        for source in self.sources.values():
+            for rel in source.relations:
+                if rel.schema.name in out:
+                    raise ParseError(
+                        f"relation {rel.schema.name!r} declared in two sources"
+                    )
+                out[rel.schema.name] = rel.schema
+        return out
+
+    def source_of(self) -> Dict[str, str]:
+        """Relation name -> owning source name."""
+        return {
+            rel.schema.name: source.name
+            for source in self.sources.values()
+            for rel in source.relations
+        }
+
+    def exports(self) -> List[str]:
+        """The export relation names, in declaration order."""
+        return [v.name for v in self.views if v.export]
+
+
+def _parse_attribute(token: str) -> Tuple[Attribute, bool]:
+    """Parse ``name``, ``name key``, ``name: type``, ``name: type key``."""
+    is_key = False
+    token = token.strip()
+    if token.endswith(" key"):
+        is_key = True
+        token = token[: -len(" key")].strip()
+    if ":" in token:
+        name, _, dtype = token.partition(":")
+        return Attribute(name.strip(), dtype.strip()), is_key
+    if not token:
+        raise ParseError("empty attribute declaration")
+    return Attribute(token), is_key
+
+
+def _parse_relation(rel_name: str, attr_list: str) -> RelationSchema:
+    attributes: List[Attribute] = []
+    key: List[str] = []
+    for token in attr_list.split(","):
+        attribute, is_key = _parse_attribute(token)
+        attributes.append(attribute)
+        if is_key:
+            key.append(attribute.name)
+    return RelationSchema(rel_name, tuple(attributes), tuple(key))
+
+
+def parse_spec(text: str) -> MediatorSpec:
+    """Parse a mediator specification; raises :class:`ParseError` on errors."""
+    spec = MediatorSpec()
+    current_source: Optional[SourceSpec] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        def fail(message: str) -> ParseError:
+            return ParseError(f"spec line {line_no}: {message}: {raw.strip()!r}")
+
+        if current_source is not None:
+            if line == "}":
+                if not current_source.relations:
+                    raise fail(f"source {current_source.name!r} declares no relations")
+                current_source = None
+                continue
+            match = _RELATION_RE.match(line)
+            if not match:
+                raise fail("expected a relation declaration or '}'")
+            rel_name, attr_list = match.groups()
+            current_source.relations.append(RelationSpec(_parse_relation(rel_name, attr_list)))
+            continue
+
+        match = _SOURCE_INLINE_RE.match(line)
+        if match:
+            # Single-line form: source db { relation R(a, b) relation S(c) }
+            name, body = match.groups()
+            if name in spec.sources:
+                raise fail(f"source {name!r} declared twice")
+            source = SourceSpec(name)
+            declarations = list(_RELATION_FIND_RE.finditer(body))
+            if not declarations or _RELATION_FIND_RE.sub("", body).strip():
+                raise fail("inline source block must contain only relation declarations")
+            for declaration in declarations:
+                rel_name, attr_list = declaration.groups()
+                source.relations.append(RelationSpec(_parse_relation(rel_name, attr_list)))
+            spec.sources[name] = source
+            continue
+
+        match = _SOURCE_RE.match(line)
+        if match:
+            name = match.group(1)
+            if name in spec.sources:
+                raise fail(f"source {name!r} declared twice")
+            current_source = SourceSpec(name)
+            spec.sources[name] = current_source
+            continue
+
+        match = _VIEW_RE.match(line)
+        if match:
+            kind, name, definition = match.groups()
+            if any(v.name == name for v in spec.views):
+                raise fail(f"view {name!r} declared twice")
+            spec.views.append(ViewSpec(name, definition, export=(kind == "export")))
+            continue
+
+        match = _ANNOTATE_RE.match(line)
+        if match:
+            name, annotation = match.groups()
+            if name in spec.annotations:
+                raise fail(f"{name!r} annotated twice")
+            spec.annotations[name] = annotation.strip()
+            continue
+
+        raise fail("unrecognized statement")
+
+    if current_source is not None:
+        raise ParseError(f"unterminated source block {current_source.name!r}")
+    if not spec.sources:
+        raise ParseError("spec declares no sources")
+    if not any(v.export for v in spec.views):
+        raise ParseError("spec declares no export relations")
+    return spec

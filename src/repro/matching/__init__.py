@@ -1,0 +1,37 @@
+"""Object matching ([ZHKF95]): declaring and maintaining entity identity.
+
+The Squirrel view-definition language's second half (Section 5 of the
+paper): :class:`MatchRule` declares when tuples of two relations denote the
+same real-world object (attribute pairs compared after normalization);
+:class:`MatchingEngine` materializes and incrementally maintains the
+resulting *match table* as a derived source a mediator can integrate and
+join through.  :mod:`~repro.matching.normalizers` supplies the canonical
+value maps (casefolding, digit extraction, Soundex, ...).
+"""
+
+from repro.matching.engine import MatchingEngine
+from repro.matching.normalizers import (
+    alnum_only,
+    casefold_trim,
+    chain,
+    digits_only,
+    identity,
+    prefix,
+    rounded,
+    soundex,
+)
+from repro.matching.rules import MatchCriterion, MatchRule
+
+__all__ = [
+    "MatchRule",
+    "MatchCriterion",
+    "MatchingEngine",
+    "identity",
+    "casefold_trim",
+    "digits_only",
+    "alnum_only",
+    "prefix",
+    "rounded",
+    "soundex",
+    "chain",
+]

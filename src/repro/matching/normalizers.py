@@ -1,0 +1,109 @@
+"""Value normalizers for object matching.
+
+Heterogeneous sources rarely agree on representation: names differ in case
+and whitespace, phone numbers in punctuation, codes in padding.  A
+*normalizer* maps raw values into a canonical space in which equality means
+"same real-world entity attribute".  These are the building blocks of
+:class:`~repro.matching.rules.MatchRule` criteria.
+
+All normalizers are pure callables ``value -> canonical value`` and compose
+with :func:`chain`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "identity",
+    "casefold_trim",
+    "digits_only",
+    "alnum_only",
+    "prefix",
+    "rounded",
+    "soundex",
+    "chain",
+]
+
+Normalizer = Callable[[Any], Any]
+
+
+def identity(value: Any) -> Any:
+    """No normalization: exact equality."""
+    return value
+
+
+def casefold_trim(value: Any) -> str:
+    """Case-insensitive, whitespace-collapsed string comparison."""
+    return " ".join(str(value).split()).casefold()
+
+
+def digits_only(value: Any) -> str:
+    """Keep only digits — phone numbers, zip codes, padded ids."""
+    return re.sub(r"\D", "", str(value))
+
+
+def alnum_only(value: Any) -> str:
+    """Keep only alphanumerics, casefolded — product codes and the like."""
+    return re.sub(r"[^0-9a-z]", "", str(value).casefold())
+
+
+def prefix(n: int) -> Normalizer:
+    """The first ``n`` characters of the casefolded string."""
+
+    def normalize(value: Any) -> str:
+        return casefold_trim(value)[:n]
+
+    return normalize
+
+
+def rounded(ndigits: int = 0) -> Normalizer:
+    """Numeric comparison up to rounding (amounts recorded differently)."""
+
+    def normalize(value: Any) -> float:
+        return round(float(value), ndigits)
+
+    return normalize
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+
+def soundex(value: Any) -> str:
+    """American Soundex of the first word — classic fuzzy name matching.
+
+    Returns the usual letter + three digits (e.g. ``robert`` → ``R163``);
+    empty input yields ``0000``.
+    """
+    word = re.sub(r"[^a-z]", "", casefold_trim(value).split(" ")[0] if value else "")
+    if not word:
+        return "0000"
+    first = word[0]
+    encoded = []
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in word[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != previous:
+            encoded.append(code)
+        if ch not in "hw":  # h/w do not reset the previous code
+            previous = code if code else ("" if ch in "aeiouy" else previous)
+    return (first.upper() + "".join(encoded) + "000")[:4]
+
+
+def chain(*normalizers: Normalizer) -> Normalizer:
+    """Compose normalizers left to right."""
+
+    def normalize(value: Any) -> Any:
+        for n in normalizers:
+            value = n(value)
+        return value
+
+    return normalize

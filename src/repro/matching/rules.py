@@ -1,0 +1,93 @@
+"""Match rules: declaring when tuples denote the same entity.
+
+The Squirrel project's view-definition language has a second half beyond
+the algebra: "Another part of the language specifies 'object matching'"
+(Section 5, citing [ZHKF95]).  A :class:`MatchRule` declares that a tuple
+of relation ``left`` and a tuple of relation ``right`` denote the same
+real-world object when every :class:`MatchCriterion` agrees — attribute
+pairs compared after normalization.
+
+A rule induces a *match table*: a relation pairing the key attributes of
+both sides.  The :mod:`~repro.matching.engine` materializes and
+incrementally maintains that table, and the mediator integrates it like
+any other source relation — so ordinary VDP joins through the match table
+express cross-source object identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.matching.normalizers import Normalizer, identity
+from repro.relalg import Attribute, RelationSchema, Row
+
+__all__ = ["MatchCriterion", "MatchRule"]
+
+
+@dataclass(frozen=True)
+class MatchCriterion:
+    """One attribute-pair comparison: equal after normalization."""
+
+    left_attr: str
+    right_attr: str
+    normalizer: Normalizer = identity
+
+    def left_key(self, row: Row) -> Any:
+        """The canonical value of the left attribute."""
+        return self.normalizer(row[self.left_attr])
+
+    def right_key(self, row: Row) -> Any:
+        """The canonical value of the right attribute."""
+        return self.normalizer(row[self.right_attr])
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """Declares object identity between two relations.
+
+    ``left_keys`` / ``right_keys`` are the attributes copied into the match
+    table (usually each side's primary key); they are prefixed to avoid
+    collisions, giving the match table schema
+    ``name(l_<k1>, ..., r_<k1>, ...)``.
+    """
+
+    name: str
+    left_relation: str
+    right_relation: str
+    criteria: Tuple[MatchCriterion, ...]
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise SchemaError(f"match rule {self.name!r} needs at least one criterion")
+        if not self.left_keys or not self.right_keys:
+            raise SchemaError(f"match rule {self.name!r} needs key attributes on both sides")
+
+    # ------------------------------------------------------------------
+    def schema(self) -> RelationSchema:
+        """The match table's schema."""
+        attrs = tuple(
+            Attribute(f"l_{k}") for k in self.left_keys
+        ) + tuple(Attribute(f"r_{k}") for k in self.right_keys)
+        return RelationSchema(self.name, attrs, key=tuple(a.name for a in attrs))
+
+    def signature_left(self, row: Row) -> Tuple[Any, ...]:
+        """The canonical comparison vector of a left-side row."""
+        return tuple(c.left_key(row) for c in self.criteria)
+
+    def signature_right(self, row: Row) -> Tuple[Any, ...]:
+        """The canonical comparison vector of a right-side row."""
+        return tuple(c.right_key(row) for c in self.criteria)
+
+    def matches(self, left_row: Row, right_row: Row) -> bool:
+        """True when the rows denote the same object under this rule."""
+        return self.signature_left(left_row) == self.signature_right(right_row)
+
+    def pair(self, left_row: Row, right_row: Row) -> Row:
+        """The match-table row pairing two matched tuples."""
+        values = {f"l_{k}": left_row[k] for k in self.left_keys}
+        values.update({f"r_{k}": right_row[k] for k in self.right_keys})
+        return Row(values)

@@ -1,0 +1,34 @@
+"""Annotation planning: the Section 5.3 heuristics made executable.
+
+:mod:`~repro.planner.cost` prices an annotation under a workload profile;
+:mod:`~repro.planner.heuristics` implements the paper's qualitative
+guidelines; :mod:`~repro.planner.enumerate` searches the candidate lattice
+exhaustively for small VDPs (ground truth for the heuristics).
+"""
+
+from repro.planner.cost import CostEstimate, CostModel, WorkloadProfile, node_statistics
+from repro.planner.enumerate import (
+    RankedAnnotation,
+    best_annotation,
+    candidate_annotations,
+    enumerate_annotations,
+)
+from repro.planner.heuristics import (
+    attrs_needed_by_parents,
+    is_expensive_join,
+    suggest_annotation,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "CostModel",
+    "CostEstimate",
+    "node_statistics",
+    "suggest_annotation",
+    "is_expensive_join",
+    "attrs_needed_by_parents",
+    "RankedAnnotation",
+    "candidate_annotations",
+    "enumerate_annotations",
+    "best_annotation",
+]

@@ -1,0 +1,200 @@
+"""Analytic cost model for annotated VDPs.
+
+Section 5.3 frames the materialized-vs-virtual decision as "an issue of
+space vs. performance" and gives qualitative guidance: leaf-parents are
+expensive to evaluate (they poll remote sources), non-indexable joins are
+very expensive to compute virtually, and rarely-accessed attributes are
+candidates for virtualization.  This module turns that guidance into
+numbers so the heuristics and the enumerator can rank annotations.
+
+The model takes per-node cardinality *statistics* (measured from live data
+via :func:`node_statistics`, or supplied) and a :class:`WorkloadProfile`
+(update rates per source, query rate, attribute access frequencies) and
+produces a :class:`CostEstimate` with three components:
+
+* ``storage`` — materialized cells held by the mediator;
+* ``update_cost`` — expected per-time-unit work to propagate updates,
+  including poll penalties when rules must read virtual siblings;
+* ``query_cost`` — expected per-time-unit work to answer queries,
+  including temp-construction penalties for virtual attributes.
+
+The absolute numbers are unit-less; only comparisons between annotations
+of the same VDP are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.derived_from import child_requirements
+from repro.core.vdp import VDP, AnnotatedVDP, NodeKind
+from repro.correctness.recompute import recompute_all
+from repro.relalg import TRUE
+from repro.sources.base import SourceDatabase
+
+__all__ = ["WorkloadProfile", "CostEstimate", "CostModel", "node_statistics"]
+
+# Relative expense of one polled row vs one locally scanned row, plus a
+# fixed per-poll round-trip charge: Section 5.3's "leaf-parent nodes are
+# expensive to evaluate" made concrete.
+POLL_ROW_FACTOR = 10.0
+POLL_ROUNDTRIP = 50.0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """How the integration environment is exercised.
+
+    ``attr_access`` maps ``(node, attribute)`` to the fraction of queries
+    touching that attribute (the paper's "frequently accessed attributes");
+    unspecified attributes default to ``default_access``.
+    """
+
+    update_rates: Mapping[str, float] = field(default_factory=dict)  # per source
+    query_rate: float = 1.0
+    attr_access: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    default_access: float = 0.5
+
+    def update_rate(self, source: str) -> float:
+        """Updates per time unit committed by one source."""
+        return self.update_rates.get(source, 0.0)
+
+    def access(self, node: str, attr: str) -> float:
+        """Fraction of queries touching ``node.attr``."""
+        return self.attr_access.get((node, attr), self.default_access)
+
+
+def node_statistics(
+    vdp: VDP, sources: Mapping[str, SourceDatabase]
+) -> Dict[str, int]:
+    """Measured cardinality of every VDP node over the current sources."""
+    return {name: rel.cardinality() for name, rel in recompute_all(vdp, sources).items()}
+
+
+@dataclass
+class CostEstimate:
+    """The three cost components of one annotation."""
+
+    storage: float
+    update_cost: float
+    query_cost: float
+
+    def total(self, storage_weight: float = 0.01) -> float:
+        """Scalarized cost; storage is cheap relative to work by default."""
+        return self.storage * storage_weight + self.update_cost + self.query_cost
+
+    def __str__(self) -> str:
+        return (
+            f"storage={self.storage:.0f} update={self.update_cost:.1f} "
+            f"query={self.query_cost:.1f}"
+        )
+
+
+class CostModel:
+    """Estimates the running cost of an annotation under a workload."""
+
+    def __init__(self, vdp: VDP, statistics: Mapping[str, int], profile: WorkloadProfile):
+        self.vdp = vdp
+        self.stats = dict(statistics)
+        self.profile = profile
+
+    # ------------------------------------------------------------------
+    def estimate(self, annotated: AnnotatedVDP) -> CostEstimate:
+        """Full cost estimate for one annotation of this VDP."""
+        return CostEstimate(
+            storage=self._storage(annotated),
+            update_cost=self._update_cost(annotated),
+            query_cost=self._query_cost(annotated),
+        )
+
+    # ------------------------------------------------------------------
+    def _size(self, name: str) -> float:
+        return float(self.stats.get(name, 0))
+
+    def _storage(self, annotated: AnnotatedVDP) -> float:
+        total = 0.0
+        for name in self.vdp.non_leaves():
+            ann = annotated.annotation(name)
+            total += self._size(name) * len(ann.materialized_attrs)
+        return total
+
+    def _covered(self, annotated: AnnotatedVDP, node: str, attrs: FrozenSet[str]) -> bool:
+        ann = annotated.annotation(node)
+        if not ann.materialized_attrs:
+            return False
+        return set(attrs) <= set(ann.materialized_attrs)
+
+    def _fetch_cost(self, annotated: AnnotatedVDP, node: str, attrs: FrozenSet[str]) -> float:
+        """Cost of obtaining ``π_attrs(node)`` (repo read or temp build)."""
+        node_obj = self.vdp.node(node)
+        if node_obj.is_leaf:
+            # Reading a source relation directly is a poll.
+            return POLL_ROUNDTRIP + POLL_ROW_FACTOR * self._size(node)
+        if self._covered(annotated, node, attrs):
+            return self._size(node)  # local scan
+        children = self.vdp.children(node)
+        if any(self.vdp.node(c).is_leaf for c in children):
+            # Leaf-parent: a poll of the source.
+            return POLL_ROUNDTRIP + POLL_ROW_FACTOR * self._size(node)
+        requirements = child_requirements(
+            node_obj.definition, frozenset(attrs), TRUE, self.vdp.schemas()
+        )
+        cost = self._size(node)  # assembling the temp
+        for child, request in requirements.items():
+            cost += self._fetch_cost(annotated, child, frozenset(request.attrs))
+        return cost
+
+    # ------------------------------------------------------------------
+    def _update_cost(self, annotated: AnnotatedVDP) -> float:
+        """Expected propagation work per time unit."""
+        total = 0.0
+        for leaf in self.vdp.leaves():
+            source = self.vdp.source_of_leaf(leaf)
+            rate = self.profile.update_rate(source)
+            if rate <= 0:
+                continue
+            total += rate * self._propagation_cost(annotated, leaf)
+        return total
+
+    def _propagation_cost(self, annotated: AnnotatedVDP, changed: str) -> float:
+        """Work to push one update from ``changed`` to every ancestor."""
+        cost = 0.0
+        affected = {changed}
+        for name in self.vdp.topological_order():
+            node = self.vdp.node(name)
+            if node.is_leaf or not (set(self.vdp.children(name)) & affected):
+                continue
+            affected.add(name)
+            # The rule reads each sibling the definition references.
+            requirements = child_requirements(
+                node.definition,
+                frozenset(node.schema.attribute_names),
+                TRUE,
+                self.vdp.schemas(),
+            )
+            for child, request in requirements.items():
+                if child in affected:
+                    continue  # the delta itself (or a fresher sibling) — not a read
+                cost += self._fetch_cost(annotated, child, frozenset(request.attrs))
+            # Applying the delta to storage is proportional to stored width.
+            cost += len(annotated.annotation(name).materialized_attrs)
+        return cost
+
+    # ------------------------------------------------------------------
+    def _query_cost(self, annotated: AnnotatedVDP) -> float:
+        """Expected per-time-unit query work over the export relations."""
+        rate = self.profile.query_rate
+        if rate <= 0:
+            return 0.0
+        total = 0.0
+        for export in self.vdp.exports:
+            node = self.vdp.node(export)
+            for attr in node.schema.attribute_names:
+                access = self.profile.access(export, attr)
+                if access <= 0:
+                    continue
+                total += rate * access * self._fetch_cost(
+                    annotated, export, frozenset((attr,))
+                )
+        return total

@@ -1,0 +1,162 @@
+"""The Section 5.3 annotation heuristics.
+
+The paper gives "general suggestions about the trade-offs of virtual and
+materialized approaches" rather than precise guidelines; this module encodes
+them as a deterministic suggestion procedure:
+
+1. **Rarely-accessed attributes are virtualization candidates** — an export
+   attribute whose access frequency is below a threshold may be virtual,
+   *provided* it can be fetched efficiently later (see rule 3).
+2. **Frequently-updated, rarely-read auxiliaries go virtual** (Example
+   2.2): a leaf-parent whose source updates much more often than the view
+   is queried is kept virtual, so the mediator does not pay continual
+   maintenance for data it seldom reads.
+3. **Expensive joins need at least their keys materialized** — "the minimal
+   suggested amount of materialization for expensive join relations are the
+   key attributes from the underlying relations, so that the virtual
+   attributes of the join relation can be fetched efficiently" (key-based
+   construction).  A join is *expensive* when no equality conjunct can
+   drive an index (a pure theta join, like Figure 4's arithmetic
+   condition).
+4. **Attributes needed by parent rules stay materialized** — Example 5.1
+   materializes ``a1``/``b1`` in ``E`` partly because updates propagating
+   to ``G`` read them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.core.annotations import MATERIALIZED, VIRTUAL, Annotation
+from repro.core.derived_from import child_requirements
+from repro.core.vdp import VDP, AnnotatedVDP, NodeKind
+from repro.planner.cost import WorkloadProfile
+from repro.relalg import TRUE, Join, equi_join_pairs
+
+__all__ = ["suggest_annotation", "is_expensive_join", "attrs_needed_by_parents"]
+
+
+def is_expensive_join(vdp: VDP, name: str) -> bool:
+    """True when the node's definition contains a join no hash index can
+    drive (no extractable equality conjunct between operand attribute
+    sets)."""
+    node = vdp.node(name)
+    if node.is_leaf:
+        return False
+
+    def scan(expr) -> bool:
+        if isinstance(expr, Join):
+            left_attrs = frozenset(
+                expr.left.infer_schema(vdp.schemas(), "l").attribute_names
+            )
+            right_attrs = frozenset(
+                expr.right.infer_schema(vdp.schemas(), "r").attribute_names
+            )
+            if expr.condition is not None:
+                pairs, _ = equi_join_pairs(expr.condition, left_attrs, right_attrs)
+                if not pairs:
+                    return True
+            return scan(expr.left) or scan(expr.right)
+        return any(scan(c) for c in expr.children())
+
+    return scan(node.definition)
+
+
+def attrs_needed_by_parents(vdp: VDP, name: str) -> FrozenSet[str]:
+    """Attributes of ``name`` that some parent's rule must read.
+
+    These must stay cheap to obtain during update propagation; the
+    suggestion procedure keeps them materialized on storing nodes.
+    """
+    needed: Set[str] = set()
+    for parent in vdp.parents(name):
+        parent_node = vdp.node(parent)
+        requirements = child_requirements(
+            parent_node.definition,
+            frozenset(parent_node.schema.attribute_names),
+            TRUE,
+            vdp.schemas(),
+        )
+        request = requirements.get(name)
+        if request is not None:
+            needed |= set(request.attrs)
+    return frozenset(needed)
+
+
+def suggest_annotation(
+    vdp: VDP,
+    profile: WorkloadProfile,
+    hot_threshold: float = 0.25,
+    update_heavy_ratio: float = 2.0,
+) -> AnnotatedVDP:
+    """Produce the Section 5.3-style suggested annotation for a VDP.
+
+    ``hot_threshold`` — export attributes accessed by at least this
+    fraction of queries are materialized.  ``update_heavy_ratio`` — a
+    leaf-parent is virtualized when its source's update rate exceeds the
+    query rate by this factor (Example 2.2's regime).
+    """
+    annotations: Dict[str, Annotation] = {}
+    exports = set(vdp.exports)
+
+    for name in vdp.non_leaves():
+        node = vdp.node(name)
+        attrs = node.schema.attribute_names
+
+        if name in exports:
+            annotations[name] = _annotate_export(
+                vdp, name, profile, hot_threshold
+            )
+            continue
+
+        if name in vdp.leaf_parents():
+            source = vdp.source_of_leaf(vdp.children(name)[0])
+            update_rate = profile.update_rate(source)
+            if profile.query_rate > 0 and update_rate > update_heavy_ratio * profile.query_rate:
+                annotations[name] = Annotation.all_virtual(attrs)
+            else:
+                annotations[name] = Annotation.all_materialized(attrs)
+            continue
+
+        # Internal, non-export node: materialize when expensive to rebuild,
+        # keep virtual when cheap (Example 5.1's F).
+        if is_expensive_join(vdp, name) or node.kind is NodeKind.SET:
+            annotations[name] = Annotation.all_materialized(attrs)
+        else:
+            annotations[name] = Annotation.all_virtual(attrs)
+
+    return AnnotatedVDP(vdp, annotations)
+
+
+def _annotate_export(
+    vdp: VDP, name: str, profile: WorkloadProfile, hot_threshold: float
+) -> Annotation:
+    node = vdp.node(name)
+    attrs = node.schema.attribute_names
+    if node.kind is NodeKind.SET:
+        # Set nodes cannot be hybrid; an export set node is materialized.
+        return Annotation.all_materialized(attrs)
+
+    keep: Set[str] = set(attrs_needed_by_parents(vdp, name))
+    fds = vdp.fds(name)
+    # Minimal key materialization for expensive joins (rule 3): keep the
+    # children's key attributes that survive into this node.
+    if is_expensive_join(vdp, name):
+        for child in vdp.children(name):
+            child_key = vdp.node(child).schema.key
+            keep.update(k for k in child_key if k in attrs)
+
+    marks: Dict[str, str] = {}
+    for attr in attrs:
+        if attr in keep or profile.access(name, attr) >= hot_threshold:
+            marks[attr] = MATERIALIZED
+        else:
+            marks[attr] = VIRTUAL
+    annotation = Annotation.of(marks)
+    # A fully virtual *expensive* export would be repolled per query; keep
+    # at least the key materialized if one exists.
+    if annotation.fully_virtual and is_expensive_join(vdp, name):
+        key = node.schema.key or attrs[:1]
+        marks.update({k: MATERIALIZED for k in key})
+        annotation = Annotation.of(marks)
+    return annotation

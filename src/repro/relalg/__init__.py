@@ -1,0 +1,100 @@
+"""Relational algebra substrate: schemas, rows, relations, expressions.
+
+This package is the self-contained relational engine the rest of the
+reproduction is built on.  Nothing here knows about mediators, deltas, or
+time — it is the algebra of Section 5 of the paper, with both set and bag
+semantics, plus the functional-dependency reasoning used by Example 2.3.
+"""
+
+from repro.relalg.evaluator import EvalCounters, Evaluator, evaluate
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    scan,
+)
+from repro.relalg.functional import FDSet, FunctionalDependency, fds_from_schema, infer_fds
+from repro.relalg.parser import parse_expression, parse_predicate
+from repro.relalg.predicates import (
+    TRUE,
+    And,
+    Arith,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    attr,
+    conjoin,
+    conjuncts,
+    const,
+    disjoin,
+    eq,
+    equi_join_pairs,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.relalg.relation import BagRelation, Relation, SetRelation
+from repro.relalg.schema import Attribute, RelationSchema, make_schema
+from repro.relalg.tuples import Row, row
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "make_schema",
+    "Row",
+    "row",
+    "Relation",
+    "SetRelation",
+    "BagRelation",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "TRUE",
+    "Attr",
+    "Const",
+    "Arith",
+    "attr",
+    "const",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "conjoin",
+    "conjuncts",
+    "disjoin",
+    "equi_join_pairs",
+    "Expression",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Difference",
+    "Rename",
+    "scan",
+    "evaluate",
+    "Evaluator",
+    "EvalCounters",
+    "FDSet",
+    "FunctionalDependency",
+    "fds_from_schema",
+    "infer_fds",
+    "parse_expression",
+    "parse_predicate",
+]

@@ -1,0 +1,230 @@
+"""Evaluation of algebra expressions against a catalog of relations.
+
+The evaluator is the workhorse behind three parts of the system:
+
+* VDP node (re)computation — populating mediator relations at view-init time
+  and recomputing ground truth in tests and benchmarks;
+* the VAP's bottom-up construction of temporary relations (Section 6.3);
+* the incremental rules of Section 5.2, which are themselves algebra
+  expressions over current relations and deltas.
+
+Joins are executed as hash joins on whatever equality conjuncts can be
+extracted from the condition (see
+:func:`repro.relalg.predicates.equi_join_pairs`), with the residual condition
+applied as a post-filter — so Figure 4's arithmetic join condition
+``a1^2 + a2 < b2^2`` degrades gracefully to a filtered cross product while
+``r2 = s1`` runs in linear time.
+
+An optional :class:`EvalCounters` records rows scanned and produced; the
+benchmark harness uses it to report work done by competing strategies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relalg.predicates import equi_join_pairs
+from repro.relalg.relation import BagRelation, Relation, SetRelation
+from repro.relalg.schema import RelationSchema
+from repro.relalg.tuples import Row
+
+__all__ = ["evaluate", "EvalCounters", "Evaluator"]
+
+
+@dataclass
+class EvalCounters:
+    """Mutable work counters for one or more evaluations."""
+
+    rows_scanned: int = 0
+    rows_produced: int = 0
+    joins_executed: int = 0
+    hash_probes: int = 0
+
+    def merge(self, other: "EvalCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.rows_scanned += other.rows_scanned
+        self.rows_produced += other.rows_produced
+        self.joins_executed += other.joins_executed
+        self.hash_probes += other.hash_probes
+
+
+class Evaluator:
+    """Evaluates expressions against a catalog ``{name: Relation}``."""
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Relation],
+        schemas: Optional[Mapping[str, RelationSchema]] = None,
+        counters: Optional[EvalCounters] = None,
+    ):
+        self.catalog = catalog
+        self.schemas = schemas or {name: rel.schema for name, rel in catalog.items()}
+        self.counters = counters if counters is not None else EvalCounters()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, expr: Expression, name: str = "result") -> Relation:
+        """Evaluate ``expr``; the result relation is named ``name``.
+
+        SPJ/union subtrees produce :class:`BagRelation`; a
+        :class:`Difference` produces a :class:`SetRelation` (paper set
+        nodes); a :class:`Project` with ``dedup=True`` also produces a set.
+        """
+        schema = expr.infer_schema(self.schemas, name)
+        counts = self._eval(expr)
+        if isinstance(expr, Difference) or (isinstance(expr, Project) and expr.dedup):
+            return SetRelation(schema, counts.keys())
+        result = BagRelation(schema)
+        for r, n in counts.items():
+            if n:
+                result.insert(r, n)
+        self.counters.rows_produced += sum(counts.values())
+        return result
+
+    # ------------------------------------------------------------------
+    # Internal: everything computes a {row: positive count} dict
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expression) -> Dict[Row, int]:
+        if isinstance(expr, Scan):
+            return self._eval_scan(expr)
+        if isinstance(expr, Select):
+            return self._eval_select(expr)
+        if isinstance(expr, Project):
+            return self._eval_project(expr)
+        if isinstance(expr, Join):
+            return self._eval_join(expr)
+        if isinstance(expr, Union):
+            return self._eval_union(expr)
+        if isinstance(expr, Difference):
+            return self._eval_difference(expr)
+        if isinstance(expr, Rename):
+            return self._eval_rename(expr)
+        raise EvaluationError(f"unknown expression node {type(expr).__name__}")
+
+    def _eval_scan(self, expr: Scan) -> Dict[Row, int]:
+        try:
+            rel = self.catalog[expr.name]
+        except KeyError as exc:
+            raise EvaluationError(f"relation {expr.name!r} not in catalog") from exc
+        counts: Dict[Row, int] = {}
+        for r, n in rel.items():
+            counts[r] = n
+            self.counters.rows_scanned += n
+        return counts
+
+    def _eval_select(self, expr: Select) -> Dict[Row, int]:
+        child = self._eval(expr.child)
+        return {r: n for r, n in child.items() if expr.predicate.evaluate(r)}
+
+    def _eval_project(self, expr: Project) -> Dict[Row, int]:
+        child = self._eval(expr.child)
+        counts: Dict[Row, int] = defaultdict(int)
+        for r, n in child.items():
+            counts[r.project(expr.attrs)] += n
+        if expr.dedup:
+            return {r: 1 for r in counts}
+        return dict(counts)
+
+    def _eval_join(self, expr: Join) -> Dict[Row, int]:
+        self.counters.joins_executed += 1
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        left_schema = expr.left.infer_schema(self.schemas, "join_l")
+        right_schema = expr.right.infer_schema(self.schemas, "join_r")
+        left_attrs = frozenset(left_schema.attribute_names)
+        right_attrs = frozenset(right_schema.attribute_names)
+
+        if expr.condition is None:
+            shared = sorted(left_attrs & right_attrs)
+            if not shared:
+                raise EvaluationError("natural join with no shared attributes")
+            return self._hash_join_natural(left, right, shared)
+
+        pairs, residual = equi_join_pairs(expr.condition, left_attrs, right_attrs)
+        if pairs:
+            return self._hash_join_theta(left, right, pairs, residual)
+        # Pure theta join: filtered cross product.
+        counts: Dict[Row, int] = defaultdict(int)
+        for lr, ln in left.items():
+            for rr, rn in right.items():
+                merged = lr.merge(rr)
+                if expr.condition.evaluate(merged):
+                    counts[merged] += ln * rn
+        return dict(counts)
+
+    def _hash_join_natural(
+        self, left: Dict[Row, int], right: Dict[Row, int], shared: List[str]
+    ) -> Dict[Row, int]:
+        index: Dict[Tuple[Any, ...], List[Tuple[Row, int]]] = defaultdict(list)
+        for rr, rn in right.items():
+            index[rr.values_for(shared)].append((rr, rn))
+        counts: Dict[Row, int] = defaultdict(int)
+        for lr, ln in left.items():
+            self.counters.hash_probes += 1
+            for rr, rn in index.get(lr.values_for(shared), ()):
+                counts[lr.merge_natural(rr)] += ln * rn
+        return dict(counts)
+
+    def _hash_join_theta(
+        self,
+        left: Dict[Row, int],
+        right: Dict[Row, int],
+        pairs: List[Tuple[str, str]],
+        residual,
+    ) -> Dict[Row, int]:
+        left_keys = [p[0] for p in pairs]
+        right_keys = [p[1] for p in pairs]
+        index: Dict[Tuple[Any, ...], List[Tuple[Row, int]]] = defaultdict(list)
+        for rr, rn in right.items():
+            index[rr.values_for(right_keys)].append((rr, rn))
+        counts: Dict[Row, int] = defaultdict(int)
+        for lr, ln in left.items():
+            self.counters.hash_probes += 1
+            for rr, rn in index.get(lr.values_for(left_keys), ()):
+                merged = lr.merge(rr)
+                if residual is None or residual.evaluate(merged):
+                    counts[merged] += ln * rn
+        return dict(counts)
+
+    def _eval_union(self, expr: Union) -> Dict[Row, int]:
+        counts: Dict[Row, int] = defaultdict(int)
+        for side in (expr.left, expr.right):
+            for r, n in self._eval(side).items():
+                counts[r] += n
+        return dict(counts)
+
+    def _eval_difference(self, expr: Difference) -> Dict[Row, int]:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        return {r: 1 for r in left if r not in right}
+
+    def _eval_rename(self, expr: Rename) -> Dict[Row, int]:
+        child = self._eval(expr.child)
+        mapping = expr.mapping_dict
+        counts: Dict[Row, int] = defaultdict(int)
+        for r, n in child.items():
+            counts[r.rename(mapping)] += n
+        return dict(counts)
+
+
+def evaluate(
+    expr: Expression,
+    catalog: Mapping[str, Relation],
+    name: str = "result",
+    counters: Optional[EvalCounters] = None,
+    schemas: Optional[Mapping[str, RelationSchema]] = None,
+) -> Relation:
+    """One-shot evaluation: see :class:`Evaluator`."""
+    return Evaluator(catalog, schemas=schemas, counters=counters).evaluate(expr, name)

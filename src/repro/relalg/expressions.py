@@ -1,0 +1,289 @@
+"""Algebra expression AST (attribute-based relational algebra).
+
+The view-definition language supported by Squirrel "includes the relational
+algebra" in attribute-based form (Section 5).  This module defines the
+expression tree used everywhere in the reproduction: VDP node definitions,
+mediator queries, and the generator's specs all reduce to these nodes.
+
+Operators (paper Section 5.1 restrictions are enforced at the *VDP* layer,
+not here — the raw algebra is unrestricted):
+
+* :class:`Scan` — a named relation from a catalog.
+* :class:`Select` — ``σ_f``.
+* :class:`Project` — ``π_A`` (bag semantics by default; ``dedup=True`` gives
+  the set-semantics projection used under set nodes).
+* :class:`Join` — natural join (``condition=None``) or theta join.
+* :class:`Union` — bag union (additive).
+* :class:`Difference` — set difference (operands de-duplicated).
+* :class:`Rename` — attribute renaming.
+
+Each node can infer its output schema from a mapping of base-relation
+schemas, report the base relations it mentions, and print itself in the same
+mini-language accepted by :mod:`repro.relalg.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relalg.predicates import Predicate, TruePredicate
+from repro.relalg.schema import RelationSchema
+
+__all__ = [
+    "Expression",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Difference",
+    "Rename",
+    "scan",
+]
+
+
+class Expression:
+    """Abstract algebra expression."""
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        """The schema of the result, given base-relation schemas."""
+        raise NotImplementedError
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Names of the base relations referenced by this expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate sub-expressions."""
+        raise NotImplementedError
+
+    # sugar ---------------------------------------------------------------
+    def select(self, predicate: Predicate) -> "Select":
+        """``σ_predicate(self)``."""
+        return Select(self, predicate)
+
+    def project(self, attrs: Sequence[str], dedup: bool = False) -> "Project":
+        """``π_attrs(self)``."""
+        return Project(self, tuple(attrs), dedup)
+
+    def join(self, other: "Expression", condition: Optional[Predicate] = None) -> "Join":
+        """Natural join when ``condition`` is None, else theta join."""
+        return Join(self, other, condition)
+
+    def union(self, other: "Expression") -> "Union":
+        """Bag union."""
+        return Union(self, other)
+
+    def minus(self, other: "Expression") -> "Difference":
+        """Set difference."""
+        return Difference(self, other)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Rename":
+        """Attribute renaming."""
+        return Rename(self, dict(mapping))
+
+
+@dataclass(frozen=True)
+class Scan(Expression):
+    """A reference to a named base relation."""
+
+    name: str
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        try:
+            return schemas[self.name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {self.name!r} in expression") from exc
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def children(self) -> Tuple[Expression, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """``σ_predicate(child)``."""
+
+    child: Expression
+    predicate: Predicate
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        child_schema = self.child.infer_schema(schemas, name)
+        child_schema.check_attributes(self.predicate.attributes())
+        return child_schema.rename_relation(name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.child.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"select[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """``π_attrs(child)``; bag semantics unless ``dedup`` is set."""
+
+    child: Expression
+    attrs: Tuple[str, ...]
+    dedup: bool = False
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        child_schema = self.child.infer_schema(schemas, name)
+        return child_schema.project(self.attrs, name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.child.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        op = "dproject" if self.dedup else "project"
+        return f"{op}[{', '.join(self.attrs)}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Join of two expressions.
+
+    ``condition=None`` means *natural join* on shared attribute names
+    (used by the key-based temporary-relation construction of Example 2.3).
+    A non-None condition is a theta join and requires disjoint attribute
+    sets, as in the paper's globally-named attribute convention.
+    """
+
+    left: Expression
+    right: Expression
+    condition: Optional[Predicate] = None
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        ls = self.left.infer_schema(schemas, name + "_l")
+        rs = self.right.infer_schema(schemas, name + "_r")
+        if self.condition is None:
+            return ls.natural_join(rs, name)
+        joined = ls.join(rs, name)
+        joined.check_attributes(self.condition.attributes())
+        return joined
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        if self.condition is None:
+            return f"({self.left} njoin {self.right})"
+        return f"({self.left} join[{self.condition}] {self.right})"
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """Bag union of two union-compatible expressions."""
+
+    left: Expression
+    right: Expression
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        ls = self.left.infer_schema(schemas, name)
+        rs = self.right.infer_schema(schemas, name)
+        ls.require_union_compatible(rs)
+        return ls.rename_relation(name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} union {self.right})"
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    """Set difference of two union-compatible expressions.
+
+    Section 5.1(4): nodes whose definitions involve difference are *set
+    nodes*; the evaluator de-duplicates both operands before subtracting.
+    """
+
+    left: Expression
+    right: Expression
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        ls = self.left.infer_schema(schemas, name)
+        rs = self.right.infer_schema(schemas, name)
+        ls.require_union_compatible(rs)
+        return ls.rename_relation(name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} minus {self.right})"
+
+
+@dataclass(frozen=True)
+class Rename(Expression):
+    """Attribute renaming (``mapping`` old-name -> new-name)."""
+
+    child: Expression
+    mapping: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # freeze the mapping so the dataclass stays hashable
+        object.__setattr__(self, "mapping", tuple(sorted(dict(self.mapping).items())))
+
+    @property
+    def mapping_dict(self) -> dict:
+        """The renaming as a plain dict."""
+        return dict(self.mapping)
+
+    def infer_schema(
+        self, schemas: Mapping[str, RelationSchema], name: str = "result"
+    ) -> RelationSchema:
+        child_schema = self.child.infer_schema(schemas, name)
+        return child_schema.rename_attributes(self.mapping_dict, name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.child.relation_names()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{old}={new}" for old, new in self.mapping)
+        return f"rename[{pairs}]({self.child})"
+
+
+def scan(name: str) -> Scan:
+    """Shorthand for :class:`Scan`."""
+    return Scan(name)

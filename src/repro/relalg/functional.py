@@ -1,0 +1,228 @@
+"""Functional dependencies and key reasoning.
+
+Example 2.3 of the paper derives ``T : r1 -> r3`` from (1) ``r1`` being the
+key of ``R'`` and (2) ``π_{r1,r3} T ⊆ π_{r1,r3} R'``, and uses the derived FD
+to justify the *key-based construction* of a temporary relation from ``T``
+and ``R'`` instead of from ``R'`` and ``S'``.  This module provides the small
+amount of dependency theory needed to mechanize that inference:
+
+* :class:`FunctionalDependency` and :class:`FDSet` with attribute closure;
+* key/superkey tests;
+* propagation of FDs through the algebra operators that VDP node definitions
+  use (select, project, join, union, difference), which is how the mediator
+  learns that an export relation inherits key-based access paths from its
+  children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relalg.schema import RelationSchema
+
+__all__ = ["FunctionalDependency", "FDSet", "fds_from_schema", "infer_fds"]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs -> rhs``: the lhs attribute values determine the rhs values."""
+
+    lhs: FrozenSet[str]
+    rhs: FrozenSet[str]
+
+    @classmethod
+    def of(cls, lhs: Iterable[str], rhs: Iterable[str]) -> "FunctionalDependency":
+        """Constructor accepting any iterables of attribute names."""
+        return cls(frozenset(lhs), frozenset(rhs))
+
+    def restrict(self, attrs: FrozenSet[str]) -> Optional["FunctionalDependency"]:
+        """The FD projected onto ``attrs``; None when the lhs does not survive."""
+        if not self.lhs <= attrs:
+            return None
+        rhs = self.rhs & attrs
+        if not rhs:
+            return None
+        return FunctionalDependency(self.lhs, rhs)
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(sorted(self.lhs))}}} -> {{{', '.join(sorted(self.rhs))}}}"
+
+
+class FDSet:
+    """A set of functional dependencies over a fixed attribute universe."""
+
+    def __init__(self, attributes: Iterable[str], fds: Iterable[FunctionalDependency] = ()):
+        self.attributes: FrozenSet[str] = frozenset(attributes)
+        self.fds: Set[FunctionalDependency] = set()
+        for fd in fds:
+            self.add(fd)
+
+    def add(self, fd: FunctionalDependency) -> None:
+        """Add an FD (attributes outside the universe are dropped)."""
+        lhs = fd.lhs & self.attributes
+        rhs = (fd.rhs & self.attributes) - lhs
+        if lhs == fd.lhs and rhs:
+            self.fds.add(FunctionalDependency(lhs, rhs))
+
+    def closure(self, attrs: Iterable[str]) -> FrozenSet[str]:
+        """Attribute closure ``attrs+`` under this FD set (textbook fixpoint)."""
+        closed = set(attrs) & self.attributes
+        changed = True
+        while changed:
+            changed = False
+            for fd in self.fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def implies(self, fd: FunctionalDependency) -> bool:
+        """True when this FD set logically implies ``fd``."""
+        return fd.rhs <= self.closure(fd.lhs)
+
+    def determines(self, lhs: Iterable[str], attr: str) -> bool:
+        """True when ``lhs -> attr`` follows from this FD set."""
+        return attr in self.closure(lhs)
+
+    def is_superkey(self, attrs: Iterable[str]) -> bool:
+        """True when ``attrs`` functionally determines every attribute."""
+        return self.closure(attrs) == self.attributes
+
+    def is_key(self, attrs: Iterable[str]) -> bool:
+        """True when ``attrs`` is a minimal superkey."""
+        attrs = frozenset(attrs)
+        if not self.is_superkey(attrs):
+            return False
+        return all(not self.is_superkey(attrs - {a}) for a in attrs)
+
+    def candidate_keys(self, max_size: Optional[int] = None) -> List[FrozenSet[str]]:
+        """All candidate keys up to ``max_size`` attributes (exhaustive search).
+
+        Exponential in the worst case, but VDP node schemas are small (the
+        paper's largest example has five attributes), so this is fine for the
+        planner's use.
+        """
+        from itertools import combinations
+
+        attrs = sorted(self.attributes)
+        limit = max_size or len(attrs)
+        keys: List[FrozenSet[str]] = []
+        for size in range(1, limit + 1):
+            for combo in combinations(attrs, size):
+                cand = frozenset(combo)
+                if any(k <= cand for k in keys):
+                    continue
+                if self.is_superkey(cand):
+                    keys.append(cand)
+        return keys
+
+    def restrict(self, attrs: Iterable[str]) -> "FDSet":
+        """The FD set projected onto a subset of the attributes.
+
+        Sound but not complete (it keeps only FDs whose lhs survives); this
+        is exactly the inference pattern Example 2.3 relies on, where the
+        key attribute is retained by the projection.
+        """
+        attrs = frozenset(attrs)
+        restricted = FDSet(attrs)
+        for fd in self.fds:
+            kept = fd.restrict(attrs)
+            if kept:
+                restricted.add(kept)
+        return restricted
+
+    def merge(self, other: "FDSet") -> "FDSet":
+        """Union of two FD sets over the union of their universes."""
+        merged = FDSet(self.attributes | other.attributes)
+        for fd in self.fds | other.fds:
+            merged.add(fd)
+        return merged
+
+    def rename(self, mapping) -> "FDSet":
+        """The FD set with attributes renamed."""
+        renamed = FDSet(mapping.get(a, a) for a in self.attributes)
+        for fd in self.fds:
+            renamed.add(
+                FunctionalDependency(
+                    frozenset(mapping.get(a, a) for a in fd.lhs),
+                    frozenset(mapping.get(a, a) for a in fd.rhs),
+                )
+            )
+        return renamed
+
+    def __len__(self) -> int:
+        return len(self.fds)
+
+    def __iter__(self):
+        return iter(self.fds)
+
+    def __repr__(self) -> str:
+        return f"FDSet({sorted(str(fd) for fd in self.fds)})"
+
+
+def fds_from_schema(schema: RelationSchema) -> FDSet:
+    """The FD set implied by a schema's declared key: ``key -> all``."""
+    fdset = FDSet(schema.attribute_names)
+    if schema.key:
+        fdset.add(FunctionalDependency.of(schema.key, schema.attribute_names))
+    return fdset
+
+
+def infer_fds(expr: Expression, base: "dict[str, FDSet]") -> FDSet:
+    """Propagate FDs through an algebra expression.
+
+    ``base`` maps base-relation name to its FD set.  Inference rules (all
+    sound; completeness is not needed for the planner):
+
+    * **Scan** — the base FD set.
+    * **Select** — FDs preserved; equality-with-constant conjuncts could add
+      more but are not needed by the paper's constructions.
+    * **Project** — restriction to the surviving attributes.
+    * **Join** — union of both sides' FDs; for an equi-join each equated
+      attribute pair determines one another.
+    * **Union** — FDs are *not* preserved by union; returns the empty set.
+    * **Difference** — the left side's FDs are preserved (the result is a
+      subset of the left operand, and FDs are closed under subsets — the
+      same "subset inherits FDs" argument as Example 2.3's step (2)-(3)).
+    * **Rename** — renamed FDs.
+    """
+    if isinstance(expr, Scan):
+        return base.get(expr.name, FDSet(()))
+    if isinstance(expr, Select):
+        return infer_fds(expr.child, base)
+    if isinstance(expr, Project):
+        return infer_fds(expr.child, base).restrict(expr.attrs)
+    if isinstance(expr, Join):
+        merged = infer_fds(expr.left, base).merge(infer_fds(expr.right, base))
+        if expr.condition is not None:
+            from repro.relalg.predicates import equi_join_pairs
+
+            left_attrs = infer_fds(expr.left, base).attributes
+            right_attrs = infer_fds(expr.right, base).attributes
+            pairs, _ = equi_join_pairs(expr.condition, left_attrs, right_attrs)
+            for l_attr, r_attr in pairs:
+                merged.add(FunctionalDependency.of([l_attr], [r_attr]))
+                merged.add(FunctionalDependency.of([r_attr], [l_attr]))
+        else:
+            # natural join: shared attributes are literally the same column
+            pass
+        return merged
+    if isinstance(expr, Union):
+        ls = infer_fds(expr.left, base)
+        return FDSet(ls.attributes)
+    if isinstance(expr, Difference):
+        return infer_fds(expr.left, base)
+    if isinstance(expr, Rename):
+        return infer_fds(expr.child, base).rename(expr.mapping_dict)
+    return FDSet(())

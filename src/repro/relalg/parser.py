@@ -1,0 +1,309 @@
+"""A textual mini-language for algebra expressions.
+
+The Squirrel generator ([ZHK95]) accepts high-level textual specifications of
+integrated views.  This parser provides the expression part of that language,
+used by :mod:`repro.generator.spec` and convenient in tests and examples.
+
+Grammar (lowercase keywords)::
+
+    expr       := term (("union" | "minus") term)*
+    term       := factor (("join" "[" pred "]" | "njoin") factor)*
+    factor     := "project"  "[" names "]" "(" expr ")"
+                | "dproject" "[" names "]" "(" expr ")"      # duplicate-eliminating
+                | "select"   "[" pred  "]" "(" expr ")"
+                | "rename"   "[" a "=" b ("," ...)* "]" "(" expr ")"
+                | "(" expr ")"
+                | NAME
+    pred       := and-term ("or" and-term)*
+    and-term   := not-term ("and" not-term)*
+    not-term   := "not" not-term | "true" | "(" pred ")" | comparison
+    comparison := sum ("=" | "!=" | "<" | "<=" | ">" | ">=") sum
+    sum        := prod (("+" | "-") prod)*
+    prod       := power (("*" | "/" | "%") power)*
+    power      := atom ("^" atom)?
+    atom       := NUMBER | 'STRING' | NAME | "(" sum ")"
+
+Example — the view of Figure 1::
+
+    project[r1, s1, s2](select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relalg.predicates import (
+    And,
+    Arith,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    Term,
+    TRUE,
+)
+
+__all__ = ["parse_expression", "parse_predicate"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|=|<|>|\(|\)|\[|\]|,|\+|-|\*|/|%|\^)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "project",
+    "dproject",
+    "rename",
+    "join",
+    "njoin",
+    "union",
+    "minus",
+    "and",
+    "or",
+    "not",
+    "true",
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "name" and value in _KEYWORDS:
+            tokens.append(("kw", value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser with one-token backtracking points."""
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
+        tok_kind, tok_value = self.peek()
+        if tok_kind == kind and (value is None or tok_value == value):
+            self.pos += 1
+            return tok_value
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got = self.accept(kind, value)
+        if got is None:
+            tok_kind, tok_value = self.peek()
+            wanted = value or kind
+            raise ParseError(f"expected {wanted!r}, found {tok_value!r} ({tok_kind})")
+        return got
+
+    # -- expressions -----------------------------------------------------
+    def parse_expression(self) -> Expression:
+        left = self.parse_term()
+        while True:
+            if self.accept("kw", "union"):
+                left = Union(left, self.parse_term())
+            elif self.accept("kw", "minus"):
+                left = Difference(left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expression:
+        left = self.parse_factor()
+        while True:
+            if self.accept("kw", "join"):
+                self.expect("op", "[")
+                cond = self.parse_predicate()
+                self.expect("op", "]")
+                left = Join(left, self.parse_factor(), cond)
+            elif self.accept("kw", "njoin"):
+                left = Join(left, self.parse_factor(), None)
+            else:
+                return left
+
+    def parse_factor(self) -> Expression:
+        if self.accept("kw", "project"):
+            return self._parse_project(dedup=False)
+        if self.accept("kw", "dproject"):
+            return self._parse_project(dedup=True)
+        if self.accept("kw", "select"):
+            self.expect("op", "[")
+            pred = self.parse_predicate()
+            self.expect("op", "]")
+            self.expect("op", "(")
+            child = self.parse_expression()
+            self.expect("op", ")")
+            return Select(child, pred)
+        if self.accept("kw", "rename"):
+            self.expect("op", "[")
+            mapping = {}
+            while True:
+                old = self.expect("name")
+                self.expect("op", "=")
+                new = self.expect("name")
+                mapping[old] = new
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "]")
+            self.expect("op", "(")
+            child = self.parse_expression()
+            self.expect("op", ")")
+            return Rename(child, mapping)
+        if self.accept("op", "("):
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        name = self.expect("name")
+        return Scan(name)
+
+    def _parse_project(self, dedup: bool) -> Project:
+        self.expect("op", "[")
+        attrs = [self.expect("name")]
+        while self.accept("op", ","):
+            attrs.append(self.expect("name"))
+        self.expect("op", "]")
+        self.expect("op", "(")
+        child = self.parse_expression()
+        self.expect("op", ")")
+        return Project(child, tuple(attrs), dedup)
+
+    # -- predicates --------------------------------------------------------
+    def parse_predicate(self) -> Predicate:
+        left = self.parse_and_term()
+        while self.accept("kw", "or"):
+            left = Or(left, self.parse_and_term())
+        return left
+
+    def parse_and_term(self) -> Predicate:
+        left = self.parse_not_term()
+        while self.accept("kw", "and"):
+            left = And(left, self.parse_not_term())
+        return left
+
+    def parse_not_term(self) -> Predicate:
+        if self.accept("kw", "not"):
+            return Not(self.parse_not_term())
+        if self.accept("kw", "true"):
+            return TRUE
+        if self.peek() == ("op", "("):
+            # Ambiguous: "(a or b)" is a predicate group, "(a + b) < c" is an
+            # arithmetic group.  Try the predicate reading first, backtrack on
+            # failure.
+            saved = self.pos
+            try:
+                self.expect("op", "(")
+                pred = self.parse_predicate()
+                self.expect("op", ")")
+                return pred
+            except ParseError:
+                self.pos = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        left = self.parse_sum()
+        for op in ("<=", ">=", "!=", "=", "<", ">"):
+            if self.accept("op", op):
+                return Comparison(left, op, self.parse_sum())
+        raise ParseError(f"expected comparison operator, found {self.peek()[1]!r}")
+
+    # -- arithmetic terms --------------------------------------------------
+    def parse_sum(self) -> Term:
+        left = self.parse_prod()
+        while True:
+            if self.accept("op", "+"):
+                left = Arith(left, "+", self.parse_prod())
+            elif self.accept("op", "-"):
+                left = Arith(left, "-", self.parse_prod())
+            else:
+                return left
+
+    def parse_prod(self) -> Term:
+        left = self.parse_power()
+        while True:
+            if self.accept("op", "*"):
+                left = Arith(left, "*", self.parse_power())
+            elif self.accept("op", "/"):
+                left = Arith(left, "/", self.parse_power())
+            elif self.accept("op", "%"):
+                left = Arith(left, "%", self.parse_power())
+            else:
+                return left
+
+    def parse_power(self) -> Term:
+        base = self.parse_atom()
+        if self.accept("op", "^"):
+            return Arith(base, "^", self.parse_atom())
+        return base
+
+    def parse_atom(self) -> Term:
+        kind, value = self.peek()
+        if kind == "number":
+            self.advance()
+            return Const(float(value) if "." in value else int(value))
+        if kind == "string":
+            self.advance()
+            return Const(value[1:-1])
+        if kind == "name":
+            self.advance()
+            return Attr(value)
+        if self.accept("op", "("):
+            inner = self.parse_sum()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(f"expected a term, found {value!r} ({kind})")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse an algebra expression; raises :class:`ParseError` on bad input."""
+    parser = _Parser(text)
+    expr = parser.parse_expression()
+    parser.expect("eof")
+    return expr
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a standalone predicate; raises :class:`ParseError` on bad input."""
+    parser = _Parser(text)
+    pred = parser.parse_predicate()
+    parser.expect("eof")
+    return pred

@@ -1,0 +1,416 @@
+"""Predicate and term ASTs for selections and join conditions.
+
+Selection conditions in the paper range from simple comparisons
+(``r4 = 100``, ``s3 < 50``) to arithmetic join conditions
+(``a1^2 + a2 < b2^2`` in Figure 4).  This module provides a small, pure
+expression language:
+
+* **Terms** — attribute references, constants, and binary arithmetic.
+* **Predicates** — comparisons over terms, boolean combinators, and the
+  constant ``TRUE`` predicate.
+
+Predicates know which attributes they reference (needed by the
+``derived_from`` function of Section 6.3, which must include condition
+attributes in the attribute sets it pushes down), can be evaluated against a
+:class:`~repro.relalg.tuples.Row`, can be renamed, and can be split into
+conjuncts (used for hash-join planning and for filtering deltas).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Term",
+    "Attr",
+    "Const",
+    "Arith",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "TRUE",
+    "attr",
+    "const",
+    "eq",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "ne",
+    "conjuncts",
+    "conjoin",
+    "disjoin",
+    "equi_join_pairs",
+]
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+class Term:
+    """Abstract term: evaluates to a value given a row."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attribute names this term references."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Term":
+        """A copy with attribute references renamed."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Attr(Term):
+    """A reference to an attribute by name."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError as exc:
+            raise EvaluationError(f"row has no attribute {self.name!r}") from exc
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Attr":
+        return Attr(mapping.get(self.name, self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Const":
+        return self
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "^": operator.pow,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Term):
+    """Binary arithmetic over terms (``+ - * / % ^``)."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise EvaluationError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return _ARITH_OPS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Arith":
+        return Arith(self.left.rename(mapping), self.op, self.right.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+class Predicate:
+    """Abstract boolean predicate over a row."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attribute names this predicate references."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Predicate":
+        """A copy with attribute references renamed."""
+        raise NotImplementedError
+
+    # boolean sugar
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return conjoin(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return disjoin(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+_CMP_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """A comparison between two terms: ``left op right``."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return bool(_CMP_OPS[self.op](self.left.evaluate(row), self.right.evaluate(row)))
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(self.left.rename(mapping), self.op, self.right.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "And":
+        return And(self.left.rename(mapping), self.right.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates.
+
+    The VAP's merge step (Section 6.3, step 2b) replaces two pending
+    temporary-relation requests ``(R, B, g)`` and ``(R, A, f)`` by
+    ``(R, B ∪ A, f ∨ g)`` — this node is how that ``∨`` is represented.
+    """
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(self.left.rename(mapping), self.right.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    child: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.child.evaluate(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.child.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Not":
+        return Not(self.child.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"(not {self.child})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (a selection with no condition)."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "TruePredicate":
+        return self
+
+    def __str__(self) -> str:
+        return "true"
+
+
+TRUE = TruePredicate()
+
+
+# ---------------------------------------------------------------------------
+# Constructors and utilities
+# ---------------------------------------------------------------------------
+def attr(name: str) -> Attr:
+    """Shorthand for :class:`Attr`."""
+    return Attr(name)
+
+
+def const(value: Any) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def _as_term(value: Any) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Attr(value)
+    return Const(value)
+
+
+def _cmp(op: str, left: Any, right: Any) -> Comparison:
+    return Comparison(_as_term(left), op, _as_term(right))
+
+
+def eq(left: Any, right: Any) -> Comparison:
+    """``left = right``; strings become attribute refs, other values constants."""
+    return _cmp("=", left, right)
+
+
+def ne(left: Any, right: Any) -> Comparison:
+    """``left != right``."""
+    return _cmp("!=", left, right)
+
+
+def lt(left: Any, right: Any) -> Comparison:
+    """``left < right``."""
+    return _cmp("<", left, right)
+
+
+def le(left: Any, right: Any) -> Comparison:
+    """``left <= right``."""
+    return _cmp("<=", left, right)
+
+
+def gt(left: Any, right: Any) -> Comparison:
+    """``left > right``."""
+    return _cmp(">", left, right)
+
+
+def ge(left: Any, right: Any) -> Comparison:
+    """``left >= right``."""
+    return _cmp(">=", left, right)
+
+
+def conjuncts(pred: Predicate) -> List[Predicate]:
+    """Flatten nested conjunctions into a list (TRUE flattens to [])."""
+    if isinstance(pred, TruePredicate):
+        return []
+    if isinstance(pred, And):
+        return conjuncts(pred.left) + conjuncts(pred.right)
+    return [pred]
+
+
+def conjoin(*preds: Predicate) -> Predicate:
+    """Conjunction of any number of predicates, simplifying TRUE away."""
+    parts: List[Predicate] = []
+    for p in preds:
+        parts.extend(conjuncts(p))
+    if not parts:
+        return TRUE
+    result = parts[0]
+    for p in parts[1:]:
+        result = And(result, p)
+    return result
+
+
+def disjoin(*preds: Predicate) -> Predicate:
+    """Disjunction of any number of predicates; TRUE absorbs everything."""
+    if not preds:
+        return TRUE
+    if any(isinstance(p, TruePredicate) for p in preds):
+        return TRUE
+    result = preds[0]
+    for p in preds[1:]:
+        result = Or(result, p)
+    return result
+
+
+def equi_join_pairs(
+    pred: Predicate, left_attrs: FrozenSet[str], right_attrs: FrozenSet[str]
+) -> Tuple[List[Tuple[str, str]], Optional[Predicate]]:
+    """Extract hash-joinable equality pairs from a join condition.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_attr,
+    right_attr)`` with one side from each operand, and ``residual`` is the
+    conjunction of the remaining conjuncts (``None`` when nothing remains).
+    Used by the evaluator to run equi-joins as hash joins while keeping
+    arbitrary theta conditions (e.g. Figure 4's ``a1^2 + a2 < b2^2``) as a
+    post-filter.
+    """
+    pairs: List[Tuple[str, str]] = []
+    residual: List[Predicate] = []
+    for part in conjuncts(pred):
+        if (
+            isinstance(part, Comparison)
+            and part.op == "="
+            and isinstance(part.left, Attr)
+            and isinstance(part.right, Attr)
+        ):
+            l, r = part.left.name, part.right.name
+            if l in left_attrs and r in right_attrs:
+                pairs.append((l, r))
+                continue
+            if r in left_attrs and l in right_attrs:
+                pairs.append((r, l))
+                continue
+        residual.append(part)
+    residual_pred = conjoin(*residual) if residual else None
+    if residual_pred is TRUE:
+        residual_pred = None
+    return pairs, residual_pred

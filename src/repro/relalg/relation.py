@@ -1,0 +1,260 @@
+"""Set- and bag-semantics relation containers.
+
+The paper stores relations of *set nodes* (nodes whose definition involves a
+difference) as sets, and all other mediator relations as *bags* so that the
+incremental maintenance rules of Section 5.2 are correct under projection and
+union (Section 5, "the relations associated with bag nodes are stored as
+bags").
+
+:class:`BagRelation` maps each row to a positive multiplicity;
+:class:`SetRelation` is a plain set of rows.  Both expose the same small
+container protocol used by the evaluator, the delta machinery, and the
+mediator local store: ``items()`` (row, count pairs), ``count(row)``,
+``insert``/``delete``, ``support()`` and ``copy()``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DeltaError, SchemaError
+from repro.relalg.schema import RelationSchema
+from repro.relalg.tuples import Row
+
+__all__ = ["Relation", "SetRelation", "BagRelation"]
+
+
+class Relation:
+    """Abstract base for relation containers.
+
+    Subclasses must provide ``items``, ``count``, ``insert``, ``delete``,
+    ``copy``, and the ``is_bag`` flag.  Everything else (cardinality,
+    support, pretty printing, equality) is defined here in terms of those.
+    """
+
+    is_bag: bool = False
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+
+    # -- abstract container protocol --------------------------------------
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        """Yield ``(row, multiplicity)`` pairs, multiplicity always >= 1."""
+        raise NotImplementedError
+
+    def count(self, row: Row) -> int:
+        """Multiplicity of ``row`` (0 if absent)."""
+        raise NotImplementedError
+
+    def insert(self, row: Row, multiplicity: int = 1) -> None:
+        """Add ``row`` with the given multiplicity."""
+        raise NotImplementedError
+
+    def delete(self, row: Row, multiplicity: int = 1) -> None:
+        """Remove ``row`` with the given multiplicity."""
+        raise NotImplementedError
+
+    def copy(self) -> "Relation":
+        """An independent, mutable copy with the same schema and contents."""
+        raise NotImplementedError
+
+    # -- shared behaviour --------------------------------------------------
+    def _check_row(self, row: Row) -> None:
+        if set(row.keys()) != set(self.schema.attribute_names):
+            raise SchemaError(
+                f"row attributes {sorted(row.keys())} do not match schema "
+                f"{self.schema.name!r} attributes {sorted(self.schema.attribute_names)}"
+            )
+
+    def support(self) -> frozenset:
+        """The set of distinct rows."""
+        return frozenset(r for r, _ in self.items())
+
+    def rows(self) -> Iterator[Row]:
+        """Yield each row once per unit of multiplicity."""
+        for r, n in self.items():
+            for _ in range(n):
+                yield r
+
+    def cardinality(self) -> int:
+        """Total number of rows counting multiplicity."""
+        return sum(n for _, n in self.items())
+
+    def distinct_cardinality(self) -> int:
+        """Number of distinct rows."""
+        return sum(1 for _ in self.items())
+
+    def is_empty(self) -> bool:
+        """True when the relation holds no rows."""
+        return self.distinct_cardinality() == 0
+
+    def contains(self, row: Row) -> bool:
+        """True when ``row`` occurs at least once."""
+        return self.count(row) > 0
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __contains__(self, row: Row) -> bool:
+        return self.contains(row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.attribute_names == other.schema.attribute_names
+            and dict(self.items()) == dict(other.items())
+        )
+
+    def __hash__(self) -> int:  # relations are mutable; identity hash only
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "Bag" if self.is_bag else "Set"
+        return f"<{kind}Relation {self.schema.name} |{self.cardinality()}|>"
+
+    def to_sorted_list(self) -> List[Tuple[Tuple[Any, ...], int]]:
+        """Deterministic ``(value-tuple, count)`` listing, for tests/reporting."""
+        names = self.schema.attribute_names
+        listing = [(r.values_for(names), n) for r, n in self.items()]
+        return sorted(listing, key=lambda pair: tuple(map(_sort_key, pair[0])))
+
+
+def _sort_key(value: Any) -> Tuple[str, str]:
+    """Total order over heterogeneous values (type name, then repr)."""
+    return (type(value).__name__, repr(value))
+
+
+class SetRelation(Relation):
+    """A relation under set semantics: each row occurs at most once.
+
+    Used for the paper's *set nodes* (difference nodes) and for source
+    relations, which are sets in the paper's examples.
+    """
+
+    is_bag = False
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()):
+        super().__init__(schema)
+        self._rows: set = set()
+        for r in rows:
+            self.insert(r)
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        for r in self._rows:
+            yield r, 1
+
+    def count(self, row: Row) -> int:
+        return 1 if row in self._rows else 0
+
+    def insert(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        if multiplicity != 1:
+            raise DeltaError(
+                f"set relation {self.schema.name!r} cannot insert multiplicity {multiplicity}"
+            )
+        if row in self._rows:
+            raise DeltaError(f"duplicate insert into set relation {self.schema.name!r}: {row!r}")
+        self._rows.add(row)
+
+    def delete(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        if multiplicity != 1:
+            raise DeltaError(
+                f"set relation {self.schema.name!r} cannot delete multiplicity {multiplicity}"
+            )
+        if row not in self._rows:
+            raise DeltaError(f"delete of absent row from set relation {self.schema.name!r}: {row!r}")
+        self._rows.discard(row)
+
+    def copy(self) -> "SetRelation":
+        return SetRelation(self.schema, self._rows)
+
+    @classmethod
+    def from_values(
+        cls, schema: RelationSchema, value_rows: Iterable[Sequence[Any]]
+    ) -> "SetRelation":
+        """Build from bare value tuples ordered like the schema attributes."""
+        names = schema.attribute_names
+        return cls(schema, (Row(dict(zip(names, vals))) for vals in value_rows))
+
+
+class BagRelation(Relation):
+    """A relation under bag semantics: rows carry positive multiplicities.
+
+    The incremental rules for select/project/join/union are correct on bags
+    (counting algorithm); mediator *bag nodes* are stored this way.
+    """
+
+    is_bag = True
+
+    def __init__(self, schema: RelationSchema, counts: Optional[Mapping[Row, int]] = None):
+        super().__init__(schema)
+        self._counts: Counter = Counter()
+        if counts:
+            for r, n in counts.items():
+                self.insert(r, n)
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        for r, n in self._counts.items():
+            if n > 0:
+                yield r, n
+
+    def count(self, row: Row) -> int:
+        return self._counts.get(row, 0)
+
+    def insert(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        if multiplicity <= 0:
+            raise DeltaError(f"insert multiplicity must be positive, got {multiplicity}")
+        self._counts[row] += multiplicity
+
+    def delete(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        if multiplicity <= 0:
+            raise DeltaError(f"delete multiplicity must be positive, got {multiplicity}")
+        have = self._counts.get(row, 0)
+        if have < multiplicity:
+            raise DeltaError(
+                f"bag relation {self.schema.name!r} holds {have} of {row!r}, cannot delete {multiplicity}"
+            )
+        if have == multiplicity:
+            del self._counts[row]
+        else:
+            self._counts[row] = have - multiplicity
+
+    def copy(self) -> "BagRelation":
+        clone = BagRelation(self.schema)
+        clone._counts = Counter(self._counts)
+        return clone
+
+    def adjust(self, row: Row, signed: int) -> None:
+        """Apply a signed multiplicity change, insert(+) / delete(-)."""
+        if signed > 0:
+            self.insert(row, signed)
+        elif signed < 0:
+            self.delete(row, -signed)
+
+    def distinct(self, schema: Optional[RelationSchema] = None) -> SetRelation:
+        """Duplicate elimination: the set of distinct rows (bag -> set)."""
+        return SetRelation(schema or self.schema, (r for r, _ in self.items()))
+
+    @classmethod
+    def from_rows(cls, schema: RelationSchema, rows: Iterable[Row]) -> "BagRelation":
+        """Build from an iterable of rows (duplicates accumulate)."""
+        rel = cls(schema)
+        for r in rows:
+            rel.insert(r)
+        return rel
+
+    @classmethod
+    def from_values(
+        cls, schema: RelationSchema, value_rows: Iterable[Sequence[Any]]
+    ) -> "BagRelation":
+        """Build from bare value tuples ordered like the schema attributes."""
+        names = schema.attribute_names
+        return cls.from_rows(schema, (Row(dict(zip(names, vals))) for vals in value_rows))

@@ -1,0 +1,5 @@
+"""Simulated runtime: sources + channels + mediator under the event loop."""
+
+from repro.runtime.driver import ChannelLink, SimulatedEnvironment
+
+__all__ = ["ChannelLink", "SimulatedEnvironment"]

@@ -1,0 +1,257 @@
+"""Simulated integration environments.
+
+Wires sources, FIFO delay channels, and a Squirrel mediator into the
+discrete-event simulator, reproducing the paper's environment model:
+
+* a source commits transactions at scheduled times; each commit (re)arms an
+  announcement timer, and after ``ann_delay`` the source's pending *net*
+  update is sent as one indivisible message;
+* messages travel a per-source FIFO channel with ``comm_delay``;
+* the mediator flushes its update queue periodically (the ``u_hold_delay``
+  policy) and runs an IUP transaction;
+* queries arrive as scheduled events and run through the QP/VAP.
+
+Polls issued by the VAP travel a :class:`ChannelLink`: the source first
+sends any pending announcement, then the channel is expedited, so every
+message the source produced before answering is in the mediator's queue
+when the answer is used — the in-order assumption of Section 4 that the
+Eager Compensation Algorithm relies on.
+
+A :class:`~repro.correctness.IntegrationTrace` records every source commit
+and every observed view state, ready for the Section 3 checkers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import SquirrelMediator
+from repro.core.links import SourceLink
+from repro.core.vdp import AnnotatedVDP
+from repro.correctness import IntegrationTrace
+from repro.deltas import SetDelta
+from repro.errors import SimulationError
+from repro.relalg import Evaluator, Expression, Relation
+from repro.sim import Channel, EnvironmentDelays, Simulator
+from repro.sources.base import SourceDatabase
+
+__all__ = ["ChannelLink", "SimulatedEnvironment"]
+
+
+class ChannelLink(SourceLink):
+    """A source link that honors simulated channel ordering and delays."""
+
+    def __init__(self, source: SourceDatabase, channel: Channel, announces: bool):
+        super().__init__(source.name)
+        self.source = source
+        self.channel = channel
+        self.announces = announces
+
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        # Flush-before-answer through the same FIFO the announcements use.
+        announcement = self.source.take_announcement()
+        if announcement is not None and self.announces:
+            self.channel.send(announcement)
+        self.channel.expedite()
+
+        snapshot = self.source.state()
+        self.source.query_count += len(queries)
+        self.poll_count += 1
+        evaluator = Evaluator(snapshot)
+        answers: Dict[str, Relation] = {}
+        for name, expr in queries.items():
+            answer = evaluator.evaluate(expr, name)
+            self.polled_rows += answer.cardinality()
+            answers[name] = answer
+        return answers
+
+
+class SimulatedEnvironment:
+    """A complete simulated integration environment."""
+
+    def __init__(
+        self,
+        annotated: AnnotatedVDP,
+        sources: Mapping[str, SourceDatabase],
+        delays: EnvironmentDelays,
+        flush_period: Optional[float] = None,
+        eca_enabled: bool = True,
+        key_based_enabled: bool = True,
+        record_updates: bool = True,
+    ):
+        """``flush_period`` defaults to ``delays.u_hold_delay_med`` (the
+        worst-case queue-holding time *is* the flush period under a periodic
+        policy); it must be positive."""
+        self.sim = Simulator()
+        self.delays = delays
+        self.sources = dict(sources)
+        self.record_updates = record_updates
+        self.flush_period = flush_period if flush_period is not None else delays.u_hold_delay_med
+        if self.flush_period <= 0:
+            raise SimulationError("flush_period must be positive")
+
+        self.trace = IntegrationTrace(sorted(self.sources))
+        self._channels: Dict[str, Channel] = {}
+        self._announce_armed: Dict[str, bool] = {name: False for name in self.sources}
+
+        kinds = annotated.contributor_kinds()
+        links: Dict[str, SourceLink] = {}
+        for name in sorted(self.sources):
+            source = self.sources[name]
+            profile = delays.profile(name)
+            channel = Channel(
+                self.sim,
+                profile.comm_delay,
+                deliver=self._make_deliver(name),
+                name=f"{name}->mediator",
+            )
+            self._channels[name] = channel
+            announces = bool(name in kinds and kinds[name].announces)
+            links[name] = ChannelLink(source, channel, announces)
+            source.on_commit(self._make_commit_hook(name, profile.ann_delay, announces))
+
+        self.mediator = SquirrelMediator(
+            annotated,
+            self.sources,
+            links=links,
+            eca_enabled=eca_enabled,
+            key_based_enabled=key_based_enabled,
+        )
+        self.mediator.initialize()
+
+        # t_view_init: record initial source states and the initial view.
+        for name, source in self.sources.items():
+            self.trace.record_source_state(name, self.sim.now, source.state())
+        self._record_view("init")
+
+        self.sim.every(
+            self.flush_period,
+            self._update_transaction,
+            description="mediator queue flush",
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    def _make_deliver(self, source_name: str) -> Callable:
+        def deliver(message: SetDelta, send_time: float) -> None:
+            self.mediator.enqueue_update(
+                source_name, message, send_time=send_time, arrival_time=self.sim.now
+            )
+
+        return deliver
+
+    def _make_commit_hook(self, name: str, ann_delay: float, announces: bool) -> Callable:
+        def hook(source: SourceDatabase, delta: SetDelta) -> None:
+            self.trace.record_source_state(name, self.sim.now, source.state())
+            if not announces or self._announce_armed[name]:
+                return
+            self._announce_armed[name] = True
+            self.sim.schedule(
+                ann_delay, lambda: self._announce(name), f"{name}: announce updates"
+            )
+
+        return hook
+
+    def _announce(self, name: str) -> None:
+        self._announce_armed[name] = False
+        announcement = self.sources[name].take_announcement()
+        if announcement is not None:
+            self._channels[name].send(announcement)
+
+    def _update_transaction(self) -> None:
+        result = self.mediator.run_update_transaction()
+        if self.record_updates and not result.was_empty:
+            self._record_view("update")
+
+    def _record_view(self, kind: str) -> None:
+        state = {
+            export: self.mediator.query_relation(export)
+            for export in self.mediator.vdp.exports
+        }
+        self.trace.record_view_state(self.sim.now, kind, state)
+
+    # ------------------------------------------------------------------
+    # Driving the environment
+    # ------------------------------------------------------------------
+    def schedule_transaction(self, time: float, source: str, delta: SetDelta) -> None:
+        """Commit ``delta`` at ``source`` at simulated time ``time``."""
+        if source not in self.sources:
+            raise SimulationError(f"unknown source {source!r}")
+        self.sim.schedule_at(
+            time,
+            lambda: self.sources[source].execute(delta),
+            f"{source}: commit transaction",
+        )
+
+    def schedule_action(self, time: float, action: Callable[[], None], description: str = "") -> None:
+        """Schedule an arbitrary callable (e.g. a workload step)."""
+        self.sim.schedule_at(time, action, description)
+
+    def schedule_query(self, time: float, record: bool = True) -> None:
+        """Observe the view's exports at ``time`` (a query transaction)."""
+
+        def run() -> None:
+            if record:
+                self._record_view("query")
+            else:  # observation without recording (warm-up, debugging)
+                for export in self.mediator.vdp.exports:
+                    self.mediator.query_relation(export)
+
+        self.sim.schedule_at(time, run, "query transaction")
+
+    def attach_update_stream(
+        self,
+        stream,
+        rate: float,
+        until: float,
+        rng_seed: int = 0,
+        start: float = 0.0,
+    ) -> int:
+        """Drive an :class:`~repro.workloads.UpdateStream` at a Poisson rate.
+
+        Schedules stream steps with exponential inter-arrival times of mean
+        ``1/rate`` from ``start`` up to ``until``; returns the number of
+        scheduled transactions.  (Times are pre-drawn so the simulation
+        remains fully deterministic.)
+        """
+        import random as _random
+
+        if rate <= 0:
+            raise SimulationError("update rate must be positive")
+        rng = _random.Random(rng_seed)
+        t = start
+        scheduled = 0
+        while True:
+            t += rng.expovariate(rate)
+            if t >= until:
+                return scheduled
+            self.sim.schedule_at(t, stream.step, "workload transaction")
+            scheduled += 1
+
+    def attach_query_load(
+        self,
+        rate: float,
+        until: float,
+        rng_seed: int = 1,
+        start: float = 0.0,
+        record: bool = True,
+    ) -> int:
+        """Schedule Poisson-arriving query transactions; returns the count."""
+        import random as _random
+
+        if rate <= 0:
+            raise SimulationError("query rate must be positive")
+        rng = _random.Random(rng_seed)
+        t = start
+        scheduled = 0
+        while True:
+            t += rng.expovariate(rate)
+            if t >= until:
+                return scheduled
+            self.schedule_query(t, record=record)
+            scheduled += 1
+
+    def run_until(self, end_time: float) -> int:
+        """Advance the simulation to ``end_time``."""
+        return self.sim.run_until(end_time)

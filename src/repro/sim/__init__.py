@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Supplies deterministic simulated time (:class:`Clock`, :class:`Simulator`),
+FIFO delayed message channels (:class:`Channel`), and the delay parameter
+bundles of Theorem 7.2 (:class:`DelayProfile`, :class:`EnvironmentDelays`).
+The integration semantics live elsewhere — this package is only time,
+ordering, and message transport.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.network import Channel
+from repro.sim.profiles import DelayProfile, EnvironmentDelays
+from repro.sim.scheduler import Simulator
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Channel",
+    "Simulator",
+    "DelayProfile",
+    "EnvironmentDelays",
+]

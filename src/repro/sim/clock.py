@@ -1,0 +1,37 @@
+"""Simulated global time.
+
+Section 3 of the paper models global time as a totally ordered set isomorphic
+to (a subset of) the reals, used *only* by the correctness definitions — "we
+do not require that any of the database processes have knowledge of the
+global time".  The reproduction keeps that discipline: :class:`Clock` is
+owned by the event loop and read by the correctness observers; mediator and
+source code never consults it for protocol decisions.
+
+The paper also assumes no two events occur at precisely the same time; the
+event queue guarantees this with a deterministic tie-breaking sequence
+number, so traces are strictly ordered even when delays coincide.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (never backward)."""
+        if time < self._now:
+            raise SimulationError(f"clock cannot move backward: {self._now} -> {time}")
+        self._now = float(time)

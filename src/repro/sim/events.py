@@ -1,0 +1,67 @@
+"""Event queue for the discrete-event simulator.
+
+Events carry a time, a deterministic tie-breaking sequence number, a
+zero-argument action, and a human-readable description (useful when tracing
+a run).  The queue is a binary heap ordered by ``(time, seq)``; because
+``seq`` is unique, event ordering — and therefore every simulation — is
+fully deterministic, matching the paper's "no two events occur at precisely
+the same time" assumption.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    description: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None], description: str = "") -> Event:
+        """Schedule ``action`` at ``time``; returns the (cancellable) event."""
+        event = Event(time, next(self._seq), action, description)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """The time of the earliest pending event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

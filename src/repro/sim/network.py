@@ -1,0 +1,88 @@
+"""FIFO channels with delay, connecting sources to the mediator.
+
+Section 4 assumes "the messages transferred from one source database to the
+mediator must be in order and every source database sends all the updates
+that reflect the difference between two database states in a single
+undividable message".  :class:`Channel` models exactly that: per-channel
+FIFO delivery with a configurable delay; delivery times are forced to be
+non-decreasing even if the delay parameter changes between sends.
+
+:meth:`Channel.expedite` supports the poll exchange of Section 6.3: a poll
+answer travels the same FIFO as announcements, so everything the source sent
+before answering is delivered first.  ``expedite`` delivers all in-flight
+messages immediately (allowed — configured delays are upper bounds) so the
+mediator's update queue is complete before the answer is processed, which is
+what the Eager Compensation Algorithm relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.events import Event
+from repro.sim.scheduler import Simulator
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A FIFO, delayed, in-order message channel."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delay: float,
+        deliver: Callable[[Any, float], None],
+        name: str = "channel",
+    ):
+        """``deliver(message, send_time)`` is invoked at delivery time."""
+        self.simulator = simulator
+        self.delay = delay
+        self.deliver = deliver
+        self.name = name
+        self._last_delivery_time = float("-inf")
+        self._in_flight: List[Tuple[Event, Any, float]] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    def send(self, message: Any) -> None:
+        """Send ``message``; it is delivered after ``delay`` (FIFO order)."""
+        send_time = self.simulator.now
+        delivery_time = max(send_time + self.delay, self._last_delivery_time)
+        self._last_delivery_time = delivery_time
+        self.messages_sent += 1
+
+        def on_delivery(msg=message, st=send_time) -> None:
+            self._pop_in_flight(msg)
+            self.messages_delivered += 1
+            self.deliver(msg, st)
+
+        event = self.simulator.schedule_at(
+            delivery_time, on_delivery, f"{self.name}: deliver message"
+        )
+        self._in_flight.append((event, message, send_time))
+
+    def _pop_in_flight(self, message: Any) -> None:
+        for i, (_, msg, _) in enumerate(self._in_flight):
+            if msg is message:
+                del self._in_flight[i]
+                return
+
+    def in_flight_count(self) -> int:
+        """Number of sent-but-undelivered messages."""
+        return len(self._in_flight)
+
+    def expedite(self) -> int:
+        """Deliver all in-flight messages right now, preserving FIFO order.
+
+        Returns the number of messages delivered.  Used when a poll answer
+        must be ordered after all earlier announcements (Section 6.3).
+        """
+        pending = list(self._in_flight)
+        self._in_flight.clear()
+        for event, _, _ in pending:
+            event.cancel()
+        for _, message, send_time in pending:
+            self.messages_delivered += 1
+            self.deliver(message, send_time)
+        return len(pending)

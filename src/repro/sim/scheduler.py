@@ -1,0 +1,116 @@
+"""The discrete-event simulator driving sources, channels and the mediator.
+
+A :class:`Simulator` owns the clock and the event queue.  Components
+schedule work with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time); :meth:`Simulator.run` drains
+events in deterministic ``(time, seq)`` order.
+
+The simulator is deliberately minimal — all integration semantics live in
+the mediator and source packages; this module only supplies time and
+ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.clock = Clock(start_time)
+        self.queue = EventQueue()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None], description: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self.now + delay, action, description)
+
+    def schedule_at(self, time: float, action: Callable[[], None], description: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time`` (must not be past)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, action, description)
+
+    def every(
+        self,
+        period: float,
+        action: Callable[[], None],
+        description: str = "",
+        start_offset: Optional[float] = None,
+    ) -> None:
+        """Schedule ``action`` to repeat every ``period`` time units forever.
+
+        Used for the mediator's periodic queue flush (``u_hold_delay`` policy)
+        and for sources that announce on a fixed cadence.  The repetition only
+        continues while the simulation keeps running, so a bounded
+        :meth:`run_until` terminates normally.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first = period if start_offset is None else start_offset
+
+        def tick() -> None:
+            action()
+            self.schedule(period, tick, description)
+
+        self.schedule(first, tick, description)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.action()
+        self.events_processed += 1
+        return True
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``max_events`` guards against runaway recurring schedules.
+        """
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        if processed >= max_events and self.queue:
+            raise SimulationError(f"run() exceeded max_events={max_events}")
+        return processed
+
+    def run_until(self, end_time: float) -> int:
+        """Run every event with time <= ``end_time``; then advance the clock.
+
+        Events scheduled after ``end_time`` remain queued (and recurring
+        schedules stop being expanded past the horizon).
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            processed += 1
+        self.clock.advance_to(max(self.now, end_time))
+        return processed

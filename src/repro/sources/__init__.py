@@ -1,0 +1,24 @@
+"""Autonomous source databases.
+
+Two concrete stores share one protocol (:class:`SourceDatabase`): the
+in-memory :class:`MemorySource` used by most tests and benchmarks, and the
+:class:`SQLiteSource`, which compiles algebra queries to SQL and executes
+them inside SQLite — exercising the paper's claim that virtual contributors
+can be ordinary legacy DBMSs.  :class:`ContributorKind` is the Section 4
+classification of how a source participates in the integrated view.
+"""
+
+from repro.sources.base import SourceDatabase
+from repro.sources.contributors import ContributorKind
+from repro.sources.memory import MemorySource
+from repro.sources.sql_compile import compile_expression, compile_predicate
+from repro.sources.sqlite_source import SQLiteSource
+
+__all__ = [
+    "SourceDatabase",
+    "MemorySource",
+    "SQLiteSource",
+    "ContributorKind",
+    "compile_expression",
+    "compile_predicate",
+]

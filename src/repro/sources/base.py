@@ -1,0 +1,211 @@
+"""The source-database protocol.
+
+Section 4 classifies sources by what the mediator needs from them:
+
+* **materialized-contributors** must "actively send relevant net updates" —
+  they need the announcement half of this protocol;
+* **hybrid-contributors** need both halves (announcements and queries);
+* **virtual-contributors** only need to answer queries — "its role can be
+  played by all kinds of DBMS, including legacy systems that do not have
+  active database capabilities".
+
+:class:`SourceDatabase` captures both halves.  Transactions are applied as
+:class:`~repro.deltas.SetDelta` values committed atomically;
+``take_announcement`` returns the *net* delta since the last announcement,
+smashed into "a single undividable message" exactly as the paper requires.
+A source can be asked to *prefilter* announcements (the source-side
+optimization mentioned at the end of Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.deltas import SetDelta, net_accumulate
+from repro.deltas.filtering import LeafParentFilter
+from repro.errors import SourceError
+from repro.relalg import Expression, Relation, RelationSchema, Row, SetRelation
+
+__all__ = ["SourceDatabase", "net_accumulate"]
+
+
+class SourceDatabase:
+    """Abstract autonomous source database.
+
+    Concrete stores implement ``_snapshot``, ``_apply`` and ``query``; the
+    transaction log, announcement machinery, and commit hooks live here.
+    """
+
+    def __init__(self, name: str, schemas: Sequence[RelationSchema]):
+        self.name = name
+        self.schemas: Dict[str, RelationSchema] = {s.name: s for s in schemas}
+        if len(self.schemas) != len(schemas):
+            raise SourceError(f"duplicate relation names in source {name!r}")
+        self.txn_count = 0
+        self.query_count = 0
+        self._pending: SetDelta = SetDelta()
+        self._log: List[Tuple[int, SetDelta]] = []
+        self._on_commit: List[Callable[["SourceDatabase", SetDelta], None]] = []
+        self._prefilters: List[LeafParentFilter] = []
+
+    # ------------------------------------------------------------------
+    # Abstract storage operations
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, SetRelation]:
+        """A consistent copy of every relation."""
+        raise NotImplementedError
+
+    def _apply(self, delta: SetDelta) -> None:
+        """Atomically apply a validated transaction delta to storage."""
+        raise NotImplementedError
+
+    def _peek(self, relation: str) -> SetRelation:
+        """Read-only view of one relation for validation.
+
+        Defaults to a snapshot copy; stores with cheap direct access
+        override this (validation only reads, so no copy is needed).
+        """
+        return self._snapshot()[relation]
+
+    def query(self, expr: Expression, name: str = "answer") -> Relation:
+        """Answer a query over this source's relations (one transaction)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, SetRelation]:
+        """A consistent snapshot of the whole source (copies)."""
+        return self._snapshot()
+
+    def relation(self, name: str) -> SetRelation:
+        """A snapshot copy of one relation."""
+        snap = self._snapshot()
+        try:
+            return snap[name]
+        except KeyError as exc:
+            raise SourceError(f"source {self.name!r} has no relation {name!r}") from exc
+
+    def schema(self, name: str) -> RelationSchema:
+        """The schema of one relation."""
+        try:
+            return self.schemas[name]
+        except KeyError as exc:
+            raise SourceError(f"source {self.name!r} has no relation {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def execute(self, delta: SetDelta) -> int:
+        """Commit a transaction; returns the transaction sequence number.
+
+        The delta must mention only this source's relations, and every atom
+        must be non-redundant (insert absent rows, delete present rows) —
+        the paper's deltas are never redundant, and enforcing that here
+        catches workload bugs early.
+        """
+        self._validate(delta)
+        self._apply(delta)
+        self.txn_count += 1
+        committed = delta.copy()
+        self._log.append((self.txn_count, committed))
+        self._pending = net_accumulate(self._pending, committed)
+        for hook in self._on_commit:
+            hook(self, committed)
+        return self.txn_count
+
+    def _validate(self, delta: SetDelta) -> None:
+        for rel_name in delta.relations():
+            if rel_name not in self.schemas:
+                raise SourceError(f"source {self.name!r} has no relation {rel_name!r}")
+            current = self._peek(rel_name)
+            for r, sign in delta.atoms_for(rel_name):
+                present = current.contains(r)
+                if sign > 0 and present:
+                    raise SourceError(
+                        f"redundant insert into {self.name}.{rel_name}: {dict(r)}"
+                    )
+                if sign < 0 and not present:
+                    raise SourceError(
+                        f"redundant delete from {self.name}.{rel_name}: {dict(r)}"
+                    )
+
+    def insert(self, relation: str, **values) -> int:
+        """Single-row insert transaction."""
+        delta = SetDelta()
+        delta.insert(relation, Row(values))
+        return self.execute(delta)
+
+    def delete(self, relation: str, **values) -> int:
+        """Single-row delete transaction."""
+        delta = SetDelta()
+        delta.delete(relation, Row(values))
+        return self.execute(delta)
+
+    def update(self, relation: str, old: Dict, new: Dict) -> int:
+        """Single-row replace transaction (delete old, insert new)."""
+        delta = SetDelta()
+        delta.delete(relation, Row(old))
+        delta.insert(relation, Row(new))
+        return self.execute(delta)
+
+    # ------------------------------------------------------------------
+    # Announcements (the "active" capability)
+    # ------------------------------------------------------------------
+    def on_commit(self, hook: Callable[["SourceDatabase", SetDelta], None]) -> None:
+        """Register a hook invoked after every commit (observers, drivers)."""
+        self._on_commit.append(hook)
+
+    def set_prefilters(self, filters: Sequence[LeafParentFilter]) -> None:
+        """Install source-side announcement filters (Section 6.2 optimization)."""
+        self._prefilters = list(filters)
+
+    def has_pending_announcement(self) -> bool:
+        """True when commits have happened since the last announcement."""
+        return not self._pending.is_empty()
+
+    def take_announcement(self) -> Optional[SetDelta]:
+        """The net delta since the last announcement, as one message.
+
+        Resets the pending accumulator.  Returns ``None`` when there is
+        nothing to announce (also when prefiltering drops everything).
+        """
+        if self._pending.is_empty():
+            return None
+        announcement = self._pending
+        self._pending = SetDelta()
+        if self._prefilters:
+            announcement = self._prefilter(announcement)
+        return announcement if not announcement.is_empty() else None
+
+    def _prefilter(self, delta: SetDelta) -> SetDelta:
+        """Keep each atom that is relevant to at least one leaf-parent.
+
+        An atom survives when its relation has no installed filter at all,
+        or when it passes the selection condition of *some* filter over that
+        relation — dropping it would starve a node that needs it.
+        """
+        filtered_relations = {f.source_relation for f in self._prefilters}
+        out = SetDelta()
+        for rel, r, sign in delta.atoms():
+            relevant = rel not in filtered_relations or any(
+                f.predicate.evaluate(r)
+                for f in self._prefilters
+                if f.source_relation == rel
+            )
+            if relevant:
+                if sign > 0:
+                    out.insert(rel, r)
+                else:
+                    out.delete(rel, r)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def log(self) -> List[Tuple[int, SetDelta]]:
+        """The committed transaction log: ``(txn_seq, delta)`` pairs."""
+        return list(self._log)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} relations={sorted(self.schemas)}>"

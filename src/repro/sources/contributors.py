@@ -1,0 +1,45 @@
+"""Contributor classification (Section 4).
+
+A source database is associated with the mediator in one of three ways,
+determined by where its data lands in the annotated VDP:
+
+* :attr:`ContributorKind.MATERIALIZED` — everything it contributes is in
+  the materialized portion; it must announce updates, and is never queried.
+* :attr:`ContributorKind.HYBRID` — contributes to both portions; it must
+  announce updates *and* answer queries (with Eager Compensation applied to
+  its poll answers).
+* :attr:`ContributorKind.VIRTUAL` — contributes only virtual data; it only
+  needs to answer queries, so "its role can be played by all kinds of
+  DBMS, including legacy systems".
+
+The classification itself is computed from a VDP annotation by
+:meth:`repro.core.vdp.AnnotatedVDP.contributor_kinds`; this module holds
+the shared vocabulary so that sources do not depend on the core package.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["ContributorKind"]
+
+
+class ContributorKind(Enum):
+    """How a source database participates in the integrated view."""
+
+    MATERIALIZED = "materialized-contributor"
+    HYBRID = "hybrid-contributor"
+    VIRTUAL = "virtual-contributor"
+
+    @property
+    def announces(self) -> bool:
+        """True when this kind must actively announce net updates."""
+        return self in (ContributorKind.MATERIALIZED, ContributorKind.HYBRID)
+
+    @property
+    def answers_queries(self) -> bool:
+        """True when this kind must be able to answer mediator queries."""
+        return self in (ContributorKind.HYBRID, ContributorKind.VIRTUAL)
+
+    def __str__(self) -> str:
+        return self.value

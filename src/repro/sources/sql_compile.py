@@ -1,0 +1,178 @@
+"""Compilation of algebra expressions to SQLite SQL.
+
+The paper stresses that virtual-contributor sources "can be played by all
+kinds of DBMS, including legacy systems".  To exercise that claim with a
+real DBMS, :class:`~repro.sources.sqlite_source.SQLiteSource` pushes whole
+algebra expressions down to SQLite; this module is the compiler.
+
+Mapping:
+
+=================  =======================================
+Algebra            SQL
+=================  =======================================
+``Scan``           ``SELECT cols FROM "table"``
+``Select``         ``SELECT * FROM (child) WHERE pred``
+``Project``        ``SELECT cols FROM (child)`` (``DISTINCT`` when dedup)
+``Join`` (theta)   ``... JOIN ... ON cond`` (names are globally unique)
+``Join`` (natural) ``... NATURAL JOIN ...``
+``Union``          ``UNION ALL`` (bag union)
+``Difference``     ``EXCEPT``   (set semantics — matches paper set nodes)
+``Rename``         ``SELECT old AS new, ...``
+=================  =======================================
+
+Constants are always emitted as ``?`` parameters, never interpolated.  The
+``^`` power operator is unrolled into repeated multiplication for small
+non-negative integer exponents (SQLite has no ``pow`` without extensions);
+anything else raises :class:`~repro.errors.EvaluationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Tuple
+
+from repro.errors import EvaluationError
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relalg.predicates import (
+    And,
+    Arith,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    Term,
+    TruePredicate,
+)
+from repro.relalg.schema import RelationSchema
+
+__all__ = ["compile_expression", "compile_predicate"]
+
+_MAX_UNROLLED_EXPONENT = 8
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def compile_predicate(pred: Predicate, params: List[Any]) -> str:
+    """Compile a predicate to a SQL boolean expression, appending parameters."""
+    if isinstance(pred, TruePredicate):
+        return "1"
+    if isinstance(pred, Comparison):
+        left = _compile_term(pred.left, params)
+        right = _compile_term(pred.right, params)
+        op = "<>" if pred.op == "!=" else pred.op
+        return f"({left} {op} {right})"
+    if isinstance(pred, And):
+        return f"({compile_predicate(pred.left, params)} AND {compile_predicate(pred.right, params)})"
+    if isinstance(pred, Or):
+        return f"({compile_predicate(pred.left, params)} OR {compile_predicate(pred.right, params)})"
+    if isinstance(pred, Not):
+        return f"(NOT {compile_predicate(pred.child, params)})"
+    raise EvaluationError(f"cannot compile predicate node {type(pred).__name__} to SQL")
+
+
+def _compile_term(term: Term, params: List[Any]) -> str:
+    if isinstance(term, Attr):
+        return _quote(term.name)
+    if isinstance(term, Const):
+        params.append(term.value)
+        return "?"
+    if isinstance(term, Arith):
+        if term.op == "^":
+            return _compile_power(term, params)
+        left = _compile_term(term.left, params)
+        right = _compile_term(term.right, params)
+        return f"({left} {term.op} {right})"
+    raise EvaluationError(f"cannot compile term node {type(term).__name__} to SQL")
+
+
+def _compile_power(term: Arith, params: List[Any]) -> str:
+    if not isinstance(term.right, Const):
+        raise EvaluationError("SQL compilation supports ^ only with a constant exponent")
+    exponent = term.right.value
+    if not isinstance(exponent, int) or exponent < 0 or exponent > _MAX_UNROLLED_EXPONENT:
+        raise EvaluationError(
+            f"SQL compilation supports integer exponents in [0, {_MAX_UNROLLED_EXPONENT}], got {exponent!r}"
+        )
+    if exponent == 0:
+        return "1"
+    base = _compile_term(term.left, params)
+    return "(" + " * ".join([base] * exponent) + ")"
+
+
+def compile_expression(
+    expr: Expression, schemas: Mapping[str, RelationSchema]
+) -> Tuple[str, List[Any]]:
+    """Compile an expression to ``(sql, params)``.
+
+    ``schemas`` maps base-relation names to their schemas (needed to emit
+    explicit column lists, which keeps column order deterministic through
+    unions and joins).
+    """
+    params: List[Any] = []
+    sql = _compile(expr, schemas, params)
+    return sql, params
+
+
+def _columns(expr: Expression, schemas: Mapping[str, RelationSchema]) -> List[str]:
+    return list(expr.infer_schema(schemas, "q").attribute_names)
+
+
+def _compile(expr: Expression, schemas: Mapping[str, RelationSchema], params: List[Any]) -> str:
+    if isinstance(expr, Scan):
+        cols = ", ".join(_quote(c) for c in schemas[expr.name].attribute_names)
+        return f"SELECT {cols} FROM {_quote(expr.name)}"
+    if isinstance(expr, Select):
+        child = _compile(expr.child, schemas, params)
+        cond = compile_predicate(expr.predicate, params)
+        return f"SELECT * FROM ({child}) WHERE {cond}"
+    if isinstance(expr, Project):
+        child = _compile(expr.child, schemas, params)
+        cols = ", ".join(_quote(c) for c in expr.attrs)
+        distinct = "DISTINCT " if expr.dedup else ""
+        return f"SELECT {distinct}{cols} FROM ({child})"
+    if isinstance(expr, Join):
+        # Compile operands first so parameter order matches text order.
+        left_sql = _compile(expr.left, schemas, params)
+        cols = ", ".join(_quote(c) for c in _columns(expr, schemas))
+        if expr.condition is None:
+            right_sql = _compile(expr.right, schemas, params)
+            return (
+                f"SELECT {cols} FROM ({left_sql}) AS _l NATURAL JOIN ({right_sql}) AS _r"
+            )
+        right_sql = _compile(expr.right, schemas, params)
+        cond = compile_predicate(expr.condition, params)
+        return f"SELECT {cols} FROM ({left_sql}) AS _l JOIN ({right_sql}) AS _r ON {cond}"
+    if isinstance(expr, Union):
+        cols = ", ".join(_quote(c) for c in _columns(expr, schemas))
+        left_sql = _compile(expr.left, schemas, params)
+        right_sql = _compile(expr.right, schemas, params)
+        return (
+            f"SELECT {cols} FROM ({left_sql}) UNION ALL SELECT {cols} FROM ({right_sql})"
+        )
+    if isinstance(expr, Difference):
+        cols = ", ".join(_quote(c) for c in _columns(expr, schemas))
+        left_sql = _compile(expr.left, schemas, params)
+        right_sql = _compile(expr.right, schemas, params)
+        return f"SELECT {cols} FROM ({left_sql}) EXCEPT SELECT {cols} FROM ({right_sql})"
+    if isinstance(expr, Rename):
+        child = _compile(expr.child, schemas, params)
+        mapping = expr.mapping_dict
+        child_cols = _columns(expr.child, schemas)
+        cols = ", ".join(
+            f"{_quote(c)} AS {_quote(mapping[c])}" if c in mapping else _quote(c)
+            for c in child_cols
+        )
+        return f"SELECT {cols} FROM ({child})"
+    raise EvaluationError(f"cannot compile expression node {type(expr).__name__} to SQL")

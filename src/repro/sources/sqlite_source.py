@@ -1,0 +1,158 @@
+"""SQLite-backed source database.
+
+Demonstrates the paper's claim that a virtual-contributor's "role can be
+played by all kinds of DBMS" — here an actual SQL DBMS.  Relations map to
+SQLite tables; transactions run inside SQLite transactions; queries are
+compiled to SQL by :mod:`repro.sources.sql_compile` and executed inside the
+database, so the mediator's polls genuinely travel through a SQL engine.
+
+Set semantics is enforced with a UNIQUE index over all columns (source
+relations are sets in the paper's model); the declared primary key, when
+present, is also declared to SQLite.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.deltas import SetDelta
+from repro.errors import SourceError
+from repro.relalg import (
+    BagRelation,
+    Expression,
+    Project,
+    Relation,
+    RelationSchema,
+    Row,
+    SetRelation,
+)
+from repro.relalg.expressions import Difference
+from repro.sources.base import SourceDatabase
+from repro.sources.sql_compile import compile_expression
+
+__all__ = ["SQLiteSource"]
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+_AFFINITY = {"int": "INTEGER", "float": "REAL", "str": "TEXT", "any": ""}
+
+
+class SQLiteSource(SourceDatabase):
+    """A source database backed by a SQLite database."""
+
+    def __init__(
+        self,
+        name: str,
+        schemas: Sequence[RelationSchema],
+        path: str = ":memory:",
+        initial: Optional[Dict[str, Sequence[Tuple[Any, ...]]]] = None,
+    ):
+        super().__init__(name, schemas)
+        self._conn = sqlite3.connect(path)
+        self._conn.isolation_level = None  # explicit transaction control
+        self._create_tables()
+        if initial:
+            for rel_name, value_rows in initial.items():
+                schema = self.schema(rel_name)
+                self._bulk_insert(rel_name, schema, value_rows)
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def _create_tables(self) -> None:
+        cur = self._conn.cursor()
+        for schema in self.schemas.values():
+            cols = []
+            for a in schema.attributes:
+                affinity = _AFFINITY.get(a.dtype, "")
+                cols.append(f"{_quote(a.name)} {affinity}".strip())
+            constraints = []
+            if schema.key:
+                key_cols = ", ".join(_quote(k) for k in schema.key)
+                constraints.append(f"PRIMARY KEY ({key_cols})")
+            all_cols = ", ".join(_quote(a.name) for a in schema.attributes)
+            constraints.append(f"UNIQUE ({all_cols})")
+            ddl = (
+                f"CREATE TABLE {_quote(schema.name)} ("
+                + ", ".join(cols + constraints)
+                + ")"
+            )
+            cur.execute(ddl)
+        self._conn.commit()
+
+    def _bulk_insert(
+        self, rel_name: str, schema: RelationSchema, value_rows: Sequence[Tuple[Any, ...]]
+    ) -> None:
+        placeholders = ", ".join("?" for _ in schema.attributes)
+        cols = ", ".join(_quote(a.name) for a in schema.attributes)
+        sql = f"INSERT INTO {_quote(rel_name)} ({cols}) VALUES ({placeholders})"
+        cur = self._conn.cursor()
+        cur.execute("BEGIN")
+        cur.executemany(sql, [tuple(v) for v in value_rows])
+        cur.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # SourceDatabase storage protocol
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, SetRelation]:
+        snap: Dict[str, SetRelation] = {}
+        cur = self._conn.cursor()
+        for rel_name, schema in self.schemas.items():
+            cols = ", ".join(_quote(a.name) for a in schema.attributes)
+            cur.execute(f"SELECT {cols} FROM {_quote(rel_name)}")
+            names = schema.attribute_names
+            snap[rel_name] = SetRelation(
+                schema, (Row(dict(zip(names, values))) for values in cur.fetchall())
+            )
+        return snap
+
+    def _apply(self, delta: SetDelta) -> None:
+        cur = self._conn.cursor()
+        cur.execute("BEGIN")
+        try:
+            for rel_name in delta.relations():
+                schema = self.schema(rel_name)
+                names = schema.attribute_names
+                cols = ", ".join(_quote(n) for n in names)
+                placeholders = ", ".join("?" for _ in names)
+                insert_sql = (
+                    f"INSERT INTO {_quote(rel_name)} ({cols}) VALUES ({placeholders})"
+                )
+                delete_sql = (
+                    f"DELETE FROM {_quote(rel_name)} WHERE "
+                    + " AND ".join(f"{_quote(n)} = ?" for n in names)
+                )
+                for r in delta.deletions(rel_name):
+                    cur.execute(delete_sql, r.values_for(names))
+                for r in delta.insertions(rel_name):
+                    cur.execute(insert_sql, r.values_for(names))
+            cur.execute("COMMIT")
+        except sqlite3.DatabaseError as exc:
+            cur.execute("ROLLBACK")
+            raise SourceError(f"SQLite transaction failed on {self.name!r}: {exc}") from exc
+
+    def query(self, expr: Expression, name: str = "answer") -> Relation:
+        """Compile to SQL and execute inside SQLite (one transaction)."""
+        unknown = expr.relation_names() - set(self.schemas)
+        if unknown:
+            raise SourceError(
+                f"source {self.name!r} cannot answer query over {sorted(unknown)}"
+            )
+        self.query_count += 1
+        sql, params = compile_expression(expr, self.schemas)
+        schema = expr.infer_schema(self.schemas, name)
+        cur = self._conn.cursor()
+        cur.execute(sql, params)
+        rows = cur.fetchall()
+        names = schema.attribute_names
+        if isinstance(expr, Difference) or (isinstance(expr, Project) and expr.dedup):
+            return SetRelation(schema, (Row(dict(zip(names, v))) for v in rows))
+        return BagRelation.from_rows(schema, (Row(dict(zip(names, v))) for v in rows))
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._conn.close()

@@ -1,0 +1,48 @@
+"""Workloads: synthetic data, update streams, query mixes, paper scenarios."""
+
+from repro.workloads.queries import QueryMix, QueryTemplate, attribute_profile
+from repro.workloads.updates import UpdateStream, choice_of, constant, uniform_int
+from repro.workloads.scenarios import (
+    FIGURE1_ANNOTATIONS,
+    chain_mediator,
+    chain_schemas,
+    figure1_mediator,
+    figure1_schemas,
+    figure1_sources,
+    figure1_vdp,
+    figure2_trace,
+    figure4_mediator,
+    figure4_schemas,
+    figure4_sources,
+    figure4_vdp,
+    union_mediator,
+    union_schemas,
+    union_sources,
+    union_vdp,
+)
+
+__all__ = [
+    "FIGURE1_ANNOTATIONS",
+    "figure1_mediator",
+    "figure1_schemas",
+    "figure1_sources",
+    "figure1_vdp",
+    "figure2_trace",
+    "figure4_mediator",
+    "figure4_schemas",
+    "figure4_sources",
+    "figure4_vdp",
+    "chain_mediator",
+    "chain_schemas",
+    "union_mediator",
+    "union_schemas",
+    "union_sources",
+    "union_vdp",
+    "UpdateStream",
+    "uniform_int",
+    "choice_of",
+    "constant",
+    "QueryMix",
+    "QueryTemplate",
+    "attribute_profile",
+]

@@ -1,0 +1,107 @@
+"""Synthetic query mixes against a mediator's export relations.
+
+A :class:`QueryMix` is a weighted set of query templates (text in the
+algebra mini-language, or expressions); sampling produces ready-to-run
+queries.  The helper :func:`attribute_profile` converts a mix into the
+per-attribute access frequencies the Section 5.3 planner consumes — the
+"queries against relation T mainly refer to attributes r1 and s1" input of
+Example 2.3, derived mechanically from the workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple, Union as TypingUnion
+
+from repro.core import SquirrelMediator
+from repro.core.derived_from import child_requirements
+from repro.errors import ParseError
+from repro.relalg import TRUE, Expression, Relation, parse_expression
+
+__all__ = ["QueryTemplate", "QueryMix", "attribute_profile"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One weighted query template."""
+
+    expression: Expression
+    weight: float = 1.0
+
+    @classmethod
+    def of(cls, text_or_expr: TypingUnion[str, Expression], weight: float = 1.0) -> "QueryTemplate":
+        """From query text or an expression tree."""
+        expr = (
+            parse_expression(text_or_expr)
+            if isinstance(text_or_expr, str)
+            else text_or_expr
+        )
+        return cls(expr, weight)
+
+
+class QueryMix:
+    """A weighted collection of query templates."""
+
+    def __init__(self, templates: Sequence[QueryTemplate], rng: random.Random):
+        if not templates:
+            raise ParseError("a query mix needs at least one template")
+        self.templates = list(templates)
+        self.rng = rng
+        self.issued = 0
+
+    @classmethod
+    def of(
+        cls,
+        weighted: Mapping[str, float],
+        rng: random.Random,
+    ) -> "QueryMix":
+        """From ``{query text: weight}``."""
+        return cls([QueryTemplate.of(text, w) for text, w in weighted.items()], rng)
+
+    def sample(self) -> Expression:
+        """Draw one query according to the weights."""
+        total = sum(t.weight for t in self.templates)
+        roll = self.rng.random() * total
+        acc = 0.0
+        for template in self.templates:
+            acc += template.weight
+            if roll < acc:
+                return template.expression
+        return self.templates[-1].expression
+
+    def run_one(self, mediator: SquirrelMediator) -> Relation:
+        """Sample a query and run it against a mediator."""
+        self.issued += 1
+        return mediator.query(self.sample())
+
+    def run(self, mediator: SquirrelMediator, count: int) -> int:
+        """Run ``count`` sampled queries."""
+        for _ in range(count):
+            self.run_one(mediator)
+        return count
+
+
+def attribute_profile(
+    mix: QueryMix, schemas: Mapping[str, "object"]
+) -> Dict[Tuple[str, str], float]:
+    """Per-(relation, attribute) access frequency implied by a query mix.
+
+    For every template, the attributes it touches per referenced relation
+    are computed with the same lineage walk the QP uses; frequencies are
+    weight-normalized.  Feed the result to
+    :class:`repro.planner.WorkloadProfile` as ``attr_access``.
+    """
+    total_weight = sum(t.weight for t in mix.templates)
+    freq: Dict[Tuple[str, str], float] = {}
+    for template in mix.templates:
+        share = template.weight / total_weight
+        output = frozenset(
+            template.expression.infer_schema(schemas, "q").attribute_names
+        )
+        requirements = child_requirements(template.expression, output, TRUE, schemas)
+        for relation, request in requirements.items():
+            for attr in request.attrs:
+                key = (relation, attr)
+                freq[key] = freq.get(key, 0.0) + share
+    return freq

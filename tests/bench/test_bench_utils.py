@@ -1,0 +1,53 @@
+"""Tests for the benchmark harness utilities."""
+
+from repro.bench import Sweep, format_value, grid, render_table, shape_line
+
+
+def test_format_value():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(123) == "123"
+    assert format_value(1234.5) == "1234"
+    assert format_value(12.345) == "12.35"
+    assert format_value(0.1234) == "0.1234"
+    assert format_value(float("inf")) == "inf"
+    assert format_value("abc") == "abc"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        "My Title",
+        ["col_a", "b"],
+        [[1, "xx"], [22222, "y"]],
+        note="hello",
+    )
+    lines = text.splitlines()
+    assert "My Title" in lines[1]
+    header = next(l for l in lines if "col_a" in l)
+    row = next(l for l in lines if "22222" in l)
+    assert header.index("b") == row.index("y")
+    assert any("note: hello" in l for l in lines)
+
+
+def test_render_table_empty_rows():
+    text = render_table("T", ["a"], [])
+    assert "a" in text
+
+
+def test_shape_line():
+    assert shape_line("x beats y", True) == "shape[HOLDS]: x beats y"
+    assert shape_line("x beats y", False, "2 vs 3") == "shape[DIVERGES]: x beats y (2 vs 3)"
+
+
+def test_grid_cross_product():
+    points = grid(a=[1, 2], b=["x", "y", "z"])
+    assert len(points) == 6
+    assert {"a": 2, "b": "z"} in points
+
+
+def test_sweep_runs_and_projects():
+    sweep = Sweep(lambda p: {"double": p["a"] * 2})
+    rows = sweep.run(grid(a=[1, 2, 3]))
+    assert rows[1] == {"a": 2, "double": 4}
+    table = Sweep.to_table(rows, ["a", "double", "missing"])
+    assert table == [[1, 2, ""], [2, 4, ""], [3, 6, ""]]

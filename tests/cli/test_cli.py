@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_mediator_from_files, main
+
+SPEC = """
+source db1 { relation R(r1: int key, r2: int) }
+source db2 { relation S(s1: int key, s2: int) }
+view R_p = R
+view S_p = S
+export V = project[r1, s2](R_p join[r2 = s1] S_p)
+annotate V [r1^m, s2^v]
+"""
+
+DATA = {
+    "db1": {"R": [[1, 10], [2, 20]]},
+    "db2": {"S": [[10, 111], [30, 333]]},
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "mediator.spec"
+    path.write_text(SPEC)
+    return str(path)
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.json"
+    path.write_text(json.dumps(DATA))
+    return str(path)
+
+
+def test_build_mediator_from_files(spec_file, data_file):
+    mediator = build_mediator_from_files(spec_file, data_file)
+    assert mediator.query("project[r1](V)").to_sorted_list() == [((1,), 1)]
+
+
+def test_describe_command(spec_file, data_file):
+    out = io.StringIO()
+    code = main(["--data", data_file, "describe", spec_file], out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "V[r1^m, s2^v]" in text
+    assert "contributors:" in text
+
+
+def test_query_command(spec_file, data_file):
+    out = io.StringIO()
+    code = main(["--data", data_file, "query", spec_file, "project[r1, s2](V)"], out=out)
+    assert code == 0
+    assert "1 | 111" in out.getvalue()
+    assert "[1 rows]" in out.getvalue()
+
+
+def test_query_without_data(spec_file):
+    out = io.StringIO()
+    code = main(["query", spec_file, "project[r1](V)"], out=out)
+    assert code == 0
+    assert "[0 rows]" in out.getvalue()
+
+
+def test_sqlite_backend_flag(spec_file, data_file):
+    out = io.StringIO()
+    code = main(
+        ["--data", data_file, "--backend", "sqlite", "query", spec_file, "project[r1](V)"],
+        out=out,
+    )
+    assert code == 0
+    assert "[1 rows]" in out.getvalue()
+
+
+def test_missing_spec_file():
+    code = main(["describe", "/nonexistent/path.spec"])
+    assert code == 1
+
+
+def test_bad_spec_reports_error(tmp_path):
+    path = tmp_path / "bad.spec"
+    path.write_text("wibble")
+    assert main(["describe", str(path)]) == 1
+
+
+def test_repl_command_dispatch(spec_file, data_file):
+    from repro.cli import _repl_command, build_mediator_from_files
+
+    mediator = build_mediator_from_files(spec_file, data_file)
+    out = io.StringIO()
+    assert _repl_command(mediator, "\\vdp", out)
+    assert "V[r1^m, s2^v]" in out.getvalue()
+
+    out = io.StringIO()
+    assert _repl_command(mediator, "\\insert db1 R 3 30", out)
+    assert _repl_command(mediator, "\\refresh", out)
+    assert _repl_command(mediator, "project[r1](V)", out)
+    text = out.getvalue()
+    assert "messages" in text
+    assert "[2 rows]" in text  # r2=30 joins s1=30
+
+    out = io.StringIO()
+    assert _repl_command(mediator, "\\delete db1 R 3 30", out)
+    assert _repl_command(mediator, "\\stats", out)
+    assert "queries" in out.getvalue()
+
+    out = io.StringIO()
+    assert _repl_command(mediator, "\\insert db1 R 9", out)  # wrong arity
+    assert "expected 2 values" in out.getvalue()
+
+    assert not _repl_command(mediator, "\\quit", io.StringIO())
+
+
+def test_cli_module_entrypoint(spec_file, data_file):
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--data", data_file, "query", spec_file, "project[r1](V)"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    assert "[1 rows]" in result.stdout

@@ -1,0 +1,55 @@
+"""Unit tests for m/v annotations."""
+
+import pytest
+
+from repro.core import Annotation
+from repro.errors import AnnotationError
+
+
+def test_parse_paper_notation():
+    ann = Annotation.parse("[r1^m, r3^v, s1^m, s2^v]")
+    assert ann.materialized_attrs == ("r1", "s1")
+    assert ann.virtual_attrs == ("r3", "s2")
+    assert ann.hybrid
+
+
+def test_parse_without_brackets():
+    ann = Annotation.parse("a^m, b^v")
+    assert ann.mark("a") == "m"
+    assert ann.mark("b") == "v"
+
+
+def test_parse_errors():
+    with pytest.raises(AnnotationError):
+        Annotation.parse("[a^x]")
+    with pytest.raises(AnnotationError):
+        Annotation.parse("[a]")
+    with pytest.raises(AnnotationError):
+        Annotation.parse("[a^m, a^v]")
+
+
+def test_all_materialized_and_virtual():
+    m = Annotation.all_materialized(["a", "b"])
+    assert m.fully_materialized and not m.fully_virtual and not m.hybrid
+    v = Annotation.all_virtual(["a", "b"])
+    assert v.fully_virtual and not v.fully_materialized
+
+
+def test_roundtrip_str():
+    ann = Annotation.parse("[a^m, b^v]")
+    assert Annotation.parse(str(ann)) == ann
+
+
+def test_mark_lookup_and_covers():
+    ann = Annotation.parse("[a^m, b^v, c^m]")
+    assert ann.is_materialized("a")
+    assert not ann.is_materialized("b")
+    assert ann.covers(["a", "c"])
+    assert not ann.covers(["a", "b"])
+    with pytest.raises(AnnotationError):
+        ann.mark("zzz")
+
+
+def test_invalid_mark_rejected():
+    with pytest.raises(AnnotationError):
+        Annotation.of({"a": "q"})

@@ -1,0 +1,104 @@
+"""Unit tests for the Eager Compensation Algorithm and source links."""
+
+import pytest
+
+from repro.core import DirectLink, compensate
+from repro.deltas import SetDelta
+from repro.relalg import (
+    BagRelation,
+    Scan,
+    Select,
+    Project,
+    evaluate,
+    lt,
+    make_schema,
+    row,
+    scan,
+)
+from repro.sources import MemorySource
+
+R = make_schema("R", ["a", "b"], key=["a"])
+
+
+def make_query_expr():
+    return Project(Select(Scan("R"), lt("b", 100)), ("a", "b"))
+
+
+def test_compensate_rewinds_inserts_and_deletes():
+    # Current source state (what the poll returned)...
+    current = BagRelation.from_values(R, [(1, 10), (3, 30)])
+    # ...reached from the reflected state by: insert (3,30), delete (2,20).
+    d = SetDelta()
+    d.insert("R", row(a=3, b=30))
+    d.delete("R", row(a=2, b=20))
+
+    rewound = compensate(current, "T", make_query_expr(), "R", R, [d])
+    assert rewound.to_sorted_list() == [((1, 10), 1), ((2, 20), 1)]
+
+
+def test_compensate_pushes_through_selection():
+    # The deleted row fails the poll query's selection: compensation must
+    # NOT resurrect it into the filtered answer.
+    current = BagRelation.from_values(R, [(1, 10)])
+    d = SetDelta()
+    d.delete("R", row(a=2, b=500))  # b >= 100: outside the polled window
+    rewound = compensate(current, "T", make_query_expr(), "R", R, [d])
+    assert rewound.to_sorted_list() == [((1, 10), 1)]
+
+
+def test_compensate_noop_without_deltas():
+    current = BagRelation.from_values(R, [(1, 10)])
+    assert compensate(current, "T", make_query_expr(), "R", R, []) == current
+
+
+def test_compensate_multiple_deltas_in_order():
+    current = BagRelation.from_values(R, [(1, 11)])
+    d1 = SetDelta()
+    d1.delete("R", row(a=1, b=10))
+    d1.insert("R", row(a=1, b=11))
+    d2 = SetDelta()
+    d2.delete("R", row(a=2, b=20))
+    rewound = compensate(current, "T", make_query_expr(), "R", R, [d1, d2])
+    assert rewound.to_sorted_list() == [((1, 10), 1), ((2, 20), 1)]
+
+
+def test_direct_link_flush_before_answer():
+    source = MemorySource("db", [R], initial={"R": [(1, 10)]})
+    delivered = []
+    link = DirectLink(source, announcement_sink=lambda n, d: delivered.append((n, d)))
+    source.insert("R", a=2, b=20)
+    answers = link.poll_many({"Q": scan("R")})
+    # The pending announcement reached the sink BEFORE the answer was built,
+    # and the answer includes the committed row.
+    assert len(delivered) == 1
+    assert delivered[0][0] == "db"
+    assert answers["Q"].contains(row(a=2, b=20))
+    assert link.poll_count == 1
+    assert link.polled_rows == 2
+
+
+def test_direct_link_virtual_contributor_drops_announcements():
+    source = MemorySource("db", [R], initial={"R": [(1, 10)]})
+    delivered = []
+    link = DirectLink(
+        source, announcement_sink=lambda n, d: delivered.append((n, d)), announces=False
+    )
+    source.insert("R", a=2, b=20)
+    link.poll_many({"Q": scan("R")})
+    assert delivered == []
+    assert not source.has_pending_announcement()  # drained, not delivered
+
+
+def test_direct_link_single_snapshot_for_many_queries():
+    source = MemorySource("db", [R], initial={"R": [(1, 10), (2, 200)]})
+    link = DirectLink(source)
+    answers = link.poll_many(
+        {
+            "small": scan("R").select(lt("b", 100)),
+            "all": scan("R"),
+        }
+    )
+    assert answers["small"].cardinality() == 1
+    assert answers["all"].cardinality() == 2
+    # One poll round-trip, two queries answered against one snapshot.
+    assert link.poll_count == 1

@@ -1,0 +1,148 @@
+"""Multi-level VDP tests: propagation through intermediate (and virtual)
+internal nodes across three join levels.
+
+The paper's examples are two-level; "in general VDPs can be of any size".
+This scenario stacks ``offers = catalog ⋈ parts`` under
+``enriched = offers ⋈ suppliers`` and drives updates into all three
+sources under several annotations of the middle layer.
+"""
+
+import random
+
+import pytest
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.correctness import assert_view_correct
+from repro.relalg import make_schema
+from repro.sources import MemorySource
+
+PARTS = make_schema("parts", ["p_id", "cost"], key=["p_id"])
+SUPPLIERS = make_schema("suppliers", ["s_id", "region"], key=["s_id"])
+CATALOG = make_schema("catalog", ["c_p", "c_s", "price"], key=["c_p", "c_s"])
+
+VIEWS = {
+    "parts_p": "parts",
+    "suppliers_p": "suppliers",
+    "catalog_p": "select[price > 0](catalog)",
+    "offers": "project[c_s, p_id, cost, price](catalog_p join[c_p = p_id] parts_p)",
+    "enriched": (
+        "project[p_id, s_id, region, cost, price]"
+        "(offers join[c_s = s_id] suppliers_p)"
+    ),
+}
+
+
+def build(overrides=None, seed=4):
+    rng = random.Random(seed)
+    n_parts, n_sup = 15, 6
+    catalog_rows = {
+        (rng.randrange(n_parts), rng.randrange(n_sup), rng.randrange(1, 100))
+        for _ in range(25)
+    }
+    sources = {
+        "erp": MemorySource(
+            "erp",
+            [PARTS],
+            initial={"parts": [(i, rng.randrange(5, 50)) for i in range(n_parts)]},
+        ),
+        "crm": MemorySource(
+            "crm",
+            [SUPPLIERS],
+            initial={"suppliers": [(i, rng.choice(["eu", "us", "apac"])) for i in range(n_sup)]},
+        ),
+        "market": MemorySource(
+            "market", [CATALOG], initial={"catalog": sorted(catalog_rows)}
+        ),
+    }
+
+    vdp = build_vdp(
+        source_schemas={"parts": PARTS, "suppliers": SUPPLIERS, "catalog": CATALOG},
+        source_of={"parts": "erp", "suppliers": "crm", "catalog": "market"},
+        views=VIEWS,
+        exports=["enriched"],
+    )
+    mediator = SquirrelMediator(annotate(vdp, overrides or {}), sources)
+    mediator.initialize()
+    return mediator, sources
+
+
+def drive(mediator, sources, seed, steps=25):
+    rng = random.Random(seed)
+    for k in range(steps):
+        which = rng.choice(["erp", "crm", "market"])
+        if which == "erp":
+            sources["erp"].insert("parts", p_id=100 + k, cost=rng.randrange(5, 50))
+        elif which == "crm":
+            rows = list(sources["crm"].relation("suppliers").rows())
+            if rows and rng.random() < 0.4:
+                sources["crm"].delete("suppliers", **dict(rng.choice(rows)))
+            else:
+                sources["crm"].insert("suppliers", s_id=100 + k, region="eu")
+        else:
+            from repro.relalg import row
+
+            candidate = row(
+                c_p=rng.randrange(15), c_s=rng.randrange(6), price=rng.randrange(1, 100)
+            )
+            if not sources["market"].relation("catalog").contains(candidate):
+                sources["market"].insert("catalog", **dict(candidate))
+        if rng.random() < 0.4:
+            mediator.refresh()
+    mediator.refresh()
+
+
+def test_three_level_structure():
+    mediator, _ = build()
+    vdp = mediator.vdp
+    assert vdp.children("enriched") == ("offers", "suppliers_p")
+    assert vdp.children("offers") == ("catalog_p", "parts_p")
+    assert vdp.sources_below("enriched") == {"erp", "crm", "market"}
+
+
+def test_fully_materialized_three_levels():
+    mediator, sources = build()
+    assert_view_correct(mediator)
+    drive(mediator, sources, seed=10)
+    assert_view_correct(mediator)
+    assert mediator.vap.stats.polls == 0
+
+
+def test_virtual_middle_layer():
+    """`offers` virtual: deltas pass through it; rules into `enriched`
+    need an offers temporary built from the materialized level below."""
+    mediator, sources = build({"offers": "[c_s^v, p_id^v, cost^v, price^v]"})
+    assert_view_correct(mediator)
+    drive(mediator, sources, seed=11)
+    assert_view_correct(mediator)
+    # offers temps are built from catalog_p/parts_p repos — no source polls.
+    assert mediator.vap.stats.polls == 0
+    assert mediator.vap.stats.temps_built > 0
+
+
+def test_virtual_middle_and_leaf_layer():
+    """Both `offers` and its children virtual: rebuilding offers requires
+    polling erp and market."""
+    mediator, sources = build(
+        {
+            "offers": "[c_s^v, p_id^v, cost^v, price^v]",
+            "catalog_p": "[c_p^v, c_s^v, price^v]",
+            "parts_p": "[p_id^v, cost^v]",
+        }
+    )
+    assert_view_correct(mediator)
+    drive(mediator, sources, seed=12, steps=15)
+    assert_view_correct(mediator)
+    assert mediator.vap.stats.polls > 0
+
+
+def test_hybrid_export_over_deep_plan():
+    mediator, sources = build(
+        {"enriched": "[p_id^m, s_id^m, region^v, cost^v, price^m]"}
+    )
+    assert_view_correct(mediator)
+    drive(mediator, sources, seed=13, steps=15)
+    assert_view_correct(mediator)
+    # Hot query on materialized attrs: no reconstruction.
+    mediator.reset_stats()
+    mediator.query("project[p_id, s_id, price](enriched)")
+    assert mediator.qp.stats.materialized_only == 1

@@ -1,0 +1,115 @@
+"""Unit tests for derived_from / child_requirements / narrow_definition."""
+
+import pytest
+
+from repro.core import TempRequest, derived_from
+from repro.core.derived_from import child_requirements, narrow_definition
+from repro.errors import VDPError
+from repro.relalg import TRUE, lt, make_schema, parse_expression, parse_predicate
+from repro.workloads import figure1_vdp, figure4_vdp
+
+
+def request_map(requests):
+    return {r.relation: r for r in requests}
+
+
+def test_case1_project_select_chain():
+    """Paper case (1): B = A ∪ D (selection attrs), f pushed down."""
+    vdp = figure1_vdp()
+    out = request_map(derived_from(vdp, "R_p", frozenset(["r1"])))
+    # R_p = π_{r1,r2,r3} σ_{r4=100}(R): needs r1 plus the selection attr r4.
+    assert out["R"].attrs == frozenset({"r1", "r4"})
+
+
+def test_case2_join_splits_needs_and_adds_condition_attrs():
+    """Paper case (2): B_i = (A ∩ attrs(S_i)) ∪ D_i."""
+    vdp = figure1_vdp()
+    out = request_map(
+        derived_from(vdp, "T", frozenset(["r3", "s1"]), parse_predicate("r3 < 100"))
+    )
+    assert out["R_p"].attrs == frozenset({"r3", "r2"})  # r2 joins, r3 requested
+    assert out["S_p"].attrs == frozenset({"s1"})
+    # f = r3 < 100 only mentions R_p attributes: pushed there, not to S_p.
+    assert str(out["R_p"].predicate) == "r3 < 100"
+    assert out["S_p"].predicate is TRUE
+
+
+def test_case4_difference_needs_full_output_on_both_sides():
+    """Paper case (4): both operands additionally need all output attrs C."""
+    vdp = figure4_vdp()
+    out = request_map(derived_from(vdp, "G", frozenset(["a1"])))
+    assert out["E"].attrs == frozenset({"a1", "b1"})
+    assert out["F"].attrs == frozenset({"a1", "b1"})
+
+
+def test_derived_from_validates_inputs():
+    vdp = figure1_vdp()
+    with pytest.raises(VDPError):
+        derived_from(vdp, "R", frozenset(["r1"]))  # leaf
+    with pytest.raises(VDPError):
+        derived_from(vdp, "T", frozenset(["zzz"]))
+
+
+def test_merge_requests():
+    a = TempRequest("X", frozenset(["a"]), parse_predicate("a < 5"))
+    b = TempRequest("X", frozenset(["b"]), parse_predicate("b > 2"))
+    merged = a.merge(b)
+    assert merged.attrs == frozenset({"a", "b"})
+    # Selections are OR-ed (the paper's f ∨ g).
+    assert "or" in str(merged.predicate)
+    with pytest.raises(VDPError):
+        a.merge(TempRequest("Y", frozenset(["a"]), TRUE))
+
+
+def test_child_requirements_on_query_expressions():
+    vdp = figure1_vdp()
+    expr = parse_expression("project[r1, s2](select[r3 < 10](T))")
+    out = child_requirements(
+        expr, frozenset(["r1", "s2"]), TRUE, vdp.schemas()
+    )
+    assert out["T"].attrs == frozenset({"r1", "s2", "r3"})
+
+
+def test_requirements_through_rename():
+    schemas = {"X": make_schema("X", ["a", "b"])}
+    expr = parse_expression("project[z](select[z < 5](rename[a = z](X)))")
+    out = child_requirements(expr, frozenset(["z"]), TRUE, schemas)
+    assert out["X"].attrs == frozenset({"a"})
+
+
+def test_requirements_union_both_sides():
+    schemas = {
+        "X": make_schema("X", ["a", "b"]),
+        "Y": make_schema("Y", ["a", "b"]),
+    }
+    expr = parse_expression("project[a](select[b < 5](X)) union project[a](Y)")
+    out = child_requirements(expr, frozenset(["a"]), TRUE, schemas)
+    assert out["X"].attrs == frozenset({"a", "b"})
+    assert out["Y"].attrs == frozenset({"a"})
+
+
+def test_narrow_definition_trims_projections():
+    vdp = figure1_vdp()
+    definition = vdp.node("T").definition
+    narrowed = narrow_definition(definition, frozenset(["r3", "s1"]), vdp.schemas())
+    # The top projection keeps only what is needed...
+    assert set(narrowed.attrs) == {"r3", "s1"}
+    # ...and the join condition attributes survive underneath.
+    from repro.relalg import Join
+
+    join = narrowed.child
+    assert isinstance(join, Join)
+
+
+def test_narrow_definition_keeps_difference_operands_full():
+    vdp = figure4_vdp()
+    definition = vdp.node("G").definition
+    narrowed = narrow_definition(definition, frozenset(["a1"]), vdp.schemas())
+    assert narrowed == definition
+
+
+def test_narrow_never_produces_empty_projection():
+    schemas = {"X": make_schema("X", ["a", "b"])}
+    expr = parse_expression("project[a, b](X)")
+    narrowed = narrow_definition(expr, frozenset(), schemas)
+    assert len(narrowed.attrs) >= 1

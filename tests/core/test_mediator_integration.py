@@ -1,0 +1,267 @@
+"""End-to-end mediator tests over the paper's Figure 1 and Figure 4 scenarios.
+
+These are the core integration tests: drive source updates through the
+announcement → queue → IUP pipeline and check every export against a full
+bottom-up recomputation (ground truth), under each of the paper's
+annotations.
+"""
+
+import random
+
+import pytest
+
+from repro.correctness.recompute import assert_view_correct, recompute
+from repro.deltas import SetDelta
+from repro.relalg import eq, lt, row
+from repro.sources import ContributorKind
+from repro.workloads import figure1_mediator, figure4_mediator
+
+
+def drive_random_updates(sources, rng, steps, refresh=None):
+    """Apply a random mix of inserts/deletes/updates across sources."""
+    for _ in range(steps):
+        source = rng.choice(sorted(sources))
+        db = sources[source]
+        rel_name = sorted(db.schemas)[0]
+        current = list(db.relation(rel_name).rows())
+        if current and rng.random() < 0.45:
+            victim = rng.choice(current)
+            db.delete(rel_name, **dict(victim))
+        else:
+            db.execute(_fresh_insert(db, rel_name, rng))
+        if refresh is not None and rng.random() < 0.5:
+            refresh()
+
+
+def _fresh_insert(db, rel_name, rng):
+    schema = db.schemas[rel_name]
+    existing = db.relation(rel_name)
+    delta = SetDelta()
+    while True:
+        values = {a.name: rng.randrange(10_000) for a in schema.attributes}
+        # keep selection/join attributes in interesting ranges
+        for attr_name in values:
+            if attr_name in ("r2", "s1"):
+                values[attr_name] = rng.randrange(50)
+            if attr_name == "r4":
+                values[attr_name] = 100 if rng.random() < 0.5 else 200
+            if attr_name == "s3":
+                values[attr_name] = rng.randrange(100)
+            if attr_name in ("a2",):
+                values[attr_name] = rng.randrange(20)
+            if attr_name in ("b2",):
+                values[attr_name] = rng.randrange(3, 12)
+        candidate = row(**values)
+        if not existing.contains(candidate):
+            delta.insert(rel_name, candidate)
+            return delta
+
+
+@pytest.mark.parametrize("example", ["ex21", "ex22", "ex23"])
+def test_figure1_initial_state_matches_ground_truth(example):
+    mediator, sources = figure1_mediator(example)
+    assert_view_correct(mediator)
+
+
+@pytest.mark.parametrize("example", ["ex21", "ex22", "ex23"])
+def test_figure1_incremental_maintenance(example):
+    mediator, sources = figure1_mediator(example)
+    rng = random.Random(42)
+    drive_random_updates(sources, rng, steps=40, refresh=mediator.refresh)
+    mediator.refresh()
+    assert_view_correct(mediator)
+
+
+def test_figure1_contributor_classification():
+    mediator, _ = figure1_mediator("ex21")
+    kinds = mediator.contributor_kinds
+    assert kinds == {
+        "db1": ContributorKind.MATERIALIZED,
+        "db2": ContributorKind.MATERIALIZED,
+    }
+
+    mediator22, _ = figure1_mediator("ex22")
+    # R' virtual makes db1 a hybrid-contributor (it is polled on S-updates).
+    assert mediator22.contributor_kinds["db1"] is ContributorKind.HYBRID
+    assert mediator22.contributor_kinds["db2"] is ContributorKind.MATERIALIZED
+
+    mediator23, _ = figure1_mediator("ex23")
+    # Both sources feed materialized and virtual attributes of T.
+    assert mediator23.contributor_kinds["db1"] is ContributorKind.HYBRID
+    assert mediator23.contributor_kinds["db2"] is ContributorKind.HYBRID
+
+
+def test_figure1_ex21_maintenance_never_polls():
+    """Example 2.1: fully materialized support — no source queries at all."""
+    mediator, sources = figure1_mediator("ex21")
+    rng = random.Random(1)
+    drive_random_updates(sources, rng, steps=30, refresh=mediator.refresh)
+    mediator.refresh()
+    assert mediator.vap.stats.polls == 0
+    assert_view_correct(mediator)
+
+
+def test_figure1_ex22_polls_only_on_s_updates():
+    """Example 2.2: ΔR propagates without polling; ΔS forces a poll of R."""
+    mediator, sources = figure1_mediator("ex22")
+    rng = random.Random(2)
+
+    # Updates to R only: no polls needed (rule #1 uses ΔR' and S').
+    drive_random_updates({"db1": sources["db1"]}, rng, steps=10)
+    mediator.refresh()
+    assert mediator.vap.stats.polls == 0
+
+    # An update to S forces the mediator to query R (R' is virtual).
+    drive_random_updates({"db2": sources["db2"]}, rng, steps=3)
+    mediator.refresh()
+    assert mediator.vap.stats.polls > 0
+    assert_view_correct(mediator)
+
+
+def test_figure1_ex23_materialized_query_needs_no_polls():
+    """Example 2.3: queries over r1, s1 are served from the local store."""
+    mediator, _ = figure1_mediator("ex23")
+    mediator.reset_stats()
+    answer = mediator.query("project[r1, s1](T)")
+    assert mediator.vap.stats.polls == 0
+    assert mediator.qp.stats.materialized_only == 1
+    assert answer.cardinality() > 0
+
+
+def test_figure1_ex23_virtual_query_uses_key_based_construction():
+    """Example 2.3's query π_{r3,s1} σ_{r3<100} T: key-based beats polling S."""
+    mediator, sources = figure1_mediator("ex23")
+    mediator.reset_stats()
+    answer = mediator.query("project[r3, s1](select[r3 < 100](T))")
+    assert mediator.qp.stats.with_virtual == 1
+    assert mediator.vap.stats.key_based_used == 1
+    # Only db1 (for R') is polled; db2 is untouched.
+    assert mediator.links["db1"].poll_count == 1
+    assert mediator.links["db2"].poll_count == 0
+    expected = mediator.query("project[r3, s1](select[r3 < 100](T))")
+    truth = recompute(mediator.vdp, sources, "T")
+    filtered = sorted(
+        set(
+            (r["r3"], r["s1"])
+            for r, _ in truth.items()
+            if r["r3"] < 100
+        )
+    )
+    got = sorted(set((r["r3"], r["s1"]) for r, _ in answer.items()))
+    assert got == filtered
+
+
+def test_figure1_ex23_key_based_disabled_polls_both_sources():
+    mediator, _ = figure1_mediator("ex23", key_based_enabled=False)
+    mediator.reset_stats()
+    mediator.query("project[r3, s1](select[r3 < 100](T))")
+    assert mediator.vap.stats.key_based_used == 0
+    assert mediator.links["db1"].poll_count == 1
+    assert mediator.links["db2"].poll_count == 1
+
+
+def test_figure1_consistency_under_uncollected_announcements():
+    """A query between announcement and refresh sees the *old* consistent
+    state for hybrid contributions (eager compensation at work)."""
+    mediator, sources = figure1_mediator("ex23")
+    before = mediator.query_relation("T")
+    # Commit at the source but do not refresh the mediator.
+    sources["db1"].insert("R", r1=99_999, r2=1, r3=1, r4=100)
+    after = mediator.query_relation("T")
+    assert after == before
+
+
+def test_figure4_initial_and_incremental_maintenance():
+    mediator, sources = figure4_mediator("paper")
+    assert_view_correct(mediator)
+    rng = random.Random(3)
+    drive_random_updates(sources, rng, steps=30, refresh=mediator.refresh)
+    mediator.refresh()
+    assert_view_correct(mediator)
+
+
+def test_figure4_all_materialized():
+    mediator, sources = figure4_mediator("all_m")
+    assert_view_correct(mediator)
+    rng = random.Random(4)
+    drive_random_updates(sources, rng, steps=20, refresh=mediator.refresh)
+    mediator.refresh()
+    assert_view_correct(mediator)
+    assert mediator.vap.stats.polls == 0  # fully materialized support
+
+
+def test_figure4_all_virtual():
+    mediator, sources = figure4_mediator("all_v")
+    assert_view_correct(mediator)
+    rng = random.Random(5)
+    drive_random_updates(sources, rng, steps=10)
+    # No refresh needed: queries always reconstruct from the sources.
+    assert_view_correct(mediator)
+    assert mediator.vap.stats.polls > 0
+
+
+def test_figure4_difference_node_updates_from_both_sides():
+    mediator, sources = figure4_mediator("paper")
+    g_before = mediator.query_relation("G")
+    # Remove every C row: F becomes empty, G grows to all of π(E).
+    db_c = sources["dbC"]
+    for r in list(db_c.relation("C").rows()):
+        db_c.delete("C", **dict(r))
+    mediator.refresh()
+    assert_view_correct(mediator, "G")
+    g_after = mediator.query_relation("G")
+    assert g_after.cardinality() >= g_before.cardinality()
+
+
+def test_all_annotations_answer_queries_identically():
+    """The annotation is an implementation choice: for the same sources and
+    updates, every annotation must answer every query with the same bag."""
+    rng_updates = random.Random(55)
+    mediators = {}
+    for example in ("ex21", "ex22", "ex23"):
+        mediator, sources = figure1_mediator(example, seed=55)
+        drive_random_updates(sources, random.Random(77), steps=15, refresh=mediator.refresh)
+        mediator.refresh()
+        mediators[example] = mediator
+
+    queries = [
+        "project[r1, s1](T)",
+        "project[r3, s2](T)",
+        "project[r1](select[r3 < 500](T))",
+        "project[s1, s2](select[s2 > 100 or r1 < 50](T))",
+    ]
+    for query in queries:
+        answers = {ex: m.query(query) for ex, m in mediators.items()}
+        assert answers["ex21"] == answers["ex22"] == answers["ex23"], query
+
+
+def test_mediator_requires_initialization():
+    from repro.core import SquirrelMediator, annotate
+    from repro.errors import MediatorError
+    from repro.workloads import figure1_sources, figure1_vdp
+
+    annotated = annotate(figure1_vdp(), {})
+    mediator = SquirrelMediator(annotated, figure1_sources())
+    with pytest.raises(MediatorError):
+        mediator.query("project[r1](T)")
+
+
+def test_mediator_rejects_queries_on_leaves():
+    mediator, _ = figure1_mediator("ex21")
+    from repro.errors import MediatorError
+
+    with pytest.raises(MediatorError):
+        mediator.query("project[r1](R)")
+
+
+def test_export_state_and_stats():
+    mediator, _ = figure1_mediator("ex21")
+    state = mediator.export_state("T")
+    assert state.schema.attribute_names == ("r1", "r3", "s1", "s2")
+    stats = mediator.stats()
+    assert stats.stored_rows > 0
+    assert stats.queries >= 1
+    from repro.errors import MediatorError
+
+    with pytest.raises(MediatorError):
+        mediator.export_state("R_p")

@@ -1,0 +1,157 @@
+"""Targeted tests for less-travelled paths across packages."""
+
+import io
+
+import pytest
+
+from repro.core import annotate, build_vdp
+from repro.correctness import FreshnessReport, IntegrationTrace, check_freshness
+from repro.errors import VDPError
+from repro.relalg import Evaluator, SetRelation, make_schema, row, scan
+from repro.sources import MemorySource
+
+
+# ---------------------------------------------------------------------------
+# Builder: hoisting inside set/union node operands
+# ---------------------------------------------------------------------------
+SCHEMAS = {
+    "R": make_schema("R", ["a", "b"], key=["a"]),
+    "S": make_schema("S", ["a", "c"], key=["a"]),
+}
+SOURCE_OF = {"R": "d1", "S": "d2"}
+
+
+def test_builder_hoists_inside_difference_operands():
+    vdp = build_vdp(
+        SCHEMAS,
+        SOURCE_OF,
+        {"V": "project[a](select[b < 5](R)) minus project[a](S)"},
+        ["V"],
+    )
+    # Both operands' source chains were hoisted into leaf-parents, so the
+    # set node's children are mediator relations, per restriction (a).
+    assert set(vdp.children("V")) == {"R_p", "S_p"}
+    from repro.core import NodeKind
+
+    assert vdp.node("V").kind is NodeKind.SET
+
+
+def test_builder_hoists_inside_union_operands():
+    vdp = build_vdp(
+        SCHEMAS,
+        SOURCE_OF,
+        {"V": "project[a](R) union project[a](S)"},
+        ["V"],
+    )
+    assert set(vdp.children("V")) == {"R_p", "S_p"}
+
+
+def test_builder_rejects_name_collision_with_source():
+    with pytest.raises(VDPError):
+        build_vdp(SCHEMAS, SOURCE_OF, {"R": "project[a](S)"}, ["R"])
+
+
+def test_builder_rejects_missing_source_owner():
+    with pytest.raises(VDPError):
+        build_vdp(SCHEMAS, {"R": "d1"}, {"V": "project[a](S)"}, ["V"])
+
+
+# ---------------------------------------------------------------------------
+# End-to-end maintenance over the hoisted difference
+# ---------------------------------------------------------------------------
+def test_hoisted_difference_maintenance():
+    from repro.core import SquirrelMediator
+    from repro.correctness import assert_view_correct
+
+    vdp = build_vdp(
+        SCHEMAS,
+        SOURCE_OF,
+        {"V": "project[a](select[b < 5](R)) minus project[a](S)"},
+        ["V"],
+    )
+    sources = {
+        "d1": MemorySource("d1", [SCHEMAS["R"]], initial={"R": [(1, 1), (2, 9), (3, 2)]}),
+        "d2": MemorySource("d2", [SCHEMAS["S"]], initial={"S": [(3, 0)]}),
+    }
+    mediator = SquirrelMediator(annotate(vdp, {}), sources)
+    mediator.initialize()
+    assert {r["a"] for r, _ in mediator.query_relation("V").items()} == {1}
+    sources["d2"].insert("S", a=1, c=0)
+    sources["d1"].insert("R", a=4, b=0)
+    mediator.refresh()
+    assert_view_correct(mediator)
+    assert {r["a"] for r, _ in mediator.query_relation("V").items()} == {4}
+
+
+# ---------------------------------------------------------------------------
+# Generator keyword annotations
+# ---------------------------------------------------------------------------
+def test_generator_materialized_keyword():
+    from repro.generator import generate_mediator, make_sources
+
+    spec = """
+source d1 { relation R(a key, b) }
+view base = project[a, b](R)
+export V = project[a](base)
+annotate V materialized
+annotate base m
+"""
+    sources = make_sources(spec, initial={"d1": {"R": [(1, 2)]}})
+    mediator = generate_mediator(spec, sources)
+    assert mediator.annotated.is_fully_materialized("V")
+    assert mediator.annotated.is_fully_materialized("base")
+
+
+# ---------------------------------------------------------------------------
+# Freshness edge cases
+# ---------------------------------------------------------------------------
+def test_freshness_infinite_for_invalid_view_state():
+    from repro.correctness import measure_staleness
+
+    schema = make_schema("R", ["x"])
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 0.0, {"R": SetRelation.from_values(schema, [(1,)])})
+    trace.record_view_state(1.0, "query", {"V": SetRelation.from_values(schema, [(999,)])})
+
+    def view_fn(states):
+        return {"V": states["db"]["R"]}
+
+    staleness = measure_staleness(trace, view_fn)
+    assert staleness[0]["db"] == float("inf")
+    report = check_freshness(trace, view_fn, {"db": 100.0})
+    assert not report.within_bound
+
+
+def test_freshness_report_headroom_none_without_bound():
+    report = FreshnessReport(per_record=[], worst={})
+    assert report.headroom() is None
+
+
+# ---------------------------------------------------------------------------
+# Evaluator with explicit schemas catalog
+# ---------------------------------------------------------------------------
+def test_evaluator_with_explicit_schemas():
+    schema = make_schema("R", ["x"])
+    rel = SetRelation.from_values(schema, [(1,), (2,)])
+    evaluator = Evaluator({"ALIAS": rel}, schemas={"ALIAS": schema.rename_relation("ALIAS")})
+    out = evaluator.evaluate(scan("ALIAS").project(["x"]), "out")
+    assert out.cardinality() == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI repl loop with piped input
+# ---------------------------------------------------------------------------
+def test_cli_repl_loop_with_stdin(tmp_path, monkeypatch):
+    from repro.cli import main
+
+    spec = tmp_path / "m.spec"
+    spec.write_text(
+        "source d1 { relation R(a key, b) }\nexport V = project[a](R)\n"
+    )
+    lines = iter(["project[a](V)", "\\bogus syntax((", "\\quit"])
+    monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+    out = io.StringIO()
+    assert main(["repl", str(spec)], out=out) == 0
+    text = out.getvalue()
+    assert "[0 rows]" in text
+    assert "error:" in text  # the bad line was reported, not fatal

@@ -1,0 +1,99 @@
+"""Tests for mediator snapshot / warm-restart persistence."""
+
+import pytest
+
+from repro.core import annotate
+from repro.core.persistence import restore_mediator, save_mediator
+from repro.correctness import assert_view_correct
+from repro.errors import MediatorError
+from repro.workloads import (
+    FIGURE1_ANNOTATIONS,
+    figure1_mediator,
+    figure1_vdp,
+    figure4_mediator,
+    figure4_vdp,
+)
+
+
+def snapshot_path(tmp_path):
+    return str(tmp_path / "mediator.snapshot")
+
+
+@pytest.mark.parametrize("example", ["ex21", "ex23"])
+def test_save_and_restore_roundtrip(tmp_path, example):
+    mediator, sources = figure1_mediator(example, seed=91)
+    path = snapshot_path(tmp_path)
+    written = save_mediator(mediator, path)
+    assert written > 0
+
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS[example])
+    restored = restore_mediator(annotated, sources, path)
+    assert restored.query_relation("T") == mediator.query_relation("T")
+    assert_view_correct(restored)
+
+
+def test_restore_catches_up_from_source_logs(tmp_path):
+    mediator, sources = figure1_mediator("ex21", seed=92)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+
+    # The mediator "goes down"; sources keep committing.
+    sources["db1"].insert("R", r1=95_001, r2=1, r3=1, r4=100)
+    sources["db2"].insert("S", s1=1, s2=5, s3=5)
+    sources["db1"].insert("R", r1=95_002, r2=2, r3=2, r4=100)
+    sources["db1"].delete("R", r1=95_002, r2=2, r3=2, r4=100)  # nets away
+
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    restored = restore_mediator(annotated, sources, path)
+    assert_view_correct(restored)
+    # The restart replayed only the missed updates, not a full reload.
+    assert restored.iup.stats.transactions == 1
+
+
+def test_restore_does_not_double_apply_pending_announcements(tmp_path):
+    mediator, sources = figure1_mediator("ex21", seed=93)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+    sources["db1"].insert("R", r1=96_000, r2=1, r3=1, r4=100)
+
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    restored = restore_mediator(annotated, sources, path)
+    assert_view_correct(restored)
+    # A later refresh finds nothing new to deliver.
+    result = restored.refresh()
+    assert result.flushed_messages == 0
+    assert_view_correct(restored)
+
+
+def test_save_requires_quiescence(tmp_path):
+    mediator, sources = figure1_mediator("ex21", seed=94)
+    sources["db1"].insert("R", r1=97_000, r2=1, r3=1, r4=100)
+    with pytest.raises(MediatorError):
+        save_mediator(mediator, snapshot_path(tmp_path))
+    mediator.collect_announcements()
+    with pytest.raises(MediatorError):  # queued but unprocessed
+        save_mediator(mediator, snapshot_path(tmp_path))
+    mediator.run_update_transaction()
+    save_mediator(mediator, snapshot_path(tmp_path))
+
+
+def test_restore_rejects_annotation_mismatch(tmp_path):
+    mediator, sources = figure1_mediator("ex21", seed=95)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+    other = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex23"])
+    with pytest.raises(MediatorError):
+        restore_mediator(other, sources, path)
+
+
+def test_restore_with_set_nodes(tmp_path):
+    mediator, sources = figure4_mediator("paper", seed=96)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+    sources["dbC"].insert("C", c1=900, c2=3)
+    annotated = annotate(
+        figure4_vdp(),
+        {"B_p": "[b1^v, b2^v]", "E": "[a1^m, a2^v, b1^m]", "F": "[a1^v, b1^v]"},
+    )
+    restored = restore_mediator(annotated, sources, path)
+    assert_view_correct(restored)

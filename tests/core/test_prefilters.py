@@ -1,0 +1,106 @@
+"""Tests for source-side announcement prefiltering (Section 6.2, end)."""
+
+import pytest
+
+from repro.correctness import assert_view_correct
+from repro.deltas import LeafParentFilter
+from repro.errors import DeltaError
+from repro.relalg import parse_expression, row
+from repro.workloads import figure1_mediator
+
+
+def test_from_chain_extracts_selection():
+    chain = parse_expression("project[r1, r2, r3](select[r4 = 100](R))")
+    filt = LeafParentFilter.from_chain("R_p", chain)
+    assert filt.source_relation == "R"
+    assert filt.predicate.evaluate(row(r4=100))
+    assert not filt.predicate.evaluate(row(r4=200))
+
+
+def test_from_chain_translates_through_rename():
+    chain = parse_expression("select[z < 5](rename[a = z](X))")
+    filt = LeafParentFilter.from_chain("X_p", chain)
+    assert filt.source_relation == "X"
+    assert filt.predicate.evaluate(row(a=3))
+    assert not filt.predicate.evaluate(row(a=9))
+
+
+def test_from_chain_bare_scan_is_true():
+    filt = LeafParentFilter.from_chain("X_p", parse_expression("X"))
+    assert filt.predicate.evaluate(row(anything=1))
+
+
+def test_from_chain_rejects_non_chain():
+    with pytest.raises(DeltaError):
+        LeafParentFilter.from_chain("V", parse_expression("X join[a = b] Y"))
+
+
+def test_mediator_installs_prefilters_and_stays_correct():
+    mediator, sources = figure1_mediator("ex21")
+    installed = mediator.install_source_prefilters()
+    assert installed == 2  # R_p at db1, S_p at db2
+
+    # An update failing R_p's selection is dropped at the source...
+    sources["db1"].insert("R", r1=91_000, r2=1, r3=1, r4=200)
+    assert sources["db1"].take_announcement() is None
+    # ...a relevant one still flows, and the view stays exact.
+    sources["db1"].insert("R", r1=91_001, r2=1, r3=1, r4=100)
+    mediator.refresh()
+    assert_view_correct(mediator)
+
+
+def test_prefilter_reduces_transferred_atoms():
+    plain_mediator, plain_sources = figure1_mediator("ex21", seed=71)
+    filtered_mediator, filtered_sources = figure1_mediator("ex21", seed=71)
+    filtered_mediator.install_source_prefilters()
+
+    # 20 updates, most failing the r4 = 100 selection.
+    for k in range(20):
+        for sources in (plain_sources, filtered_sources):
+            sources["db1"].insert(
+                "R", r1=92_000 + k, r2=k % 50, r3=k, r4=100 if k % 5 == 0 else 200
+            )
+    plain_mediator.refresh()
+    filtered_mediator.refresh()
+
+    plain_atoms = plain_mediator.queue.total_flushed and plain_mediator.iup.stats.delta_atoms_applied
+    assert_view_correct(plain_mediator)
+    assert_view_correct(filtered_mediator)
+    # Equal final states, fewer transferred atoms with prefiltering.
+    assert (
+        filtered_mediator.query_relation("T") == plain_mediator.query_relation("T")
+    )
+
+
+@pytest.mark.parametrize("example", ["ex22", "ex23"])
+def test_prefilters_compose_with_virtual_annotations(example):
+    """Prefiltering only drops atoms irrelevant to every leaf-parent, so it
+    is safe even when the leaf-parents themselves are virtual (their deltas
+    still flow through during propagation)."""
+    mediator, sources = figure1_mediator(example, seed=72)
+    mediator.install_source_prefilters()
+    s_keys = sorted(r["s1"] for r in sources["db2"].relation("S").rows() if r["s3"] < 50)
+    for k in range(10):
+        sources["db1"].insert(
+            "R",
+            r1=98_000 + k,
+            r2=s_keys[k % len(s_keys)],
+            r3=k,
+            r4=100 if k % 2 == 0 else 200,
+        )
+    sources["db2"].insert("S", s1=98_500, s2=1, s3=5)
+    mediator.refresh()
+    assert_view_correct(mediator)
+    # Queries through the VAP still see exact data.
+    got = mediator.query("project[r3, s1](T)")
+    assert got.cardinality() > 0
+
+
+def test_prefilter_skipped_for_non_announcing_sources():
+    mediator, _ = figure1_mediator("ex21")
+    # Pretend db2 is a pure virtual contributor.
+    from repro.sources import ContributorKind
+
+    mediator.contributor_kinds["db2"] = ContributorKind.VIRTUAL
+    installed = mediator.install_source_prefilters()
+    assert installed == 1  # only db1's filter

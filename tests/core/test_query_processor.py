@@ -1,0 +1,89 @@
+"""Unit tests for the Query Processor's routing decisions."""
+
+import pytest
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.errors import MediatorError
+from repro.relalg import TRUE, lt, make_schema, parse_expression
+from repro.sources import MemorySource
+from repro.workloads import figure1_mediator
+
+
+def test_materialized_only_queries_skip_the_vap():
+    mediator, _ = figure1_mediator("ex23")
+    mediator.reset_stats()
+    mediator.query("project[r1](T)")
+    mediator.query("project[s1](select[r1 > 0](T))")
+    assert mediator.qp.stats.materialized_only == 2
+    assert mediator.qp.stats.with_virtual == 0
+    assert mediator.vap.stats.polls == 0
+
+
+def test_predicate_on_virtual_attribute_forces_vap():
+    mediator, _ = figure1_mediator("ex23")
+    mediator.reset_stats()
+    # Output attrs are materialized, but the *selection* touches virtual r3.
+    mediator.query("project[r1, s1](select[r3 < 100](T))")
+    assert mediator.qp.stats.with_virtual == 1
+
+
+def test_query_relation_defaults_to_full_width():
+    mediator, _ = figure1_mediator("ex21")
+    answer = mediator.query_relation("T")
+    assert answer.schema.attribute_names == ("r1", "r3", "s1", "s2")
+    filtered = mediator.query_relation("T", ["r1"], lt("r3", 100))
+    assert filtered.schema.attribute_names == ("r1",)
+
+
+def test_join_across_two_exports():
+    """Queries may combine several mediator relations."""
+    mediator, _ = _two_export_mediator()
+    answer = mediator.query("project[a, b1](VA join[b = b1] VB)")
+    assert answer.to_sorted_list() == [((1, 5), 1)]
+
+
+def test_query_chain_detection_handles_nested_projections():
+    mediator, _ = figure1_mediator("ex23")
+    mediator.reset_stats()
+    # Outer π over inner σπ chain: still one request for T.
+    mediator.query("project[r1](select[s1 > 0](project[r1, s1](T)))")
+    assert mediator.qp.stats.materialized_only == 1
+
+
+def test_unknown_relation_rejected():
+    mediator, _ = figure1_mediator("ex21")
+    from repro.errors import VDPError
+
+    with pytest.raises(VDPError):
+        mediator.query("project[x](NOPE)")
+
+
+def test_full_scan_of_virtual_relation_goes_generic_path():
+    mediator, _ = figure1_mediator("ex23")
+    mediator.reset_stats()
+    answer = mediator.query(parse_expression("T"))
+    assert mediator.qp.stats.with_virtual == 1
+    assert answer.schema.attribute_names == ("r1", "r3", "s1", "s2")
+
+
+def _two_export_mediator():
+    a = make_schema("A", ["a", "b"], key=["a"])
+    b = make_schema("B", ["b1", "c"], key=["b1"])
+    vdp = build_vdp(
+        source_schemas={"A": a, "B": b},
+        source_of={"A": "s1", "B": "s2"},
+        views={
+            "A_pp": "A",
+            "B_pp": "B",
+            "VA": "project[a, b](A_pp)",
+            "VB": "project[b1](B_pp)",
+        },
+        exports=["VA", "VB"],
+    )
+    sources = {
+        "s1": MemorySource("s1", [a], initial={"A": [(1, 5), (2, 6)]}),
+        "s2": MemorySource("s2", [b], initial={"B": [(5, 0), (7, 0)]}),
+    }
+    mediator = SquirrelMediator(annotate(vdp, {}), sources)
+    mediator.initialize()
+    return mediator, sources

@@ -1,0 +1,160 @@
+"""Unit tests for the Section 5.2 update-propagation rules."""
+
+import pytest
+
+from repro.core.rules import (
+    BagNodeRule,
+    SetNodeRule,
+    build_rule,
+    operand_support_delta,
+    spj_delta,
+)
+from repro.deltas import BagDelta
+from repro.errors import VDPError
+from repro.relalg import (
+    BagRelation,
+    SetRelation,
+    evaluate,
+    make_schema,
+    parse_expression,
+    row,
+)
+
+L = make_schema("L", ["k", "x"])
+Rr = make_schema("Rr", ["k", "y"])
+
+
+def incremental_equals_recompute(definition, catalogs_before, delta, child, child_schema):
+    """Check ΔT(rule) == T(after) - T(before) under bag semantics."""
+    before = evaluate(definition, catalogs_before, "T")
+    after_catalog = {n: r.copy() for n, r in catalogs_before.items()}
+    delta.apply_to(after_catalog[child], child)
+    after = evaluate(definition, after_catalog, "T")
+    expected = BagDelta.diff("T", _as_bag(before), _as_bag(after))
+    got = spj_delta(definition, "T", child, delta, catalogs_before, child_schema)
+    assert got == expected, f"{got} != {expected}"
+
+
+def _as_bag(rel):
+    out = BagRelation(rel.schema)
+    for r, n in rel.items():
+        out.insert(r, n)
+    return out
+
+
+def test_spj_rule_select_project():
+    definition = parse_expression("project[x](select[x < 10](L))")
+    cat = {"L": BagRelation.from_values(L, [(1, 5), (2, 20)])}
+    delta = BagDelta.from_counts("L", {row(k=3, x=7): 1, row(k=1, x=5): -1})
+    incremental_equals_recompute(definition, cat, delta, "L", L)
+
+
+def test_spj_rule_join_insert_and_delete():
+    definition = parse_expression("L join[k = k2] rename[k = k2](Rr)")
+    # rename gives Rr attrs (k2, y) to keep the theta join disjoint
+    cat = {
+        "L": BagRelation.from_values(L, [(1, "a"), (2, "b")]),
+        "Rr": BagRelation.from_values(Rr, [(1, "p"), (2, "q")]),
+    }
+    delta = BagDelta.from_counts("L", {row(k=1, x="a"): -1, row(k=2, x="z"): 1})
+    incremental_equals_recompute(definition, cat, delta, "L", L)
+
+
+def test_spj_rule_self_join_occurrences():
+    """A child appearing twice (footnote 2): each occurrence contributes."""
+    definition = parse_expression("L join[x = k2] rename[k = k2, x = x2](L)")
+    cat = {"L": BagRelation.from_values(L, [(1, 2), (2, 3)])}
+    delta = BagDelta.from_counts("L", {row(k=3, x=1): 1})
+    incremental_equals_recompute(definition, cat, delta, "L", L)
+
+
+def test_spj_rule_union_only_touches_matching_side():
+    x = make_schema("X", ["a"])
+    y = make_schema("Y", ["a"])
+    definition = parse_expression("project[a](X) union project[a](rename[a = a](Y))")
+    # Build via build_rule to exercise the union-side dispatch.
+    rule = build_rule("T", definition, "X", x)
+    assert isinstance(rule, BagNodeRule)
+    cat = {
+        "X": BagRelation.from_values(x, [(1,)]),
+        "Y": BagRelation.from_values(y, [(9,)]),
+    }
+    delta = BagDelta.from_counts("X", {row(a=2): 1})
+    out = rule.fire(delta, cat)
+    # Only the insertion flows; Y's contents are NOT re-emitted.
+    assert out.counts_for("T") == {row(a=2): 1}
+    assert rule.sibling_names() == ()
+
+
+def test_spj_delta_requires_reference():
+    definition = parse_expression("project[x](L)")
+    with pytest.raises(VDPError):
+        spj_delta(definition, "T", "NOPE", BagDelta(), {}, L)
+
+
+def test_operand_support_delta_counts_transitions():
+    definition = parse_expression("project[x](L)")
+    cat = {"L": BagRelation.from_values(L, [(1, 7), (2, 7), (3, 8)])}
+    # Removing one of the two x=7 rows: support unchanged; removing x=8: leaves.
+    delta = BagDelta.from_counts("L", {row(k=1, x=7): -1, row(k=3, x=8): -1, row(k=4, x=9): 1})
+    entering, leaving = operand_support_delta(definition, "L", delta, cat, L)
+    assert entering == [row(x=9)]
+    assert leaving == [row(x=8)]
+
+
+def test_set_rule_diff1_corrected_deletion_semantics():
+    """The paper prints (ΔT)- = (ΔR1)- ∩ R2 for diff1; the correct rule is
+    set-minus — a row leaving R1 leaves T only when NOT in R2."""
+    a = make_schema("A", ["v"])
+    b = make_schema("B", ["v"])
+    definition = parse_expression("project[v](A) minus project[v](B)")
+    rule = build_rule("T", definition, "A", a)
+    assert isinstance(rule, SetNodeRule)
+    cat = {
+        "A": BagRelation.from_values(a, [(1,), (2,)]),
+        "B": BagRelation.from_values(b, [(2,)]),
+    }
+    # Row 1 leaves A (was in T since 1 not in B) -> -1 must appear.
+    # Row 2 leaves A (was NOT in T, shadowed by B) -> nothing.
+    delta = BagDelta.from_counts("A", {row(v=1): -1, row(v=2): -1})
+    out = rule.fire(delta, cat)
+    assert out.sign("T", row(v=1)) == -1
+    assert out.sign("T", row(v=2)) == 0  # the paper's ∩ version would emit -2
+
+
+def test_set_rule_diff2_both_directions():
+    a = make_schema("A", ["v"])
+    b = make_schema("B", ["v"])
+    definition = parse_expression("project[v](A) minus project[v](B)")
+    rule = build_rule("T", definition, "B", b)
+    cat = {
+        "A": BagRelation.from_values(a, [(1,), (2,)]),
+        "B": BagRelation.from_values(b, [(2,)]),
+    }
+    # 1 enters B: evicts 1 from T.  2 leaves B: re-admits 2 into T.
+    delta = BagDelta.from_counts("B", {row(v=1): 1, row(v=2): -1})
+    out = rule.fire(delta, cat)
+    assert out.sign("T", row(v=1)) == -1
+    assert out.sign("T", row(v=2)) == 1
+
+
+def test_set_rule_ignores_support_preserving_changes():
+    a = make_schema("A", ["k", "v"])
+    b = make_schema("B", ["v"])
+    definition = parse_expression("project[v](A) minus project[v](B)")
+    rule = build_rule("T", definition, "A", a)
+    cat = {
+        "A": BagRelation.from_values(a, [(1, 7), (2, 7)]),
+        "B": BagRelation(b),
+    }
+    # One of two supporting rows for v=7 goes away: support survives.
+    delta = BagDelta.from_counts("A", {row(k=1, v=7): -1})
+    out = rule.fire(delta, cat)
+    assert out.is_empty()
+
+
+def test_set_rule_sibling_names_cover_both_children():
+    a = make_schema("A", ["v"])
+    definition = parse_expression("project[v](A) minus project[v](B)")
+    rule = build_rule("T", definition, "A", a)
+    assert rule.sibling_names() == ("A", "B")

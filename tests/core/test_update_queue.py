@@ -1,0 +1,78 @@
+"""Unit tests for the update queue."""
+
+from repro.core import UpdateQueue
+from repro.deltas import SetDelta
+from repro.relalg import row
+
+
+def delta_insert(rel, **values):
+    d = SetDelta()
+    d.insert(rel, row(**values))
+    return d
+
+
+def test_enqueue_and_flush_nets_in_order():
+    q = UpdateQueue()
+    assert q.is_empty()
+    d1 = delta_insert("R", a=1)
+    d2 = SetDelta()
+    d2.delete("R", row(a=1))
+    q.enqueue("db1", d1, send_time=1.0, arrival_time=2.0)
+    q.enqueue("db1", d2, send_time=3.0, arrival_time=4.0)
+    combined, entries = q.flush()
+    # Insert-then-delete across two in-order messages nets to NOTHING —
+    # smash would keep a spurious deletion atom (regression for the
+    # multi-message-per-flush bug found in simulation).
+    assert combined.sign("R", row(a=1)) == 0
+    assert combined.is_empty()
+    assert [e.send_time for e in entries] == [1.0, 3.0]
+    assert q.is_empty()
+    assert q.total_enqueued == 2
+    assert q.total_flushed == 2
+
+
+def test_flush_nets_delete_then_reinsert_cycle():
+    q = UpdateQueue()
+    d1 = SetDelta()
+    d1.delete("R", row(a=1))
+    q.enqueue("db1", d1)
+    q.enqueue("db1", delta_insert("R", a=1))
+    d3 = SetDelta()
+    d3.delete("R", row(a=1))
+    q.enqueue("db1", d3)
+    combined, _ = q.flush()
+    assert combined.sign("R", row(a=1)) == -1  # odd number of flips: net delete
+
+
+def test_flush_empty_queue():
+    q = UpdateQueue()
+    combined, entries = q.flush()
+    assert combined is None
+    assert entries == []
+
+
+def test_pending_for_source_preserves_order_without_consuming():
+    q = UpdateQueue()
+    q.enqueue("db1", delta_insert("R", a=1))
+    q.enqueue("db2", delta_insert("S", b=1))
+    q.enqueue("db1", delta_insert("R", a=2))
+    pending = q.pending_for_source("db1")
+    assert len(pending) == 2
+    assert pending[0].sign("R", row(a=1)) == 1
+    assert len(q) == 3  # not consumed
+
+
+def test_last_send_time():
+    q = UpdateQueue()
+    assert q.last_send_time("db1") is None
+    q.enqueue("db1", delta_insert("R", a=1), send_time=5.0)
+    q.enqueue("db1", delta_insert("R", a=2), send_time=9.0)
+    assert q.last_send_time("db1") == 9.0
+
+
+def test_peek_is_a_copy():
+    q = UpdateQueue()
+    q.enqueue("db1", delta_insert("R", a=1))
+    peeked = q.peek()
+    peeked.clear()
+    assert len(q) == 1

@@ -1,0 +1,144 @@
+"""Tests for the Section 3 consistency/pseudo-consistency checkers."""
+
+import pytest
+
+from repro.correctness import (
+    IntegrationTrace,
+    check_consistency,
+    check_pseudo_consistency,
+    view_function_from_vdp,
+)
+from repro.errors import ConsistencyError
+from repro.relalg import Evaluator, SetRelation, make_schema, scan
+from repro.workloads import figure2_trace
+
+R = make_schema("R", ["x", "y"])
+S = make_schema("S", ["y"])
+
+
+def simple_view_fn():
+    expr = scan("R").project(["y"], dedup=True)
+
+    def view_fn(source_states):
+        return {"S": Evaluator({"R": source_states["db"]["R"]}).evaluate(expr, "S")}
+
+    return view_fn
+
+
+def r_state(*pairs):
+    return {"R": SetRelation.from_values(R, pairs)}
+
+
+def s_state(*values):
+    return {"S": SetRelation.from_values(S, [(v,) for v in values])}
+
+
+def test_figure2_scenario_is_pseudo_consistent_but_not_consistent():
+    """The paper's Remark 3.1 counterexample, verified mechanically."""
+    trace, view_fn = figure2_trace()
+    verdict = check_consistency(trace, view_fn)
+    assert not verdict.consistent
+    assert verdict.pseudo_consistent
+    assert any("order preservation" in f for f in verdict.failures)
+    assert check_pseudo_consistency(trace, view_fn)
+
+
+def test_well_behaved_trace_is_consistent():
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    trace.record_source_state("db", 3.0, r_state(("b", "b")))
+    trace.record_view_state(1.5, "query", s_state("a"))
+    trace.record_view_state(4.0, "query", s_state("b"))
+    verdict = check_consistency(trace, simple_view_fn())
+    assert verdict.consistent
+    assert verdict.pseudo_consistent
+    assert verdict.reflect == [{"db": 1.0}, {"db": 3.0}]
+
+
+def test_lagging_view_is_still_consistent():
+    """The view may reflect an old state — consistency allows lag."""
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    trace.record_source_state("db", 2.0, r_state(("b", "b")))
+    trace.record_view_state(5.0, "query", s_state("a"))  # still the old state
+    verdict = check_consistency(trace, simple_view_fn())
+    assert verdict.consistent
+
+
+def test_forecasting_view_violates_chronology():
+    """A view showing a state before the source reaches it is invalid."""
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    trace.record_source_state("db", 5.0, r_state(("b", "b")))
+    trace.record_view_state(2.0, "query", s_state("b"))  # forecasts t=5
+    verdict = check_consistency(trace, simple_view_fn())
+    assert not verdict.consistent
+    assert not verdict.pseudo_consistent
+    assert any("validity/chronology" in f for f in verdict.failures)
+
+
+def test_garbage_view_state_violates_validity():
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    trace.record_view_state(2.0, "query", s_state("zzz"))
+    verdict = check_consistency(trace, simple_view_fn())
+    assert not verdict.consistent
+    assert verdict.failures
+
+
+def test_multi_source_reflect_vectors_are_per_source():
+    a_schema = make_schema("A", ["x"])
+    b_schema = make_schema("B", ["y"])
+    out_schema = make_schema("V", ["x", "y"])
+
+    def view_fn(source_states):
+        a = source_states["dbA"]["A"]
+        b = source_states["dbB"]["B"]
+        expr = scan("A").join(scan("B"), None) if False else None
+        # cross product via theta join on TRUE
+        from repro.relalg import TRUE, Join
+
+        catalog = {"A": a, "B": b}
+        return {"V": Evaluator(catalog).evaluate(Join(scan("A"), scan("B"), TRUE), "V")}
+
+    trace = IntegrationTrace(["dbA", "dbB"])
+    trace.record_source_state("dbA", 0.0, {"A": SetRelation.from_values(a_schema, [(1,)])})
+    trace.record_source_state("dbB", 0.0, {"B": SetRelation.from_values(b_schema, [(9,)])})
+    trace.record_source_state("dbA", 2.0, {"A": SetRelation.from_values(a_schema, [(2,)])})
+    # View reflects dbA's new state but dbB's old one: a legal state *vector*.
+    from repro.relalg import BagRelation
+
+    v = BagRelation.from_values(out_schema, [(2, 9)])
+    trace.record_view_state(3.0, "query", {"V": v})
+    verdict = check_consistency(trace, view_fn)
+    assert verdict.consistent
+    assert verdict.reflect == [{"dbA": 2.0, "dbB": 0.0}]
+
+
+def test_trace_validation_and_ordering():
+    trace = IntegrationTrace(["db"])
+    with pytest.raises(ConsistencyError):
+        trace.validate()  # nothing recorded
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    with pytest.raises(ConsistencyError):
+        trace.record_source_state("db", 0.5, r_state(("b", "b")))
+    trace.record_view_state(1.0, "init", s_state("a"))
+    with pytest.raises(ConsistencyError):
+        trace.record_view_state(0.5, "query", s_state("a"))
+
+
+def test_identical_consecutive_source_states_collapse():
+    trace = IntegrationTrace(["db"])
+    trace.record_source_state("db", 1.0, r_state(("a", "a")))
+    trace.record_source_state("db", 2.0, r_state(("a", "a")))  # no change
+    assert len(trace.source_history("db")) == 1
+
+
+def test_view_function_from_vdp_matches_manual_evaluation():
+    from repro.workloads import figure1_mediator, figure1_vdp
+
+    mediator, sources = figure1_mediator("ex21")
+    view_fn = view_function_from_vdp(mediator.vdp)
+    states = {name: src.state() for name, src in sources.items()}
+    result = view_fn(states)
+    assert result["T"] == mediator.query_relation("T")

@@ -1,0 +1,140 @@
+"""Unit tests for generic delta operations and leaf-parent filtering."""
+
+import pytest
+
+from repro.deltas import (
+    BagDelta,
+    LeafParentFilter,
+    SetDelta,
+    apply_delta,
+    bag_to_set,
+    rename_delta,
+    select_project,
+    set_to_bag,
+    smash_all,
+)
+from repro.errors import DeltaError
+from repro.relalg import (
+    BagRelation,
+    SetRelation,
+    evaluate,
+    lt,
+    make_schema,
+    row,
+    scan,
+)
+
+R = make_schema("R", ["a", "b"])
+
+
+def test_apply_delta_dispatch_set():
+    target = SetRelation.from_values(R, [(1, 2)])
+    d = SetDelta()
+    d.insert("R", row(a=3, b=4))
+    apply_delta(target, d)
+    assert target.contains(row(a=3, b=4))
+
+
+def test_apply_delta_dispatch_bag():
+    target = BagRelation.from_values(R, [(1, 2)])
+    d = BagDelta.from_counts("R", {row(a=1, b=2): 2})
+    apply_delta(target, d)
+    assert target.count(row(a=1, b=2)) == 3
+
+
+def test_apply_delta_converts_between_kinds():
+    target = BagRelation.from_values(R, [(1, 2)])
+    d = SetDelta()
+    d.delete("R", row(a=1, b=2))
+    apply_delta(target, d)
+    assert target.is_empty()
+
+    set_target = SetRelation.from_values(R, [(1, 2)])
+    bd = BagDelta.from_counts("R", {row(a=1, b=2): -1})
+    apply_delta(set_target, bd)
+    assert set_target.is_empty()
+
+
+def test_bag_to_set_rejects_large_counts():
+    bd = BagDelta.from_counts("R", {row(a=1, b=2): 2})
+    with pytest.raises(DeltaError):
+        bag_to_set(bd)
+
+
+def test_set_to_bag_roundtrip():
+    d = SetDelta()
+    d.insert("R", row(a=1, b=2))
+    d.delete("R", row(a=3, b=4))
+    assert bag_to_set(set_to_bag(d)) == d
+
+
+def test_smash_all():
+    d1 = SetDelta()
+    d1.insert("R", row(a=1, b=2))
+    d2 = SetDelta()
+    d2.delete("R", row(a=1, b=2))
+    result = smash_all([d1, d2])
+    assert result.sign("R", row(a=1, b=2)) == -1
+    assert smash_all([]) is None
+
+
+def test_smash_all_rejects_mixed_kinds():
+    with pytest.raises(DeltaError):
+        smash_all([SetDelta(), BagDelta()])
+
+
+def test_select_project_commutation_law():
+    """π_C σ_f apply(R, Δ) == apply(π_C σ_f R, π_C σ_f Δ) — Section 6.2."""
+    base = SetRelation.from_values(R, [(1, 10), (2, 20)])
+    d = SetDelta()
+    d.insert("R", row(a=3, b=5))
+    d.delete("R", row(a=1, b=10))
+
+    pred = lt("b", 15)
+    attrs = ("a",)
+
+    # Left side: apply then select/project.
+    updated = d.applied(base, "R")
+    lhs = evaluate(scan("R").select(pred).project(list(attrs)), {"R": updated})
+
+    # Right side: select/project both, then apply.
+    view = evaluate(scan("R").select(pred).project(list(attrs)), {"R": base}, "V")
+    filtered = select_project(d, "R", pred, attrs, out_relation="V")
+    filtered.apply_to(view, "V")
+
+    assert lhs == view
+
+
+def test_select_project_merges_projected_atoms():
+    d = BagDelta()
+    d.add("R", row(a=1, b=10), 1)
+    d.add("R", row(a=1, b=20), 1)
+    out = select_project(d, "R", lt("b", 100), ("a",))
+    assert out.count("R", row(a=1)) == 2
+
+
+def test_rename_delta():
+    d = SetDelta()
+    d.insert("R", row(a=1, b=2))
+    out = rename_delta(d, {"a": "x"}, "R", out_relation="R2")
+    assert out.count("R2", row(x=1, b=2)) == 1
+
+
+def test_leaf_parent_filter():
+    lp = LeafParentFilter("Rp", "R", lt("b", 15), ("a",))
+    d = SetDelta()
+    d.insert("R", row(a=1, b=10))
+    d.insert("R", row(a=2, b=99))  # dropped by predicate
+    d.insert("S", row(a=5, b=5))  # other relation ignored
+    out = lp.filter(d)
+    assert out.counts_for("Rp") == {row(a=1): 1}
+
+
+def test_leaf_parent_prefilter_keeps_other_relations():
+    lp = LeafParentFilter("Rp", "R", lt("b", 15))
+    d = SetDelta()
+    d.insert("R", row(a=2, b=99))
+    d.insert("S", row(a=5, b=5))
+    out = lp.prefilter(d)
+    assert out.sign("R", row(a=2, b=99)) == 0
+    assert out.sign("S", row(a=5, b=5)) == 1

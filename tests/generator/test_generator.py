@@ -1,0 +1,149 @@
+"""Tests for the spec language and mediator generation."""
+
+import pytest
+
+from repro.errors import ParseError, SourceError
+from repro.generator import (
+    build_vdp_from_spec,
+    generate_mediator,
+    make_sources,
+    parse_spec,
+)
+from repro.planner import WorkloadProfile
+from repro.relalg import row
+
+FIG1_SPEC = """
+# Figure 1 of the paper, Example 2.3 annotation.
+source db1 {
+    relation R(r1: int key, r2: int, r3: int, r4: int)
+}
+source db2 {
+    relation S(s1: int key, s2: int, s3: int)
+}
+
+view R_p = project[r1, r2, r3](select[r4 = 100](R))
+view S_p = project[s1, s2](select[s3 < 50](S))
+export T = project[r1, r3, s1, s2](R_p join[r2 = s1] S_p)
+
+annotate T [r1^m, r3^v, s1^m, s2^v]
+annotate R_p virtual
+annotate S_p v
+"""
+
+INITIAL = {
+    "db1": {"R": [(1, 10, 7, 100), (2, 20, 8, 100), (3, 10, 9, 999)]},
+    "db2": {"S": [(10, 42, 5), (20, 43, 99)]},
+}
+
+
+def test_parse_spec_structure():
+    spec = parse_spec(FIG1_SPEC)
+    assert set(spec.sources) == {"db1", "db2"}
+    assert spec.sources["db1"].relations[0].schema.key == ("r1",)
+    assert spec.sources["db1"].relations[0].schema.attributes[0].dtype == "int"
+    assert [v.name for v in spec.views] == ["R_p", "S_p", "T"]
+    assert spec.exports() == ["T"]
+    assert spec.annotations["T"].startswith("[")
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_spec("source db1 {\n relation R(a)\n}")  # no exports
+    with pytest.raises(ParseError):
+        parse_spec("export T = project[a](R)")  # no sources
+    with pytest.raises(ParseError):
+        parse_spec("source db1 {\n}")  # empty source
+    with pytest.raises(ParseError):
+        parse_spec("source db1 {\n relation R(a)\n")  # unterminated
+    with pytest.raises(ParseError):
+        parse_spec(FIG1_SPEC + "\nannotate T virtual")  # duplicate annotation
+    with pytest.raises(ParseError):
+        parse_spec(FIG1_SPEC + "\nwibble wobble")
+
+
+def test_duplicate_relation_across_sources_rejected():
+    text = """
+source a { relation R(x) }
+source b { relation R(x) }
+export V = project[x](R)
+"""
+    with pytest.raises(ParseError):
+        parse_spec(text).source_schemas()
+
+
+def test_build_vdp_from_spec():
+    vdp = build_vdp_from_spec(FIG1_SPEC)
+    assert vdp.exports == ("T",)
+    assert set(vdp.leaves()) == {"R", "S"}
+
+
+def test_generate_mediator_end_to_end():
+    sources = make_sources(FIG1_SPEC, initial=INITIAL)
+    mediator = generate_mediator(FIG1_SPEC, sources)
+    assert mediator.initialized
+    assert mediator.annotated.virtual_attrs("T") == ("r3", "s2")
+    answer = mediator.query("project[r1, s1](T)")
+    assert answer.to_sorted_list() == [((1, 10), 1)]
+    # Incremental maintenance through the generated mediator.
+    sources["db1"].insert("R", r1=4, r2=10, r3=11, r4=100)
+    mediator.refresh()
+    assert mediator.query("project[r1, s1](T)").to_sorted_list() == [
+        ((1, 10), 1),
+        ((4, 10), 1),
+    ]
+
+
+def test_generate_rejects_mismatched_sources():
+    sources = make_sources(FIG1_SPEC, initial=INITIAL)
+    del sources["db2"]
+    with pytest.raises(SourceError):
+        generate_mediator(FIG1_SPEC, sources)
+
+
+def test_generate_rejects_schema_mismatch():
+    from repro.relalg import make_schema
+    from repro.sources import MemorySource
+
+    sources = make_sources(FIG1_SPEC, initial=INITIAL)
+    sources["db2"] = MemorySource("db2", [make_schema("S", ["s1", "zzz", "s3"])])
+    with pytest.raises(SourceError):
+        generate_mediator(FIG1_SPEC, sources)
+
+
+def test_generate_with_planner_profile():
+    spec_no_ann = "\n".join(
+        line for line in FIG1_SPEC.splitlines() if not line.startswith("annotate")
+    )
+    sources = make_sources(spec_no_ann, initial=INITIAL)
+    profile = WorkloadProfile(
+        update_rates={"db1": 50.0, "db2": 0.01}, query_rate=1.0, default_access=0.9
+    )
+    mediator = generate_mediator(spec_no_ann, sources, plan_profile=profile)
+    # Example 2.2 regime: the planner virtualizes the hot auxiliary.
+    assert mediator.annotated.is_fully_virtual("R_p")
+
+
+def test_generate_with_sqlite_backend():
+    sources = make_sources(FIG1_SPEC, initial=INITIAL, backend="sqlite")
+    from repro.sources import SQLiteSource
+
+    assert all(isinstance(s, SQLiteSource) for s in sources.values())
+    mediator = generate_mediator(FIG1_SPEC, sources)
+    assert mediator.query("project[r1, s1](T)").to_sorted_list() == [((1, 10), 1)]
+    sources["db1"].insert("R", r1=4, r2=10, r3=11, r4=100)
+    mediator.refresh()
+    assert mediator.query("project[r1, s1](T)").cardinality() == 2
+    for s in sources.values():
+        s.close()
+
+
+def test_make_sources_rejects_unknown_backend():
+    with pytest.raises(SourceError):
+        make_sources(FIG1_SPEC, backend="oracle")
+
+
+def test_annotation_for_unknown_view_rejected():
+    sources = make_sources(FIG1_SPEC, initial=INITIAL)
+    bad = FIG1_SPEC + "\nannotate NOPE virtual\n"
+    with pytest.raises(ParseError):
+        generate_mediator(bad, sources)

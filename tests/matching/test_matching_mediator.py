@@ -1,0 +1,115 @@
+"""Integration: a match table as a mediator source relation.
+
+The match table produced by the engine is an ordinary announcing source;
+a VDP joins the two CRMs *through* it, and the whole pipeline (commit →
+match maintenance → announcement → IUP) keeps the unified view exact.
+"""
+
+import pytest
+
+from repro.core import SquirrelMediator, annotate, build_vdp
+from repro.correctness import assert_view_correct
+from repro.matching import MatchCriterion, MatchRule, MatchingEngine, casefold_trim, digits_only
+from repro.relalg import make_schema, row
+from repro.sources import MemorySource
+
+CUSTOMERS = make_schema("customers", ["cid", "name", "phone"], key=["cid"])
+CLIENTS = make_schema("clients", ["clid", "fullname", "tel"], key=["clid"])
+
+
+def build_stack():
+    left = MemorySource(
+        "crm_a",
+        [CUSTOMERS],
+        initial={
+            "customers": [
+                (1, "Ada Lovelace", "3035550101"),
+                (2, "Grace Hopper", "3035550202"),
+            ]
+        },
+    )
+    right = MemorySource(
+        "crm_b",
+        [CLIENTS],
+        initial={
+            "clients": [
+                (901, "ADA LOVELACE", "3035550101"),
+                (903, "Edsger Dijkstra", "3035550404"),
+            ]
+        },
+    )
+    rule = MatchRule(
+        "cust_match",
+        "customers",
+        "clients",
+        (
+            MatchCriterion("name", "fullname", casefold_trim),
+            MatchCriterion("phone", "tel", digits_only),
+        ),
+        left_keys=("cid",),
+        right_keys=("clid",),
+    )
+    engine = MatchingEngine([rule], left, right)
+
+    vdp = build_vdp(
+        source_schemas={
+            "customers": CUSTOMERS,
+            "clients": CLIENTS,
+            "cust_match": rule.schema(),
+        },
+        source_of={
+            "customers": "crm_a",
+            "clients": "crm_b",
+            "cust_match": "matcher",
+        },
+        views={
+            "cust_p": "customers",
+            "cli_p": "clients",
+            "match_p": "cust_match",
+            # One row per matched entity, with both systems' ids and names.
+            "unified": (
+                "project[cid, clid, name, fullname]"
+                "((cust_p join[cid = l_cid] match_p) join[r_clid = clid] cli_p)"
+            ),
+        },
+        exports=["unified"],
+    )
+    mediator = SquirrelMediator(
+        annotate(vdp, {}),
+        {"crm_a": left, "crm_b": right, "matcher": engine.source},
+    )
+    mediator.initialize()
+    return mediator, left, right, engine
+
+
+def test_unified_view_over_match_table():
+    mediator, left, right, engine = build_stack()
+    unified = mediator.query_relation("unified")
+    assert unified.to_sorted_list() == [((1, 901, "Ada Lovelace", "ADA LOVELACE"), 1)]
+    assert_view_correct(mediator)
+
+
+def test_new_match_flows_through_to_the_view():
+    mediator, left, right, engine = build_stack()
+    # A new client for Grace arrives in the second CRM...
+    right.insert("clients", clid=902, fullname="grace hopper", tel="3035550202")
+    # ...the engine updates the match table; one refresh propagates BOTH the
+    # client row and the match row into the unified view.
+    mediator.refresh()
+    assert_view_correct(mediator)
+    unified = mediator.query_relation("unified")
+    assert unified.contains(
+        row(cid=2, clid=902, name="Grace Hopper", fullname="grace hopper")
+    )
+
+
+def test_retracted_match_disappears_from_view():
+    mediator, left, right, engine = build_stack()
+    left.update(
+        "customers",
+        {"cid": 1, "name": "Ada Lovelace", "phone": "3035550101"},
+        {"cid": 1, "name": "Ada Lovelace", "phone": "9999999999"},
+    )
+    mediator.refresh()
+    assert_view_correct(mediator)
+    assert mediator.query_relation("unified").is_empty()

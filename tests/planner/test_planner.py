@@ -1,0 +1,168 @@
+"""Tests for the Section 5.3 planner: cost model, heuristics, enumeration."""
+
+import pytest
+
+from repro.core import annotate
+from repro.errors import PlanningError
+from repro.planner import (
+    CostModel,
+    WorkloadProfile,
+    attrs_needed_by_parents,
+    best_annotation,
+    candidate_annotations,
+    enumerate_annotations,
+    is_expensive_join,
+    node_statistics,
+    suggest_annotation,
+)
+from repro.workloads import (
+    figure1_sources,
+    figure1_vdp,
+    figure4_sources,
+    figure4_vdp,
+)
+
+
+def test_is_expensive_join():
+    vdp4 = figure4_vdp()
+    assert is_expensive_join(vdp4, "E")      # arithmetic theta join
+    assert not is_expensive_join(vdp4, "F")  # equi join
+    vdp1 = figure1_vdp()
+    assert not is_expensive_join(vdp1, "T")  # r2 = s1 is hash-joinable
+    assert not is_expensive_join(vdp1, "R_p")
+
+
+def test_attrs_needed_by_parents():
+    vdp = figure4_vdp()
+    needed = attrs_needed_by_parents(vdp, "E")
+    # G = π_{a1,b1}E − F reads exactly a1 and b1 from E.
+    assert needed == frozenset({"a1", "b1"})
+    assert attrs_needed_by_parents(vdp, "G") == frozenset()
+
+
+def test_node_statistics_measures_cardinalities():
+    vdp = figure1_vdp()
+    sources = figure1_sources(r_rows=50, s_rows=20)
+    stats = node_statistics(vdp, sources)
+    assert stats["R"] == 50
+    assert stats["T"] >= 0
+    assert set(stats) == set(vdp.nodes)
+
+
+def test_cost_model_prices_storage_and_work():
+    vdp = figure1_vdp()
+    sources = figure1_sources()
+    stats = node_statistics(vdp, sources)
+    profile = WorkloadProfile(update_rates={"db1": 1.0, "db2": 0.1}, query_rate=1.0)
+    model = CostModel(vdp, stats, profile)
+
+    all_m = model.estimate(annotate(vdp, {}))
+    all_v = model.estimate(annotate(vdp, {}, default="v"))
+    # Fully materialized stores more and answers queries cheaper.
+    assert all_m.storage > all_v.storage
+    assert all_m.query_cost < all_v.query_cost
+    # Fully virtual pays polls at query time.
+    assert all_v.query_cost > 0
+
+
+def test_suggest_annotation_example22_regime():
+    """Frequent R updates + rare queries -> R' goes virtual (Example 2.2)."""
+    vdp = figure1_vdp()
+    profile = WorkloadProfile(
+        update_rates={"db1": 50.0, "db2": 0.01},
+        query_rate=1.0,
+        default_access=0.9,
+    )
+    suggestion = suggest_annotation(vdp, profile)
+    assert suggestion.is_fully_virtual("R_p")
+    assert suggestion.is_fully_materialized("S_p")
+    assert suggestion.is_fully_materialized("T")
+
+
+def test_suggest_annotation_example23_regime():
+    """Queries mostly touch r1/s1 -> r3/s2 go virtual in T (Example 2.3)."""
+    vdp = figure1_vdp()
+    profile = WorkloadProfile(
+        update_rates={"db1": 10.0, "db2": 10.0},
+        query_rate=1.0,
+        attr_access={
+            ("T", "r1"): 0.95,
+            ("T", "s1"): 0.95,
+            ("T", "r3"): 0.05,
+            ("T", "s2"): 0.05,
+        },
+    )
+    suggestion = suggest_annotation(vdp, profile)
+    ann = suggestion.annotation("T")
+    assert set(ann.materialized_attrs) == {"r1", "s1"}
+    assert set(ann.virtual_attrs) == {"r3", "s2"}
+
+
+def test_suggest_annotation_figure4_shape():
+    """The suggestion matches Example 5.1's reasoning on Figure 4: E keeps
+    a1/b1 (needed by G's rules and as keys), F may stay virtual."""
+    vdp = figure4_vdp()
+    profile = WorkloadProfile(
+        update_rates={"dbA": 1.0, "dbB": 1.0, "dbC": 1.0, "dbD": 1.0},
+        query_rate=1.0,
+        attr_access={("E", "a2"): 0.05},
+        default_access=0.9,
+    )
+    suggestion = suggest_annotation(vdp, profile)
+    e_ann = suggestion.annotation("E")
+    assert "a1" in e_ann.materialized_attrs
+    assert "b1" in e_ann.materialized_attrs
+    assert "a2" in e_ann.virtual_attrs  # rarely accessed
+    assert suggestion.is_fully_virtual("F")  # cheap to evaluate
+    assert suggestion.is_fully_materialized("G")  # export set node
+
+
+def test_candidate_annotations_include_hybrid():
+    vdp = figure1_vdp()
+    candidates = candidate_annotations(vdp, "T")
+    kinds = {(c.fully_materialized, c.fully_virtual, c.hybrid) for c in candidates}
+    assert (True, False, False) in kinds
+    assert (False, True, False) in kinds
+    assert any(c.hybrid for c in candidates)
+
+
+def test_enumeration_ranks_and_respects_constraints():
+    vdp = figure1_vdp()
+    sources = figure1_sources(r_rows=60, s_rows=20)
+    stats = node_statistics(vdp, sources)
+    profile = WorkloadProfile(update_rates={"db1": 1.0, "db2": 1.0}, query_rate=1.0)
+    ranked = enumerate_annotations(vdp, stats, profile)
+    assert ranked[0].total <= ranked[-1].total
+    assert ranked[0].describe()
+    best = best_annotation(vdp, stats, profile)
+    assert best.vdp is vdp
+
+
+def test_enumeration_space_limit():
+    vdp = figure4_vdp()
+    stats = {name: 10 for name in vdp.nodes}
+    profile = WorkloadProfile()
+    with pytest.raises(PlanningError):
+        enumerate_annotations(vdp, stats, profile, limit=2)
+
+
+def test_enumerator_prefers_materialized_under_query_heavy_load():
+    vdp = figure1_vdp()
+    sources = figure1_sources(r_rows=60, s_rows=20)
+    stats = node_statistics(vdp, sources)
+    query_heavy = WorkloadProfile(
+        update_rates={"db1": 0.01, "db2": 0.01}, query_rate=100.0
+    )
+    best = best_annotation(vdp, stats, query_heavy)
+    assert best.is_fully_materialized("T")
+
+    update_heavy = WorkloadProfile(
+        update_rates={"db1": 100.0, "db2": 100.0}, query_rate=0.01
+    )
+    best_u = best_annotation(vdp, stats, update_heavy)
+    # Under overwhelming updates the mediator should store less / do less
+    # propagation work than the fully materialized plan.
+    model = CostModel(vdp, stats, update_heavy)
+    full = model.estimate(annotate(vdp, {}))
+    chosen = model.estimate(best_u)
+    assert chosen.update_cost <= full.update_cost

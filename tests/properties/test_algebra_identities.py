@@ -1,0 +1,109 @@
+"""Property tests for evaluator identities and parser round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg import (
+    BagRelation,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Union,
+    eq,
+    evaluate,
+    ge,
+    lt,
+    make_schema,
+    parse_expression,
+    row,
+)
+
+A = make_schema("A", ["x", "y"])
+B = make_schema("B", ["z", "w"])
+
+values = st.integers(min_value=0, max_value=4)
+a_rows = st.lists(st.tuples(values, values), max_size=8)
+b_rows = st.lists(st.tuples(values, values), max_size=8)
+
+
+def bag(schema, rows_):
+    return BagRelation.from_values(schema, rows_)
+
+
+@given(a_rows, values)
+@settings(max_examples=150, deadline=None)
+def test_select_split_conjunction(rows_, k):
+    cat = {"A": bag(A, rows_)}
+    both = evaluate(Select(Scan("A"), lt("x", k) & ge("y", 1)), cat)
+    nested = evaluate(Select(Select(Scan("A"), lt("x", k)), ge("y", 1)), cat)
+    assert both == nested
+
+
+@given(a_rows)
+@settings(max_examples=150, deadline=None)
+def test_projection_composition(rows_):
+    cat = {"A": bag(A, rows_)}
+    direct = evaluate(Project(Scan("A"), ("x",)), cat)
+    composed = evaluate(Project(Project(Scan("A"), ("x", "y")), ("x",)), cat)
+    assert direct == composed
+
+
+@given(a_rows, b_rows)
+@settings(max_examples=100, deadline=None)
+def test_join_commutative_up_to_content(a_, b_):
+    cat = {"A": bag(A, a_), "B": bag(B, b_)}
+    ab = evaluate(Join(Scan("A"), Scan("B"), eq("x", "z")), cat)
+    ba = evaluate(Join(Scan("B"), Scan("A"), eq("x", "z")), cat)
+    assert {tuple(sorted(r.items())): n for r, n in ab.items()} == {
+        tuple(sorted(r.items())): n for r, n in ba.items()
+    }
+
+
+@given(a_rows, b_rows)
+@settings(max_examples=100, deadline=None)
+def test_hash_join_equals_filtered_cross_product(a_, b_):
+    from repro.relalg import TRUE
+
+    cat = {"A": bag(A, a_), "B": bag(B, b_)}
+    hash_join = evaluate(Join(Scan("A"), Scan("B"), eq("x", "z")), cat)
+    cross = evaluate(Select(Join(Scan("A"), Scan("B"), TRUE), eq("x", "z")), cat)
+    assert hash_join == cross
+
+
+@given(a_rows, a_rows)
+@settings(max_examples=100, deadline=None)
+def test_union_cardinality_is_additive(a1, a2):
+    cat = {"A": bag(A, a1), "B": bag(make_schema("B", ["x", "y"]), a2)}
+    u = evaluate(Union(Scan("A"), Scan("B")), cat)
+    assert u.cardinality() == len(a1) + len(a2)
+
+
+@given(a_rows, a_rows)
+@settings(max_examples=100, deadline=None)
+def test_difference_is_antimonotone_in_right(a1, a2):
+    cat = {
+        "A": bag(A, a1),
+        "B": bag(make_schema("B", ["x", "y"]), a2),
+        "EMPTY": bag(make_schema("EMPTY", ["x", "y"]), []),
+    }
+    small = evaluate(parse_expression("A minus B"), cat)
+    big = evaluate(parse_expression("A minus EMPTY"), cat)
+    assert small.support() <= big.support()
+
+
+EXPRESSIONS = [
+    "project[r1, s1, s2](select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))",
+    "project[a](X) union project[a](Y)",
+    "dproject[a](X) minus dproject[a](Y)",
+    "rename[a = b2](select[a < 3 and (a > 0 or a = 0)](X))",
+    "select[a ^ 2 + a < 10](X)",
+    "(X njoin Y)",
+]
+
+
+@given(st.sampled_from(EXPRESSIONS))
+@settings(max_examples=30, deadline=None)
+def test_parser_str_roundtrip(text):
+    expr = parse_expression(text)
+    assert parse_expression(str(expr)) == expr

@@ -1,0 +1,87 @@
+"""Property test: incremental maintenance ≡ full recomputation.
+
+The central invariant of the whole system: after any sequence of source
+transactions and refreshes, under ANY annotation, every export relation
+equals its bottom-up recomputation from current source states.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correctness import assert_view_correct
+from repro.workloads import FIGURE1_ANNOTATIONS, figure1_mediator, figure4_mediator
+
+# Operations are drawn as abstract steps; values derive from a seeded rng so
+# shrinking stays meaningful.
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["insert_r", "delete_r", "insert_s", "delete_s", "refresh"]),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=25,
+)
+
+
+def apply_step(mediator, sources, step, arg, counter):
+    kind = step
+    if kind == "refresh":
+        mediator.refresh()
+        return
+    if kind == "insert_r":
+        sources["db1"].insert(
+            "R", r1=100_000 + counter, r2=arg % 50, r3=arg % 997, r4=100 if arg % 2 else 200
+        )
+        return
+    if kind == "insert_s":
+        sources["db2"].insert("S", s1=100_000 + counter, s2=arg % 997, s3=arg % 100)
+        return
+    relation = "R" if kind == "delete_r" else "S"
+    source = sources["db1"] if kind == "delete_r" else sources["db2"]
+    rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+    if rows:
+        source.delete(relation, **dict(rows[arg % len(rows)]))
+
+
+@given(st.sampled_from(sorted(FIGURE1_ANNOTATIONS)), steps)
+@settings(max_examples=30, deadline=None)
+def test_figure1_maintenance_equivalence(example, ops):
+    mediator, sources = figure1_mediator(example, seed=3)
+    for counter, (step, arg) in enumerate(ops):
+        apply_step(mediator, sources, step, arg, counter)
+    mediator.refresh()
+    assert_view_correct(mediator)
+
+
+fig4_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.booleans(),  # insert vs delete
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=20,
+)
+
+
+@given(st.sampled_from(["paper", "all_m"]), fig4_steps)
+@settings(max_examples=20, deadline=None)
+def test_figure4_maintenance_equivalence(annotation, ops):
+    mediator, sources = figure4_mediator(annotation, seed=5)
+    source_names = {"a": "dbA", "b": "dbB", "c": "dbC", "d": "dbD"}
+    relations = {"a": "A", "b": "B", "c": "C", "d": "D"}
+    for counter, (which, is_insert, arg) in enumerate(ops):
+        source = sources[source_names[which]]
+        relation = relations[which]
+        if is_insert:
+            cols = source.schema(relation).attribute_names
+            values = {cols[0]: 50_000 + counter, cols[1]: arg % 25}
+            source.insert(relation, **values)
+        else:
+            rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+            if rows:
+                source.delete(relation, **dict(rows[arg % len(rows)]))
+        if counter % 3 == 0:
+            mediator.refresh()
+    mediator.refresh()
+    assert_view_correct(mediator)

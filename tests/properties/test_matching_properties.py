@@ -1,0 +1,68 @@
+"""Property test: the incremental matching engine ≡ brute-force matching.
+
+After any sequence of inserts/deletes on both sides, the maintained match
+table must equal the quadratic recomputation ``{(l, r) | rule.matches}``.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import MatchCriterion, MatchRule, MatchingEngine, casefold_trim
+from repro.relalg import make_schema, row
+from repro.sources import MemorySource
+
+LEFT = make_schema("L", ["lk", "lname"], key=["lk"])
+RIGHT = make_schema("Rt", ["rk", "rname"], key=["rk"])
+
+NAMES = ["ada", "Ada ", "grace", "GRACE", "alan", " alan", "edsger", "kurt"]
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["il", "ir", "dl", "dr"]),
+        st.integers(min_value=0, max_value=7),   # name index
+        st.integers(min_value=0, max_value=999), # victim selector
+    ),
+    max_size=25,
+)
+
+
+def brute_force(rule, left_source, right_source):
+    pairs = set()
+    for l in left_source.relation("L").rows():
+        for r in right_source.relation("Rt").rows():
+            if rule.matches(l, r):
+                pairs.add(rule.pair(l, r))
+    return pairs
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_incremental_matching_equals_brute_force(operations):
+    left = MemorySource("a", [LEFT], initial={"L": [(0, "ada"), (1, "grace")]})
+    right = MemorySource("b", [RIGHT], initial={"Rt": [(0, "ADA"), (1, "kurt")]})
+    rule = MatchRule(
+        "m",
+        "L",
+        "Rt",
+        (MatchCriterion("lname", "rname", casefold_trim),),
+        left_keys=("lk",),
+        right_keys=("rk",),
+    )
+    engine = MatchingEngine([rule], left, right)
+    counter = 100
+    for op, name_idx, victim in operations:
+        counter += 1
+        if op == "il":
+            left.insert("L", lk=counter, lname=NAMES[name_idx])
+        elif op == "ir":
+            right.insert("Rt", rk=counter, rname=NAMES[name_idx])
+        else:
+            source, relation = (left, "L") if op == "dl" else (right, "Rt")
+            rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+            if rows:
+                source.delete(relation, **dict(rows[victim % len(rows)]))
+        assert engine.match_table("m").support() == frozenset(
+            brute_force(rule, left, right)
+        )

@@ -1,0 +1,128 @@
+"""Property test: maintenance equivalence over randomized VDPs.
+
+Generates VDPs of every Section 5.1 node shape (SPJ join with a random
+projection, bag union over renamed chains, set difference), random legal
+annotations, and random interleavings of source transactions and refreshes
+— then checks every export against bottom-up recomputation.  This is the
+broadest invariant in the suite: it exercises the rulebase, the IUP kernel
+and preparation, the VAP (including key-based construction), and eager
+compensation in one sweep.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Annotation, AnnotatedVDP, SquirrelMediator, build_vdp
+from repro.correctness import assert_view_correct
+from repro.errors import AnnotationError
+from repro.relalg import make_schema
+from repro.sources import MemorySource
+
+X = make_schema("X", ["x1", "x2", "x3"], key=["x1"])
+Y = make_schema("Y", ["y1", "y2"], key=["y1"])
+
+JOIN_ATTR_POOL = ["x1", "x2", "x3", "y1", "y2"]
+
+
+@st.composite
+def vdp_specs(draw):
+    shape = draw(st.sampled_from(["join", "union", "difference"]))
+    threshold = draw(st.integers(min_value=1, max_value=9))
+    views = {
+        "Xp": f"select[x3 < {threshold}](X)",
+        "Yp": "Y",
+    }
+    if shape == "join":
+        attrs = sorted(
+            draw(
+                st.sets(st.sampled_from(JOIN_ATTR_POOL), min_size=1, max_size=5)
+            )
+        )
+        views["V"] = f"project[{', '.join(attrs)}](Xp join[x2 = y1] Yp)"
+    elif shape == "union":
+        views["V"] = (
+            "project[x1, x2](Xp) union project[x1, x2](rename[y1 = x1, y2 = x2](Yp))"
+        )
+    else:
+        views["V"] = (
+            "project[x2](Xp) minus project[x2](rename[y1 = x2](project[y1](Yp)))"
+        )
+    return shape, views
+
+
+@st.composite
+def annotations_for(draw, annotated_nodes, vdp):
+    marks = {}
+    for name in annotated_nodes:
+        node = vdp.node(name)
+        attrs = node.schema.attribute_names
+        choice = draw(st.sampled_from(["m", "v", "hybrid"]))
+        if choice == "m" or (choice == "hybrid" and len(attrs) < 2):
+            marks[name] = Annotation.all_materialized(attrs)
+        elif choice == "v":
+            marks[name] = Annotation.all_virtual(attrs)
+        else:
+            split = draw(st.integers(min_value=1, max_value=len(attrs) - 1))
+            marks[name] = Annotation.of(
+                {a: ("m" if i < split else "v") for i, a in enumerate(attrs)}
+            )
+    return marks
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["ix", "dx", "iy", "dy", "refresh"]),
+        st.integers(min_value=0, max_value=9_999),
+    ),
+    max_size=18,
+)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_vdp_maintenance_equivalence(data):
+    shape, views = data.draw(vdp_specs())
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views=views,
+        exports=["V"],
+    )
+
+    marks = data.draw(annotations_for(vdp.non_leaves(), vdp))
+    try:
+        annotated = AnnotatedVDP(vdp, marks)
+    except AnnotationError:
+        return  # e.g. hybrid on a set node: not a legal configuration
+
+    rng = random.Random(7)
+    sx = MemorySource(
+        "sx",
+        [X],
+        initial={"X": [(i, rng.randrange(10), rng.randrange(10)) for i in range(12)]},
+    )
+    sy = MemorySource(
+        "sy", [Y], initial={"Y": [(i, rng.randrange(10)) for i in range(8)]}
+    )
+    mediator = SquirrelMediator(annotated, {"sx": sx, "sy": sy})
+    mediator.initialize()
+
+    ops = data.draw(ops_strategy)
+    counter = 1000
+    for op, arg in ops:
+        counter += 1
+        if op == "refresh":
+            mediator.refresh()
+        elif op == "ix":
+            sx.insert("X", x1=counter, x2=arg % 10, x3=arg % 13)
+        elif op == "iy":
+            sy.insert("Y", y1=counter, y2=arg % 10)
+        else:
+            source, relation = (sx, "X") if op == "dx" else (sy, "Y")
+            rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+            if rows:
+                source.delete(relation, **dict(rows[arg % len(rows)]))
+    mediator.refresh()
+    assert_view_correct(mediator)

@@ -1,0 +1,97 @@
+"""Hypothesis stateful test: the mediator as a state machine.
+
+Hypothesis drives arbitrary interleavings of source transactions, refreshes
+and queries against the Figure 1 mediator (hybrid annotation — the most
+intricate configuration) and checks two invariants:
+
+* after every refresh, every export equals its ground-truth recomputation;
+* queries between refreshes never crash and answer with a *consistent*
+  state (they equal the recomputation as of the last refresh, because
+  announcements made since are compensated away).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.correctness import recompute
+from repro.workloads import figure1_mediator
+
+
+class MediatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.mediator = None
+        self.sources = None
+        self.counter = 0
+        self.last_refresh_truth = None
+
+    @initialize(example=st.sampled_from(["ex21", "ex22", "ex23"]))
+    def setup(self, example):
+        self.mediator, self.sources = figure1_mediator(example, seed=2)
+        self.counter = 60_000
+        self.last_refresh_truth = recompute(self.mediator.vdp, self.sources, "T")
+
+    @rule(r2=st.integers(0, 49), r3=st.integers(0, 999), passes=st.booleans())
+    def insert_r(self, r2, r3, passes):
+        self.counter += 1
+        self.sources["db1"].insert(
+            "R", r1=self.counter, r2=r2, r3=r3, r4=100 if passes else 200
+        )
+
+    @rule(s2=st.integers(0, 999), s3=st.integers(0, 99))
+    def insert_s(self, s2, s3):
+        self.counter += 1
+        self.sources["db2"].insert("S", s1=self.counter, s2=s2, s3=s3)
+
+    @rule(pick=st.integers(0, 10_000), use_r=st.booleans())
+    def delete_row(self, pick, use_r):
+        source = self.sources["db1"] if use_r else self.sources["db2"]
+        relation = "R" if use_r else "S"
+        rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+        if rows:
+            source.delete(relation, **dict(rows[pick % len(rows)]))
+
+    @rule()
+    def refresh(self):
+        self.mediator.refresh()
+        self.last_refresh_truth = recompute(self.mediator.vdp, self.sources, "T")
+
+    @rule()
+    def query_hot(self):
+        answer = self.mediator.query("project[r1, s1](T)")
+        expected = {}
+        for r, n in self.last_refresh_truth.items():
+            key = (r["r1"], r["s1"])
+            expected[key] = expected.get(key, 0) + n
+        got = {tuple(r.values_for(["r1", "s1"])): n for r, n in answer.items()}
+        assert got == expected, "hot query diverged from last-refresh state"
+
+    @rule()
+    def query_cold(self):
+        # Touches virtual attributes (under ex23); compensation must keep
+        # the answer aligned with the last-refresh state.
+        answer = self.mediator.query("project[r3, s1](T)")
+        expected = {}
+        for r, n in self.last_refresh_truth.items():
+            key = (r["r3"], r["s1"])
+            expected[key] = expected.get(key, 0) + n
+        got = {tuple(r.values_for(["r3", "s1"])): n for r, n in answer.items()}
+        assert got == expected, "cold query diverged from last-refresh state"
+
+    @invariant()
+    def refreshed_view_matches_truth(self):
+        if self.mediator is None:
+            return
+        if self.mediator.queue.is_empty() and not any(
+            s.has_pending_announcement() for s in self.sources.values()
+        ):
+            current = self.mediator.query_relation("T")
+            truth = recompute(self.mediator.vdp, self.sources, "T")
+            assert current == truth
+
+
+MediatorMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestMediatorMachine = MediatorMachine.TestCase

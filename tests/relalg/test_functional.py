@@ -1,0 +1,110 @@
+"""Unit tests for functional-dependency reasoning (Example 2.3 machinery)."""
+
+from repro.relalg import (
+    FDSet,
+    FunctionalDependency,
+    Scan,
+    eq,
+    fds_from_schema,
+    infer_fds,
+    lt,
+    make_schema,
+    scan,
+)
+
+R = make_schema("Rp", ["r1", "r2", "r3"], key=["r1"])
+S = make_schema("Sp", ["s1", "s2"], key=["s1"])
+
+
+def base_fds():
+    return {"Rp": fds_from_schema(R), "Sp": fds_from_schema(S)}
+
+
+def test_fds_from_schema():
+    fds = fds_from_schema(R)
+    assert fds.determines(["r1"], "r3")
+    assert not fds.determines(["r2"], "r3")
+
+
+def test_closure_fixpoint():
+    fds = FDSet("abcd", [FunctionalDependency.of("a", "b"), FunctionalDependency.of("b", "c")])
+    assert fds.closure("a") == frozenset("abc")
+    assert fds.closure("d") == frozenset("d")
+
+
+def test_implies():
+    fds = FDSet("abc", [FunctionalDependency.of("a", "b"), FunctionalDependency.of("b", "c")])
+    assert fds.implies(FunctionalDependency.of("a", "c"))
+    assert not fds.implies(FunctionalDependency.of("c", "a"))
+
+
+def test_superkey_and_key():
+    fds = FDSet("abc", [FunctionalDependency.of("a", "bc")])
+    assert fds.is_superkey("a")
+    assert fds.is_superkey("ab")
+    assert fds.is_key("a")
+    assert not fds.is_key("ab")
+
+
+def test_candidate_keys():
+    fds = FDSet("abc", [FunctionalDependency.of("a", "bc"), FunctionalDependency.of("b", "ac")])
+    keys = fds.candidate_keys()
+    assert frozenset("a") in keys
+    assert frozenset("b") in keys
+
+
+def test_restrict_keeps_surviving_fds():
+    fds = FDSet("abc", [FunctionalDependency.of("a", "bc")])
+    restricted = fds.restrict(["a", "b"])
+    assert restricted.determines(["a"], "b")
+    assert "c" not in restricted.attributes
+
+
+def test_example_23_inference():
+    """T = π_{r1,r3,s1,s2}(R' ⋈_{r2=s1} S') inherits r1 -> r3 from R' (Ex. 2.3)."""
+    join = scan("Rp").join(scan("Sp"), eq("r2", "s1"))
+    t_expr = join.project(["r1", "r3", "s1", "s2"])
+    fds = infer_fds(t_expr, base_fds())
+    assert fds.determines(["r1"], "r3")  # the paper's derived FD (3)
+    assert fds.determines(["s1"], "s2")
+
+
+def test_equijoin_adds_equality_fds():
+    join = scan("Rp").join(scan("Sp"), eq("r2", "s1"))
+    fds = infer_fds(join, base_fds())
+    assert fds.determines(["r2"], "s1")
+    assert fds.determines(["s1"], "r2")
+    # transitively: r1 -> r2 -> s1 -> s2
+    assert fds.determines(["r1"], "s2")
+
+
+def test_select_preserves_fds():
+    fds = infer_fds(scan("Rp").select(lt("r3", 100)), base_fds())
+    assert fds.determines(["r1"], "r2")
+
+
+def test_union_drops_fds():
+    a = make_schema("A", ["x", "y"], key=["x"])
+    expr = scan("A").union(scan("A"))
+    fds = infer_fds(expr, {"A": fds_from_schema(a)})
+    assert not fds.determines(["x"], "y")
+
+
+def test_difference_keeps_left_fds():
+    a = make_schema("A", ["x", "y"], key=["x"])
+    expr = scan("A").minus(scan("A"))
+    fds = infer_fds(expr, {"A": fds_from_schema(a)})
+    assert fds.determines(["x"], "y")
+
+
+def test_rename_renames_fds():
+    expr = scan("Rp").rename({"r1": "k"})
+    fds = infer_fds(expr, base_fds())
+    assert fds.determines(["k"], "r3")
+
+
+def test_merge_fdsets():
+    a = FDSet("ab", [FunctionalDependency.of("a", "b")])
+    b = FDSet("bc", [FunctionalDependency.of("b", "c")])
+    merged = a.merge(b)
+    assert merged.determines(["a"], "c")

@@ -1,0 +1,125 @@
+"""Unit tests for the algebra text parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relalg import (
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SetRelation,
+    Union,
+    evaluate,
+    make_schema,
+    parse_expression,
+    parse_predicate,
+    row,
+)
+
+
+def test_parse_scan():
+    assert parse_expression("R") == Scan("R")
+
+
+def test_parse_figure1_view():
+    expr = parse_expression(
+        "project[r1, s1, s2](select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))"
+    )
+    assert isinstance(expr, Project)
+    assert expr.attrs == ("r1", "s1", "s2")
+    join = expr.child
+    assert isinstance(join, Join)
+    assert isinstance(join.left, Select)
+    assert isinstance(join.right, Select)
+
+
+def test_parse_union_minus_left_assoc():
+    expr = parse_expression("A union B minus C")
+    assert isinstance(expr, Difference)
+    assert isinstance(expr.left, Union)
+
+
+def test_parse_njoin():
+    expr = parse_expression("A njoin B")
+    assert isinstance(expr, Join)
+    assert expr.condition is None
+
+
+def test_parse_rename():
+    expr = parse_expression("rename[a = x, b = y](R)")
+    assert isinstance(expr, Rename)
+    assert expr.mapping_dict == {"a": "x", "b": "y"}
+
+
+def test_parse_dproject():
+    expr = parse_expression("dproject[a](R)")
+    assert isinstance(expr, Project)
+    assert expr.dedup
+
+
+def test_parse_arithmetic_condition():
+    # Figure 4's join condition
+    pred = parse_predicate("a1 ^ 2 + a2 < b2 ^ 2")
+    assert pred.evaluate(row(a1=2, a2=3, b2=3))
+    assert not pred.evaluate(row(a1=3, a2=1, b2=3))
+
+
+def test_parse_boolean_structure():
+    pred = parse_predicate("a = 1 and (b = 2 or c = 3)")
+    assert pred.evaluate(row(a=1, b=9, c=3))
+    assert not pred.evaluate(row(a=1, b=9, c=9))
+
+
+def test_parse_parenthesized_arithmetic():
+    pred = parse_predicate("(a + b) * 2 < c")
+    assert pred.evaluate(row(a=1, b=1, c=5))
+
+
+def test_parse_not():
+    pred = parse_predicate("not a = 1")
+    assert pred.evaluate(row(a=2))
+
+
+def test_parse_true():
+    pred = parse_predicate("true")
+    assert pred.evaluate(row())
+
+
+def test_parse_string_literal():
+    pred = parse_predicate("name = 'alice'")
+    assert pred.evaluate(row(name="alice"))
+
+
+def test_parse_float():
+    pred = parse_predicate("x < 1.5")
+    assert pred.evaluate(row(x=1.0))
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_expression("project[](R)")
+    with pytest.raises(ParseError):
+        parse_expression("select[a=](R)")
+    with pytest.raises(ParseError):
+        parse_expression("R join S")  # join needs [cond]
+    with pytest.raises(ParseError):
+        parse_expression("R @@ S")
+    with pytest.raises(ParseError):
+        parse_predicate("a")  # bare term is not a predicate
+
+
+def test_roundtrip_through_str():
+    text = "project[r1, s1](select[r4 = 100](R) join[r2 = s1] S)"
+    expr = parse_expression(text)
+    reparsed = parse_expression(str(expr))
+    assert reparsed == expr
+
+
+def test_parsed_expression_evaluates():
+    r_schema = make_schema("R", ["a", "b"])
+    cat = {"R": SetRelation.from_values(r_schema, [(1, 2), (3, 4)])}
+    out = evaluate(parse_expression("project[a](select[b > 2](R))"), cat)
+    assert out.to_sorted_list() == [((3,), 1)]

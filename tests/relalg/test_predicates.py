@@ -1,0 +1,134 @@
+"""Unit tests for predicates and terms."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.relalg import (
+    TRUE,
+    Arith,
+    Attr,
+    Comparison,
+    Const,
+    attr,
+    conjoin,
+    conjuncts,
+    const,
+    disjoin,
+    eq,
+    equi_join_pairs,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    row,
+)
+
+
+def test_comparison_constructors():
+    r = row(a=5, b=3)
+    assert eq("a", 5).evaluate(r)
+    assert ne("a", "b").evaluate(r)
+    assert lt("b", "a").evaluate(r)
+    assert le("b", 3).evaluate(r)
+    assert gt("a", 4).evaluate(r)
+    assert ge("a", 5).evaluate(r)
+
+
+def test_unknown_operators_rejected():
+    with pytest.raises(EvaluationError):
+        Comparison(Attr("a"), "~", Const(1))
+    with pytest.raises(EvaluationError):
+        Arith(Attr("a"), "@", Const(1))
+
+
+def test_boolean_combinators_and_sugar():
+    r = row(a=5, b=3)
+    p = eq("a", 5) & lt("b", 10)
+    assert p.evaluate(r)
+    q = eq("a", 0) | eq("b", 3)
+    assert q.evaluate(r)
+    assert (~eq("a", 0)).evaluate(r)
+    assert TRUE.evaluate(r)
+
+
+def test_arithmetic_terms():
+    # Figure 4's join condition shape: a1^2 + a2 < b2^2
+    cond = lt(
+        Arith(Arith(attr("a1"), "^", const(2)), "+", attr("a2")),
+        Arith(attr("b2"), "^", const(2)),
+    )
+    assert cond.evaluate(row(a1=2, a2=3, b2=3))  # 4+3 < 9
+    assert not cond.evaluate(row(a1=3, a2=0, b2=3))  # 9 < 9 is false
+
+
+def test_attributes_collection():
+    p = eq("a", 5) & lt("b", attr("c"))
+    assert p.attributes() == frozenset({"a", "b", "c"})
+    assert TRUE.attributes() == frozenset()
+
+
+def test_rename():
+    p = eq("a", "b").rename({"a": "x"})
+    assert p.attributes() == frozenset({"x", "b"})
+    assert p.evaluate(row(x=1, b=1))
+
+
+def test_missing_attribute_raises():
+    with pytest.raises(EvaluationError):
+        eq("a", 1).evaluate(row(b=2))
+
+
+def test_conjuncts_flattening():
+    p = conjoin(eq("a", 1), conjoin(eq("b", 2), eq("c", 3)))
+    assert len(conjuncts(p)) == 3
+    assert conjuncts(TRUE) == []
+    assert conjoin() is TRUE
+
+
+def test_disjoin():
+    assert disjoin() is TRUE
+    assert disjoin(eq("a", 1), TRUE) is TRUE
+    p = disjoin(eq("a", 1), eq("a", 2))
+    assert p.evaluate(row(a=2))
+    assert not p.evaluate(row(a=3))
+
+
+def test_equi_join_pairs_extraction():
+    left = frozenset({"r1", "r2"})
+    right = frozenset({"s1", "s2"})
+    cond = conjoin(eq("r2", "s1"), lt("s2", 50))
+    pairs, residual = equi_join_pairs(cond, left, right)
+    assert pairs == [("r2", "s1")]
+    assert residual is not None
+    assert residual.evaluate(row(s2=10))
+
+
+def test_equi_join_pairs_reversed_sides():
+    pairs, residual = equi_join_pairs(
+        eq("s1", "r2"), frozenset({"r2"}), frozenset({"s1"})
+    )
+    assert pairs == [("r2", "s1")]
+    assert residual is None
+
+
+def test_equi_join_pairs_no_equalities():
+    pairs, residual = equi_join_pairs(
+        lt("r1", "s1"), frozenset({"r1"}), frozenset({"s1"})
+    )
+    assert pairs == []
+    assert residual is not None
+
+
+def test_same_side_equality_is_residual():
+    pairs, residual = equi_join_pairs(
+        eq("r1", "r2"), frozenset({"r1", "r2"}), frozenset({"s1"})
+    )
+    assert pairs == []
+    assert residual is not None
+
+
+def test_predicate_str_forms():
+    assert str(eq("a", 1)) == "a = 1"
+    assert "and" in str(eq("a", 1) & eq("b", 2))
+    assert "true" == str(TRUE)

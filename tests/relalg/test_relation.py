@@ -1,0 +1,115 @@
+"""Unit tests for set and bag relation containers."""
+
+import pytest
+
+from repro.errors import DeltaError, SchemaError
+from repro.relalg import BagRelation, SetRelation, make_schema, row
+
+R = make_schema("R", ["a", "b"], key=["a"])
+
+
+def test_set_relation_insert_delete():
+    rel = SetRelation(R)
+    rel.insert(row(a=1, b=2))
+    assert rel.contains(row(a=1, b=2))
+    assert rel.cardinality() == 1
+    rel.delete(row(a=1, b=2))
+    assert rel.is_empty()
+
+
+def test_set_relation_duplicate_insert_raises():
+    rel = SetRelation(R, [row(a=1, b=2)])
+    with pytest.raises(DeltaError):
+        rel.insert(row(a=1, b=2))
+
+
+def test_set_relation_absent_delete_raises():
+    rel = SetRelation(R)
+    with pytest.raises(DeltaError):
+        rel.delete(row(a=1, b=2))
+
+
+def test_set_relation_rejects_multiplicity():
+    rel = SetRelation(R)
+    with pytest.raises(DeltaError):
+        rel.insert(row(a=1, b=2), 2)
+
+
+def test_schema_mismatch_rejected():
+    rel = SetRelation(R)
+    with pytest.raises(SchemaError):
+        rel.insert(row(x=1))
+
+
+def test_bag_relation_multiplicities():
+    rel = BagRelation(R)
+    rel.insert(row(a=1, b=2), 3)
+    rel.insert(row(a=1, b=2))
+    assert rel.count(row(a=1, b=2)) == 4
+    assert rel.cardinality() == 4
+    assert rel.distinct_cardinality() == 1
+    rel.delete(row(a=1, b=2), 4)
+    assert rel.is_empty()
+
+
+def test_bag_relation_over_delete_raises():
+    rel = BagRelation(R)
+    rel.insert(row(a=1, b=2))
+    with pytest.raises(DeltaError):
+        rel.delete(row(a=1, b=2), 2)
+
+
+def test_bag_adjust():
+    rel = BagRelation(R)
+    rel.adjust(row(a=1, b=2), 2)
+    rel.adjust(row(a=1, b=2), -1)
+    rel.adjust(row(a=1, b=2), 0)
+    assert rel.count(row(a=1, b=2)) == 1
+
+
+def test_bag_distinct():
+    rel = BagRelation(R)
+    rel.insert(row(a=1, b=2), 5)
+    rel.insert(row(a=2, b=3), 1)
+    d = rel.distinct()
+    assert d.cardinality() == 2
+    assert d.count(row(a=1, b=2)) == 1
+
+
+def test_copy_is_independent():
+    rel = BagRelation(R)
+    rel.insert(row(a=1, b=2))
+    clone = rel.copy()
+    clone.insert(row(a=1, b=2))
+    assert rel.count(row(a=1, b=2)) == 1
+    assert clone.count(row(a=1, b=2)) == 2
+
+
+def test_from_values():
+    rel = SetRelation.from_values(R, [(1, 2), (3, 4)])
+    assert rel.contains(row(a=1, b=2))
+    bag = BagRelation.from_values(R, [(1, 2), (1, 2)])
+    assert bag.count(row(a=1, b=2)) == 2
+
+
+def test_equality_ignores_container_kind_but_not_counts():
+    s = SetRelation.from_values(R, [(1, 2)])
+    b1 = BagRelation.from_values(R, [(1, 2)])
+    b2 = BagRelation.from_values(R, [(1, 2), (1, 2)])
+    assert s == b1
+    assert s != b2
+
+
+def test_rows_iteration_respects_multiplicity():
+    bag = BagRelation.from_values(R, [(1, 2), (1, 2), (3, 4)])
+    assert len(list(bag.rows())) == 3
+
+
+def test_to_sorted_list_deterministic():
+    bag = BagRelation.from_values(R, [(3, 4), (1, 2), (1, 2)])
+    assert bag.to_sorted_list() == [((1, 2), 2), ((3, 4), 1)]
+
+
+def test_support():
+    bag = BagRelation.from_values(R, [(1, 2), (1, 2)])
+    assert bag.support() == frozenset([row(a=1, b=2)])

@@ -1,0 +1,108 @@
+"""Unit tests for schemas and attributes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg import Attribute, RelationSchema, make_schema
+
+
+def test_make_schema_basic():
+    s = make_schema("R", ["r1", "r2", "r3"], key=["r1"])
+    assert s.name == "R"
+    assert s.attribute_names == ("r1", "r2", "r3")
+    assert s.key == ("r1",)
+    assert s.arity == 3
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(SchemaError):
+        make_schema("R", ["a", "a"])
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        make_schema("R", [])
+
+
+def test_key_must_be_attribute():
+    with pytest.raises(SchemaError):
+        make_schema("R", ["a"], key=["b"])
+
+
+def test_invalid_attribute_name():
+    with pytest.raises(SchemaError):
+        Attribute("not valid!")
+
+
+def test_attribute_lookup_and_membership():
+    s = make_schema("R", ["a", "b"])
+    assert s.has_attribute("a")
+    assert not s.has_attribute("z")
+    assert s.attribute("b").name == "b"
+    with pytest.raises(SchemaError):
+        s.attribute("z")
+
+
+def test_check_attributes_reports_missing():
+    s = make_schema("R", ["a", "b"])
+    s.check_attributes(["a"])
+    with pytest.raises(SchemaError):
+        s.check_attributes(["a", "zz"])
+
+
+def test_project_keeps_key_only_if_all_key_attrs_survive():
+    s = make_schema("R", ["a", "b", "c"], key=["a", "b"])
+    kept = s.project(["b", "a"])
+    assert kept.key == ("a", "b")
+    lost = s.project(["a", "c"])
+    assert lost.key == ()
+
+
+def test_project_reorders_attributes():
+    s = make_schema("R", ["a", "b", "c"])
+    p = s.project(["c", "a"], "P")
+    assert p.attribute_names == ("c", "a")
+    assert p.name == "P"
+
+
+def test_rename_attributes():
+    s = make_schema("R", ["a", "b"], key=["a"])
+    renamed = s.rename_attributes({"a": "x"}, "R2")
+    assert renamed.attribute_names == ("x", "b")
+    assert renamed.key == ("x",)
+    with pytest.raises(SchemaError):
+        s.rename_attributes({"zz": "y"})
+
+
+def test_theta_join_requires_disjoint_attributes():
+    r = make_schema("R", ["a", "b"], key=["a"])
+    s = make_schema("S", ["c", "d"], key=["c"])
+    j = r.join(s, "J")
+    assert j.attribute_names == ("a", "b", "c", "d")
+    assert j.key == ("a", "c")
+    with pytest.raises(SchemaError):
+        r.join(make_schema("S2", ["a", "z"]), "J2")
+
+
+def test_natural_join_schema():
+    r = make_schema("R", ["a", "b"])
+    s = make_schema("S", ["b", "c"])
+    j = r.natural_join(s, "J")
+    assert j.attribute_names == ("a", "b", "c")
+    with pytest.raises(SchemaError):
+        r.natural_join(make_schema("T", ["x"]), "J")
+
+
+def test_union_compatibility():
+    r = make_schema("R", ["a", "b"])
+    s = make_schema("S", ["a", "b"])
+    t = make_schema("T", ["b", "a"])
+    assert r.union_compatible_with(s)
+    assert not r.union_compatible_with(t)
+    with pytest.raises(SchemaError):
+        r.require_union_compatible(t)
+
+
+def test_str_marks_key_attributes():
+    s = make_schema("R", ["a", "b"], key=["a"])
+    assert "a*" in str(s)

@@ -1,0 +1,69 @@
+"""Unit tests for the channel-aware source link."""
+
+from repro.deltas import SetDelta
+from repro.relalg import make_schema, row, scan
+from repro.runtime import ChannelLink
+from repro.sim import Channel, Simulator
+from repro.sources import MemorySource
+
+R = make_schema("R", ["a", "b"], key=["a"])
+
+
+def build(announces=True):
+    sim = Simulator()
+    source = MemorySource("db", [R], initial={"R": [(1, 10)]})
+    delivered = []
+    channel = Channel(sim, delay=5.0, deliver=lambda msg, st: delivered.append(msg))
+    link = ChannelLink(source, channel, announces=announces)
+    return sim, source, channel, link, delivered
+
+
+def test_poll_sends_pending_and_expedites_in_flight():
+    sim, source, channel, link, delivered = build()
+
+    # An announcement already travelling the channel...
+    source.insert("R", a=2, b=20)
+    channel.send(source.take_announcement())
+    # ...and a fresh commit whose announcement has not been sent yet.
+    source.insert("R", a=3, b=30)
+
+    def poll():
+        answers = link.poll_many({"Q": scan("R")})
+        # Everything the source produced is delivered before the answer is
+        # used, and the answer reflects the current state.
+        assert len(delivered) == 2
+        assert answers["Q"].cardinality() == 3
+
+    sim.schedule(1.0, poll)
+    sim.run_until(2.0)
+    # The expedited in-flight message is not delivered a second time later.
+    sim.run_until(100.0)
+    assert len(delivered) == 2
+    assert channel.messages_delivered == 2
+
+
+def test_non_announcing_link_drops_pending():
+    sim, source, channel, link, delivered = build(announces=False)
+    source.insert("R", a=2, b=20)
+
+    def poll():
+        answers = link.poll_many({"Q": scan("R")})
+        assert answers["Q"].cardinality() == 2
+
+    sim.schedule(1.0, poll)
+    sim.run_until(10.0)
+    assert delivered == []
+    assert not source.has_pending_announcement()
+
+
+def test_poll_counters():
+    sim, source, channel, link, _ = build()
+
+    def poll():
+        link.poll_many({"Q1": scan("R"), "Q2": scan("R")})
+
+    sim.schedule(1.0, poll)
+    sim.run_until(2.0)
+    assert link.poll_count == 1
+    assert link.polled_rows == 2
+    assert source.query_count == 2

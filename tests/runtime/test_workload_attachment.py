@@ -1,0 +1,68 @@
+"""Tests for Poisson workload attachment to simulated environments."""
+
+import random
+
+import pytest
+
+from repro.core import annotate
+from repro.correctness import assert_view_correct, check_consistency, view_function_from_vdp
+from repro.errors import SimulationError
+from repro.runtime import SimulatedEnvironment
+from repro.sim import EnvironmentDelays
+from repro.workloads import (
+    FIGURE1_ANNOTATIONS,
+    UpdateStream,
+    choice_of,
+    figure1_sources,
+    figure1_vdp,
+    uniform_int,
+)
+
+
+def build_env():
+    delays = EnvironmentDelays.uniform(
+        ["db1", "db2"], ann_delay=0.3, comm_delay=0.1, u_hold_delay_med=1.0
+    )
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    sources = figure1_sources(r_rows=30, s_rows=20, seed=44)
+    env = SimulatedEnvironment(annotated, sources, delays)
+    stream = UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 20),
+            "r3": uniform_int(0, 100),
+            "r4": choice_of([100, 200]),
+        },
+        rng=random.Random(44),
+    )
+    return env, stream
+
+
+def test_attached_workload_runs_and_stays_consistent():
+    env, stream = build_env()
+    n_updates = env.attach_update_stream(stream, rate=0.8, until=20.0, rng_seed=3)
+    n_queries = env.attach_query_load(rate=0.3, until=20.0, rng_seed=4)
+    assert n_updates > 5
+    assert n_queries >= 2
+    env.run_until(25.0)
+    assert stream.steps == n_updates
+    assert_view_correct(env.mediator)
+    verdict = check_consistency(env.trace, view_function_from_vdp(env.mediator.vdp))
+    assert verdict.consistent, verdict.failures
+
+
+def test_attachment_respects_horizon():
+    env, stream = build_env()
+    env.attach_update_stream(stream, rate=2.0, until=5.0, rng_seed=5)
+    env.run_until(30.0)
+    # All transactions happened strictly before the horizon.
+    assert all(t <= 5.0 for t, _ in [(r.time, r) for r in env.trace.source_history("db1")])
+
+
+def test_attachment_validates_rates():
+    env, stream = build_env()
+    with pytest.raises(SimulationError):
+        env.attach_update_stream(stream, rate=0, until=5.0)
+    with pytest.raises(SimulationError):
+        env.attach_query_load(rate=-1, until=5.0)

@@ -1,0 +1,60 @@
+"""Unit tests for delay profiles and the Theorem 7.2 freshness bound."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import DelayProfile, EnvironmentDelays
+
+
+def test_delay_profile_validation():
+    with pytest.raises(SimulationError):
+        DelayProfile(ann_delay=-1)
+
+
+def test_uniform_constructor():
+    env = EnvironmentDelays.uniform(["a", "b"], ann_delay=1, comm_delay=2)
+    assert env.profile("a").ann_delay == 1
+    assert env.profile("b").comm_delay == 2
+    with pytest.raises(SimulationError):
+        env.profile("zzz")
+
+
+def test_polling_overhead_sums_roundtrips():
+    env = EnvironmentDelays(
+        {
+            "h": DelayProfile(comm_delay=2, q_proc_delay=3),
+            "v": DelayProfile(comm_delay=1, q_proc_delay=4),
+        }
+    )
+    assert env.polling_overhead(["h", "v"]) == 10
+    assert env.polling_overhead([]) == 0
+
+
+def test_freshness_bound_matches_theorem_formula():
+    env = EnvironmentDelays(
+        {
+            "m": DelayProfile(ann_delay=5, comm_delay=1, q_proc_delay=0),
+            "h": DelayProfile(ann_delay=2, comm_delay=3, q_proc_delay=4),
+            "v": DelayProfile(ann_delay=0, comm_delay=1, q_proc_delay=2),
+        },
+        u_hold_delay_med=10,
+        u_proc_delay_med=1,
+        q_proc_delay_med=0.5,
+    )
+    bound = env.freshness_bound(["m"], ["h"], ["v"])
+    # poll term: (4+3) for h + (2+1) for v + 0.5 mediator-side = 10.5
+    poll_term = (4 + 3) + (2 + 1) + 0.5
+    assert bound["m"] == pytest.approx(5 + 1 + 10 + 1 + poll_term)
+    assert bound["h"] == pytest.approx(2 + 3 + 10 + 1 + poll_term)
+    assert bound["v"] == pytest.approx(poll_term)
+
+
+def test_materialized_only_bound_is_tighter():
+    env = EnvironmentDelays.uniform(
+        ["m"], ann_delay=5, comm_delay=1, q_proc_delay=0,
+        u_hold_delay_med=10, u_proc_delay_med=1, q_proc_delay_med=2,
+    )
+    tight = env.materialized_only_bound("m")
+    assert tight == 17
+    loose = env.freshness_bound(["m"], [], [])["m"]
+    assert tight <= loose

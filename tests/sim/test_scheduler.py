@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Clock, EventQueue, Simulator
+
+
+def test_clock_monotonic():
+    c = Clock()
+    c.advance_to(5.0)
+    assert c.now == 5.0
+    with pytest.raises(SimulationError):
+        c.advance_to(4.0)
+
+
+def test_event_queue_deterministic_order():
+    q = EventQueue()
+    order = []
+    q.push(1.0, lambda: order.append("b"))
+    q.push(0.5, lambda: order.append("a"))
+    q.push(1.0, lambda: order.append("c"))  # same time: FIFO by seq
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        e.action()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_cancellation():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    e.cancel()
+    assert q.pop() is None
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    e.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_simulator_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(("x", sim.now)))
+    sim.schedule(1.0, lambda: seen.append(("y", sim.now)))
+    sim.run()
+    assert seen == [("y", 1.0), ("x", 2.0)]
+
+
+def test_schedule_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(-1, lambda: None)
+
+
+def test_run_until_bounded():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run_until(3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_every_start_offset():
+    sim = Simulator()
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), start_offset=0.5)
+    sim.run_until(5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_every_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0, lambda: None)
+
+
+def test_run_max_events_guard():
+    sim = Simulator()
+    sim.every(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=10)
+
+
+def test_channel_fifo_delivery():
+    sim = Simulator()
+    received = []
+    ch = Channel(sim, delay=1.0, deliver=lambda msg, st: received.append((msg, st, sim.now)))
+    sim.schedule(0.0, lambda: ch.send("first"))
+    sim.schedule(0.5, lambda: ch.send("second"))
+    sim.run()
+    assert received == [("first", 0.0, 1.0), ("second", 0.5, 1.5)]
+    assert ch.messages_sent == 2
+    assert ch.messages_delivered == 2
+
+
+def test_channel_order_preserved_when_delay_shrinks():
+    sim = Simulator()
+    received = []
+    ch = Channel(sim, delay=5.0, deliver=lambda msg, st: received.append(msg))
+
+    def send_first():
+        ch.send("first")
+        ch.delay = 0.1  # later message would overtake without FIFO clamping
+
+    sim.schedule(0.0, send_first)
+    sim.schedule(0.5, lambda: ch.send("second"))
+    sim.run()
+    assert received == ["first", "second"]
+
+
+def test_channel_expedite_delivers_in_flight_in_order():
+    sim = Simulator()
+    received = []
+    ch = Channel(sim, delay=10.0, deliver=lambda msg, st: received.append(msg))
+
+    def act():
+        ch.send("a")
+        ch.send("b")
+        assert ch.in_flight_count() == 2
+        delivered = ch.expedite()
+        assert delivered == 2
+
+    sim.schedule(1.0, act)
+    sim.run()
+    assert received == ["a", "b"]
+    # no duplicate delivery from the original scheduled events
+    assert ch.messages_delivered == 2

@@ -1,0 +1,175 @@
+"""Tests for workload generators: update streams and query mixes."""
+
+import random
+
+import pytest
+
+from repro.correctness import assert_view_correct
+from repro.errors import SourceError
+from repro.planner import WorkloadProfile, suggest_annotation
+from repro.workloads import (
+    QueryMix,
+    QueryTemplate,
+    UpdateStream,
+    attribute_profile,
+    choice_of,
+    constant,
+    figure1_mediator,
+    uniform_int,
+)
+
+
+def make_stream(sources, rng, **kwargs):
+    return UpdateStream(
+        sources["db1"],
+        "R",
+        policies={
+            "r2": uniform_int(0, 50),
+            "r3": uniform_int(0, 1000),
+            "r4": choice_of([100, 200]),
+        },
+        rng=rng,
+        **kwargs,
+    )
+
+
+def test_update_stream_generates_valid_transactions():
+    mediator, sources = figure1_mediator("ex21")
+    rng = random.Random(9)
+    stream = make_stream(sources, rng)
+    stream.run(50)
+    assert stream.steps == 50
+    mediator.refresh()
+    assert_view_correct(mediator)
+
+
+def test_update_stream_policies_required():
+    _, sources = figure1_mediator("ex21")
+    with pytest.raises(SourceError):
+        UpdateStream(sources["db1"], "R", {"r2": constant(1)}, random.Random(0))
+
+
+def test_update_stream_insert_only():
+    _, sources = figure1_mediator("ex21")
+    before = sources["db1"].relation("R").cardinality()
+    stream = make_stream(
+        sources, random.Random(1), insert_weight=1.0, delete_weight=0.0, modify_weight=0.0
+    )
+    stream.run(10)
+    assert sources["db1"].relation("R").cardinality() == before + 10
+
+
+def test_update_stream_delete_heavy_shrinks():
+    _, sources = figure1_mediator("ex21")
+    before = sources["db1"].relation("R").cardinality()
+    stream = make_stream(
+        sources, random.Random(2), insert_weight=0.0, delete_weight=1.0, modify_weight=0.0
+    )
+    stream.run(20)
+    assert sources["db1"].relation("R").cardinality() == before - 20
+
+
+def test_update_stream_modify_preserves_cardinality():
+    _, sources = figure1_mediator("ex21")
+    before = sources["db1"].relation("R").cardinality()
+    stream = make_stream(
+        sources, random.Random(3), insert_weight=0.0, delete_weight=0.0, modify_weight=1.0
+    )
+    stream.run(20)
+    # A modify that redraws the same value degenerates to a delete; allow
+    # a small shrink but never growth.
+    after = sources["db1"].relation("R").cardinality()
+    assert after <= before
+    assert after >= before - 20
+
+
+def test_query_mix_sampling_and_running():
+    mediator, _ = figure1_mediator("ex21")
+    rng = random.Random(4)
+    mix = QueryMix.of(
+        {
+            "project[r1, s1](T)": 9.0,
+            "project[r3, s2](T)": 1.0,
+        },
+        rng,
+    )
+    mix.run(mediator, 20)
+    assert mix.issued == 20
+    assert mediator.qp.stats.queries >= 20
+
+
+def test_query_mix_requires_templates():
+    from repro.errors import ParseError
+
+    with pytest.raises(ParseError):
+        QueryMix([], random.Random(0))
+
+
+def test_attribute_profile_feeds_planner():
+    mediator, _ = figure1_mediator("ex21")
+    rng = random.Random(5)
+    mix = QueryMix.of(
+        {
+            "project[r1, s1](T)": 0.95,
+            "project[r3, s2](select[r3 < 100](T))": 0.05,
+        },
+        rng,
+    )
+    freq = attribute_profile(mix, mediator.vdp.schemas())
+    assert freq[("T", "r1")] == pytest.approx(0.95)
+    assert freq[("T", "r3")] == pytest.approx(0.05)
+
+    profile = WorkloadProfile(
+        update_rates={"db1": 5.0, "db2": 5.0},
+        query_rate=1.0,
+        attr_access=freq,
+        default_access=0.0,
+    )
+    suggestion = suggest_annotation(mediator.vdp, profile)
+    ann = suggestion.annotation("T")
+    # The Example 2.3 annotation falls out of the measured workload.
+    assert "r1" in ann.materialized_attrs
+    assert "s1" in ann.materialized_attrs
+    assert "r3" in ann.virtual_attrs
+    assert "s2" in ann.virtual_attrs
+
+
+def test_chain_mediator_depths():
+    from repro.workloads import chain_mediator
+
+    for depth in (1, 3):
+        mediator, sources = chain_mediator(depth, rows_per_source=15, seed=2)
+        assert_view_correct(mediator)
+        sources["db0"].insert("T0", k0=500, v0=3)
+        sources[f"db{depth}"].insert(f"T{depth}", **{f"k{depth}": 500, f"v{depth}": 1})
+        mediator.refresh()
+        assert_view_correct(mediator)
+
+
+def test_chain_mediator_fully_virtual():
+    from repro.workloads import chain_mediator
+
+    mediator, _ = chain_mediator(2, rows_per_source=10, default_annotation="v")
+    assert mediator.stats().stored_rows == 0
+    assert_view_correct(mediator)
+    assert mediator.vap.stats.polls > 0
+
+
+def test_chain_mediator_rejects_zero_depth():
+    from repro.workloads import chain_mediator
+
+    with pytest.raises(ValueError):
+        chain_mediator(0)
+
+
+def test_weighted_sampling_respects_weights():
+    rng = random.Random(6)
+    mix = QueryMix(
+        [
+            QueryTemplate.of("project[r1](T)", 1000.0),
+            QueryTemplate.of("project[s1](T)", 1.0),
+        ],
+        rng,
+    )
+    samples = [str(mix.sample()) for _ in range(50)]
+    assert samples.count("project[r1](T)") >= 45
