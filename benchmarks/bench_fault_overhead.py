@@ -1,0 +1,213 @@
+"""Experiment FX — fault-injection overhead at 0% / 1% / 5% drop rates.
+
+Runs the Figure 1 environment (ex21, fully materialized) through the same
+scripted workload under increasingly lossy channels and measures what the
+reliability layer costs: physical transmissions per logical announcement,
+retransmissions, duplicate suppressions, and the extra update transactions
+the mediator runs.  Convergence to a from-scratch rebuild is asserted at
+every rate — losing messages must cost messages, never correctness.
+
+All reported counters are deterministic (fault schedules are pure
+functions of the plan seed; the simulator has no wall-clock anywhere), so
+``BENCH_faults.json`` at the repo root is an exact regression baseline:
+``python benchmarks/bench_fault_overhead.py --check BENCH_faults.json``
+recomputes and compares.  Wall time appears in the printed table only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.core import annotate
+from repro.correctness import assert_materialized_correct, assert_view_correct
+from repro.faults import ChannelFaults, FaultPlan
+from repro.relalg import row
+from repro.deltas import SetDelta
+from repro.sim import EnvironmentDelays
+from repro.runtime import SimulatedEnvironment
+from repro.workloads import FIGURE1_ANNOTATIONS, figure1_sources, figure1_vdp
+
+try:
+    from _util import report, time_callable
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from _util import report, time_callable
+
+DROP_RATES = [0.0, 0.01, 0.05]
+N_UPDATES = 40
+LAST_OP = 20.0
+FAULTS_END = 25.0
+DRAIN_UNTIL = 80.0
+PLAN_SEED = 2024
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+def build_env(drop_rate: float) -> SimulatedEnvironment:
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    sources = figure1_sources(r_rows=60, s_rows=30, seed=13)
+    delays = EnvironmentDelays.uniform(
+        ["db1", "db2"], ann_delay=0.2, comm_delay=0.1, u_hold_delay_med=1.0
+    )
+    faults = ChannelFaults(drop_rate=drop_rate)
+    plan = FaultPlan(
+        seed=PLAN_SEED,
+        channels={"db1": faults, "db2": faults},
+        active_until=FAULTS_END,
+    )
+    env = SimulatedEnvironment(
+        annotated, sources, delays, fault_plan=plan, record_updates=False
+    )
+
+    # A deterministic workload: R inserts spread over the faulty window.
+    for k in range(N_UPDATES):
+        t = 0.5 + (LAST_OP - 0.5) * k / N_UPDATES
+        delta = SetDelta()
+        delta.insert("R", row(r1=10_000 + k, r2=k % 50, r3=k * 7 % 1000, r4=100))
+        env.schedule_transaction(t, "db1", delta)
+    return env
+
+
+def run_rate(drop_rate: float) -> dict:
+    env = build_env(drop_rate)
+    env.run_until(DRAIN_UNTIL)
+    env.mediator.run_update_transaction()
+    assert env.drained(), env.fault_stats()
+    assert_materialized_correct(env.mediator)
+    assert_view_correct(env.mediator)
+
+    stats = env.fault_stats()
+    sent = sum(s["sent"] for s in stats.values())
+    logical = sum(s["released_in_order"] for s in stats.values())
+    return {
+        "drop_rate": drop_rate,
+        "announcements": logical,
+        "physical_sends": sent,
+        "dropped": sum(s["dropped"] for s in stats.values()),
+        "retransmits": sum(s["retransmits"] for s in stats.values()),
+        "dedup_dropped": sum(s["dedup_dropped"] for s in stats.values()),
+        "gaps_detected": sum(s["gaps_detected"] for s in stats.values()),
+        "update_transactions": env.mediator.iup.stats.transactions
+        - env.mediator.iup.stats.empty_transactions,
+        "deferred_transactions": env.mediator.iup.stats.deferred_transactions,
+        "converged": True,  # the asserts above would have raised otherwise
+    }
+
+
+def collect() -> list:
+    return [run_rate(rate) for rate in DROP_RATES]
+
+
+def render(results, times=None) -> None:
+    rows = []
+    for i, r in enumerate(results):
+        overhead = r["physical_sends"] / max(1, r["announcements"])
+        rows.append(
+            [
+                f"{r['drop_rate']:.0%}",
+                r["announcements"],
+                r["physical_sends"],
+                f"{overhead:.2f}x",
+                r["retransmits"],
+                r["dedup_dropped"],
+                r["update_transactions"],
+                f"{times[i] * 1e3:.1f}" if times else "-",
+            ]
+        )
+    from repro.bench import shape_line
+
+    clean, worst = results[0], results[-1]
+    report(
+        "FX_fault_overhead",
+        "FX: reliability-layer overhead vs drop rate (Figure 1 / ex21 workload)",
+        [
+            "drop",
+            "announcements",
+            "physical sends",
+            "send overhead",
+            "retransmits",
+            "dedup drops",
+            "update txns",
+            "wall ms",
+        ],
+        rows,
+        shapes=[
+            shape_line(
+                "a clean channel pays zero reliability overhead",
+                clean["retransmits"] == 0 and clean["physical_sends"] == clean["announcements"],
+            ),
+            shape_line(
+                "losses cost retransmissions, not correctness",
+                worst["retransmits"] > 0 and all(r["converged"] for r in results),
+            ),
+        ],
+        note="counters are deterministic; JSON baseline: BENCH_faults.json",
+    )
+
+
+def test_fault_overhead_baseline():
+    """Pytest entry point: regenerate the table and pin the shape claims."""
+    results = collect()
+    render(results)
+    assert results[0]["retransmits"] == 0
+    assert results[0]["physical_sends"] == results[0]["announcements"]
+    assert results[-1]["dropped"] > 0, "5% drop over this workload must lose messages"
+    assert results[-1]["retransmits"] >= results[-1]["dropped"]
+    assert all(r["converged"] for r in results)
+    baseline = DEFAULT_BASELINE
+    if baseline.exists():
+        assert json.loads(baseline.read_text())["results"] == results, (
+            "deterministic counters diverged from BENCH_faults.json — "
+            "regenerate with: python benchmarks/bench_fault_overhead.py --write"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="verify deterministic counters against a baseline JSON",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="(re)write the baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    times = [time_callable(lambda r=rate: run_rate(r), repeats=1) for rate in DROP_RATES]
+    results = collect()
+    render(results, times=times)
+
+    payload = {
+        "experiment": "FX_fault_overhead",
+        "workload": {
+            "updates": N_UPDATES,
+            "drop_rates": DROP_RATES,
+            "plan_seed": PLAN_SEED,
+        },
+        "results": results,
+    }
+    if args.check:
+        expected = json.loads(pathlib.Path(args.check).read_text())
+        if expected["results"] != results:
+            print(f"MISMATCH against {args.check}", file=sys.stderr)
+            print(json.dumps(results, indent=2), file=sys.stderr)
+            return 1
+        print(f"baseline {args.check} verified", file=sys.stderr)
+        return 0
+    path = pathlib.Path(args.write or DEFAULT_BASELINE)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ from repro.core.update_queue import QueuedUpdate, UpdateQueue
 from repro.core.vap import VirtualAttributeProcessor
 from repro.core.vdp import AnnotatedVDP, NodeKind
 from repro.deltas import AnyDelta, BagDelta, SetDelta, select_project, set_to_bag
-from repro.errors import MediatorError
+from repro.errors import MediatorError, SourceUnavailableError
 from repro.relalg import TRUE, Relation
 
 __all__ = ["IUPStats", "UpdateTransactionResult", "IncrementalUpdateProcessor"]
@@ -45,6 +45,7 @@ class IUPStats:
 
     transactions: int = 0
     empty_transactions: int = 0
+    deferred_transactions: int = 0
     rules_fired: int = 0
     nodes_processed: int = 0
     temp_requests: int = 0
@@ -54,6 +55,7 @@ class IUPStats:
         """Zero every counter."""
         self.transactions = 0
         self.empty_transactions = 0
+        self.deferred_transactions = 0
         self.rules_fired = 0
         self.nodes_processed = 0
         self.temp_requests = 0
@@ -70,6 +72,8 @@ class UpdateTransactionResult:
     rules_fired: int
     temps_requested: Tuple[str, ...]
     sources_polled: int
+    deferred: bool = False
+    unavailable_source: Optional[str] = None
 
     @property
     def was_empty(self) -> bool:
@@ -114,13 +118,26 @@ class IncrementalUpdateProcessor:
         self.stats.temp_requests += len(requests)
 
         # Phase (b): populate them through the VAP (state ref'(t_{i-1})).
+        # A source going down between flush and poll aborts the transaction
+        # *before* any store mutation (the kernel has not run), so the
+        # flushed entries can be requeued intact and retried next cycle —
+        # graceful degradation instead of a hang or a half-applied delta.
         polls_before = self.vap.stats.polled_sources
         in_flight = self._in_flight_by_source(entries)
-        temps = self.vap.materialize(requests.values(), in_flight) if requests else {}
+        try:
+            temps = self.vap.materialize(requests.values(), in_flight) if requests else {}
+        except SourceUnavailableError as exc:
+            self.queue.requeue_front(entries)
+            self.stats.deferred_transactions += 1
+            return UpdateTransactionResult(
+                0, 0, (), 0, tuple(sorted(requests)), 0,
+                deferred=True, unavailable_source=exc.source,
+            )
         sources_polled = self.vap.stats.polled_sources - polls_before
 
         # Phase (c): the kernel, reading temporaries in place of virtual data.
         processed, fired = self._kernel(leaf_deltas, temps)
+        self.queue.mark_reflected(entries)
 
         return UpdateTransactionResult(
             flushed_messages=len(entries),

@@ -45,8 +45,28 @@ class SourceLink:
 
         Implementations must first deliver every announcement the source
         has already produced (the FIFO/flush-before-answer guarantee).
+        Raises :class:`~repro.errors.SourceUnavailableError` when the
+        source cannot currently be reached (see :meth:`is_available`).
         """
         raise NotImplementedError
+
+    def is_available(self) -> bool:
+        """True when the source can be polled right now.
+
+        In-process links are always available; channel-backed links
+        consult their fault plan's outage windows, so callers can degrade
+        gracefully (serve tagged materialized data, defer update
+        transactions) instead of failing mid-poll.
+        """
+        return True
+
+    def outage_until(self) -> Optional[float]:
+        """End time of the current outage window, when one is active."""
+        return None
+
+    def now(self) -> Optional[float]:
+        """The link's notion of current time (simulated clock), if any."""
+        return None
 
 
 class DirectLink(SourceLink):

@@ -21,7 +21,7 @@ through the source links (flow 2), and queries enter through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union as TypingUnion
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
 
 from repro.core.iup import IncrementalUpdateProcessor, UpdateTransactionResult
 from repro.core.links import DirectLink, SourceLink
@@ -32,7 +32,8 @@ from repro.core.update_queue import UpdateQueue
 from repro.core.vap import VirtualAttributeProcessor
 from repro.core.vdp import AnnotatedVDP
 from repro.deltas import SetDelta
-from repro.errors import MediatorError
+from repro.errors import MediatorError, SourceUnavailableError
+from repro.faults.staleness import StalenessTag, TaggedAnswer
 from repro.relalg import (
     TRUE,
     Expression,
@@ -198,11 +199,18 @@ class SquirrelMediator:
         delta: SetDelta,
         send_time: Optional[float] = None,
         arrival_time: Optional[float] = None,
+        seq: Optional[int] = None,
     ) -> None:
-        """Receive one announcement message from a source."""
+        """Receive one announcement message from a source.
+
+        ``seq`` (per-source sequence number, supplied by reliability-aware
+        drivers) lets the queue smash duplicates idempotently and hold
+        overtaking arrivals in sequence order — see
+        :meth:`UpdateQueue.enqueue`.
+        """
         if source_name not in self.sources:
             raise MediatorError(f"announcement from unknown source {source_name!r}")
-        self.queue.enqueue(source_name, delta, send_time, arrival_time)
+        self.queue.enqueue(source_name, delta, send_time, arrival_time, seq=seq)
 
     def collect_announcements(self) -> int:
         """Pull pending net updates from every announcing source (the
@@ -247,6 +255,64 @@ class SquirrelMediator:
         """The paper's ``π_A σ_f R`` query form against one view relation."""
         self._require_init()
         return self.qp.query_relation(relation, attrs, predicate)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation under source outages
+    # ------------------------------------------------------------------
+    def source_availability(self) -> Dict[str, bool]:
+        """Current reachability of every source, per its link."""
+        return {name: link.is_available() for name, link in self.links.items()}
+
+    def unavailable_sources(self) -> Tuple[str, ...]:
+        """Sources whose links report an active outage, sorted."""
+        return tuple(sorted(n for n, up in self.source_availability().items() if not up))
+
+    def staleness_tag(self, now: Optional[float] = None) -> StalenessTag:
+        """The staleness disclosure for answers served right now.
+
+        For each unavailable source the tag carries ``now`` minus the send
+        time of the newest update from it that the materialized data
+        reflects (``inf`` when nothing from it was ever reflected and no
+        timing is known) — the per-source staleness measure of
+        :mod:`repro.correctness.freshness`, computed live instead of from
+        a trace.  ``now`` defaults to the links' simulated clock when one
+        is exposed, else 0.0 (in-process deployments are never degraded).
+        """
+        if now is None:
+            clocks = [t for t in (link.now() for link in self.links.values()) if t is not None]
+            now = max(clocks, default=0.0)
+        staleness: Dict[str, float] = {}
+        for name in self.unavailable_sources():
+            reflected = self.queue.last_flushed_send_time(name)
+            if reflected is None:
+                link = self.links[name]
+                outage_end = link.outage_until()
+                # Nothing from this source reflected since init; the best
+                # honest bound is "since the view was initialized", which
+                # the simulated clock started at t=0.  Unknown otherwise.
+                reflected = 0.0 if outage_end is not None else None
+            staleness[name] = float("inf") if reflected is None else max(0.0, now - reflected)
+        return StalenessTag(time=now, staleness=staleness)
+
+    def query_relation_tagged(
+        self,
+        relation: str,
+        attrs: Optional[Sequence[str]] = None,
+        predicate: Predicate = TRUE,
+        now: Optional[float] = None,
+    ) -> TaggedAnswer:
+        """Like :meth:`query_relation`, but the answer carries a staleness tag.
+
+        Materialized-only answers keep flowing during an outage — tagged
+        with how stale the unavailable sources' contributions may be.  A
+        query that *needs* to poll an unavailable source raises
+        :class:`~repro.errors.SourceUnavailableError` (typed, immediate)
+        rather than hanging on a dead link.
+        """
+        self._require_init()
+        tag = self.staleness_tag(now)
+        value = self.qp.query_relation(relation, attrs, predicate)
+        return TaggedAnswer(value=value, tag=tag)
 
     def export_state(self, relation: str) -> Relation:
         """The full current value of one export relation (virtual attributes

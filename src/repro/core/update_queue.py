@@ -12,12 +12,27 @@ For the Eager Compensation Algorithm (Section 6.3),
 deltas of one source without consuming them: those are exactly the updates
 whose inverse smash brings a freshly polled answer back to the state the
 materialized data reflects.
+
+The paper's Section 4 message assumption — in-order, exactly-once — is
+load-bearing: folding one source's deltas in the wrong order (or twice)
+corrupts the net (``+X`` then ``-X`` nets to nothing; reversed, it nets to
+an insert).  Under faulty links the reliability layer
+(:mod:`repro.faults.reliable`) restores that contract upstream, and the
+queue defends in depth: an announcement carrying a per-source sequence
+number is deduplicated idempotently and, if it arrives ahead of a
+lower-numbered sibling, is held in sequence order so the flush fold stays
+faithful to the source's commit timeline.
+
+When an update transaction must be abandoned mid-flight (a needed source
+went down between flush and poll — see :class:`~repro.errors.SourceUnavailableError`),
+:meth:`UpdateQueue.requeue_front` puts the flushed entries back at the head
+so the next cycle retries them, ahead of anything that arrived since.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas import SetDelta, net_accumulate
 
@@ -32,6 +47,7 @@ class QueuedUpdate:
     delta: SetDelta
     send_time: Optional[float] = None  # simulated send time, when available
     arrival_time: Optional[float] = None
+    seq: Optional[int] = None  # per-source sequence number, when sequenced
 
 
 class UpdateQueue:
@@ -39,8 +55,13 @@ class UpdateQueue:
 
     def __init__(self) -> None:
         self._entries: List[QueuedUpdate] = []
+        self._seen_seqs: Dict[str, Set[int]] = {}
+        self._last_flushed_send: Dict[str, float] = {}
         self.total_enqueued = 0
         self.total_flushed = 0
+        self.total_requeued = 0
+        self.duplicates_dropped = 0
+        self.reordered_arrivals = 0
 
     def enqueue(
         self,
@@ -48,10 +69,40 @@ class UpdateQueue:
         delta: SetDelta,
         send_time: Optional[float] = None,
         arrival_time: Optional[float] = None,
-    ) -> None:
-        """Append one announcement (a single indivisible net-update message)."""
-        self._entries.append(QueuedUpdate(source, delta, send_time, arrival_time))
+        seq: Optional[int] = None,
+    ) -> bool:
+        """Accept one announcement (a single indivisible net-update message).
+
+        With ``seq`` given, duplicates of an already-seen ``(source, seq)``
+        are smashed idempotently (dropped, counted) and an arrival that
+        overtook a lower-numbered same-source message is inserted in
+        sequence order rather than arrival order.  Returns True when the
+        entry was actually queued.
+        """
+        if seq is not None:
+            seen = self._seen_seqs.setdefault(source, set())
+            if seq in seen:
+                self.duplicates_dropped += 1
+                return False
+            seen.add(seq)
+        entry = QueuedUpdate(source, delta, send_time, arrival_time, seq)
+        position = len(self._entries)
+        if seq is not None:
+            for i, existing in enumerate(self._entries):
+                if (
+                    existing.source == source
+                    and existing.seq is not None
+                    and existing.seq > seq
+                ):
+                    position = i
+                    break
+        if position < len(self._entries):
+            self.reordered_arrivals += 1
+            self._entries.insert(position, entry)
+        else:
+            self._entries.append(entry)
         self.total_enqueued += 1
+        return True
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,6 +133,29 @@ class UpdateQueue:
             combined = net_accumulate(combined, entry.delta)
         return combined, entries
 
+    def requeue_front(self, entries: Sequence[QueuedUpdate]) -> None:
+        """Put flushed-but-unprocessed entries back at the head of the queue.
+
+        Used when an update transaction is abandoned after its flush (e.g.
+        a required source went down before the VAP could poll it): the
+        entries must be retried *before* anything that arrived since, or
+        per-source ordering breaks.
+        """
+        if not entries:
+            return
+        self._entries = list(entries) + self._entries
+        self.total_requeued += len(entries)
+        self.total_flushed -= len(entries)
+
+    def mark_reflected(self, entries: Sequence[QueuedUpdate]) -> None:
+        """Record that flushed entries were actually propagated into the
+        materialized data (the IUP calls this after its kernel completes —
+        not when a transaction is deferred).  Feeds staleness tags."""
+        for entry in entries:
+            if entry.send_time is not None:
+                previous = self._last_flushed_send.get(entry.source, float("-inf"))
+                self._last_flushed_send[entry.source] = max(previous, entry.send_time)
+
     def pending_for_source(self, source: str) -> List[SetDelta]:
         """Queued (unflushed) deltas of one source, in arrival order."""
         return [e.delta for e in self._entries if e.source == source]
@@ -90,6 +164,13 @@ class UpdateQueue:
         """Send time of the most recent queued announcement from a source."""
         times = [e.send_time for e in self._entries if e.source == source and e.send_time is not None]
         return times[-1] if times else None
+
+    def last_flushed_send_time(self, source: str) -> Optional[float]:
+        """Send time of the newest update of ``source`` ever flushed into an
+        update transaction — i.e. how recent the materialized data's
+        knowledge of that source is.  Feeds staleness tags."""
+        value = self._last_flushed_send.get(source)
+        return value if value != float("-inf") else None
 
     def peek(self) -> List[QueuedUpdate]:
         """A copy of the current entries (observers only)."""

@@ -38,7 +38,7 @@ from repro.core.local_store import LocalStore
 from repro.core.update_queue import UpdateQueue
 from repro.core.vdp import AnnotatedVDP, NodeKind
 from repro.deltas import SetDelta
-from repro.errors import MediatorError
+from repro.errors import MediatorError, SourceUnavailableError
 from repro.relalg import (
     TRUE,
     Evaluator,
@@ -321,6 +321,11 @@ class VirtualAttributeProcessor:
             link = self.links.get(source)
             if link is None:
                 raise MediatorError(f"no source link for {source!r}")
+            if not link.is_available():
+                # Fail fast with a typed error instead of hanging on a
+                # crashed source; callers degrade (tagged materialized
+                # answers, deferred update transactions) or surface it.
+                raise SourceUnavailableError(source, until=link.outage_until())
             queries = {plan.relation: self._temp_expression(plan) for plan in plans}
             answers = link.poll_many(queries)
             self.stats.polls += len(queries)

@@ -17,8 +17,20 @@ from repro.correctness.consistency import (
     find_candidate_vectors,
     view_function_from_vdp,
 )
-from repro.correctness.freshness import FreshnessReport, check_freshness, measure_staleness
-from repro.correctness.recompute import assert_view_correct, recompute, recompute_all
+from repro.correctness.freshness import (
+    FreshnessReport,
+    StalenessTag,
+    TaggedAnswer,
+    check_freshness,
+    check_tagged_staleness,
+    measure_staleness,
+)
+from repro.correctness.recompute import (
+    assert_materialized_correct,
+    assert_view_correct,
+    recompute,
+    recompute_all,
+)
 from repro.correctness.trace import IntegrationTrace, SourceStateRecord, ViewStateRecord
 
 __all__ = [
@@ -33,7 +45,11 @@ __all__ = [
     "FreshnessReport",
     "check_freshness",
     "measure_staleness",
+    "StalenessTag",
+    "TaggedAnswer",
+    "check_tagged_staleness",
     "recompute",
     "recompute_all",
     "assert_view_correct",
+    "assert_materialized_correct",
 ]

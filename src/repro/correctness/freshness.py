@@ -22,8 +22,16 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.correctness.consistency import ViewFunction, find_candidate_vectors
 from repro.correctness.trace import IntegrationTrace
+from repro.faults.staleness import StalenessTag, TaggedAnswer
 
-__all__ = ["FreshnessReport", "measure_staleness", "check_freshness"]
+__all__ = [
+    "FreshnessReport",
+    "measure_staleness",
+    "check_freshness",
+    "StalenessTag",
+    "TaggedAnswer",
+    "check_tagged_staleness",
+]
 
 
 @dataclass
@@ -116,3 +124,28 @@ def check_freshness(
         within_bound=not violations,
         violations=violations,
     )
+
+
+def check_tagged_staleness(
+    tags: List[StalenessTag], bound: Mapping[str, float]
+) -> List[str]:
+    """Violations of ``bound`` across live staleness tags.
+
+    The degraded-answer counterpart of :func:`check_freshness`: tags are
+    the mediator's *own* per-answer staleness disclosures
+    (:meth:`repro.core.SquirrelMediator.staleness_tag`) rather than
+    measurements over a recorded trace.  During an outage the ordinary
+    Theorem 7.2 bound is expected to fail for the down source — callers
+    typically check tags against an outage-widened bound (add the maximum
+    outage length to the affected source's ``f̄`` entry).
+    """
+    violations: List[str] = []
+    for tag in tags:
+        for source, value in tag.staleness.items():
+            limit = bound.get(source)
+            if limit is not None and value > limit + 1e-9:
+                violations.append(
+                    f"t={tag.time}: source {source!r} tagged staleness "
+                    f"{value:.3f} exceeds bound {limit:.3f}"
+                )
+    return violations

@@ -16,7 +16,12 @@ from repro.core.vdp import VDP
 from repro.relalg import Evaluator, Relation
 from repro.sources.base import SourceDatabase
 
-__all__ = ["recompute_all", "recompute", "assert_view_correct"]
+__all__ = [
+    "recompute_all",
+    "recompute",
+    "assert_view_correct",
+    "assert_materialized_correct",
+]
 
 
 def recompute_all(vdp: VDP, sources: Mapping[str, SourceDatabase]) -> Dict[str, Relation]:
@@ -63,4 +68,38 @@ def assert_view_correct(
                 f"view {name!r} diverged from ground truth:\n"
                 f"  mediator: {sorted(current.to_sorted_list())[:10]}\n"
                 f"  truth:    {sorted(expected.to_sorted_list())[:10]}"
+            )
+
+
+def assert_materialized_correct(mediator: SquirrelMediator) -> None:
+    """Assert every *materialized repository* matches a from-scratch rebuild.
+
+    Stronger than :func:`assert_view_correct` for chaos testing: exports can
+    look right while an internal node's repository silently corrupted (a
+    dropped or duplicated delta often cancels at the export but skews an
+    intermediate bag's multiplicities).  This rebuilds a fresh
+    :class:`~repro.core.LocalStore` from current source snapshots — the
+    exact ``t_view_init`` procedure — and demands equality, projection and
+    multiplicities included, for every storing node.
+    """
+    from repro.core.local_store import LocalStore
+
+    leaf_values = {}
+    snapshots = {}
+    vdp = mediator.vdp
+    for leaf in vdp.leaves():
+        source_name = vdp.source_of_leaf(leaf)
+        if source_name not in snapshots:
+            snapshots[source_name] = mediator.sources[source_name].state()
+        leaf_values[leaf] = snapshots[source_name][leaf]
+    fresh = LocalStore(mediator.annotated)
+    fresh.initialize(leaf_values)
+
+    for name, expected in fresh.repos().items():
+        current = mediator.store.repo(name)
+        if current != expected:
+            raise AssertionError(
+                f"materialized node {name!r} diverged from from-scratch rebuild:\n"
+                f"  mediator: {sorted(current.to_sorted_list())[:10]}\n"
+                f"  rebuild:  {sorted(expected.to_sorted_list())[:10]}"
             )

@@ -55,6 +55,25 @@ class SourceError(ReproError):
     """A source database rejected an operation (unknown relation, bad delta)."""
 
 
+class SourceUnavailableError(MediatorError):
+    """A source is inside an outage window and cannot be polled.
+
+    Raised instead of hanging when the VAP (or a poll-backed query) needs a
+    source whose link is down.  Materialized-only queries keep working —
+    served with an explicit staleness tag — so callers can distinguish
+    "degraded but answerable" from "requires the unreachable source".
+    """
+
+    def __init__(self, source: str, until=None, message=None):
+        self.source = source
+        self.until = until
+        if message is None:
+            message = f"source {source!r} is unavailable"
+            if until is not None:
+                message += f" (outage until t={until})"
+        super().__init__(message)
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured or used out of order."""
 

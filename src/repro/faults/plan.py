@@ -1,0 +1,246 @@
+"""Deterministic, seedable fault plans for source-mediator links.
+
+The paper's environment model (Section 4) assumes perfectly reliable,
+in-order channels: "the messages transferred from one source database to
+the mediator must be in order and every source database sends all the
+updates ... in a single undividable message".  Real autonomous sources are
+not that polite.  A :class:`FaultPlan` describes, per channel, how that
+assumption is violated:
+
+* **drop** — a transmitted message is lost in transit;
+* **duplicate** — extra copies of a message arrive;
+* **delay** — a message takes extra time (drawn from a configured range);
+* **reorder** — a delayed message no longer holds back later ones, so it
+  can be overtaken (FIFO is broken for it);
+* **crash-and-recover** — scheduled :class:`OutageWindow`\\ s during which
+  the link is down: nothing sent or delivered survives, and polls fail.
+
+Every decision is a pure function of ``(seed, channel, transmission index,
+attempt)`` hashed through SHA-256, so a plan is *reproducible by
+construction*: the same seed yields a byte-identical fault schedule on any
+platform or Python version (``fingerprint`` pins this in tests).  The
+simulator stays deterministic — chaos runs can be replayed exactly.
+
+Two knobs bound the chaos so convergence proofs terminate:
+``active_until`` silences rate-based faults after a horizon, and
+``fault_free_after_attempt`` guarantees that a retransmission eventually
+gets through (outage windows still apply regardless — a down link is
+down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["OutageWindow", "ChannelFaults", "FaultDecision", "FaultPlan", "NO_FAULTS"]
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A half-open interval ``[start, end)`` during which a link is down."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(
+                f"outage window must have end > start, got [{self.start}, {self.end})"
+            )
+
+    def contains(self, time: float) -> bool:
+        """True when ``time`` falls inside the window."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Per-channel fault rates and scheduled outages (all rates in [0, 1]).
+
+    ``drop_rate``, ``duplicate_rate``, ``delay_rate`` and ``reorder_rate``
+    are independent per-transmission probabilities; a drop preempts the
+    others (a lost message cannot also be duplicated).  Extra delay for
+    delayed/reordered messages is drawn uniformly from ``delay_range``.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay_range: Tuple[float, float] = (0.0, 0.0)
+    max_duplicates: int = 1
+    outages: Tuple[OutageWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {value}")
+        lo, hi = self.delay_range
+        if lo < 0 or hi < lo:
+            raise SimulationError(f"invalid delay_range {self.delay_range}")
+        if self.max_duplicates < 1:
+            raise SimulationError("max_duplicates must be >= 1")
+
+    @property
+    def faultless(self) -> bool:
+        """True when this configuration can never inject a fault."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.delay_rate == 0.0
+            and self.reorder_rate == 0.0
+            and not self.outages
+        )
+
+
+NO_FAULTS = ChannelFaults()
+
+_CLEAN = None  # sentinel replaced below (FaultDecision defined first)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one physical transmission."""
+
+    drop: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+    reorder: bool = False
+    outage: bool = False
+
+    @property
+    def faulty(self) -> bool:
+        """True when anything other than clean FIFO delivery was decided."""
+        return self.drop or self.duplicates > 0 or self.extra_delay > 0.0 or self.reorder
+
+    def encode(self) -> str:
+        """A canonical textual form (used for schedule fingerprints)."""
+        return (
+            f"drop={int(self.drop)} dup={self.duplicates} "
+            f"delay={self.extra_delay!r} reorder={int(self.reorder)} "
+            f"outage={int(self.outage)}"
+        )
+
+
+CLEAN_DECISION = FaultDecision()
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for a set of named channels.
+
+    ``channels`` maps channel keys (source names, in the simulated
+    environment) to their :class:`ChannelFaults`; ``default`` applies to
+    keys not listed.  ``seed`` fixes every random draw.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        channels: Optional[Mapping[str, ChannelFaults]] = None,
+        default: ChannelFaults = NO_FAULTS,
+        active_until: float = float("inf"),
+        fault_free_after_attempt: int = 3,
+    ):
+        self.seed = int(seed)
+        self.channels: Dict[str, ChannelFaults] = dict(channels or {})
+        self.default = default
+        self.active_until = active_until
+        self.fault_free_after_attempt = fault_free_after_attempt
+
+    # ------------------------------------------------------------------
+    # Configuration lookup
+    # ------------------------------------------------------------------
+    def faults_for(self, key: str) -> ChannelFaults:
+        """The fault configuration governing one channel key."""
+        return self.channels.get(key, self.default)
+
+    def outage_at(self, key: str, time: float) -> Optional[OutageWindow]:
+        """The outage window covering ``time`` on ``key``, if any."""
+        for window in self.faults_for(key).outages:
+            if window.contains(time):
+                return window
+        return None
+
+    def in_outage(self, key: str, time: float) -> bool:
+        """True when ``key`` is inside a scheduled outage at ``time``."""
+        return self.outage_at(key, time) is not None
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _rng(self, key: str, transmission: int, attempt: int) -> random.Random:
+        material = f"{self.seed}:{key}:{transmission}:{attempt}".encode()
+        digest = hashlib.sha256(material).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def decide(
+        self, key: str, transmission: int, attempt: int = 0, now: float = 0.0
+    ) -> FaultDecision:
+        """The fate of one physical transmission.
+
+        ``transmission`` is the channel's monotone send counter (every
+        physical send, including retransmissions and duplicates, advances
+        it), so retries draw fresh fates.  ``attempt`` is the
+        retransmission attempt number; at or beyond
+        ``fault_free_after_attempt`` rate-based faults are suppressed so
+        retry loops provably converge.  Outage windows apply regardless of
+        attempt — a crashed link swallows retries too.
+        """
+        window = self.outage_at(key, now)
+        if window is not None:
+            return FaultDecision(drop=True, outage=True)
+        faults = self.faults_for(key)
+        if faults.faultless:
+            return CLEAN_DECISION
+        if now >= self.active_until or attempt >= self.fault_free_after_attempt:
+            return CLEAN_DECISION
+        rng = self._rng(key, transmission, attempt)
+        # One draw per fault family, in a fixed order, so schedules are
+        # stable even when a rate is zero.
+        u_drop = rng.random()
+        u_dup = rng.random()
+        u_delay = rng.random()
+        u_reorder = rng.random()
+        u_extra = rng.random()
+        if u_drop < faults.drop_rate:
+            return FaultDecision(drop=True)
+        duplicates = 0
+        if u_dup < faults.duplicate_rate:
+            duplicates = 1 + int(u_extra * faults.max_duplicates) % faults.max_duplicates
+        extra_delay = 0.0
+        reorder = False
+        if u_delay < faults.delay_rate or u_reorder < faults.reorder_rate:
+            lo, hi = faults.delay_range
+            extra_delay = lo + (hi - lo) * u_extra
+            reorder = u_reorder < faults.reorder_rate
+        return FaultDecision(
+            drop=False, duplicates=duplicates, extra_delay=extra_delay, reorder=reorder
+        )
+
+    # ------------------------------------------------------------------
+    # Reproducibility helpers
+    # ------------------------------------------------------------------
+    def schedule(
+        self, key: str, n: int, attempt: int = 0, now: float = 0.0
+    ) -> List[FaultDecision]:
+        """Decisions for transmissions ``0..n-1`` of one channel."""
+        return [self.decide(key, i, attempt, now) for i in range(n)]
+
+    def fingerprint(self, key: str, n: int = 256) -> str:
+        """SHA-256 over the canonical encoding of the first ``n`` decisions.
+
+        Equal seeds (and configs) yield byte-identical fingerprints — the
+        reproducibility contract chaos tests rely on.
+        """
+        payload = "\n".join(d.encode() for d in self.schedule(key, n)).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    def __repr__(self) -> str:
+        keys = sorted(self.channels) or ["<default>"]
+        return f"<FaultPlan seed={self.seed} channels={keys}>"

@@ -1,0 +1,71 @@
+"""Staleness tags: what a degraded answer admits about its own freshness.
+
+When a contributing source is inside an outage window, the mediator keeps
+serving materialized data (Section 2's core promise — materialized
+attributes answer without source contact) but the Theorem 7.2 freshness
+bound no longer holds for that source: no announcement can arrive while
+the link is down.  Rather than pretend, a degraded answer carries a
+:class:`StalenessTag` stating, per unavailable source, a lower bound on
+how far behind the served data may be — measured with the same per-source
+staleness vocabulary as :mod:`repro.correctness.freshness` (which re-exports
+these types and checks tags against analytic bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["StalenessTag", "TaggedAnswer"]
+
+
+@dataclass(frozen=True)
+class StalenessTag:
+    """Freshness disclosure attached to an answer served under degradation.
+
+    ``staleness`` maps each currently unavailable source to a lower bound
+    on the age of the data served for it: ``now`` minus the send time of
+    the last update reflected in the materialized store (``inf`` when no
+    update from that source has ever been reflected and no outage start is
+    known).  Sources absent from the mapping were reachable at answer
+    time, so the ordinary Theorem 7.2 bound governs them.
+    """
+
+    time: float
+    staleness: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one contributing source was unavailable."""
+        return bool(self.staleness)
+
+    @property
+    def unavailable(self) -> Tuple[str, ...]:
+        """The sources that were unavailable at answer time, sorted."""
+        return tuple(sorted(self.staleness))
+
+    def worst(self) -> float:
+        """The largest per-source staleness bound (0.0 when fresh)."""
+        return max(self.staleness.values(), default=0.0)
+
+    def within_bound(self, bound: Mapping[str, float]) -> bool:
+        """True when every tagged source's staleness respects ``bound``
+        (sources without a bound entry are unconstrained)."""
+        for source, value in self.staleness.items():
+            limit = bound.get(source)
+            if limit is not None and value > limit + 1e-9:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class TaggedAnswer:
+    """A query answer plus the staleness tag it was served under."""
+
+    value: object  # a Relation; typed loosely to keep this module dependency-free
+    tag: StalenessTag
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer was served while a source was unavailable."""
+        return self.tag.degraded

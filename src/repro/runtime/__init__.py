@@ -1,5 +1,5 @@
 """Simulated runtime: sources + channels + mediator under the event loop."""
 
-from repro.runtime.driver import ChannelLink, SimulatedEnvironment
+from repro.runtime.driver import ChannelLink, ReliableChannelLink, SimulatedEnvironment
 
-__all__ = ["ChannelLink", "SimulatedEnvironment"]
+__all__ = ["ChannelLink", "ReliableChannelLink", "SimulatedEnvironment"]

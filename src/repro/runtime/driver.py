@@ -17,6 +17,18 @@ message the source produced before answering is in the mediator's queue
 when the answer is used — the in-order assumption of Section 4 that the
 Eager Compensation Algorithm relies on.
 
+Passing a :class:`~repro.faults.FaultPlan` turns the perfect channels into
+faulty ones (drop / duplicate / delay / reorder / outage windows) and
+swaps every link for a :class:`ReliableChannelLink`: announcements then
+travel in sequence-numbered envelopes through a sender-side retransmission
+buffer (per-message timeout, exponential backoff) into a receiver-side
+inbox that smashes duplicates idempotently and releases payloads strictly
+in order.  On the poll path the link first expedites the channel and then
+syncs every still-unacked envelope straight into the inbox, restoring the
+flush-before-answer guarantee even across lost messages; polls against a
+source inside an outage window raise
+:class:`~repro.errors.SourceUnavailableError` instead of hanging.
+
 A :class:`~repro.correctness.IntegrationTrace` records every source commit
 and every observed view state, ready for the Section 3 checkers.
 """
@@ -30,12 +42,13 @@ from repro.core.links import SourceLink
 from repro.core.vdp import AnnotatedVDP
 from repro.correctness import IntegrationTrace
 from repro.deltas import SetDelta
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SourceUnavailableError
+from repro.faults import BackoffPolicy, Envelope, FaultPlan, ReliableInbox, ReliableSender
 from repro.relalg import Evaluator, Expression, Relation
 from repro.sim import Channel, EnvironmentDelays, Simulator
 from repro.sources.base import SourceDatabase
 
-__all__ = ["ChannelLink", "SimulatedEnvironment"]
+__all__ = ["ChannelLink", "ReliableChannelLink", "SimulatedEnvironment"]
 
 
 class ChannelLink(SourceLink):
@@ -47,13 +60,45 @@ class ChannelLink(SourceLink):
         self.channel = channel
         self.announces = announces
 
+    # ------------------------------------------------------------------
+    # Availability and time (graceful-degradation hooks)
+    # ------------------------------------------------------------------
+    def now(self) -> Optional[float]:
+        return self.channel.simulator.now
+
+    def is_available(self) -> bool:
+        plan = self.channel.plan
+        if plan is None:
+            return True
+        return not plan.in_outage(self.channel.fault_key, self.channel.simulator.now)
+
+    def outage_until(self) -> Optional[float]:
+        plan = self.channel.plan
+        if plan is None:
+            return None
+        window = plan.outage_at(self.channel.fault_key, self.channel.simulator.now)
+        return window.end if window is not None else None
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
     def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        self._require_available()
+        self._flush_before_answer()
+        return self._answer(queries)
+
+    def _require_available(self) -> None:
+        if not self.is_available():
+            raise SourceUnavailableError(self.source_name, until=self.outage_until())
+
+    def _flush_before_answer(self) -> None:
         # Flush-before-answer through the same FIFO the announcements use.
         announcement = self.source.take_announcement()
         if announcement is not None and self.announces:
             self.channel.send(announcement)
         self.channel.expedite()
 
+    def _answer(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
         snapshot = self.source.state()
         self.source.query_count += len(queries)
         self.poll_count += 1
@@ -64,6 +109,43 @@ class ChannelLink(SourceLink):
             self.polled_rows += answer.cardinality()
             answers[name] = answer
         return answers
+
+
+class ReliableChannelLink(ChannelLink):
+    """A channel link whose announcements survive a faulty channel.
+
+    Outbound announcements go through a :class:`ReliableSender` (sequence
+    numbers, retransmission with exponential backoff); the poll path, being
+    a synchronous request/reply exchange, additionally syncs all unacked
+    envelopes into the receiver's inbox so the mediator's queue is complete
+    before a poll answer is used — the Section 4 in-order assumption,
+    re-established over an unreliable link.
+    """
+
+    def __init__(
+        self,
+        source: SourceDatabase,
+        channel: Channel,
+        announces: bool,
+        sender: ReliableSender,
+        inbox: ReliableInbox,
+    ):
+        super().__init__(source, channel, announces)
+        self.sender = sender
+        self.inbox = inbox
+
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        self._require_available()
+        announcement = self.source.take_announcement()
+        if announcement is not None and self.announces:
+            self.sender.send(announcement)
+        # Early-arrive whatever is still in flight, then recover anything
+        # the channel lost: after the sync, the inbox has released every
+        # announcement the source ever produced, gap-free and in order.
+        self.channel.expedite()
+        if self.announces:
+            self.sender.sync_into_inbox()
+        return self._answer(queries)
 
 
 class SimulatedEnvironment:
@@ -78,20 +160,35 @@ class SimulatedEnvironment:
         eca_enabled: bool = True,
         key_based_enabled: bool = True,
         record_updates: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        backoff: Optional[BackoffPolicy] = None,
     ):
         """``flush_period`` defaults to ``delays.u_hold_delay_med`` (the
         worst-case queue-holding time *is* the flush period under a periodic
-        policy); it must be positive."""
-        self.sim = Simulator()
+        policy); it must be positive.  ``fault_plan`` (keyed by source name)
+        makes every channel faulty and every link reliability-aware;
+        ``backoff`` tunes the retransmission policy (defaults to a base
+        timeout of one flush period, doubling, capped at 8 periods)."""
+        self.sim = Simulator(fault_plan=fault_plan)
         self.delays = delays
         self.sources = dict(sources)
         self.record_updates = record_updates
+        self.fault_plan = fault_plan
         self.flush_period = flush_period if flush_period is not None else delays.u_hold_delay_med
         if self.flush_period <= 0:
             raise SimulationError("flush_period must be positive")
+        if backoff is None:
+            backoff = BackoffPolicy(
+                base_timeout=self.flush_period,
+                multiplier=2.0,
+                max_backoff=8 * self.flush_period,
+            )
+        self.backoff = backoff
 
         self.trace = IntegrationTrace(sorted(self.sources))
         self._channels: Dict[str, Channel] = {}
+        self._senders: Dict[str, ReliableSender] = {}
+        self._inboxes: Dict[str, ReliableInbox] = {}
         self._announce_armed: Dict[str, bool] = {name: False for name in self.sources}
 
         kinds = annotated.contributor_kinds()
@@ -99,15 +196,30 @@ class SimulatedEnvironment:
         for name in sorted(self.sources):
             source = self.sources[name]
             profile = delays.profile(name)
-            channel = Channel(
-                self.sim,
-                profile.comm_delay,
-                deliver=self._make_deliver(name),
-                name=f"{name}->mediator",
-            )
-            self._channels[name] = channel
             announces = bool(name in kinds and kinds[name].announces)
-            links[name] = ChannelLink(source, channel, announces)
+            if fault_plan is None:
+                channel = Channel(
+                    self.sim,
+                    profile.comm_delay,
+                    deliver=self._make_deliver(name),
+                    name=f"{name}->mediator",
+                )
+                links[name] = ChannelLink(source, channel, announces)
+            else:
+                inbox = ReliableInbox(self._make_sink(name), name=f"{name}->mediator inbox")
+                channel = Channel(
+                    self.sim,
+                    profile.comm_delay,
+                    deliver=lambda env, st, _inbox=inbox: _inbox.deliver(env),
+                    name=f"{name}->mediator",
+                    plan=fault_plan,
+                    fault_key=name,
+                )
+                sender = ReliableSender(channel, inbox, self.sim, self.backoff)
+                self._inboxes[name] = inbox
+                self._senders[name] = sender
+                links[name] = ReliableChannelLink(source, channel, announces, sender, inbox)
+            self._channels[name] = channel
             source.on_commit(self._make_commit_hook(name, profile.ann_delay, announces))
 
         self.mediator = SquirrelMediator(
@@ -141,6 +253,20 @@ class SimulatedEnvironment:
 
         return deliver
 
+    def _make_sink(self, source_name: str) -> Callable[[Envelope], None]:
+        """The reliable inbox's in-order release target: the update queue."""
+
+        def sink(envelope: Envelope) -> None:
+            self.mediator.enqueue_update(
+                source_name,
+                envelope.payload,
+                send_time=envelope.send_time,
+                arrival_time=self.sim.now,
+                seq=envelope.seq,
+            )
+
+        return sink
+
     def _make_commit_hook(self, name: str, ann_delay: float, announces: bool) -> Callable:
         def hook(source: SourceDatabase, delta: SetDelta) -> None:
             self.trace.record_source_state(name, self.sim.now, source.state())
@@ -156,7 +282,12 @@ class SimulatedEnvironment:
     def _announce(self, name: str) -> None:
         self._announce_armed[name] = False
         announcement = self.sources[name].take_announcement()
-        if announcement is not None:
+        if announcement is None:
+            return
+        sender = self._senders.get(name)
+        if sender is not None:
+            sender.send(announcement)
+        else:
             self._channels[name].send(announcement)
 
     def _update_transaction(self) -> None:
@@ -170,6 +301,49 @@ class SimulatedEnvironment:
             for export in self.mediator.vdp.exports
         }
         self.trace.record_view_state(self.sim.now, kind, state)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance introspection
+    # ------------------------------------------------------------------
+    def fault_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-source transport counters (what the faults did, what the
+        reliability layer repaired)."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for name, channel in self._channels.items():
+            entry = {
+                "sent": channel.messages_sent,
+                "delivered": channel.messages_delivered,
+                "dropped": channel.messages_dropped,
+                "duplicated": channel.messages_duplicated,
+            }
+            sender = self._senders.get(name)
+            if sender is not None:
+                entry["retransmits"] = sender.retransmits
+                entry["unacked"] = sender.unacked_count()
+                entry["abandoned"] = sender.abandoned
+            inbox = self._inboxes.get(name)
+            if inbox is not None:
+                entry["dedup_dropped"] = inbox.duplicates_dropped
+                entry["gaps_detected"] = inbox.gaps_detected
+                entry["released_in_order"] = inbox.delivered
+            stats[name] = entry
+        return stats
+
+    def drained(self) -> bool:
+        """True when no announcement is in flight, buffered, or unacked —
+        the quiescence precondition of convergence checks."""
+        for name, channel in self._channels.items():
+            if channel.in_flight_count() > 0:
+                return False
+            inbox = self._inboxes.get(name)
+            if inbox is not None and inbox.pending_gap():
+                return False
+            sender = self._senders.get(name)
+            if sender is not None and sender.unacked_count() > 0:
+                return False
+            if self.sources[name].has_pending_announcement() and self._announce_armed.get(name):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Driving the environment

