@@ -50,6 +50,8 @@ class IUPStats:
     nodes_processed: int = 0
     temp_requests: int = 0
     delta_atoms_applied: int = 0
+    propagation_passes: int = 0
+    batched_messages: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -60,6 +62,8 @@ class IUPStats:
         self.nodes_processed = 0
         self.temp_requests = 0
         self.delta_atoms_applied = 0
+        self.propagation_passes = 0
+        self.batched_messages = 0
 
 
 @dataclass
@@ -136,6 +140,11 @@ class IncrementalUpdateProcessor:
         sources_polled = self.vap.stats.polled_sources - polls_before
 
         # Phase (c): the kernel, reading temporaries in place of virtual data.
+        # The N flushed messages were smashed into per-leaf deltas above, so
+        # the whole batch costs exactly one propagation pass.
+        self._index_temps(temps)
+        self.stats.propagation_passes += 1
+        self.stats.batched_messages += len(entries)
         processed, fired = self._kernel(leaf_deltas, temps)
         self.queue.mark_reflected(entries)
 
@@ -170,6 +179,22 @@ class IncrementalUpdateProcessor:
         for entry in entries:
             grouped.setdefault(entry.source, []).append(entry.delta)
         return grouped
+
+    def _index_temps(self, temps: Mapping[str, Relation]) -> None:
+        """Build declared join-key indexes on this transaction's temporaries.
+
+        Temporaries are fresh relations, so this is a per-transaction build
+        over |temp| rows — but the kernel then applies deltas to them
+        (:meth:`_apply_to_node`) with the indexes maintained incrementally,
+        and every rule firing probes instead of re-hashing.
+        """
+        if not self.store.indexing_enabled:
+            return
+        for name, temp in temps.items():
+            attrs = set(temp.schema.attribute_names)
+            for keys in sorted(self.store.index_requirements_for(name)):
+                if set(keys) <= attrs:
+                    temp.ensure_index(keys, self.store.counters)
 
     # ------------------------------------------------------------------
     # Phase (a): the IUP Preparation Algorithm

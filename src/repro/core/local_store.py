@@ -15,11 +15,19 @@ Two repositories are associated with each non-leaf node ``v`` with
 The store also performs view initialization: each node is populated
 bottom-up by evaluating its definition over the already-populated children
 (leaf children read from their sources).
+
+Repositories additionally carry **persistent join indexes** on the key
+tuples the compiled rulebase declares it will probe
+(:meth:`LocalStore.declare_index_requirements`).  They are built once when
+the repository is populated and maintained incrementally by the relation's
+``insert``/``delete`` as deltas are applied — propagation therefore probes
+an up-to-date index instead of re-hashing the sibling relation on every
+rule firing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Set, Tuple
 
 from repro.core.annotations import Annotation
 from repro.core.vdp import AnnotatedVDP, NodeKind
@@ -40,13 +48,51 @@ __all__ = ["LocalStore"]
 class LocalStore:
     """Materialized repositories and per-transaction delta repositories."""
 
-    def __init__(self, annotated: AnnotatedVDP):
+    def __init__(self, annotated: AnnotatedVDP, indexing_enabled: bool = True):
         self.annotated = annotated
         self.vdp = annotated.vdp
         self.counters = EvalCounters()
+        self.indexing_enabled = indexing_enabled
         self._repos: Dict[str, Relation] = {}
         self._deltas: Dict[str, AnyDelta] = {}
+        self._index_requirements: Dict[str, Set[Tuple[str, ...]]] = {}
         self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Persistent join indexes
+    # ------------------------------------------------------------------
+    def declare_index_requirements(
+        self, requirements: Mapping[str, Set[Tuple[str, ...]]]
+    ) -> None:
+        """Register the join-key indexes the compiled rulebase will probe.
+
+        Called once at mediator wiring, before :meth:`initialize`.  Indexes
+        are built when repositories are populated and thereafter maintained
+        incrementally by ``insert``/``delete`` — never rebuilt.  Keys not
+        fully covered by a node's *stored* schema (hybrid projections) are
+        skipped; those reads go through temporaries, which the IUP indexes
+        per transaction.
+        """
+        if not self.indexing_enabled:
+            return
+        for base, keysets in requirements.items():
+            self._index_requirements.setdefault(base, set()).update(keysets)
+        if self._initialized:
+            self._build_declared_indexes()
+
+    def index_requirements_for(self, name: str) -> Set[Tuple[str, ...]]:
+        """Declared key tuples for one node (empty when indexing is off)."""
+        return set(self._index_requirements.get(name, ()))
+
+    def _build_declared_indexes(self) -> None:
+        for name, keysets in self._index_requirements.items():
+            repo = self._repos.get(name)
+            if repo is None:
+                continue
+            stored_attrs = set(repo.schema.attribute_names)
+            for keys in sorted(keysets):
+                if set(keys) <= stored_attrs:
+                    repo.ensure_index(keys, self.counters)
 
     # ------------------------------------------------------------------
     # Storage schemas
@@ -101,6 +147,7 @@ class LocalStore:
                 self._repos[name] = self._stored_projection(name, full_value, ann)
         self._deltas = {}
         self._initialized = True
+        self._build_declared_indexes()
 
     def _stored_projection(self, name: str, full_value: Relation, ann: Annotation) -> Relation:
         node = self.vdp.node(name)

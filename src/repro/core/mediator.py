@@ -65,6 +65,10 @@ class MediatorStats:
     stored_rows: int
     stored_cells: int
     rows_scanned: int
+    rows_hashed: int
+    index_probes: int
+    index_rebuilds: int
+    propagation_passes: int
 
 
 class SquirrelMediator:
@@ -77,13 +81,16 @@ class SquirrelMediator:
         links: Optional[Mapping[str, SourceLink]] = None,
         eca_enabled: bool = True,
         key_based_enabled: bool = True,
+        indexing_enabled: bool = True,
     ):
         """Wire a mediator over the given sources.
 
         ``links`` overrides the default in-process :class:`DirectLink` per
         source — the simulation runtime passes channel-aware links here.
-        ``eca_enabled`` / ``key_based_enabled`` exist for the ablation
-        benchmarks; production use leaves them on.
+        ``eca_enabled`` / ``key_based_enabled`` / ``indexing_enabled`` exist
+        for the ablation benchmarks; production use leaves them on
+        (``indexing_enabled=False`` drops the persistent join indexes, so
+        the evaluator falls back to per-firing ephemeral hash joins).
         """
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -92,8 +99,9 @@ class SquirrelMediator:
         self._check_sources()
 
         self.queue = UpdateQueue()
-        self.store = LocalStore(annotated)
+        self.store = LocalStore(annotated, indexing_enabled=indexing_enabled)
         self.rulebase = RuleBase(self.vdp)
+        self.store.declare_index_requirements(self.rulebase.index_requirements())
         self.links: Dict[str, SourceLink] = dict(links) if links else {}
         for name, source in self.sources.items():
             if name not in self.links:
@@ -339,6 +347,10 @@ class SquirrelMediator:
             stored_rows=self.store.total_stored_rows(),
             stored_cells=self.store.total_stored_cells(),
             rows_scanned=self.store.counters.rows_scanned,
+            rows_hashed=self.store.counters.rows_hashed,
+            index_probes=self.store.counters.index_probes,
+            index_rebuilds=self.store.counters.index_rebuilds,
+            propagation_passes=self.iup.stats.propagation_passes,
         )
 
     def reset_stats(self) -> None:
@@ -350,6 +362,9 @@ class SquirrelMediator:
         self.store.counters.rows_produced = 0
         self.store.counters.joins_executed = 0
         self.store.counters.hash_probes = 0
+        self.store.counters.rows_hashed = 0
+        self.store.counters.index_probes = 0
+        self.store.counters.index_rebuilds = 0
 
     def _require_init(self) -> None:
         if not self._initialized:

@@ -12,7 +12,7 @@ annotation of the VDP (the paper notes this explicitly).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union as TypingUnion
+from typing import Dict, List, Set, Tuple, Union as TypingUnion
 
 from repro.core.rules import BagNodeRule, SetNodeRule, build_rule
 from repro.core.vdp import VDP
@@ -24,19 +24,41 @@ EdgeRule = TypingUnion[BagNodeRule, SetNodeRule]
 
 
 class RuleBase:
-    """All edge rules of a VDP, indexed by edge and by child node."""
+    """All edge rules of a VDP, indexed by edge and by child node.
+
+    Construction passes the VDP's node schemas into :func:`build_rule`, so
+    every rule compiles eagerly — rewritten expressions, renamed schemas and
+    join plans are resolved here, once, rather than per ``fire()``.
+    """
 
     def __init__(self, vdp: VDP):
         self.vdp = vdp
+        schemas = vdp.schemas()
         self._by_edge: Dict[Tuple[str, str], EdgeRule] = {}
         self._out_rules: Dict[str, List[EdgeRule]] = {name: [] for name in vdp.nodes}
         for parent_name in vdp.non_leaves():
             parent = vdp.node(parent_name)
             for child_name in vdp.children(parent_name):
                 child = vdp.node(child_name)
-                rule = build_rule(parent_name, parent.definition, child_name, child.schema)
+                rule = build_rule(
+                    parent_name, parent.definition, child_name, child.schema, schemas
+                )
                 self._by_edge[(parent_name, child_name)] = rule
                 self._out_rules[child_name].append(rule)
+        self._index_requirements: Dict[str, Set[Tuple[str, ...]]] = {}
+        for rule in self._by_edge.values():
+            for base, keysets in rule.index_requirements().items():
+                self._index_requirements.setdefault(base, set()).update(keysets)
+
+    def index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Join-key index declarations collected from the compiled rules.
+
+        Maps node name → set of attribute-key tuples some rule's join plan
+        can probe.  The local store builds these indexes on materialized
+        repositories (and the IUP on temporaries) so that firing a rule
+        probes a persistent index instead of re-hashing the sibling.
+        """
+        return {base: set(keys) for base, keys in self._index_requirements.items()}
 
     def edge_rule(self, parent: str, child: str) -> EdgeRule:
         """The rule attached to edge ``(parent, child)``."""

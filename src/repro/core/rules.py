@@ -29,12 +29,23 @@ definition once with the delta's positive part and once with its negative
 part and combines the results with signs.  A child appearing *k* times in a
 definition (self-join; the paper's footnote 2) contributes *k* occurrence
 terms, with earlier occurrences read post-update and later ones pre-update.
+
+**Compiled rules.**  Everything about a rule that does not depend on the
+data is resolved once, at rule construction, by :class:`CompiledSPJ`: the
+rewritten delta expressions per occurrence and sign, the per-relation
+renamed schemas, and the per-join plans (equi-key extraction, projection
+maps, residual predicates, index probe specs — see
+:func:`repro.relalg.plan_join`).  A ``fire()`` then only splits the delta,
+extends the catalog, and evaluates the precompiled terms — probing the
+persistent join indexes that :class:`~repro.core.local_store.LocalStore`
+maintains on sibling repositories, so steady-state propagation work scales
+with |delta|, not |database|.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.deltas import BagDelta, SetDelta
 from repro.errors import VDPError
@@ -45,6 +56,7 @@ from repro.relalg import (
     Evaluator,
     Expression,
     Join,
+    JoinPlan,
     Project,
     Relation,
     Rename,
@@ -53,16 +65,24 @@ from repro.relalg import (
     Select,
     SetRelation,
     Union,
+    plan_join,
 )
 from repro.relalg.tuples import Row
 
 __all__ = [
+    "DELTA_ALIAS_PREFIX",
+    "CompiledSPJ",
     "spj_delta",
     "operand_support_delta",
     "BagNodeRule",
     "SetNodeRule",
     "build_rule",
 ]
+
+#: All synthetic catalog names introduced by rule rewriting share this
+#: prefix; they never have persistent indexes and are excluded from
+#: index-requirement collection.
+DELTA_ALIAS_PREFIX = "__"
 
 
 def _count_occurrences(expr: Expression, name: str) -> int:
@@ -102,6 +122,13 @@ def _replace_occurrences(
     raise VDPError(f"unsupported node in rule rewriting: {type(expr).__name__}")
 
 
+def _collect_joins(expr: Expression, out: List[Join]) -> None:
+    if isinstance(expr, Join):
+        out.append(expr)
+    for child in expr.children():
+        _collect_joins(child, out)
+
+
 def _delta_parts(
     delta: BagDelta, relation: str, schema: RelationSchema
 ) -> Tuple[BagRelation, BagRelation]:
@@ -116,6 +143,133 @@ def _delta_parts(
     return pos, neg
 
 
+class CompiledSPJ:
+    """One SPJ part of a rule, fully resolved for Δ-evaluation wrt one child.
+
+    Construction precomputes:
+
+    * the rewritten expression for every (occurrence, sign) combination —
+      the synthetic scan names (``__dpos__c`` …) depend only on the child's
+      name, so the whole term set is static;
+    * the renamed-schema catalog the evaluator needs, when node ``schemas``
+      are supplied (the rulebase supplies the VDP's); otherwise schemas are
+      captured from the first catalog seen and cached;
+    * one :class:`~repro.relalg.JoinPlan` per join in every term, including
+      the probe specs that let the evaluator answer a sibling side from a
+      persistent index.
+
+    ``delta()`` is then a pure per-delta computation.
+    """
+
+    def __init__(
+        self,
+        part: Expression,
+        parent: str,
+        child: str,
+        child_schema: RelationSchema,
+        schemas: Optional[Mapping[str, RelationSchema]] = None,
+    ):
+        self.part = part
+        self.parent = parent
+        self.child = child
+        self.child_schema = child_schema
+        self.occurrences = _count_occurrences(part, child)
+        if self.occurrences == 0:
+            raise VDPError(f"definition of {parent!r} does not reference {child!r}")
+
+        self.pos_name = f"{DELTA_ALIAS_PREFIX}dpos{DELTA_ALIAS_PREFIX}{child}"
+        self.neg_name = f"{DELTA_ALIAS_PREFIX}dneg{DELTA_ALIAS_PREFIX}{child}"
+        self.new_name = f"{DELTA_ALIAS_PREFIX}new{DELTA_ALIAS_PREFIX}{child}"
+
+        # Static term set: for occurrence k, earlier occurrences read the
+        # post-update child, later ones the pre-update child.
+        self.terms: List[Tuple[Expression, int]] = []
+        for occ in range(self.occurrences):
+            for delta_name, sign in ((self.pos_name, +1), (self.neg_name, -1)):
+                replacements = [
+                    self.new_name if k < occ else (delta_name if k == occ else child)
+                    for k in range(self.occurrences)
+                ]
+                rewritten = _replace_occurrences(part, child, replacements, [0])
+                self.terms.append((rewritten, sign))
+
+        self._alias_schemas = {
+            alias: child_schema.rename_relation(alias)
+            for alias in (self.pos_name, self.neg_name, self.new_name)
+        }
+        self._schemas: Dict[str, RelationSchema] = dict(self._alias_schemas)
+        self._join_plans: Optional[Dict[int, JoinPlan]] = None
+        if schemas is not None:
+            for name in part.relation_names():
+                self._schemas[name] = schemas[name].rename_relation(name)
+            self._schemas[child] = child_schema.rename_relation(child)
+            self._compile_plans()
+
+    # ------------------------------------------------------------------
+    def _compile_plans(self) -> None:
+        joins: List[Join] = []
+        for rewritten, _ in self.terms:
+            _collect_joins(rewritten, joins)
+        self._join_plans = {id(j): plan_join(j, self._schemas) for j in joins}
+
+    def _schemas_for(self, extended: Mapping[str, Relation]) -> Mapping[str, RelationSchema]:
+        """The renamed-schema catalog; lazily completed from ``extended``."""
+        for name, rel in extended.items():
+            if name not in self._schemas:
+                self._schemas[name] = rel.schema.rename_relation(name)
+        return self._schemas
+
+    def index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Relations (and key tuples) this part's joins can probe.
+
+        Synthetic delta aliases are excluded: only siblings read from
+        repositories or temporaries benefit from persistent indexes.
+        """
+        out: Dict[str, Set[Tuple[str, ...]]] = {}
+        for plan in (self._join_plans or {}).values():
+            for spec in (plan.left_probe, plan.right_probe):
+                if spec is None or spec.base.startswith(DELTA_ALIAS_PREFIX):
+                    continue
+                out.setdefault(spec.base, set()).add(spec.index_keys)
+        return out
+
+    # ------------------------------------------------------------------
+    def delta(
+        self,
+        child_delta: BagDelta,
+        catalog: Mapping[str, Relation],
+        counters: Optional[EvalCounters] = None,
+    ) -> BagDelta:
+        """The incremental update to ``parent`` induced by ``child_delta``.
+
+        ``catalog`` must resolve every *other* relation referenced by the
+        part (siblings read their current repositories or temporary
+        relations), and — for self-joins — the child itself.
+        """
+        pos, neg = _delta_parts(child_delta, self.child, self.child_schema)
+        extended: Dict[str, Relation] = dict(catalog)
+        extended[self.pos_name] = pos
+        extended[self.neg_name] = neg
+        if self.occurrences > 1:
+            new_rel = catalog[self.child].copy()
+            child_delta.apply_to(new_rel, self.child)
+            extended[self.new_name] = new_rel
+
+        schemas = self._schemas_for(extended)
+        if self._join_plans is None:
+            self._compile_plans()
+
+        result = BagDelta()
+        evaluator = Evaluator(
+            extended, schemas=schemas, counters=counters, join_plans=self._join_plans
+        )
+        for rewritten, sign in self.terms:
+            contribution = evaluator.evaluate(rewritten, self.parent)
+            for r, n in contribution.items():
+                result.add(self.parent, r, sign * n)
+        return result
+
+
 def spj_delta(
     definition: Expression,
     parent: str,
@@ -125,47 +279,13 @@ def spj_delta(
     child_schema: RelationSchema,
     counters: Optional[EvalCounters] = None,
 ) -> BagDelta:
-    """The incremental update to ``parent`` induced by ``child_delta``.
+    """One-shot form of :meth:`CompiledSPJ.delta` (compiles, fires, discards).
 
-    ``catalog`` must resolve every *other* relation referenced by
-    ``definition`` (siblings read their current repositories or temporary
-    relations), and — for self-joins — the child itself.
+    Kept for callers outside the rulebase (compensation, tests); the hot
+    path goes through rules' precompiled :class:`CompiledSPJ` instances.
     """
-    occurrences = _count_occurrences(definition, child)
-    if occurrences == 0:
-        raise VDPError(f"definition of {parent!r} does not reference {child!r}")
-
-    pos_name = f"__dpos__{child}"
-    neg_name = f"__dneg__{child}"
-    new_name = f"__new__{child}"
-    pos, neg = _delta_parts(child_delta, child, child_schema)
-
-    extended: Dict[str, Relation] = dict(catalog)
-    extended[pos_name] = pos
-    extended[neg_name] = neg
-    if occurrences > 1:
-        new_rel = catalog[child].copy()
-        child_delta.apply_to(new_rel, child)
-        extended[new_name] = new_rel
-
-    schemas = {name: rel.schema.rename_relation(name) for name, rel in extended.items()}
-    # Special scans must expose the child's attribute list.
-    for alias in (pos_name, neg_name, new_name):
-        schemas[alias] = child_schema.rename_relation(alias)
-
-    result = BagDelta()
-    evaluator = Evaluator(extended, schemas=schemas, counters=counters)
-    for occ in range(occurrences):
-        for delta_name, sign in ((pos_name, +1), (neg_name, -1)):
-            replacements = [
-                new_name if k < occ else (delta_name if k == occ else child)
-                for k in range(occurrences)
-            ]
-            rewritten = _replace_occurrences(definition, child, replacements, [0])
-            contribution = evaluator.evaluate(rewritten, parent)
-            for r, n in contribution.items():
-                result.add(parent, r, sign * n)
-    return result
+    compiled = CompiledSPJ(definition, parent, child, child_schema)
+    return compiled.delta(child_delta, catalog, counters)
 
 
 def _operand_for_child(definition: Difference, child: str) -> List[Tuple[str, Expression, Expression]]:
@@ -178,6 +298,24 @@ def _operand_for_child(definition: Difference, child: str) -> List[Tuple[str, Ex
     if not sides:
         raise VDPError(f"difference definition does not reference {child!r}")
     return sides
+
+
+def _support_transitions(
+    old_bag: Relation, delta_bag: BagDelta, relation: str
+) -> Tuple[List[Row], List[Row]]:
+    """0↔positive multiplicity transitions of an operand's support."""
+    entering: List[Row] = []
+    leaving: List[Row] = []
+    for r, n in delta_bag.entries_for(relation):
+        before = old_bag.count(r)
+        after = before + n
+        if after < 0:
+            raise VDPError(f"operand multiplicity went negative for row {dict(r)}")
+        if before == 0 and after > 0:
+            entering.append(r)
+        elif before > 0 and after == 0:
+            leaving.append(r)
+    return entering, leaving
 
 
 def operand_support_delta(
@@ -201,29 +339,30 @@ def operand_support_delta(
     evaluator = Evaluator(catalog, schemas=schemas, counters=counters)
     old_bag = evaluator.evaluate(operand, "operand_old")
     delta_bag = spj_delta(operand, "operand", child, child_delta, catalog, child_schema, counters)
-
-    entering: List[Row] = []
-    leaving: List[Row] = []
-    for r, n in delta_bag.entries_for("operand"):
-        before = old_bag.count(r)
-        after = before + n
-        if after < 0:
-            raise VDPError(f"operand multiplicity went negative for row {dict(r)}")
-        if before == 0 and after > 0:
-            entering.append(r)
-        elif before > 0 and after == 0:
-            leaving.append(r)
-    return entering, leaving
+    return _support_transitions(old_bag, delta_bag, "operand")
 
 
 @dataclass
 class BagNodeRule:
-    """Rule for an edge into a bag node (SPJ or union)."""
+    """Rule for an edge into a bag node (SPJ or union).
+
+    Construction precompiles one :class:`CompiledSPJ` per relevant part
+    (for a top-level union, only the operand chains that reference the
+    child — substituting into the full union would wrongly re-emit the
+    other operand in its entirety).
+    """
 
     parent: str
     child: str
     definition: Expression
     child_schema: RelationSchema
+    schemas: Optional[Mapping[str, RelationSchema]] = None
+
+    def __post_init__(self) -> None:
+        self._compiled: List[CompiledSPJ] = [
+            CompiledSPJ(part, self.parent, self.child, self.child_schema, self.schemas)
+            for part in self._relevant_parts()
+        ]
 
     def fire(
         self,
@@ -231,24 +370,10 @@ class BagNodeRule:
         catalog: Mapping[str, Relation],
         counters: Optional[EvalCounters] = None,
     ) -> BagDelta:
-        """Compute the parent's bag delta for this child's delta.
-
-        A top-level union is handled per side: only the operand chains that
-        actually reference the child contribute (substituting into the full
-        union would wrongly re-emit the other operand in its entirety).
-        """
+        """Compute the parent's bag delta for this child's delta."""
         result = BagDelta()
-        for part in self._relevant_parts():
-            contribution = spj_delta(
-                part,
-                self.parent,
-                self.child,
-                child_delta,
-                catalog,
-                self.child_schema,
-                counters,
-            )
-            result = result.smash(contribution)
+        for compiled in self._compiled:
+            result = result.smash(compiled.delta(child_delta, catalog, counters))
         return result
 
     def _relevant_parts(self) -> List[Expression]:
@@ -272,15 +397,49 @@ class BagNodeRule:
             return tuple(sorted(names))  # self-join also reads the child
         return tuple(sorted(names - {self.child}))
 
+    def index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Relations this rule's compiled joins can probe, with key tuples."""
+        out: Dict[str, Set[Tuple[str, ...]]] = {}
+        for compiled in self._compiled:
+            for base, keysets in compiled.index_requirements().items():
+                out.setdefault(base, set()).update(keysets)
+        return out
+
 
 @dataclass
 class SetNodeRule:
-    """Rule for an edge into a set (difference) node."""
+    """Rule for an edge into a set (difference) node.
+
+    Construction hoists everything per-fire work used to rebuild: the
+    renamed-schema catalog, the per-side operand :class:`CompiledSPJ`
+    instances, and the old-operand/other-side expressions.
+    """
 
     parent: str
     child: str
     definition: Difference
     child_schema: RelationSchema
+    schemas: Optional[Mapping[str, RelationSchema]] = None
+
+    def __post_init__(self) -> None:
+        self._sides = _operand_for_child(self.definition, self.child)
+        self._compiled: List[CompiledSPJ] = [
+            CompiledSPJ(operand, "operand", self.child, self.child_schema, self.schemas)
+            for _, operand, _ in self._sides
+        ]
+        self._eval_schemas: Dict[str, RelationSchema] = {}
+        if self.schemas is not None:
+            for name in self.definition.relation_names():
+                self._eval_schemas[name] = self.schemas[name].rename_relation(name)
+            self._eval_schemas[self.child] = self.child_schema.rename_relation(self.child)
+
+    def _schemas_for(self, catalog: Mapping[str, Relation]) -> Dict[str, RelationSchema]:
+        for name, rel in catalog.items():
+            if name not in self._eval_schemas:
+                self._eval_schemas[name] = rel.schema.rename_relation(name)
+        if self.child not in self._eval_schemas:
+            self._eval_schemas[self.child] = self.child_schema.rename_relation(self.child)
+        return self._eval_schemas
 
     def fire(
         self,
@@ -295,13 +454,11 @@ class SetNodeRule:
         feeding both sides fires both parts sequentially.
         """
         result = SetDelta()
-        schemas = {name: rel.schema.rename_relation(name) for name, rel in catalog.items()}
-        schemas[self.child] = self.child_schema.rename_relation(self.child)
-        evaluator = Evaluator(catalog, schemas=schemas, counters=counters)
-        for side, operand, other in _operand_for_child(self.definition, self.child):
-            entering, leaving = operand_support_delta(
-                operand, self.child, child_delta, catalog, self.child_schema, counters
-            )
+        evaluator = Evaluator(catalog, schemas=self._schemas_for(catalog), counters=counters)
+        for (side, operand, other), compiled in zip(self._sides, self._compiled):
+            old_bag = evaluator.evaluate(operand, "operand_old")
+            delta_bag = compiled.delta(child_delta, catalog, counters)
+            entering, leaving = _support_transitions(old_bag, delta_bag, "operand")
             other_support = evaluator.evaluate(other, "other").support()
             if side == "left":
                 # diff1 (corrected): rows entering L join T unless in R;
@@ -327,6 +484,14 @@ class SetNodeRule:
         """Relations the rule must read besides the incoming delta."""
         return tuple(sorted(self.definition.relation_names()))
 
+    def index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Relations this rule's compiled joins can probe, with key tuples."""
+        out: Dict[str, Set[Tuple[str, ...]]] = {}
+        for compiled in self._compiled:
+            for base, keysets in compiled.index_requirements().items():
+                out.setdefault(base, set()).update(keysets)
+        return out
+
 
 def _atom(relation: str, r: Row, sign: int) -> SetDelta:
     d = SetDelta()
@@ -337,8 +502,20 @@ def _atom(relation: str, r: Row, sign: int) -> SetDelta:
     return d
 
 
-def build_rule(parent: str, definition: Expression, child: str, child_schema: RelationSchema):
-    """Construct the edge rule for ``(parent, child)`` from the node kind."""
+def build_rule(
+    parent: str,
+    definition: Expression,
+    child: str,
+    child_schema: RelationSchema,
+    schemas: Optional[Mapping[str, RelationSchema]] = None,
+):
+    """Construct the edge rule for ``(parent, child)`` from the node kind.
+
+    ``schemas`` (node name → schema, e.g. ``vdp.schemas()``) enables eager
+    compilation — renamed schemas and join plans resolved here instead of
+    on first fire.  Without it the rule compiles its expressions eagerly
+    and captures schemas lazily from the first catalog it sees.
+    """
     if isinstance(definition, Difference):
-        return SetNodeRule(parent, child, definition, child_schema)
-    return BagNodeRule(parent, child, definition, child_schema)
+        return SetNodeRule(parent, child, definition, child_schema, schemas)
+    return BagNodeRule(parent, child, definition, child_schema, schemas)

@@ -62,6 +62,8 @@ class UpdateQueue:
         self.total_requeued = 0
         self.duplicates_dropped = 0
         self.reordered_arrivals = 0
+        self.batches_flushed = 0
+        self.messages_folded = 0
 
     def enqueue(
         self,
@@ -120,17 +122,31 @@ class UpdateQueue:
         then ``-X`` (insert then delete between flushes), whose true net
         effect is nothing — smash would instead keep a spurious ``-X`` that
         corrupts leaf-parent bag multiplicities.  Entries from different
-        sources mention disjoint relations, so one sequential fold is both
-        safe and order-faithful.
+        sources mention disjoint relations, so folding each source's
+        messages into one per-source batch first, then combining batches,
+        is both safe and order-faithful — and hands the IUP one net delta
+        per source regardless of how many announcements arrived, so N
+        messages cost a single propagation pass.
         """
         entries = self._entries
         self._entries = []
         self.total_flushed += len(entries)
         if not entries:
             return None, entries
-        combined = SetDelta()
+        per_source: Dict[str, SetDelta] = {}
+        source_order: List[str] = []
         for entry in entries:
-            combined = net_accumulate(combined, entry.delta)
+            existing = per_source.get(entry.source)
+            if existing is None:
+                per_source[entry.source] = entry.delta
+                source_order.append(entry.source)
+            else:
+                per_source[entry.source] = net_accumulate(existing, entry.delta)
+        self.batches_flushed += len(source_order)
+        self.messages_folded += len(entries)
+        combined = SetDelta()
+        for source in source_order:
+            combined = net_accumulate(combined, per_source[source])
         return combined, entries
 
     def requeue_front(self, entries: Sequence[QueuedUpdate]) -> None:

@@ -6,7 +6,16 @@ time — it is the algebra of Section 5 of the paper, with both set and bag
 semantics, plus the functional-dependency reasoning used by Example 2.3.
 """
 
-from repro.relalg.evaluator import EvalCounters, Evaluator, evaluate
+from repro.relalg.evaluator import (
+    EvalCounters,
+    Evaluator,
+    JoinPlan,
+    ProbeSpec,
+    ScanChain,
+    compile_scan_chain,
+    evaluate,
+    plan_join,
+)
 from repro.relalg.expressions import (
     Difference,
     Expression,
@@ -91,6 +100,11 @@ __all__ = [
     "evaluate",
     "Evaluator",
     "EvalCounters",
+    "JoinPlan",
+    "ProbeSpec",
+    "ScanChain",
+    "compile_scan_chain",
+    "plan_join",
     "FDSet",
     "FunctionalDependency",
     "fds_from_schema",

@@ -11,6 +11,15 @@ bags").
 container protocol used by the evaluator, the delta machinery, and the
 mediator local store: ``items()`` (row, count pairs), ``count(row)``,
 ``insert``/``delete``, ``support()`` and ``copy()``.
+
+Both containers also support **persistent hash indexes** on attribute-name
+key tuples (:meth:`Relation.ensure_index` / :meth:`Relation.index_lookup`).
+An index is built once and then maintained *incrementally* by every
+``insert``/``delete`` — never rebuilt — which is what lets update
+propagation probe a sibling relation per delta row instead of re-hashing
+the whole relation inside every rule firing (the compiled propagation
+engine; see :mod:`repro.core.rules`).  ``copy()`` deliberately drops
+indexes: a copy is a fresh relation and re-declares what it needs.
 """
 
 from __future__ import annotations
@@ -37,6 +46,8 @@ class Relation:
 
     def __init__(self, schema: RelationSchema):
         self.schema = schema
+        # key tuple -> {key values -> {row: multiplicity}}
+        self._indexes: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], Dict[Row, int]]] = {}
 
     # -- abstract container protocol --------------------------------------
     def items(self) -> Iterator[Tuple[Row, int]]:
@@ -92,6 +103,82 @@ class Relation:
     def contains(self, row: Row) -> bool:
         """True when ``row`` occurs at least once."""
         return self.count(row) > 0
+
+    def distinct_size(self) -> int:
+        """Number of distinct rows, O(1) where the container allows it."""
+        return self.distinct_cardinality()
+
+    # -- persistent hash indexes ------------------------------------------
+    def ensure_index(self, keys: Sequence[str], counters: Optional[Any] = None) -> None:
+        """Build (once) a hash index on the given attribute-name key tuple.
+
+        The key tuple is taken verbatim — callers canonicalize (the
+        evaluator uses sorted, de-duplicated tuples).  Building scans the
+        relation once; from then on every ``insert``/``delete`` maintains
+        the index incrementally, so a live index is never rebuilt.
+        ``counters`` (an :class:`~repro.relalg.evaluator.EvalCounters`)
+        records the build as ``index_rebuilds`` + ``rows_hashed``.
+        """
+        keys = tuple(keys)
+        if keys in self._indexes:
+            return
+        self.schema.check_attributes(keys)
+        index: Dict[Tuple[Any, ...], Dict[Row, int]] = {}
+        hashed = 0
+        for r, n in self.items():
+            index.setdefault(r.values_for(keys), {})[r] = n
+            hashed += 1
+        self._indexes[keys] = index
+        if counters is not None:
+            counters.index_rebuilds += 1
+            counters.rows_hashed += hashed
+
+    def has_index(self, keys: Sequence[str]) -> bool:
+        """True when an index on exactly this key tuple exists."""
+        return tuple(keys) in self._indexes
+
+    def index_keysets(self) -> Tuple[Tuple[str, ...], ...]:
+        """The key tuples currently indexed (introspection/tests)."""
+        return tuple(self._indexes)
+
+    def index_lookup(
+        self, keys: Sequence[str], values: Tuple[Any, ...]
+    ) -> List[Tuple[Row, int]]:
+        """Rows whose key attributes equal ``values``, with multiplicities.
+
+        Raises :class:`KeyError` when no index on ``keys`` exists — probing
+        is only legal after :meth:`ensure_index` (the evaluator checks
+        :meth:`has_index` first).
+        """
+        bucket = self._indexes[tuple(keys)].get(values)
+        if not bucket:
+            return []
+        return list(bucket.items())
+
+    def drop_indexes(self) -> None:
+        """Discard all indexes (they rebuild on the next ensure_index)."""
+        self._indexes = {}
+
+    def _index_add(self, row: Row, multiplicity: int) -> None:
+        """Reflect an insert of ``row`` in every live index."""
+        for keys, index in self._indexes.items():
+            bucket = index.setdefault(row.values_for(keys), {})
+            bucket[row] = bucket.get(row, 0) + multiplicity
+
+    def _index_remove(self, row: Row, multiplicity: int) -> None:
+        """Reflect a delete of ``row`` in every live index."""
+        for keys, index in self._indexes.items():
+            values = row.values_for(keys)
+            bucket = index.get(values)
+            if bucket is None:
+                continue
+            remaining = bucket.get(row, 0) - multiplicity
+            if remaining > 0:
+                bucket[row] = remaining
+            else:
+                bucket.pop(row, None)
+                if not bucket:
+                    del index[values]
 
     def __len__(self) -> int:
         return self.cardinality()
@@ -160,6 +247,7 @@ class SetRelation(Relation):
         if row in self._rows:
             raise DeltaError(f"duplicate insert into set relation {self.schema.name!r}: {row!r}")
         self._rows.add(row)
+        self._index_add(row, 1)
 
     def delete(self, row: Row, multiplicity: int = 1) -> None:
         self._check_row(row)
@@ -170,6 +258,10 @@ class SetRelation(Relation):
         if row not in self._rows:
             raise DeltaError(f"delete of absent row from set relation {self.schema.name!r}: {row!r}")
         self._rows.discard(row)
+        self._index_remove(row, 1)
+
+    def distinct_size(self) -> int:
+        return len(self._rows)
 
     def copy(self) -> "SetRelation":
         return SetRelation(self.schema, self._rows)
@@ -212,6 +304,7 @@ class BagRelation(Relation):
         if multiplicity <= 0:
             raise DeltaError(f"insert multiplicity must be positive, got {multiplicity}")
         self._counts[row] += multiplicity
+        self._index_add(row, multiplicity)
 
     def delete(self, row: Row, multiplicity: int = 1) -> None:
         self._check_row(row)
@@ -226,6 +319,10 @@ class BagRelation(Relation):
             del self._counts[row]
         else:
             self._counts[row] = have - multiplicity
+        self._index_remove(row, multiplicity)
+
+    def distinct_size(self) -> int:
+        return len(self._counts)
 
     def copy(self) -> "BagRelation":
         clone = BagRelation(self.schema)

@@ -139,6 +139,7 @@ def figure1_mediator(
     seed: int = 7,
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
+    indexing_enabled: bool = True,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
     annotations (``"ex21"``, ``"ex22"``, ``"ex23"``)."""
@@ -151,6 +152,7 @@ def figure1_mediator(
         sources,
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
+        indexing_enabled=indexing_enabled,
     )
     mediator.initialize()
     return mediator, sources
@@ -386,6 +388,7 @@ def figure4_mediator(
     seed: int = 11,
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
+    indexing_enabled: bool = True,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed Figure-4 mediator.
 
@@ -416,6 +419,7 @@ def figure4_mediator(
         sources,
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
+        indexing_enabled=indexing_enabled,
     )
     mediator.initialize()
     return mediator, sources

@@ -1,0 +1,168 @@
+"""Tests for the compiled propagation engine (rules compiled at build time).
+
+Three layers of claims:
+
+* **parity** — a rule compiled eagerly (with VDP schemas, as the rulebase
+  does) fires identically to one compiled lazily (schemas captured from
+  the first catalog), and both match the one-shot ``spj_delta`` wrapper;
+* **declarations** — the rulebase collects exactly the join-key indexes
+  its compiled plans can probe, excluding synthetic delta aliases;
+* **steady state** — a fully materialized mediator propagates updates with
+  zero rows hashed and zero index rebuilds, only probes of incrementally
+  maintained indexes; the ablation (``indexing_enabled=False``) hashes the
+  sibling per firing yet lands in the identical state.
+"""
+
+import pytest
+
+from repro.core.rules import CompiledSPJ, build_rule, spj_delta
+from repro.deltas import BagDelta, SetDelta
+from repro.errors import VDPError
+from repro.relalg import BagRelation, make_schema, parse_expression, row
+from repro.workloads import figure1_mediator, figure1_sources, figure1_vdp
+
+L = make_schema("L", ["k", "x"])
+Rr = make_schema("Rr", ["k2", "y"])
+
+
+def _catalog():
+    return {
+        "L": BagRelation.from_values(L, [(1, 10), (2, 20), (3, 10)]),
+        "Rr": BagRelation.from_values(Rr, [(10, "a"), (20, "b"), (10, "c")]),
+    }
+
+
+def _delta():
+    return BagDelta.from_counts("L", {row(k=4, x=10): 1, row(k=2, x=20): -1})
+
+
+JOIN_DEF = parse_expression("project[k, y](L join[x = k2] Rr)")
+
+
+def test_eager_and_lazy_compilation_fire_identically():
+    schemas = {"L": L, "Rr": Rr, "T": make_schema("T", ["k", "y"])}
+    eager = build_rule("T", JOIN_DEF, "L", L, schemas)
+    lazy = build_rule("T", JOIN_DEF, "L", L)
+    catalog = _catalog()
+    delta = _delta()
+    got_eager = eager.fire(delta, catalog)
+    got_lazy = lazy.fire(delta, catalog)
+    one_shot = spj_delta(JOIN_DEF, "T", "L", delta, catalog, L)
+    assert got_eager == got_lazy == one_shot
+    assert not got_eager.is_empty()
+
+
+def test_compiled_rule_probes_declared_index():
+    """With the sibling indexed on the planned key, firing probes it."""
+    from repro.relalg import EvalCounters
+
+    rule = build_rule("T", JOIN_DEF, "L", L, {"L": L, "Rr": Rr})
+    reqs = rule.index_requirements()
+    assert reqs == {"Rr": {("k2",)}}
+
+    catalog = _catalog()
+    catalog["Rr"].ensure_index(("k2",))
+    counters = EvalCounters()
+    with_index = rule.fire(_delta(), catalog, counters)
+    assert counters.index_probes > 0
+    assert counters.rows_hashed == 0
+    assert counters.index_rebuilds == 0
+
+    plain_counters = EvalCounters()
+    without_index = rule.fire(_delta(), _catalog(), plain_counters)
+    assert plain_counters.index_probes == 0
+    assert plain_counters.rows_hashed > 0
+    assert with_index == without_index
+
+
+def test_compiled_spj_rejects_unreferenced_child():
+    with pytest.raises(VDPError):
+        CompiledSPJ(parse_expression("project[k](L)"), "T", "Rr", Rr)
+    with pytest.raises(VDPError):
+        spj_delta(parse_expression("project[k](L)"), "T", "Rr", _delta(), _catalog(), Rr)
+
+
+def test_set_rule_parity_eager_vs_lazy():
+    schema = make_schema("W", ["k"])
+    definition = parse_expression("project[k](L) minus project[k](rename[k2 = k](Rr))")
+    catalog = {
+        "L": BagRelation.from_values(L, [(1, 10), (2, 20)]),
+        "Rr": BagRelation.from_values(Rr, [(2, "a")]),
+    }
+    delta = BagDelta.from_counts("L", {row(k=3, x=5): 1, row(k=1, x=10): -1})
+    schemas = {"L": L, "Rr": Rr, "W": schema}
+    eager = build_rule("W", definition, "L", L, schemas)
+    lazy = build_rule("W", definition, "L", L)
+    assert eager.fire(delta, dict(catalog)) == lazy.fire(delta, dict(catalog))
+
+
+def test_rulebase_collects_index_requirements():
+    from repro.core.rulebase import RuleBase
+
+    rulebase = RuleBase(figure1_vdp())
+    reqs = rulebase.index_requirements()
+    # T = project(R_p join[r2 = s1] S_p): on ΔR_p probe S_p(s1), on ΔS_p
+    # probe R_p(r2).  Leaf-parent chains have no joins, so nothing else.
+    assert reqs == {"R_p": {("r2",)}, "S_p": {("s1",)}}
+    assert not any(base.startswith("__") for base in reqs)
+
+
+def _one_update(mediator, k):
+    delta = SetDelta()
+    delta.insert("R", row(r1=900_000 + k, r2=k % 25, r3=k, r4=100))
+    mediator.enqueue_update("db1", delta)
+    return mediator.run_update_transaction()
+
+
+def test_steady_state_propagation_is_rebuild_free():
+    """After init, N transactions probe maintained indexes and hash nothing."""
+    mediator, _ = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    mediator.reset_stats()
+    for k in range(5):
+        result = _one_update(mediator, k)
+        assert result.rules_fired > 0
+    stats = mediator.stats()
+    assert stats.index_rebuilds == 0
+    assert stats.index_probes >= 5
+    assert stats.rows_hashed == 0
+    assert stats.propagation_passes == 5
+
+
+def test_indexing_ablation_hashes_but_agrees():
+    indexed, _ = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    legacy, _ = figure1_mediator(
+        "ex21", sources=figure1_sources(seed=3), indexing_enabled=False
+    )
+    indexed.reset_stats()
+    legacy.reset_stats()
+    for k in range(3):
+        _one_update(indexed, k)
+        _one_update(legacy, k)
+    assert legacy.stats().rows_hashed > 0
+    assert legacy.stats().index_probes == 0
+    assert indexed.stats().rows_hashed == 0
+
+    def snapshot(med):
+        return {
+            name: sorted((tuple(sorted(dict(r).items())), n) for r, n in repo.items())
+            for name, repo in med.store.repos().items()
+        }
+
+    assert snapshot(indexed) == snapshot(legacy)
+
+
+def test_repository_indexes_survive_apply_delta():
+    """The repos' declared indexes are maintained by delta application —
+    still present and fresh after transactions, never re-ensured."""
+    mediator, _ = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    repo = mediator.store.repo("S_p")
+    assert repo.has_index(("s1",))
+    before = dict(repo.index_lookup(("s1",), (1,)))
+    delta = SetDelta()
+    delta.insert("S", row(s1=1, s2=999, s3=5))
+    mediator.enqueue_update("db2", delta)
+    mediator.run_update_transaction()
+    after = dict(repo.index_lookup(("s1",), (1,)))
+    assert after.get(row(s1=1, s2=999)) == 1
+    for r, n in before.items():
+        assert after.get(r) == n

@@ -1,0 +1,212 @@
+"""Property tests: batched propagation ≡ one-at-a-time propagation.
+
+N source announcements flushed in one IUP transaction are folded into one
+net delta per source (``UpdateQueue.flush``) and propagated in a single
+kernel pass — and that must land the store in exactly the state that N
+separate transactions (one per announcement) produce.  Random VDPs cover
+the Section 5.1 node shapes (join, union, difference) under random legal
+annotations, mirroring the chaos-suite generator.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Annotation, AnnotatedVDP, SquirrelMediator, build_vdp
+from repro.correctness import assert_view_correct
+from repro.errors import AnnotationError
+from repro.relalg import make_schema, row
+from repro.deltas import SetDelta
+from repro.sources import MemorySource
+from repro.workloads import figure1_mediator, figure1_sources
+
+X = make_schema("X", ["x1", "x2", "x3"], key=["x1"])
+Y = make_schema("Y", ["y1", "y2"], key=["y1"])
+
+
+@st.composite
+def vdp_specs(draw):
+    """A compact random VDP: one of the paper's §5.1 node shapes on top of
+    a filtered leaf-parent (modeled on the chaos-suite generator)."""
+    shape = draw(st.sampled_from(["join", "union", "difference"]))
+    threshold = draw(st.integers(min_value=1, max_value=9))
+    views = {
+        "Xp": f"select[x3 < {threshold}](X)",
+        "Yp": "Y",
+    }
+    if shape == "join":
+        views["V"] = "project[x1, x3, y2](Xp join[x2 = y1] Yp)"
+    elif shape == "union":
+        views["V"] = (
+            "project[x1, x2](Xp) union project[x1, x2](rename[y1 = x1, y2 = x2](Yp))"
+        )
+    else:
+        views["V"] = (
+            "project[x2](Xp) minus project[x2](rename[y1 = x2](project[y1](Yp)))"
+        )
+    return views
+
+
+@st.composite
+def annotations_for(draw, vdp):
+    marks = {}
+    for name in vdp.non_leaves():
+        attrs = vdp.node(name).schema.attribute_names
+        choice = draw(st.sampled_from(["m", "m", "hybrid"]))
+        if choice == "m" or len(attrs) < 2:
+            marks[name] = Annotation.all_materialized(attrs)
+        else:
+            split = draw(st.integers(min_value=1, max_value=len(attrs) - 1))
+            marks[name] = Annotation.of(
+                {a: ("m" if i < split else "v") for i, a in enumerate(attrs)}
+            )
+    return marks
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["ix", "dx", "iy", "dy"]),
+        st.integers(min_value=0, max_value=9_999),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_mediator(views, marks, seed=7):
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views=views,
+        exports=["V"],
+    )
+    annotated = AnnotatedVDP(vdp, marks)
+    rng = random.Random(seed)
+    sources = {
+        "sx": MemorySource(
+            "sx",
+            [X],
+            initial={"X": [(i, rng.randrange(10), rng.randrange(10)) for i in range(12)]},
+        ),
+        "sy": MemorySource(
+            "sy", [Y], initial={"Y": [(i, rng.randrange(10)) for i in range(8)]}
+        ),
+    }
+    mediator = SquirrelMediator(annotated, sources)
+    mediator.initialize()
+    return mediator, sources
+
+
+def apply_op(sources, op, arg, counter):
+    if op == "ix":
+        sources["sx"].insert("X", x1=counter, x2=arg % 10, x3=arg % 13)
+    elif op == "iy":
+        sources["sy"].insert("Y", y1=counter, y2=arg % 10)
+    else:
+        source, relation = (
+            (sources["sx"], "X") if op == "dx" else (sources["sy"], "Y")
+        )
+        rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+        if rows:
+            source.delete(relation, **dict(rows[arg % len(rows)]))
+
+
+def snapshot(mediator):
+    return {
+        name: sorted((tuple(sorted(dict(r).items())), n) for r, n in repo.items())
+        for name, repo in mediator.store.repos().items()
+    }
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_batched_equals_one_at_a_time(data):
+    views = data.draw(vdp_specs())
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views=views,
+        exports=["V"],
+    )
+    marks = data.draw(annotations_for(vdp))
+    try:
+        batched, batched_sources = build_mediator(views, marks)
+        serial, serial_sources = build_mediator(views, marks)
+    except AnnotationError:
+        return  # e.g. hybrid on a set node: not a legal configuration
+    ops = data.draw(ops_strategy)
+
+    # Batched: every announcement enqueued individually (one message per
+    # op), then a single update transaction over the whole batch.
+    batched.reset_stats()
+    for counter, (op, arg) in enumerate(ops):
+        apply_op(batched_sources, op, arg, 1000 + counter)
+        batched.collect_announcements()
+    messages = len(batched.queue)
+    batched.run_update_transaction()
+
+    # Serial: the same announcements propagated one transaction each.
+    for counter, (op, arg) in enumerate(ops):
+        apply_op(serial_sources, op, arg, 1000 + counter)
+        serial.refresh()
+
+    assert snapshot(batched) == snapshot(serial)
+    assert_view_correct(batched)
+
+    # The whole batch cost at most one propagation pass, however many
+    # messages were queued (zero when every op was a no-op delete).
+    assert batched.iup.stats.propagation_passes <= 1
+    if messages:
+        assert batched.iup.stats.propagation_passes == 1
+        assert batched.iup.stats.batched_messages == messages
+        assert batched.queue.messages_folded == messages
+        # Per-source folding: at most one batch per announcing source.
+        assert batched.queue.batches_flushed <= 2
+
+
+def test_n_messages_one_pass_counters():
+    """Deterministic pin of the batching counters on the Figure 1 mediator."""
+    mediator, _ = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    mediator.reset_stats()
+    for k in range(8):
+        delta = SetDelta()
+        delta.insert("R", row(r1=700_000 + k, r2=k % 25, r3=k, r4=100))
+        mediator.enqueue_update("db1", delta)
+    result = mediator.run_update_transaction()
+    assert result.flushed_messages == 8
+    assert mediator.iup.stats.propagation_passes == 1
+    assert mediator.iup.stats.batched_messages == 8
+    assert mediator.queue.batches_flushed == 1  # one source → one batch
+    assert mediator.queue.messages_folded == 8
+    # One pass fires each affected edge rule once, not once per message.
+    assert result.rules_fired == len(mediator.rulebase.rules_out_of("R")) + len(
+        mediator.rulebase.rules_out_of("R_p")
+    )
+
+
+def test_insert_then_delete_nets_to_nothing_in_one_batch():
+    """+X then -X in one flush cancels: no spurious multiplicity drift."""
+    mediator, _ = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    before = snapshot(mediator)
+    r = row(r1=800_000, r2=3, r3=1, r4=100)
+    plus, minus = SetDelta(), SetDelta()
+    plus.insert("R", r)
+    minus.delete("R", r)
+    mediator.enqueue_update("db1", plus)
+    mediator.enqueue_update("db1", minus)
+    mediator.run_update_transaction()
+    assert snapshot(mediator) == before
+
+
+def test_multi_source_batch_folds_per_source():
+    mediator, sources = figure1_mediator("ex21", sources=figure1_sources(seed=3))
+    mediator.reset_stats()
+    sources["db1"].insert("R", r1=810_000, r2=4, r3=2, r4=100)
+    sources["db2"].insert("S", s1=810_001, s2=9, s3=5)
+    assert mediator.collect_announcements() == 2
+    result = mediator.run_update_transaction()
+    assert result.flushed_messages == 2
+    assert mediator.queue.batches_flushed == 2  # one net batch per source
+    assert mediator.iup.stats.propagation_passes == 1
+    assert_view_correct(mediator)
