@@ -127,6 +127,7 @@ def test_crossover_sweep():
         "X1 (intro claim): total time (ms) vs update:query mix — who wins where",
         ["updates:queries", "materialized ms", "hybrid ms", "virtual ms", "winner"],
         rows,
+        volatile=("winner",),
         shapes=shapes,
     )
     assert winners[0] != winners[-1], "no crossover observed"

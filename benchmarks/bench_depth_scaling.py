@@ -67,7 +67,7 @@ def test_depth_scaling():
             "propagation cost grows with depth but stays near-linear "
             "(no blow-up through intermediate nodes)",
             growth < depth_ratio * 6,
-            f"{growth:.1f}x cost over {depth_ratio:.0f}x depth",
+            f"wall-cost growth bounded by 6x over {depth_ratio:.0f}x depth",
         ),
         shape_line(
             "incremental maintenance stays exact at every depth",

@@ -77,6 +77,7 @@ def test_fig1_incremental_vs_recompute():
         "F1 (Figure 1 / Ex 2.1): fully materialized support — incremental vs recompute",
         ["|R|", "incr ms/update", "recompute ms", "recompute/incr", "source polls"],
         rows,
+        volatile=("recompute/incr",),
         shapes=[
             _shape(
                 "incremental maintenance beats recomputation, increasingly with size",

@@ -22,7 +22,7 @@ from repro.core.builder import annotate, build_vdp
 from repro.core.compensation import compensate
 from repro.core.derived_from import TempRequest, child_requirements, derived_from
 from repro.core.iup import IncrementalUpdateProcessor, IUPStats, UpdateTransactionResult
-from repro.core.links import DirectLink, SourceLink
+from repro.core.links import DelayedLink, DirectLink, SourceLink
 from repro.core.local_store import LocalStore
 from repro.core.mediator import MediatorStats, SquirrelMediator
 from repro.core.persistence import restore_mediator, save_mediator
@@ -31,6 +31,7 @@ from repro.core.rulebase import RuleBase
 from repro.core.rules import BagNodeRule, SetNodeRule, operand_support_delta, spj_delta
 from repro.core.update_queue import QueuedUpdate, UpdateQueue
 from repro.core.vap import PlannedTemp, VAPStats, VirtualAttributeProcessor
+from repro.core.vap_cache import CacheEntry, VAPTempCache
 from repro.core.vdp import VDP, AnnotatedVDP, NodeKind, VDPNode, classify_definition
 
 __all__ = [
@@ -58,6 +59,8 @@ __all__ = [
     "VirtualAttributeProcessor",
     "PlannedTemp",
     "VAPStats",
+    "VAPTempCache",
+    "CacheEntry",
     "IncrementalUpdateProcessor",
     "IUPStats",
     "UpdateTransactionResult",
@@ -66,6 +69,7 @@ __all__ = [
     "SquirrelMediator",
     "MediatorStats",
     "DirectLink",
+    "DelayedLink",
     "SourceLink",
     "compensate",
     "save_mediator",

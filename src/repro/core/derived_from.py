@@ -110,7 +110,14 @@ def _walk(
         return
     if isinstance(expr, Rename):
         inverse = {new: old for old, new in expr.mapping_dict.items()}
-        renamed_needed = frozenset(inverse.get(a, a) for a in needed)
+        # The child must supply every renamed attribute, not just the
+        # inverse image of ``needed``: ``narrow_definition`` re-applies the
+        # rename with its full mapping (dropping entries would re-expose old
+        # names and corrupt natural-join sharing), so a temp missing a
+        # mapped attribute would fail schema inference at evaluation time.
+        renamed_needed = frozenset(inverse.get(a, a) for a in needed) | frozenset(
+            expr.mapping_dict
+        )
         renamed_pushdown = [c.rename(inverse) for c in pushdown]
         _walk(expr.child, renamed_needed, renamed_pushdown, schemas, out)
         return

@@ -147,6 +147,12 @@ class IncrementalUpdateProcessor:
         self.stats.batched_messages += len(entries)
         processed, fired = self._kernel(leaf_deltas, temps)
         self.queue.mark_reflected(entries)
+        # The kernel just advanced the materialized state past these leaf
+        # deltas, so cached VAP temporaries whose lineage they touch are now
+        # stale — exactly here, and only here, do they die.  (A deferred
+        # transaction mutates nothing, so its path above invalidates
+        # nothing.)
+        self.vap.invalidate_cache(leaf_deltas)
 
         return UpdateTransactionResult(
             flushed_messages=len(entries),

@@ -27,13 +27,20 @@ from repro.deltas import SetDelta
 from repro.relalg import Evaluator, Expression, Relation
 from repro.sources.base import SourceDatabase
 
-__all__ = ["SourceLink", "DirectLink"]
+__all__ = ["SourceLink", "DirectLink", "DelayedLink"]
 
 AnnouncementSink = Callable[[str, SetDelta], None]
 
 
 class SourceLink:
     """Abstract link from the mediator to one source database."""
+
+    #: Whether ``poll_many`` may be called from a worker thread while other
+    #: links are being polled.  Links whose transport shares non-thread-safe
+    #: state with the caller (e.g. the simulated-channel links, which drive
+    #: a single-threaded event clock) must leave this False; the VAP then
+    #: falls back to the serial poll loop.
+    supports_parallel_poll = False
 
     def __init__(self, source_name: str):
         self.source_name = source_name
@@ -72,6 +79,10 @@ class SourceLink:
 class DirectLink(SourceLink):
     """In-process link to a :class:`SourceDatabase`."""
 
+    # Safe: the flush+snapshot pair is atomic under the source's lock, and
+    # the announcement sink (the mediator's update queue) locks internally.
+    supports_parallel_poll = True
+
     def __init__(
         self,
         source: SourceDatabase,
@@ -88,8 +99,14 @@ class DirectLink(SourceLink):
         self.announces = announces
 
     def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
-        self._flush_before_answer()
-        snapshot = self.source.state()
+        # Flush-before-answer and the snapshot form one source transaction:
+        # no commit can land between them, so the snapshot reflects exactly
+        # the announcements delivered so far.
+        announcement, snapshot = self.source.poll_transaction()
+        if announcement is not None and self.announces and self.announcement_sink is not None:
+            self.announcement_sink(self.source_name, announcement)
+        # Non-announcing (virtual-contributor) sources simply drop the
+        # accumulated net update: nothing materialized depends on it.
         self.source.query_count += len(queries)
         self.poll_count += 1
         answers: Dict[str, Relation] = {}
@@ -100,11 +117,22 @@ class DirectLink(SourceLink):
             answers[name] = answer
         return answers
 
-    def _flush_before_answer(self) -> None:
-        announcement = self.source.take_announcement()
-        if announcement is None:
-            return
-        if self.announces and self.announcement_sink is not None:
-            self.announcement_sink(self.source_name, announcement)
-        # Non-announcing (virtual-contributor) sources simply drop the
-        # accumulated net update: nothing materialized depends on it.
+
+class DelayedLink(DirectLink):
+    """A :class:`DirectLink` with a fixed per-poll wall-clock delay.
+
+    Benchmarks use it to make source round-trip latency visible: with N
+    delayed sources, serial polling costs ~N·delay of wall time while the
+    VAP's concurrent fan-out costs ~delay.  Keep it out of the simulator —
+    fault-plan latency lives in the channel layer; this one really sleeps.
+    """
+
+    def __init__(self, *args, delay: float = 0.05, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delay = delay
+
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        import time
+
+        time.sleep(self.delay)
+        return super().poll_many(queries)

@@ -62,6 +62,12 @@ class MediatorStats:
     polled_rows: int
     compensations: int
     key_based_constructions: int
+    cache_hits: int
+    cache_misses: int
+    cache_invalidations: int
+    subsumption_hits: int
+    parallel_poll_batches: int
+    poll_wall_time: float
     stored_rows: int
     stored_cells: int
     rows_scanned: int
@@ -82,15 +88,20 @@ class SquirrelMediator:
         eca_enabled: bool = True,
         key_based_enabled: bool = True,
         indexing_enabled: bool = True,
+        vap_cache_enabled: bool = True,
+        parallel_polls: bool = True,
     ):
         """Wire a mediator over the given sources.
 
         ``links`` overrides the default in-process :class:`DirectLink` per
         source — the simulation runtime passes channel-aware links here.
-        ``eca_enabled`` / ``key_based_enabled`` / ``indexing_enabled`` exist
-        for the ablation benchmarks; production use leaves them on
+        ``eca_enabled`` / ``key_based_enabled`` / ``indexing_enabled`` /
+        ``vap_cache_enabled`` / ``parallel_polls`` exist for the ablation
+        benchmarks; production use leaves them on
         (``indexing_enabled=False`` drops the persistent join indexes, so
-        the evaluator falls back to per-firing ephemeral hash joins).
+        the evaluator falls back to per-firing ephemeral hash joins;
+        ``vap_cache_enabled=False`` re-polls sources on every virtual
+        query; ``parallel_polls=False`` forces the serial poll loop).
         """
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -119,6 +130,8 @@ class SquirrelMediator:
             self.contributor_kinds,
             eca_enabled=eca_enabled,
             key_based_enabled=key_based_enabled,
+            cache_enabled=vap_cache_enabled,
+            parallel_polls=parallel_polls,
         )
         self.iup = IncrementalUpdateProcessor(
             annotated, self.store, self.rulebase, self.vap, self.queue
@@ -164,6 +177,8 @@ class SquirrelMediator:
             # discard anything pending so it is not double-applied.
             source.take_announcement()
         self.store.initialize(leaf_values)
+        # Any cached temporaries reflect the pre-initialization state.
+        self.vap.clear_cache()
         self._initialized = True
 
     @property
@@ -344,6 +359,12 @@ class SquirrelMediator:
             polled_rows=self.vap.stats.polled_rows,
             compensations=self.vap.stats.compensations,
             key_based_constructions=self.vap.stats.key_based_used,
+            cache_hits=self.vap.stats.cache_hits,
+            cache_misses=self.vap.stats.cache_misses,
+            cache_invalidations=self.vap.stats.cache_invalidations,
+            subsumption_hits=self.vap.stats.subsumption_hits,
+            parallel_poll_batches=self.vap.stats.parallel_poll_batches,
+            poll_wall_time=self.vap.stats.poll_wall_time,
             stored_rows=self.store.total_stored_rows(),
             stored_cells=self.store.total_stored_cells(),
             rows_scanned=self.store.counters.rows_scanned,

@@ -79,7 +79,11 @@ class QueryProcessor:
         uncovered = [r for r in requests.values() if not self._covered(r)]
         if uncovered:
             self.stats.with_virtual += 1
-            temps = self.vap.materialize(requests.values())
+            # Only the uncovered requests go to the VAP: covered relations
+            # are read straight from the store below, and handing them over
+            # anyway would pollute the VAP's temp cache hit/miss accounting
+            # (plan() would just re-derive their coveredness and drop them).
+            temps = self.vap.materialize(uncovered)
         else:
             self.stats.materialized_only += 1
             temps = {}

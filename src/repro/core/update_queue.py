@@ -31,6 +31,7 @@ so the next cycle retries them, ahead of anything that arrived since.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -57,6 +58,10 @@ class UpdateQueue:
         self._entries: List[QueuedUpdate] = []
         self._seen_seqs: Dict[str, Set[int]] = {}
         self._last_flushed_send: Dict[str, float] = {}
+        # Announcement sinks fire from VAP poll worker threads when sources
+        # are polled concurrently; everything touching the entry list takes
+        # this lock so arrival order stays a single consistent sequence.
+        self._lock = threading.Lock()
         self.total_enqueued = 0
         self.total_flushed = 0
         self.total_requeued = 0
@@ -81,30 +86,31 @@ class UpdateQueue:
         sequence order rather than arrival order.  Returns True when the
         entry was actually queued.
         """
-        if seq is not None:
-            seen = self._seen_seqs.setdefault(source, set())
-            if seq in seen:
-                self.duplicates_dropped += 1
-                return False
-            seen.add(seq)
-        entry = QueuedUpdate(source, delta, send_time, arrival_time, seq)
-        position = len(self._entries)
-        if seq is not None:
-            for i, existing in enumerate(self._entries):
-                if (
-                    existing.source == source
-                    and existing.seq is not None
-                    and existing.seq > seq
-                ):
-                    position = i
-                    break
-        if position < len(self._entries):
-            self.reordered_arrivals += 1
-            self._entries.insert(position, entry)
-        else:
-            self._entries.append(entry)
-        self.total_enqueued += 1
-        return True
+        with self._lock:
+            if seq is not None:
+                seen = self._seen_seqs.setdefault(source, set())
+                if seq in seen:
+                    self.duplicates_dropped += 1
+                    return False
+                seen.add(seq)
+            entry = QueuedUpdate(source, delta, send_time, arrival_time, seq)
+            position = len(self._entries)
+            if seq is not None:
+                for i, existing in enumerate(self._entries):
+                    if (
+                        existing.source == source
+                        and existing.seq is not None
+                        and existing.seq > seq
+                    ):
+                        position = i
+                        break
+            if position < len(self._entries):
+                self.reordered_arrivals += 1
+                self._entries.insert(position, entry)
+            else:
+                self._entries.append(entry)
+            self.total_enqueued += 1
+            return True
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -128,9 +134,10 @@ class UpdateQueue:
         per source regardless of how many announcements arrived, so N
         messages cost a single propagation pass.
         """
-        entries = self._entries
-        self._entries = []
-        self.total_flushed += len(entries)
+        with self._lock:
+            entries = self._entries
+            self._entries = []
+            self.total_flushed += len(entries)
         if not entries:
             return None, entries
         per_source: Dict[str, SetDelta] = {}
@@ -159,9 +166,10 @@ class UpdateQueue:
         """
         if not entries:
             return
-        self._entries = list(entries) + self._entries
-        self.total_requeued += len(entries)
-        self.total_flushed -= len(entries)
+        with self._lock:
+            self._entries = list(entries) + self._entries
+            self.total_requeued += len(entries)
+            self.total_flushed -= len(entries)
 
     def mark_reflected(self, entries: Sequence[QueuedUpdate]) -> None:
         """Record that flushed entries were actually propagated into the
@@ -174,11 +182,17 @@ class UpdateQueue:
 
     def pending_for_source(self, source: str) -> List[SetDelta]:
         """Queued (unflushed) deltas of one source, in arrival order."""
-        return [e.delta for e in self._entries if e.source == source]
+        with self._lock:
+            return [e.delta for e in self._entries if e.source == source]
 
     def last_send_time(self, source: str) -> Optional[float]:
         """Send time of the most recent queued announcement from a source."""
-        times = [e.send_time for e in self._entries if e.source == source and e.send_time is not None]
+        with self._lock:
+            times = [
+                e.send_time
+                for e in self._entries
+                if e.source == source and e.send_time is not None
+            ]
         return times[-1] if times else None
 
     def last_flushed_send_time(self, source: str) -> Optional[float]:
@@ -190,4 +204,5 @@ class UpdateQueue:
 
     def peek(self) -> List[QueuedUpdate]:
         """A copy of the current entries (observers only)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)

@@ -28,16 +28,20 @@ materialized data already reflects.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.compensation import compensate
 from repro.core.derived_from import TempRequest, derived_from, narrow_definition
 from repro.core.links import SourceLink
 from repro.core.local_store import LocalStore
 from repro.core.update_queue import UpdateQueue
+from repro.core.vap_cache import VAPTempCache
 from repro.core.vdp import AnnotatedVDP, NodeKind
-from repro.deltas import SetDelta
+from repro.deltas import AnyDelta, SetDelta
 from repro.errors import MediatorError, SourceUnavailableError
 from repro.relalg import (
     TRUE,
@@ -82,6 +86,12 @@ class VAPStats:
     temps_built: int = 0
     key_based_used: int = 0
     compensations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    subsumption_hits: int = 0
+    parallel_poll_batches: int = 0
+    poll_wall_time: float = 0.0  # seconds spent waiting on source polls
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -91,6 +101,12 @@ class VAPStats:
         self.temps_built = 0
         self.key_based_used = 0
         self.compensations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.subsumption_hits = 0
+        self.parallel_poll_batches = 0
+        self.poll_wall_time = 0.0
 
 
 class VirtualAttributeProcessor:
@@ -105,6 +121,9 @@ class VirtualAttributeProcessor:
         contributor_kinds: Mapping[str, ContributorKind],
         eca_enabled: bool = True,
         key_based_enabled: bool = True,
+        cache_enabled: bool = True,
+        parallel_polls: bool = True,
+        max_poll_workers: int = 8,
     ):
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -114,7 +133,13 @@ class VirtualAttributeProcessor:
         self.contributor_kinds = dict(contributor_kinds)
         self.eca_enabled = eca_enabled
         self.key_based_enabled = key_based_enabled
+        self.cache_enabled = cache_enabled
+        self.parallel_polls = parallel_polls
+        self.max_poll_workers = max_poll_workers
         self.stats = VAPStats()
+        self.cache = VAPTempCache(self.vdp)
+        self._cache_bypass = False
+        self._cacheable_memo: Dict[str, bool] = {}
         self._topo_index = {name: i for i, name in enumerate(self.vdp.topological_order())}
 
     # ------------------------------------------------------------------
@@ -132,16 +157,71 @@ class VirtualAttributeProcessor:
         flushed for the update transaction in progress (the IUP context);
         they join the queued deltas in the compensation set.
         """
-        planned = self.plan(requests)
-        return self.construct(planned, in_flight or {})
+        served: Dict[str, Relation] = {}
+        planned = self.plan(requests, served)
+        return self.construct(planned, in_flight or {}, initial=served)
+
+    # ------------------------------------------------------------------
+    # Temp cache management
+    # ------------------------------------------------------------------
+    def _cacheable(self, relation: str) -> bool:
+        """Whether temporaries for ``relation`` may be served from / stored
+        in the cache.  Requires eager compensation (it pins every
+        constructed temp to the materialized state, making "invalidate on
+        transaction apply" exact) and that every source under the node
+        announces its updates — a non-announcing virtual contributor can
+        change without the mediator ever hearing, so its polls stay live.
+        """
+        if not self.cache_enabled or not self.eca_enabled or self._cache_bypass:
+            return False
+        memo = self._cacheable_memo.get(relation)
+        if memo is None:
+            kinds = (
+                self.contributor_kinds.get(s)
+                for s in self.vdp.sources_below(relation)
+            )
+            memo = all(k is not None and k.announces for k in kinds)
+            self._cacheable_memo[relation] = memo
+        return memo
+
+    def invalidate_cache(self, leaf_deltas: Mapping[str, AnyDelta]) -> int:
+        """Drop cache entries whose lineage the applied deltas touch (called
+        by the IUP right after the kernel advances the materialized state).
+        Returns the number of entries dropped."""
+        dropped = self.cache.invalidate(leaf_deltas)
+        self.stats.cache_invalidations += dropped
+        return dropped
+
+    def clear_cache(self) -> None:
+        """Drop every cached temporary (view re-initialization)."""
+        self.cache.clear()
+
+    @contextmanager
+    def cache_bypassed(self) -> Iterator[None]:
+        """Run with the temp cache inert — no lookups, no fills.  The
+        correctness harness uses this for cold-cache recomputation."""
+        previous = self._cache_bypass
+        self._cache_bypass = True
+        try:
+            yield
+        finally:
+            self._cache_bypass = previous
 
     # ------------------------------------------------------------------
     # Phase 1: planning
     # ------------------------------------------------------------------
-    def plan(self, requests: Iterable[TempRequest]) -> List[PlannedTemp]:
+    def plan(
+        self,
+        requests: Iterable[TempRequest],
+        served: Optional[Dict[str, Relation]] = None,
+    ) -> List[PlannedTemp]:
         """The first VAP phase: decide every temporary to construct.
 
         The result is ordered parents-first (reverse it for construction).
+        When ``served`` is given, each request is first offered to the temp
+        cache at expansion time (i.e. *after* same-relation merging); a hit
+        lands the value in ``served`` and prunes the node's entire subtree
+        from the plan — no child requests, no polls.
         """
         unprocessed: Dict[str, TempRequest] = {}
         for request in requests:
@@ -155,6 +235,16 @@ class VirtualAttributeProcessor:
             # Earliest in parents-first order == highest topological index.
             name = max(unprocessed, key=lambda n: self._topo_index[n])
             request = unprocessed.pop(name)
+            if served is not None and self._cacheable(name):
+                hit = self.cache.lookup(request)
+                if hit is not None:
+                    value, subsumed = hit
+                    served[name] = value
+                    self.stats.cache_hits += 1
+                    if subsumed:
+                        self.stats.subsumption_hits += 1
+                    continue  # subtree pruned: children never requested
+                self.stats.cache_misses += 1
             plan = self._plan_one(request, unprocessed)
             if name in seen:
                 raise MediatorError(f"VAP planning revisited node {name!r}")
@@ -292,16 +382,27 @@ class VirtualAttributeProcessor:
         self,
         planned: Sequence[PlannedTemp],
         in_flight: Mapping[str, List[SetDelta]],
+        initial: Optional[Mapping[str, Relation]] = None,
     ) -> Dict[str, Relation]:
-        """The second VAP phase: build all temporaries bottom-up."""
-        temps: Dict[str, Relation] = {}
+        """The second VAP phase: build all temporaries bottom-up.
+
+        ``initial`` seeds the temp pool with cache-served values (their
+        subtrees were pruned from ``planned``).  Every freshly constructed
+        temporary for a cacheable relation is offered back to the cache.
+        """
+        temps: Dict[str, Relation] = dict(initial) if initial else {}
         polls = [p for p in planned if p.strategy == "poll"]
         internals = [p for p in reversed(planned) if p.strategy != "poll"]
 
         self._construct_polls(polls, temps, in_flight)
+        for plan in polls:
+            if self._cacheable(plan.relation):
+                self.cache.store(plan.request, temps[plan.relation])
         for plan in internals:
             temps[plan.relation] = self._construct_internal(plan, temps)
             self.stats.temps_built += 1
+            if self._cacheable(plan.relation):
+                self.cache.store(plan.request, temps[plan.relation])
         return temps
 
     def _construct_polls(
@@ -316,8 +417,14 @@ class VirtualAttributeProcessor:
             leaf = self.vdp.children(plan.relation)[0]
             source = self.vdp.source_of_leaf(leaf)
             by_source.setdefault(source, []).append(plan)
+        if not by_source:
+            # Fully served from cache / materialized storage: no source is
+            # contacted, so none needs to be reachable.
+            return
 
-        for source, plans in sorted(by_source.items()):
+        ordered = sorted(by_source.items())
+        links: Dict[str, SourceLink] = {}
+        for source, _ in ordered:
             link = self.links.get(source)
             if link is None:
                 raise MediatorError(f"no source link for {source!r}")
@@ -325,10 +432,21 @@ class VirtualAttributeProcessor:
                 # Fail fast with a typed error instead of hanging on a
                 # crashed source; callers degrade (tagged materialized
                 # answers, deferred update transactions) or surface it.
+                # Only sources this poll round actually needs are checked.
                 raise SourceUnavailableError(source, until=link.outage_until())
-            queries = {plan.relation: self._temp_expression(plan) for plan in plans}
-            answers = link.poll_many(queries)
-            self.stats.polls += len(queries)
+            links[source] = link
+
+        queries_by_source = {
+            source: {plan.relation: self._temp_expression(plan) for plan in plans}
+            for source, plans in ordered
+        }
+        started = time.perf_counter()
+        answers_by_source = self._run_polls(links, queries_by_source)
+        self.stats.poll_wall_time += time.perf_counter() - started
+
+        for source, plans in ordered:
+            answers = answers_by_source[source]
+            self.stats.polls += len(plans)
             self.stats.polled_sources += 1
             for plan in plans:
                 answer = answers[plan.relation]
@@ -337,6 +455,45 @@ class VirtualAttributeProcessor:
                     plan, answer, source, in_flight
                 )
                 self.stats.temps_built += 1
+
+    def _run_polls(
+        self,
+        links: Mapping[str, SourceLink],
+        queries_by_source: Mapping[str, Dict[str, Expression]],
+    ) -> Dict[str, Dict[str, Relation]]:
+        """One ``poll_many`` per source — concurrent when every link opts in.
+
+        Each source still answers its whole query batch against one
+        snapshot (the per-source transaction guarantee lives inside
+        ``poll_many``); threads only overlap *across* sources, turning
+        wall-clock poll latency into max-over-sources.  Answers are
+        gathered in sorted-source order regardless of completion order, so
+        downstream merges — and which source's failure surfaces when
+        several fail — stay deterministic.
+        """
+        use_threads = (
+            self.parallel_polls
+            and len(links) > 1
+            and all(
+                getattr(link, "supports_parallel_poll", False)
+                for link in links.values()
+            )
+        )
+        if not use_threads:
+            return {
+                source: links[source].poll_many(queries)
+                for source, queries in sorted(queries_by_source.items())
+            }
+        self.stats.parallel_poll_batches += 1
+        workers = min(len(links), self.max_poll_workers)
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="vap-poll"
+        ) as pool:
+            futures = {
+                source: pool.submit(links[source].poll_many, queries)
+                for source, queries in sorted(queries_by_source.items())
+            }
+            return {source: futures[source].result() for source in sorted(futures)}
 
     def _temp_expression(self, plan: PlannedTemp) -> Expression:
         node = self.vdp.node(plan.relation)

@@ -1,0 +1,239 @@
+"""The delta-aware VAP temporary-relation cache.
+
+The paper's hybrid approach (§2, §6.3) amortizes source access by keeping
+*partially* materialized views; without a query-path cache, however, every
+query that touches a virtual attribute re-plans and re-polls from scratch.
+This module retains constructed temporaries keyed by their
+``(relation, attrs, predicate)`` request and serves later requests by
+**subsumption**: a cached ``π_B σ_g R`` answers a narrower ``π_A σ_f R``
+whenever ``A ⊆ B`` and ``f ⇒ g`` (the dual of the paper's step-(2b) merge,
+which *widens* requests — here a wide cached temp stands in for the merged
+request it covers).
+
+Soundness rests on the Eager Compensation invariant: every constructed
+temporary reflects the node's value at the *materialized* state
+``ref'(t_i)`` (poll answers are rewound past queued and in-flight deltas),
+and that state only advances when an update transaction applies.  So:
+
+* entries are **cacheable** only for lineages whose sources all announce
+  (a virtual-contributor's commits never reach the mediator, so its polls
+  must stay live) and only while eager compensation is enabled;
+* entries are **invalidated precisely** when a transaction applies: an
+  entry dies only if some applied leaf delta, pushed through the
+  leaf-parent filters (:class:`~repro.deltas.LeafParentFilter`, §6.2) on
+  the path into the entry's lineage, survives filtering — updates outside
+  a leaf-parent's selection, and entries over untouched subtrees, keep
+  their entries alive;
+* serving by *attribute* narrowing additionally requires the node
+  definition to be free of deduplicating projections (narrowing a
+  ``dproject``'s attribute list changes multiplicities, so those nodes
+  only serve exact-width hits; predicate narrowing is always safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.core.derived_from import TempRequest
+from repro.core.vdp import VDP
+from repro.deltas import AnyDelta
+from repro.deltas.filtering import LeafParentFilter
+from repro.errors import DeltaError
+from repro.relalg import (
+    Difference,
+    Evaluator,
+    Expression,
+    Join,
+    Project,
+    Relation,
+    Rename,
+    Scan,
+    Select,
+    TruePredicate,
+    Union,
+    implies,
+)
+
+__all__ = ["CacheEntry", "VAPTempCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One retained temporary: the request it answers and a private copy
+    of its value (callers receive copies; the entry is never aliased)."""
+
+    request: TempRequest
+    value: Relation
+    lineage: FrozenSet[str]  # leaf nodes this temp's value derives from
+
+    @property
+    def relation(self) -> str:
+        return self.request.relation
+
+
+def _narrow_safe(expr: Expression) -> bool:
+    """True when narrowing the projection width of a value of ``expr``
+    preserves multiplicities — i.e. the definition contains no
+    deduplicating projection (bag π composes; ``dproject`` does not)."""
+    if isinstance(expr, Project):
+        return (not expr.dedup) and _narrow_safe(expr.child)
+    if isinstance(expr, (Select, Rename)):
+        return _narrow_safe(expr.child)
+    if isinstance(expr, (Join, Union, Difference)):
+        return _narrow_safe(expr.left) and _narrow_safe(expr.right)
+    return True  # Scan
+
+
+class VAPTempCache:
+    """Subsumption-answering, precisely-invalidated store of VAP temps."""
+
+    def __init__(self, vdp: VDP, max_entries_per_relation: int = 8):
+        self.vdp = vdp
+        self.max_entries_per_relation = max_entries_per_relation
+        self._entries: Dict[str, List[CacheEntry]] = {}
+        self._narrow_safe_memo: Dict[str, bool] = {}
+        self._filters_memo: Dict[str, Optional[LeafParentFilter]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Total live entries across all relations."""
+        return sum(len(v) for v in self._entries.values())
+
+    def entries_for(self, relation: str) -> Tuple[CacheEntry, ...]:
+        """The live entries for one relation (observers only)."""
+        return tuple(self._entries.get(relation, ()))
+
+    def clear(self) -> None:
+        """Drop every entry (view re-initialization)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup (subsumption)
+    # ------------------------------------------------------------------
+    def lookup(self, request: TempRequest) -> Optional[Tuple[Relation, bool]]:
+        """A relation satisfying ``request``, or ``None``.
+
+        Returns ``(value, was_subsumption)`` — ``was_subsumption`` is False
+        for an exact request match.  The returned relation is a fresh copy
+        (or a fresh evaluation); callers may mutate it freely.
+        """
+        for entry in self._entries.get(request.relation, ()):  # newest last
+            served = self._serve(entry, request)
+            if served is not None:
+                return served
+        return None
+
+    def _serve(
+        self, entry: CacheEntry, request: TempRequest
+    ) -> Optional[Tuple[Relation, bool]]:
+        held = entry.request
+        if request.attrs == held.attrs and request.predicate == held.predicate:
+            return entry.value.copy(), False
+        if not request.attrs <= held.attrs:
+            return None
+        if not implies(request.predicate, held.predicate):
+            return None
+        if request.attrs != held.attrs and not self._node_narrow_safe(request.relation):
+            return None
+        # π_A σ_f over the cached π_B σ_g value ≡ the cold construction:
+        # A ∪ attrs(f) ⊆ B and f ⇒ g, and narrowing is multiplicity-safe.
+        alias = f"__vapcache__{request.relation}"
+        expr: Expression = Scan(alias)
+        if not isinstance(request.predicate, TruePredicate):
+            expr = Select(expr, request.predicate)
+        expr = Project(expr, request.sorted_attrs())
+        catalog = {alias: entry.value}
+        schemas = {alias: entry.value.schema.rename_relation(alias)}
+        value = Evaluator(catalog, schemas=schemas).evaluate(expr, request.relation)
+        return value, True
+
+    def _node_narrow_safe(self, relation: str) -> bool:
+        memo = self._narrow_safe_memo.get(relation)
+        if memo is None:
+            node = self.vdp.node(relation)
+            memo = node.definition is not None and _narrow_safe(node.definition)
+            self._narrow_safe_memo[relation] = memo
+        return memo
+
+    # ------------------------------------------------------------------
+    # Fill
+    # ------------------------------------------------------------------
+    def store(self, request: TempRequest, value: Relation) -> None:
+        """Retain a freshly constructed temporary (a private copy of it)."""
+        entries = self._entries.setdefault(request.relation, [])
+        # A new entry obsoletes every held request it subsumes.
+        entries[:] = [
+            e
+            for e in entries
+            if not (
+                e.request.attrs <= request.attrs
+                and implies(e.request.predicate, request.predicate)
+            )
+        ]
+        entries.append(
+            CacheEntry(
+                request=request,
+                value=value.copy(),
+                lineage=self.vdp.leaf_descendants(request.relation),
+            )
+        )
+        while len(entries) > self.max_entries_per_relation:
+            entries.pop(0)
+
+    # ------------------------------------------------------------------
+    # Precise invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, leaf_deltas: Mapping[str, AnyDelta]) -> int:
+        """Drop entries whose lineage is touched by applied leaf deltas.
+
+        ``leaf_deltas`` maps leaf-node names to the deltas an update
+        transaction just applied.  An entry survives unless some delta,
+        filtered through a leaf-parent on the path into the entry's
+        lineage, is non-empty — the §6.2 delta-filtering machinery reused
+        as an invalidation sieve.  Returns the number of entries dropped.
+        """
+        if not leaf_deltas:
+            return 0
+        dropped = 0
+        for relation in list(self._entries):
+            keep: List[CacheEntry] = []
+            for entry in self._entries[relation]:
+                if self._entry_affected(entry, leaf_deltas):
+                    dropped += 1
+                else:
+                    keep.append(entry)
+            if keep:
+                self._entries[relation] = keep
+            else:
+                del self._entries[relation]
+        return dropped
+
+    def _entry_affected(
+        self, entry: CacheEntry, leaf_deltas: Mapping[str, AnyDelta]
+    ) -> bool:
+        for leaf in entry.lineage:
+            delta = leaf_deltas.get(leaf)
+            if delta is None:
+                continue
+            for parent in self.vdp.parents(leaf):
+                if parent != entry.relation and entry.relation not in self.vdp.ancestors(parent):
+                    continue  # a leaf-parent outside this entry's subtree
+                filt = self._leaf_parent_filter(parent)
+                if filt is None:
+                    return True  # non-chain definition: be conservative
+                if not filt.filter(delta).is_empty():
+                    return True
+        return False
+
+    def _leaf_parent_filter(self, leaf_parent: str) -> Optional[LeafParentFilter]:
+        if leaf_parent not in self._filters_memo:
+            try:
+                self._filters_memo[leaf_parent] = LeafParentFilter.from_chain(
+                    leaf_parent, self.vdp.node(leaf_parent).definition
+                )
+            except DeltaError:
+                self._filters_memo[leaf_parent] = None
+        return self._filters_memo[leaf_parent]

@@ -57,6 +57,12 @@ def assert_view_correct(
     The mediator must be quiescent; this pulls full current values through
     the QP (fetching virtual attributes as needed) and compares with the
     bottom-up recomputation over the live sources.
+
+    When the VAP temp cache holds entries, each answer is additionally
+    recomputed with the cache bypassed (cold construction, fresh polls) and
+    the two mediator answers must be bit-identical — every cached or
+    subsumption-served result in the test suite is thereby cross-checked
+    against the uncached query path, not just against ground truth.
     """
     truth = recompute_all(mediator.vdp, mediator.sources)
     targets = [relation] if relation else list(mediator.vdp.exports)
@@ -69,6 +75,16 @@ def assert_view_correct(
                 f"  mediator: {sorted(current.to_sorted_list())[:10]}\n"
                 f"  truth:    {sorted(expected.to_sorted_list())[:10]}"
             )
+        if mediator.vap.cache.entry_count():
+            with mediator.vap.cache_bypassed():
+                cold = mediator.query_relation(name)
+            if current != cold:
+                raise AssertionError(
+                    f"view {name!r}: cache-served answer diverged from "
+                    f"cold-cache recompute:\n"
+                    f"  cached: {sorted(current.to_sorted_list())[:10]}\n"
+                    f"  cold:   {sorted(cold.to_sorted_list())[:10]}"
+                )
 
 
 def assert_materialized_correct(mediator: SquirrelMediator) -> None:

@@ -19,6 +19,7 @@ optimization mentioned at the end of Section 6.2).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.deltas import SetDelta, net_accumulate
@@ -47,6 +48,10 @@ class SourceDatabase:
         self._log: List[Tuple[int, SetDelta]] = []
         self._on_commit: List[Callable[["SourceDatabase", SetDelta], None]] = []
         self._prefilters: List[LeafParentFilter] = []
+        # Commits, announcement takes, and snapshots may now be driven from
+        # different threads (the VAP polls independent sources concurrently);
+        # reentrant because commit hooks can read back through public methods.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Abstract storage operations
@@ -76,7 +81,21 @@ class SourceDatabase:
     # ------------------------------------------------------------------
     def state(self) -> Dict[str, SetRelation]:
         """A consistent snapshot of the whole source (copies)."""
-        return self._snapshot()
+        with self._lock:
+            return self._snapshot()
+
+    def poll_transaction(self) -> Tuple[Optional[SetDelta], Dict[str, SetRelation]]:
+        """Atomically take the pending announcement and snapshot the source.
+
+        This is the read half of one poll round as a single source
+        transaction: no commit can slip between the announcement take and
+        the snapshot, so the returned snapshot reflects *exactly* the
+        announced state — the ordering property the Eager Compensation
+        Algorithm relies on, preserved even with links polling from worker
+        threads.
+        """
+        with self._lock:
+            return self.take_announcement(), self._snapshot()
 
     def relation(self, name: str) -> SetRelation:
         """A snapshot copy of one relation."""
@@ -104,15 +123,16 @@ class SourceDatabase:
         the paper's deltas are never redundant, and enforcing that here
         catches workload bugs early.
         """
-        self._validate(delta)
-        self._apply(delta)
-        self.txn_count += 1
-        committed = delta.copy()
-        self._log.append((self.txn_count, committed))
-        self._pending = net_accumulate(self._pending, committed)
-        for hook in self._on_commit:
-            hook(self, committed)
-        return self.txn_count
+        with self._lock:
+            self._validate(delta)
+            self._apply(delta)
+            self.txn_count += 1
+            committed = delta.copy()
+            self._log.append((self.txn_count, committed))
+            self._pending = net_accumulate(self._pending, committed)
+            for hook in self._on_commit:
+                hook(self, committed)
+            return self.txn_count
 
     def _validate(self, delta: SetDelta) -> None:
         for rel_name in delta.relations():
@@ -170,13 +190,14 @@ class SourceDatabase:
         Resets the pending accumulator.  Returns ``None`` when there is
         nothing to announce (also when prefiltering drops everything).
         """
-        if self._pending.is_empty():
-            return None
-        announcement = self._pending
-        self._pending = SetDelta()
-        if self._prefilters:
-            announcement = self._prefilter(announcement)
-        return announcement if not announcement.is_empty() else None
+        with self._lock:
+            if self._pending.is_empty():
+                return None
+            announcement = self._pending
+            self._pending = SetDelta()
+            if self._prefilters:
+                announcement = self._prefilter(announcement)
+            return announcement if not announcement.is_empty() else None
 
     def _prefilter(self, delta: SetDelta) -> SetDelta:
         """Keep each atom that is relevant to at least one leaf-parent.

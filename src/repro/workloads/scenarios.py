@@ -140,6 +140,8 @@ def figure1_mediator(
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
     indexing_enabled: bool = True,
+    vap_cache_enabled: bool = True,
+    parallel_polls: bool = True,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
     annotations (``"ex21"``, ``"ex22"``, ``"ex23"``)."""
@@ -153,6 +155,8 @@ def figure1_mediator(
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
         indexing_enabled=indexing_enabled,
+        vap_cache_enabled=vap_cache_enabled,
+        parallel_polls=parallel_polls,
     )
     mediator.initialize()
     return mediator, sources
@@ -389,6 +393,8 @@ def figure4_mediator(
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
     indexing_enabled: bool = True,
+    vap_cache_enabled: bool = True,
+    parallel_polls: bool = True,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed Figure-4 mediator.
 
@@ -420,6 +426,8 @@ def figure4_mediator(
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
         indexing_enabled=indexing_enabled,
+        vap_cache_enabled=vap_cache_enabled,
+        parallel_polls=parallel_polls,
     )
     mediator.initialize()
     return mediator, sources

@@ -86,7 +86,13 @@ class UpdateStream:
         return Row(values)
 
     def _pick_victim(self) -> Optional[Row]:
-        rows = list(self.source.relation(self.relation).rows())
+        # Sort before drawing: relation storage iterates in hash order,
+        # which varies with PYTHONHASHSEED — a seeded rng alone would still
+        # produce a different victim sequence every interpreter run.
+        rows = sorted(
+            self.source.relation(self.relation).rows(),
+            key=lambda r: tuple(sorted((k, repr(v)) for k, v in r.items())),
+        )
         return self.rng.choice(rows) if rows else None
 
     # ------------------------------------------------------------------

@@ -87,3 +87,56 @@ def _two_export_mediator():
     mediator = SquirrelMediator(annotate(vdp, {}), sources)
     mediator.initialize()
     return mediator, sources
+
+
+# ---------------------------------------------------------------------------
+# _as_chain: single-relation chain detection
+# ---------------------------------------------------------------------------
+def _chain(text):
+    from repro.core.query_processor import QueryProcessor
+
+    return QueryProcessor._as_chain(parse_expression(text))
+
+
+def test_as_chain_project_over_select():
+    relation, attrs, predicate = _chain("project[r1, s1](select[r3 < 100](T))")
+    assert relation == "T"
+    assert attrs == frozenset({"r1", "s1", "r3"})  # predicate attrs included
+    assert str(predicate) == "r3 < 100"
+
+
+def test_as_chain_select_above_project():
+    # σ above π: the predicate still pushes into the request, and the
+    # projection (the *innermost* width) sets the attribute set.
+    relation, attrs, predicate = _chain("select[s1 > 0](project[r1, s1](T))")
+    assert relation == "T"
+    assert attrs == frozenset({"r1", "s1"})
+    assert str(predicate) == "s1 > 0"
+
+
+def test_as_chain_stacked_selects_conjoin():
+    from repro.relalg import conjuncts
+
+    relation, attrs, predicate = _chain(
+        "select[r1 > 0](select[r3 < 100](project[r1](T)))"
+    )
+    assert relation == "T"
+    assert attrs == frozenset({"r1", "r3"})
+    assert {str(c) for c in conjuncts(predicate)} == {"r1 > 0", "r3 < 100"}
+
+
+def test_as_chain_outermost_projection_wins():
+    relation, attrs, _ = _chain("project[r1](project[r1, s1](T))")
+    assert relation == "T"
+    assert attrs == frozenset({"r1"})
+
+
+def test_as_chain_bare_scan_falls_through():
+    # A full scan carries no width: the generic lineage walk handles it.
+    assert _chain("T") is None
+    assert _chain("select[r3 < 100](T)") is None
+
+
+def test_as_chain_rejects_non_chain_shapes():
+    assert _chain("project[r1, s1](T join[s1 = s1] T)") is None
+    assert _chain("project[o](rename[r1 = o](T))") is None

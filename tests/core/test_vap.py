@@ -116,3 +116,18 @@ def test_stats_reset():
     mediator.vap.stats.reset()
     assert mediator.vap.stats.temps_built == 0
     assert mediator.vap.stats.polls == 0
+
+
+def test_plan_refuses_key_based_for_union_nodes():
+    """Key-based construction assumes every output row embeds a row of each
+    virtual child (true for SPJ).  A union row may come wholly from the
+    other branch, so the planner must pick children-based reconstruction
+    even when the hybrid node stores a key of both children."""
+    from repro.workloads import union_mediator
+
+    mediator, _ = union_mediator({"all_orders": "[o^m, c^m, a^v]"})
+    planned = mediator.vap.plan([request("all_orders", ["o", "a"])])
+    strategies = {p.relation: p.strategy for p in planned}
+    assert strategies["all_orders"] == "children"
+    assert "key-based" not in strategies.values()
+    assert mediator.vap.stats.key_based_used == 0

@@ -1,0 +1,162 @@
+"""Degraded-mode wins from the VAP temp cache during outage windows.
+
+The companion to :mod:`tests.faults.test_degradation`: with the temp cache
+on, pre-outage traffic can warm entries that let poll-requiring queries —
+and even whole update transactions — succeed while a source is down.  This
+is sound (cached temps reflect the materialized state, which cannot have
+advanced: the downed source's commits are still queued), and it is exactly
+the availability story §2's materialized approach promises, recovered here
+for *virtual* attributes.
+
+Also pins the satellite regression: a query fully served from cache or
+materialized storage must not raise :class:`SourceUnavailableError` for a
+source it never needed to contact.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Annotation, AnnotatedVDP, build_vdp
+from repro.correctness import assert_materialized_correct, assert_view_correct
+from repro.errors import SourceUnavailableError
+from repro.faults import ChannelFaults, FaultPlan, OutageWindow
+from repro.relalg import make_schema
+from repro.sim import EnvironmentDelays
+from repro.runtime import SimulatedEnvironment
+from repro.sources import MemorySource
+
+X = make_schema("X", ["x1", "x2", "x3"], key=["x1"])
+Y = make_schema("Y", ["y1", "y2"], key=["y1"])
+
+OUTAGE = OutageWindow(3.0, 6.0)
+
+Y_VIRTUAL = {
+    "Xp": Annotation.all_materialized(["x1", "x2", "x3"]),
+    "Yp": Annotation.all_virtual(["y1", "y2"]),
+    "V": Annotation.of({"x1": "m", "x2": "m", "y2": "v"}),
+}
+
+
+def build_env(outage_on="sy"):
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views={
+            "Xp": "select[x3 < 5](X)",
+            "Yp": "Y",
+            "V": "project[x1, x2, y2](Xp join[x2 = y1] Yp)",
+        },
+        exports=["V"],
+    )
+    annotated = AnnotatedVDP(vdp, Y_VIRTUAL)
+    rng = random.Random(7)
+    sx = MemorySource(
+        "sx",
+        [X],
+        initial={"X": [(i, rng.randrange(10), rng.randrange(5)) for i in range(10)]},
+    )
+    sy = MemorySource(
+        "sy", [Y], initial={"Y": [(i, rng.randrange(10)) for i in range(8)]}
+    )
+    plan = FaultPlan(
+        seed=1,
+        channels={outage_on: ChannelFaults(outages=(OUTAGE,))},
+    )
+    delays = EnvironmentDelays.uniform(
+        ["sx", "sy"], ann_delay=0.2, comm_delay=0.1, u_hold_delay_med=1.0
+    )
+    env = SimulatedEnvironment(
+        annotated, {"sx": sx, "sy": sy}, delays, fault_plan=plan, record_updates=False
+    )
+    return env, sx, sy
+
+
+def test_warm_cache_answers_poll_requiring_query_during_outage():
+    """y2 is virtual, sy is down at t=4 — yet the t=1 warm-up query cached
+    the Yp/V temps, so the in-outage query succeeds without raising and
+    matches the pre-outage answer (sy's queued commits cannot have applied:
+    the mediator can't poll it, so the materialized state is unchanged)."""
+    env, sx, sy = build_env(outage_on="sy")
+    results = {}
+
+    def warm():
+        results["before"] = env.mediator.query_relation("V")
+        assert env.mediator.vap.cache.entry_count() > 0
+
+    def probe():
+        assert env.mediator.source_availability()["sy"] is False
+        results["during"] = env.mediator.query_relation("V")
+        results["hits"] = env.mediator.vap.stats.cache_hits
+
+    env.schedule_action(1.0, warm, "warm-up query before outage")
+    env.schedule_action(4.0, probe, "query during outage")
+    env.run_until(10.0)
+
+    assert results["during"] == results["before"]
+    assert results["hits"] >= 1
+    # After the window closes everything reconverges as usual.
+    env.mediator.run_update_transaction()
+    assert env.drained(), env.fault_stats()
+    assert_materialized_correct(env.mediator)
+    assert_view_correct(env.mediator)
+
+
+def test_cold_cache_still_raises_typed_error_during_outage():
+    """Without a warm entry the contract from test_degradation holds
+    unchanged: a genuinely poll-requiring query raises the typed error."""
+    env, sx, sy = build_env(outage_on="sy")
+
+    def probe():
+        env.mediator.vap.clear_cache()
+        with pytest.raises(SourceUnavailableError) as exc_info:
+            env.mediator.query_relation("V")
+        assert exc_info.value.source == "sy"
+
+    env.schedule_action(4.0, probe, "cold query during outage")
+    env.run_until(10.0)
+
+
+def test_uncontacted_source_cannot_fail_a_cache_served_query():
+    """The satellite regression: when every requested temp is served from
+    the cache (or storage), ``_construct_polls`` receives an empty plan set
+    and must return without touching — or raising for — any source.  Here
+    the query runs while sy is down AND the availability map already marks
+    it unavailable; only a poll attempt would raise."""
+    env, sx, sy = build_env(outage_on="sy")
+    seen = {}
+
+    def warm():
+        env.mediator.query_relation("V")
+
+    def probe():
+        assert env.mediator.unavailable_sources() == ("sy",)
+        # Serves entirely from cache: no poll plan, no error.
+        seen["answer"] = env.mediator.query_relation("V")
+        # Xp is fully materialized: this never needed any source at all.
+        seen["xp"] = env.mediator.query_relation("Xp")
+
+    env.schedule_action(1.0, warm, "warm-up")
+    env.schedule_action(4.0, probe, "cache/storage-served queries in outage")
+    env.run_until(10.0)
+    assert "answer" in seen and "xp" in seen
+
+
+def test_warm_cache_lets_update_transaction_apply_during_outage():
+    """The dual of test_update_transactions_defer_and_retry...: an X commit
+    during sy's outage needs a Yp temp for phase (b).  The warm cache
+    supplies it (reflecting the unchanged materialized state), so the
+    transaction applies instead of deferring — and the final state is
+    still exactly right."""
+    env, sx, sy = build_env(outage_on="sy")
+    env.schedule_action(1.0, lambda: env.mediator.query_relation("V"), "warm-up")
+    env.schedule_action(3.2, lambda: sx.insert("X", x1=600, x2=2, x3=1), "commit during sy outage")
+    env.run_until(30.0)
+    env.mediator.run_update_transaction()
+
+    assert env.mediator.iup.stats.deferred_transactions == 0
+    assert env.mediator.queue.is_empty()
+    assert env.drained(), env.fault_stats()
+    assert any(r["x1"] == 600 for r in env.mediator.query_relation("V").rows())
+    assert_materialized_correct(env.mediator)
+    assert_view_correct(env.mediator)
