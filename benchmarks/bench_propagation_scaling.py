@@ -58,12 +58,17 @@ DEFAULT_BASELINE = (
 # ---------------------------------------------------------------------------
 # Scenario builders: (mediator, source_name, delta) per cell
 # ---------------------------------------------------------------------------
-def build_fig1(db_size: int, indexing_enabled: bool):
+def build_fig1(db_size: int, indexing_enabled: bool, tracer=None):
+    from repro.obs import NULL_TRACER
+
     sources = figure1_sources(
         r_rows=db_size, s_rows=db_size // 2, seed=7, join_domain=db_size // 2
     )
     mediator, _ = figure1_mediator(
-        "ex21", sources=sources, indexing_enabled=indexing_enabled
+        "ex21",
+        sources=sources,
+        indexing_enabled=indexing_enabled,
+        tracer=tracer or NULL_TRACER,
     )
     return mediator
 
@@ -276,7 +281,24 @@ def main(argv=None) -> int:
         const=str(DEFAULT_BASELINE),
         help="(re)write the baseline JSON",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="re-run the largest fig1 cell with tracing on and export "
+        "a schema-validated JSONL trace to PATH",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.obs import Tracer, export_jsonl
+
+        tracer = Tracer(enabled=True, provenance=True)
+        mediator = build_fig1(DB_SIZES[-1], True, tracer=tracer)
+        mediator.enqueue_update("db1", fig1_delta(DELTA_SIZES[-1]))
+        mediator.run_update_transaction()
+        written = export_jsonl(tracer, args.trace)
+        print(f"wrote {written} trace records to {args.trace}", file=sys.stderr)
+        return 0
 
     times = [
         time_callable(

@@ -5,6 +5,14 @@ Usage::
     python -m repro describe SPEC                 # show the annotated VDP
     python -m repro query SPEC "project[a](V)"    # one-shot query
     python -m repro repl SPEC                     # interactive session
+    python -m repro trace ex23 --out t.jsonl      # traced canned scenario
+    python -m repro stats ex23                    # metrics after a scenario
+
+``trace`` and ``stats`` drive a canned scenario (one of
+``repro.obs.harness.SCENARIOS``) with tracing and delta provenance on;
+``trace`` prints the span tree (and optionally exports schema-validated
+JSONL), ``stats`` prints the metrics-registry snapshot and the per-node
+provenance summary.
 
 ``SPEC`` is a mediator specification file (see :mod:`repro.generator.spec`).
 Initial data is loaded from an optional ``--data FILE.json`` whose shape is
@@ -121,6 +129,37 @@ def _repl_command(mediator: SquirrelMediator, line: str, out) -> bool:
     return True
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.obs import Tracer, export_jsonl, render_span_tree, run_scenario
+
+    tracer = Tracer(enabled=True, provenance=not args.no_provenance)
+    run_scenario(args.scenario, tracer)
+    if args.out:
+        written = export_jsonl(tracer, args.out, validate=not args.no_validate)
+        print(f"wrote {written} records to {args.out}", file=out)
+    if not args.quiet:
+        print(render_span_tree(tracer), file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from repro.obs import Tracer, origin_labels, render_metrics, run_scenario
+
+    tracer = Tracer(enabled=True, provenance=True)
+    mediator = run_scenario(args.scenario, tracer)
+    print(render_metrics(mediator.metrics.snapshot()), file=out)
+    prov = tracer.provenance
+    tracked = prov.tracked_nodes()
+    if tracked:
+        print(file=out)
+        print("delta provenance (last transaction per node):", file=out)
+        for node in tracked:
+            labels = ", ".join(origin_labels(prov.origins_of(node)))
+            approx = " (upper bound)" if prov.is_approx(node) else ""
+            print(f"  {node}: {labels}{approx}", file=out)
+    return 0
+
+
 def _cmd_repl(args, out) -> int:
     mediator = build_mediator_from_files(args.spec, args.data, args.backend)
     print("squirrel mediator ready; \\vdp \\stats \\refresh \\insert \\delete \\quit", file=out)
@@ -162,12 +201,40 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     p_repl = subparsers.add_parser("repl", help="interactive session")
     p_repl.add_argument("spec")
 
+    from repro.obs.harness import scenario_names
+
+    p_trace = subparsers.add_parser(
+        "trace", help="run a canned scenario with tracing on"
+    )
+    p_trace.add_argument("scenario", choices=scenario_names())
+    p_trace.add_argument("--out", help="export the trace as JSONL to this path")
+    p_trace.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation of the exported trace",
+    )
+    p_trace.add_argument(
+        "--no-provenance", action="store_true",
+        help="disable delta provenance tracking",
+    )
+    p_trace.add_argument(
+        "--quiet", action="store_true", help="suppress the span-tree rendering"
+    )
+
+    p_stats = subparsers.add_parser(
+        "stats", help="run a canned scenario and print its metrics snapshot"
+    )
+    p_stats.add_argument("scenario", choices=scenario_names())
+
     args = parser.parse_args(argv)
     try:
         if args.command == "describe":
             return _cmd_describe(args, out)
         if args.command == "query":
             return _cmd_query(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
         return _cmd_repl(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -24,7 +24,7 @@ from repro.core.derived_from import TempRequest, child_requirements, derived_fro
 from repro.core.iup import IncrementalUpdateProcessor, IUPStats, UpdateTransactionResult
 from repro.core.links import DelayedLink, DirectLink, SourceLink
 from repro.core.local_store import LocalStore
-from repro.core.mediator import MediatorStats, SquirrelMediator
+from repro.core.mediator import STATS_METRICS, MediatorStats, SquirrelMediator
 from repro.core.persistence import restore_mediator, save_mediator
 from repro.core.query_processor import QPStats, QueryProcessor
 from repro.core.rulebase import RuleBase
@@ -68,6 +68,7 @@ __all__ = [
     "QPStats",
     "SquirrelMediator",
     "MediatorStats",
+    "STATS_METRICS",
     "DirectLink",
     "DelayedLink",
     "SourceLink",

@@ -24,7 +24,7 @@ new-if-processed/old-if-not states as materialized repositories do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.derived_from import TempRequest, child_requirements
 from repro.core.local_store import LocalStore
@@ -34,6 +34,9 @@ from repro.core.vap import VirtualAttributeProcessor
 from repro.core.vdp import AnnotatedVDP, NodeKind
 from repro.deltas import AnyDelta, BagDelta, SetDelta, select_project, set_to_bag
 from repro.errors import MediatorError, SourceUnavailableError
+from repro.obs.metrics import reset_dataclass_counters
+from repro.obs.provenance import TxnOrigin, origin_labels
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import TRUE, Relation
 
 __all__ = ["IUPStats", "UpdateTransactionResult", "IncrementalUpdateProcessor"]
@@ -54,16 +57,8 @@ class IUPStats:
     batched_messages: int = 0
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.transactions = 0
-        self.empty_transactions = 0
-        self.deferred_transactions = 0
-        self.rules_fired = 0
-        self.nodes_processed = 0
-        self.temp_requests = 0
-        self.delta_atoms_applied = 0
-        self.propagation_passes = 0
-        self.batched_messages = 0
+        """Zero every counter (fields-derived; new counters reset for free)."""
+        reset_dataclass_counters(self)
 
 
 @dataclass
@@ -95,6 +90,7 @@ class IncrementalUpdateProcessor:
         rulebase: RuleBase,
         vap: VirtualAttributeProcessor,
         queue: UpdateQueue,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -102,6 +98,7 @@ class IncrementalUpdateProcessor:
         self.rulebase = rulebase
         self.vap = vap
         self.queue = queue
+        self.tracer = tracer
         self.stats = IUPStats()
 
     # ------------------------------------------------------------------
@@ -110,49 +107,85 @@ class IncrementalUpdateProcessor:
     def run_transaction(self) -> UpdateTransactionResult:
         """Flush the queue and propagate everything in it (one transaction)."""
         self.stats.transactions += 1
-        combined, entries = self.queue.flush()
-        if combined is None:
-            self.stats.empty_transactions += 1
-            return UpdateTransactionResult(0, 0, (), 0, (), 0)
+        tracer = self.tracer
+        with tracer.span("update_txn") as txn_span:
+            with tracer.span("queue_flush") as flush_span:
+                combined, entries = self.queue.flush()
+                flush_span.set(messages=len(entries))
+            if combined is None:
+                self.stats.empty_transactions += 1
+                txn_span.set(empty=True)
+                return UpdateTransactionResult(0, 0, (), 0, (), 0)
 
-        leaf_deltas = self._leaf_deltas(combined)
+            leaf_deltas = self._leaf_deltas(combined)
+            prov = tracer.provenance
+            if prov.enabled:
+                prov.begin_transaction(self._leaf_subs(entries))
+            if tracer.enabled:
+                for leaf in sorted(leaf_deltas):
+                    tracer.event(
+                        "leaf_delta",
+                        leaf=leaf,
+                        entries=leaf_deltas[leaf].entry_count(),
+                        origins=origin_labels(prov.live_origins(leaf)),
+                    )
 
-        # Phase (a): determine needed temporary relations.
-        requests = self._prepare(leaf_deltas)
-        self.stats.temp_requests += len(requests)
+            # Phase (a): determine needed temporary relations.  With
+            # provenance on, leaves whose net delta cancelled to empty but
+            # whose per-origin sub-deltas did not are still traversed (for
+            # attribution-only firings), so their rules' reads are prepared
+            # too.
+            extra_affected = prov.live_nodes() if prov.enabled else ()
+            with tracer.span("iup_prepare") as prep_span:
+                requests = self._prepare(leaf_deltas, extra_affected)
+                prep_span.set(temps=sorted(requests))
+            self.stats.temp_requests += len(requests)
 
-        # Phase (b): populate them through the VAP (state ref'(t_{i-1})).
-        # A source going down between flush and poll aborts the transaction
-        # *before* any store mutation (the kernel has not run), so the
-        # flushed entries can be requeued intact and retried next cycle —
-        # graceful degradation instead of a hang or a half-applied delta.
-        polls_before = self.vap.stats.polled_sources
-        in_flight = self._in_flight_by_source(entries)
-        try:
-            temps = self.vap.materialize(requests.values(), in_flight) if requests else {}
-        except SourceUnavailableError as exc:
-            self.queue.requeue_front(entries)
-            self.stats.deferred_transactions += 1
-            return UpdateTransactionResult(
-                0, 0, (), 0, tuple(sorted(requests)), 0,
-                deferred=True, unavailable_source=exc.source,
+            # Phase (b): populate them through the VAP (state ref'(t_{i-1})).
+            # A source going down between flush and poll aborts the
+            # transaction *before* any store mutation (the kernel has not
+            # run), so the flushed entries can be requeued intact and
+            # retried next cycle — graceful degradation instead of a hang
+            # or a half-applied delta.
+            polls_before = self.vap.stats.polled_sources
+            in_flight = self._in_flight_by_source(entries)
+            try:
+                temps = self.vap.materialize(requests.values(), in_flight) if requests else {}
+            except SourceUnavailableError as exc:
+                self.queue.requeue_front(entries)
+                self.stats.deferred_transactions += 1
+                tracer.event("txn_deferred", source=exc.source)
+                txn_span.set(deferred=True)
+                return UpdateTransactionResult(
+                    0, 0, (), 0, tuple(sorted(requests)), 0,
+                    deferred=True, unavailable_source=exc.source,
+                )
+            sources_polled = self.vap.stats.polled_sources - polls_before
+
+            # Phase (c): the kernel, reading temporaries in place of
+            # virtual data.  The N flushed messages were smashed into
+            # per-leaf deltas above, so the whole batch costs exactly one
+            # propagation pass.
+            self._index_temps(temps)
+            self.stats.propagation_passes += 1
+            self.stats.batched_messages += len(entries)
+            with tracer.span("kernel") as kernel_span:
+                processed, fired = self._kernel(leaf_deltas, temps)
+                kernel_span.set(nodes=list(processed), rules_fired=fired)
+            prov.commit()
+            self.queue.mark_reflected(entries)
+            # The kernel just advanced the materialized state past these
+            # leaf deltas, so cached VAP temporaries whose lineage they
+            # touch are now stale — exactly here, and only here, do they
+            # die.  (A deferred transaction mutates nothing, so its path
+            # above invalidates nothing.)
+            self.vap.invalidate_cache(leaf_deltas)
+            txn_span.set(
+                messages=len(entries),
+                atoms=combined.atom_count(),
+                rules_fired=fired,
+                sources_polled=sources_polled,
             )
-        sources_polled = self.vap.stats.polled_sources - polls_before
-
-        # Phase (c): the kernel, reading temporaries in place of virtual data.
-        # The N flushed messages were smashed into per-leaf deltas above, so
-        # the whole batch costs exactly one propagation pass.
-        self._index_temps(temps)
-        self.stats.propagation_passes += 1
-        self.stats.batched_messages += len(entries)
-        processed, fired = self._kernel(leaf_deltas, temps)
-        self.queue.mark_reflected(entries)
-        # The kernel just advanced the materialized state past these leaf
-        # deltas, so cached VAP temporaries whose lineage they touch are now
-        # stale — exactly here, and only here, do they die.  (A deferred
-        # transaction mutates nothing, so its path above invalidates
-        # nothing.)
-        self.vap.invalidate_cache(leaf_deltas)
 
         return UpdateTransactionResult(
             flushed_messages=len(entries),
@@ -180,6 +213,29 @@ class IncrementalUpdateProcessor:
                 out[leaf] = set_to_bag(restricted)
         return out
 
+    def _leaf_subs(
+        self, entries: List[QueuedUpdate]
+    ) -> Dict[str, List[Tuple[TxnOrigin, BagDelta]]]:
+        """Per-leaf, per-origin sub-deltas of the flushed entries.
+
+        These are the *pre-fold* deltas: their bag-sum equals the
+        net-accumulated per-leaf delta (cancellation is addition of signed
+        counts), which is what makes leaf-level provenance attribution
+        exact.
+        """
+        leaves = set(self.vdp.leaves())
+        out: Dict[str, List[Tuple[TxnOrigin, BagDelta]]] = {}
+        for entry in entries:
+            for relation in entry.delta.relations():
+                if relation not in leaves:
+                    continue
+                restricted = entry.delta.restrict_to([relation])
+                if not restricted.is_empty():
+                    out.setdefault(relation, []).append(
+                        (entry.origin, set_to_bag(restricted))
+                    )
+        return out
+
     def _in_flight_by_source(self, entries: List[QueuedUpdate]) -> Dict[str, List[SetDelta]]:
         grouped: Dict[str, List[SetDelta]] = {}
         for entry in entries:
@@ -205,7 +261,11 @@ class IncrementalUpdateProcessor:
     # ------------------------------------------------------------------
     # Phase (a): the IUP Preparation Algorithm
     # ------------------------------------------------------------------
-    def _prepare(self, leaf_deltas: Mapping[str, BagDelta]) -> Dict[str, TempRequest]:
+    def _prepare(
+        self,
+        leaf_deltas: Mapping[str, BagDelta],
+        extra_affected: Iterable[str] = (),
+    ) -> Dict[str, TempRequest]:
         """Dry-run the kernel to collect temporary-relation requests.
 
         Conservatively treats every node reachable from an updated leaf as
@@ -214,7 +274,7 @@ class IncrementalUpdateProcessor:
         covered by materialized storage are requested at the width the
         rule's definition references.
         """
-        affected: Set[str] = set(leaf_deltas)
+        affected: Set[str] = set(leaf_deltas) | set(extra_affected)
         requests: Dict[str, TempRequest] = {}
         schemas = self.vdp.schemas()
         for name in self.vdp.topological_order():
@@ -258,6 +318,8 @@ class IncrementalUpdateProcessor:
     ) -> Tuple[List[str], int]:
         processed: List[str] = []
         fired = 0
+        tracer = self.tracer
+        prov = tracer.provenance
 
         # Initialization (step 1): fire all rules out of updated leaves.
         for leaf in sorted(leaf_deltas):
@@ -270,15 +332,36 @@ class IncrementalUpdateProcessor:
             delta = self.store.delta(name)
             node = self.vdp.node(name)
             if node.kind is NodeKind.SET:
+                before = delta.atom_count()
                 delta = self._normalize_set_delta(name, delta, temps)
+                if delta.atom_count() != before:
+                    # Set-semantics normalization dropped atoms: the node's
+                    # actual change is no longer the bag image of its
+                    # contributions, so origin attribution through it can
+                    # only be an upper bound.
+                    prov.mark_approx(name)
                 if delta.is_empty():
                     self.store.clear_delta(name)
                     continue
-            fired += self._fire_rules_out_of(name, delta, temps)
-            self._apply_to_node(name, delta, temps)
+            with tracer.span("process_node", node=name):
+                fired += self._fire_rules_out_of(name, delta, temps)
+                self._apply_to_node(name, delta, temps)
+                if tracer.enabled:
+                    size = (
+                        delta.atom_count()
+                        if isinstance(delta, SetDelta)
+                        else delta.entry_count()
+                    )
+                    tracer.event("node_apply", node=name, delta_size=size)
             self.store.clear_delta(name)
             processed.append(name)
             self.stats.nodes_processed += 1
+
+        # Attribution pass (step 3): with every delta applied, blame each
+        # origin by firing its exclusion deltas against post-state
+        # catalogs (see _reconcile_provenance for why it must run last).
+        if prov.enabled:
+            self._reconcile_provenance(temps)
         return processed, fired
 
     def _normalize_set_delta(
@@ -308,6 +391,7 @@ class IncrementalUpdateProcessor:
         self, name: str, delta: AnyDelta, temps: Mapping[str, Relation]
     ) -> int:
         fired = 0
+        tracer = self.tracer
         bag_delta = set_to_bag(delta) if isinstance(delta, SetDelta) else delta
         for rule in self.rulebase.rules_out_of(name):
             catalog = {}
@@ -318,7 +402,89 @@ class IncrementalUpdateProcessor:
                 self.store.accumulate(rule.parent, contribution)
             fired += 1
             self.stats.rules_fired += 1
+            if tracer.enabled:
+                out_size = (
+                    contribution.atom_count()
+                    if isinstance(contribution, SetDelta)
+                    else contribution.entry_count()
+                )
+                tracer.event(
+                    "rule_fire",
+                    child=name,
+                    parent=rule.parent,
+                    delta_size=bag_delta.entry_count(),
+                    contribution_size=out_size,
+                )
         return fired
+
+    # ------------------------------------------------------------------
+    # Delta provenance attribution (active only with provenance tracing)
+    # ------------------------------------------------------------------
+    def _reconcile_provenance(self, temps: Mapping[str, Relation]) -> None:
+        """Blame origins bottom-up against *post-transaction* state.
+
+        The contract (``repro.obs.provenance``) is exclusion semantics: an
+        origin belongs to a node's origin set iff excluding that source
+        transaction would change the node's recomputed value.  For a
+        linear rule, the origin's *exclusion delta* at the parent is the
+        rule fired with the child's exclusion delta against the siblings'
+        post-transaction values — post-state, because under exclusion every
+        *other* origin stays applied.  That is why this pass cannot run
+        during the upward traversal: there rules fire against mixed
+        pre/post sibling states (exact for the value computation, by
+        telescoping), so a join cross term — a new-R row meeting a new-S
+        row — would be blamed only on whichever side fired second and
+        silently omitted from the other side's origin set.
+
+        Exclusion deltas accumulate in the provenance tracker's per-origin
+        row counts (summed across a node's incoming edges, so diamond
+        paths that cancel drop the origin correctly).  Non-linear rules
+        (difference, self-joins) don't decompose per origin; they carry the
+        child's whole origin set across and flag the parent approximate —
+        an upper bound, never an omission.  The same demotion applies when
+        one origin reaches both inputs of a join (its exclusion delta is
+        then not linear in either child alone).
+        """
+        prov = self.tracer.provenance
+        leaves = set(self.vdp.leaves())
+        edges_into: Dict[str, List[Tuple[str, CompiledRule]]] = {}
+        for child in self.vdp.topological_order():
+            for rule in self.rulebase.rules_out_of(child):
+                edges_into.setdefault(rule.parent, []).append((child, rule))
+        with self.tracer.span("provenance_reconcile"):
+            # non_leaves() is children-first, so when a parent is visited
+            # every child's origin set and exclusion sub-deltas are final.
+            for parent in self.vdp.non_leaves():
+                for child, rule in edges_into.get(parent, ()):
+                    live = prov.live_origins(child)
+                    if not live:
+                        continue
+                    if prov.live_approx(child) or not rule.is_linear:
+                        prov.note_origins(parent, live)
+                        prov.mark_approx(parent)
+                        continue
+                    catalog = {}
+                    shared = frozenset()
+                    for sibling in rule.sibling_names():
+                        catalog[sibling] = self._resolve(sibling, temps)
+                        shared |= live & prov.live_origins(sibling)
+                    if shared:
+                        prov.note_origins(parent, shared)
+                        prov.mark_approx(parent)
+                    for origin, sub in prov.sub_deltas(child):
+                        prov.record_contribution(
+                            parent, origin, rule.fire(sub, catalog)
+                        )
+            if self.tracer.enabled:
+                for node in prov.live_nodes():
+                    if node in leaves:
+                        continue
+                    self.tracer.event(
+                        "node_provenance",
+                        node=node,
+                        origins=origin_labels(prov.live_origins(node)),
+                        approx=prov.live_approx(node),
+                    )
 
     def _resolve(self, name: str, temps: Mapping[str, Relation]) -> Relation:
         if name in temps:

@@ -34,6 +34,8 @@ from repro.core.vdp import AnnotatedVDP
 from repro.deltas import SetDelta
 from repro.errors import MediatorError, SourceUnavailableError
 from repro.faults.staleness import StalenessTag, TaggedAnswer
+from repro.obs.metrics import MetricsRegistry, dataclass_counter_items
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import (
     TRUE,
     Expression,
@@ -44,14 +46,19 @@ from repro.relalg import (
 from repro.sources.base import SourceDatabase
 from repro.sources.contributors import ContributorKind
 
-__all__ = ["MediatorStats", "SquirrelMediator"]
+__all__ = ["MediatorStats", "STATS_METRICS", "SquirrelMediator"]
 
 QueryInput = TypingUnion[str, Expression]
 
 
 @dataclass
 class MediatorStats:
-    """A one-stop snapshot of every component's counters."""
+    """A one-stop snapshot of every component's counters.
+
+    The snapshot is *derived* from the mediator's metrics registry
+    (:attr:`SquirrelMediator.metrics`) via :data:`STATS_METRICS` — adding a
+    field here means adding one mapping row, not another hand-copied
+    assignment in :meth:`SquirrelMediator.stats`."""
 
     queries: int
     materialized_only_queries: int
@@ -76,6 +83,45 @@ class MediatorStats:
     index_rebuilds: int
     propagation_passes: int
 
+    def diff(self, other: "MediatorStats") -> "MediatorStats":
+        """Per-field ``self - other`` — counter deltas across a workload
+        window (take a snapshot before, one after, diff them)."""
+        before = dict(dataclass_counter_items(other))
+        return MediatorStats(
+            **{name: value - before[name] for name, value in dataclass_counter_items(self)}
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain field→value mapping, in declaration order."""
+        return dict(dataclass_counter_items(self))
+
+
+#: MediatorStats field -> metrics-registry reading it is derived from.
+STATS_METRICS: Dict[str, str] = {
+    "queries": "qp.queries",
+    "materialized_only_queries": "qp.materialized_only",
+    "virtual_queries": "qp.with_virtual",
+    "update_transactions": "iup.transactions",
+    "rules_fired": "iup.rules_fired",
+    "polls": "vap.polls",
+    "polled_rows": "vap.polled_rows",
+    "compensations": "vap.compensations",
+    "key_based_constructions": "vap.key_based_used",
+    "cache_hits": "vap.cache_hits",
+    "cache_misses": "vap.cache_misses",
+    "cache_invalidations": "vap.cache_invalidations",
+    "subsumption_hits": "vap.subsumption_hits",
+    "parallel_poll_batches": "vap.parallel_poll_batches",
+    "poll_wall_time": "vap.poll_wall_time",
+    "stored_rows": "store.stored_rows",
+    "stored_cells": "store.stored_cells",
+    "rows_scanned": "eval.rows_scanned",
+    "rows_hashed": "eval.rows_hashed",
+    "index_probes": "eval.index_probes",
+    "index_rebuilds": "eval.index_rebuilds",
+    "propagation_passes": "iup.propagation_passes",
+}
+
 
 class SquirrelMediator:
     """A deployed Squirrel integration mediator."""
@@ -90,6 +136,7 @@ class SquirrelMediator:
         indexing_enabled: bool = True,
         vap_cache_enabled: bool = True,
         parallel_polls: bool = True,
+        tracer: Tracer = NULL_TRACER,
     ):
         """Wire a mediator over the given sources.
 
@@ -102,7 +149,12 @@ class SquirrelMediator:
         the evaluator falls back to per-firing ephemeral hash joins;
         ``vap_cache_enabled=False`` re-polls sources on every virtual
         query; ``parallel_polls=False`` forces the serial poll loop).
+        ``tracer`` (default: the shared disabled :data:`NULL_TRACER`) is
+        threaded through every component; pass an enabled
+        :class:`~repro.obs.tracer.Tracer` to record spans/events, and
+        construct it with ``provenance=True`` for delta provenance.
         """
+        self.tracer = tracer
         self.annotated = annotated
         self.vdp = annotated.vdp
         self.sources = dict(sources)
@@ -132,11 +184,19 @@ class SquirrelMediator:
             key_based_enabled=key_based_enabled,
             cache_enabled=vap_cache_enabled,
             parallel_polls=parallel_polls,
+            tracer=tracer,
         )
         self.iup = IncrementalUpdateProcessor(
-            annotated, self.store, self.rulebase, self.vap, self.queue
+            annotated, self.store, self.rulebase, self.vap, self.queue, tracer=tracer
         )
-        self.qp = QueryProcessor(annotated, self.store, self.vap)
+        self.qp = QueryProcessor(annotated, self.store, self.vap, tracer=tracer)
+        self.metrics = MetricsRegistry()
+        self.metrics.register_stats("qp", self.qp.stats)
+        self.metrics.register_stats("iup", self.iup.stats)
+        self.metrics.register_stats("vap", self.vap.stats)
+        self.metrics.register_stats("eval", self.store.counters)
+        self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
+        self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
         self._initialized = False
 
     def _check_sources(self) -> None:
@@ -167,19 +227,22 @@ class SquirrelMediator:
         then reflects a state *vector*, as the consistency definition
         allows).
         """
-        leaf_values: Dict[str, Relation] = {}
-        for source_name in sorted({self.vdp.source_of_leaf(l) for l in self.vdp.leaves()}):
-            source = self.sources[source_name]
-            snapshot = source.state()
-            for leaf in self.vdp.leaves_of_source(source_name):
-                leaf_values[leaf] = snapshot[leaf]
-            # Announcements covering the snapshot are already reflected;
-            # discard anything pending so it is not double-applied.
-            source.take_announcement()
-        self.store.initialize(leaf_values)
-        # Any cached temporaries reflect the pre-initialization state.
-        self.vap.clear_cache()
-        self._initialized = True
+        with self.tracer.span("view_init") as span:
+            leaf_values: Dict[str, Relation] = {}
+            for source_name in sorted({self.vdp.source_of_leaf(l) for l in self.vdp.leaves()}):
+                source = self.sources[source_name]
+                snapshot = source.state()
+                for leaf in self.vdp.leaves_of_source(source_name):
+                    leaf_values[leaf] = snapshot[leaf]
+                # Announcements covering the snapshot are already reflected;
+                # discard anything pending so it is not double-applied.
+                source.take_announcement()
+            self.store.initialize(leaf_values)
+            # Any cached temporaries reflect the pre-initialization state.
+            self.vap.clear_cache()
+            self.tracer.provenance.clear()
+            self._initialized = True
+            span.set(leaves=sorted(leaf_values))
 
     @property
     def initialized(self) -> bool:
@@ -335,6 +398,16 @@ class SquirrelMediator:
         self._require_init()
         tag = self.staleness_tag(now)
         value = self.qp.query_relation(relation, attrs, predicate)
+        if self.tracer.enabled and tag.staleness:
+            self.tracer.event(
+                "stale_answer",
+                relation=relation,
+                sources=sorted(tag.staleness),
+                staleness={
+                    source: (age if age != float("inf") else None)
+                    for source, age in sorted(tag.staleness.items())
+                },
+            )
         return TaggedAnswer(value=value, tag=tag)
 
     def export_state(self, relation: str) -> Relation:
@@ -348,44 +421,18 @@ class SquirrelMediator:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> MediatorStats:
-        """Aggregate counters across all components."""
+        """Aggregate counters across all components, derived from the
+        metrics registry through the :data:`STATS_METRICS` mapping."""
+        snapshot = self.metrics.snapshot()
         return MediatorStats(
-            queries=self.qp.stats.queries,
-            materialized_only_queries=self.qp.stats.materialized_only,
-            virtual_queries=self.qp.stats.with_virtual,
-            update_transactions=self.iup.stats.transactions,
-            rules_fired=self.iup.stats.rules_fired,
-            polls=self.vap.stats.polls,
-            polled_rows=self.vap.stats.polled_rows,
-            compensations=self.vap.stats.compensations,
-            key_based_constructions=self.vap.stats.key_based_used,
-            cache_hits=self.vap.stats.cache_hits,
-            cache_misses=self.vap.stats.cache_misses,
-            cache_invalidations=self.vap.stats.cache_invalidations,
-            subsumption_hits=self.vap.stats.subsumption_hits,
-            parallel_poll_batches=self.vap.stats.parallel_poll_batches,
-            poll_wall_time=self.vap.stats.poll_wall_time,
-            stored_rows=self.store.total_stored_rows(),
-            stored_cells=self.store.total_stored_cells(),
-            rows_scanned=self.store.counters.rows_scanned,
-            rows_hashed=self.store.counters.rows_hashed,
-            index_probes=self.store.counters.index_probes,
-            index_rebuilds=self.store.counters.index_rebuilds,
-            propagation_passes=self.iup.stats.propagation_passes,
+            **{field: snapshot[metric] for field, metric in STATS_METRICS.items()}
         )
 
     def reset_stats(self) -> None:
-        """Zero every component counter (benchmark hygiene)."""
-        self.qp.stats.reset()
-        self.iup.stats.reset()
-        self.vap.stats.reset()
-        self.store.counters.rows_scanned = 0
-        self.store.counters.rows_produced = 0
-        self.store.counters.joins_executed = 0
-        self.store.counters.hash_probes = 0
-        self.store.counters.rows_hashed = 0
-        self.store.counters.index_probes = 0
-        self.store.counters.index_rebuilds = 0
+        """Zero every component counter (benchmark hygiene).  Fields-derived
+        through the registry: new counters on any registered stats object
+        reset for free."""
+        self.metrics.reset()
 
     def _require_init(self) -> None:
         if not self._initialized:

@@ -23,6 +23,8 @@ from repro.core.local_store import LocalStore
 from repro.core.vap import VirtualAttributeProcessor
 from repro.core.vdp import AnnotatedVDP
 from repro.errors import MediatorError
+from repro.obs.metrics import reset_dataclass_counters
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import (
     TRUE,
     Evaluator,
@@ -47,10 +49,8 @@ class QPStats:
     with_virtual: int = 0
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.queries = 0
-        self.materialized_only = 0
-        self.with_virtual = 0
+        """Zero every counter (fields-derived; new counters reset for free)."""
+        reset_dataclass_counters(self)
 
 
 class QueryProcessor:
@@ -61,7 +61,9 @@ class QueryProcessor:
         annotated: AnnotatedVDP,
         store: LocalStore,
         vap: VirtualAttributeProcessor,
+        tracer: Tracer = NULL_TRACER,
     ):
+        self.tracer = tracer
         self.annotated = annotated
         self.vdp = annotated.vdp
         self.store = store
@@ -71,34 +73,45 @@ class QueryProcessor:
     # ------------------------------------------------------------------
     def query(self, expr: Expression, name: str = "answer") -> Relation:
         """Answer an algebra query over the mediator's non-leaf relations."""
-        refs = sorted(expr.relation_names())
-        self._check_refs(refs)
-        self.stats.queries += 1
+        tracer = self.tracer
+        with tracer.span("query", answer=name) as span:
+            refs = sorted(expr.relation_names())
+            self._check_refs(refs)
+            self.stats.queries += 1
 
-        requests = self._requests_for(expr, refs)
-        uncovered = [r for r in requests.values() if not self._covered(r)]
-        if uncovered:
-            self.stats.with_virtual += 1
-            # Only the uncovered requests go to the VAP: covered relations
-            # are read straight from the store below, and handing them over
-            # anyway would pollute the VAP's temp cache hit/miss accounting
-            # (plan() would just re-derive their coveredness and drop them).
-            temps = self.vap.materialize(uncovered)
-        else:
-            self.stats.materialized_only += 1
-            temps = {}
-
-        catalog: Dict[str, Relation] = {}
-        for ref in refs:
-            if ref in temps:
-                catalog[ref] = temps[ref]
-            elif self.store.has_repo(ref):
-                catalog[ref] = self.store.repo(ref)
+            requests = self._requests_for(expr, refs)
+            uncovered = [r for r in requests.values() if not self._covered(r)]
+            if tracer.enabled:
+                tracer.event(
+                    "query_classify",
+                    refs=refs,
+                    uncovered=sorted(r.relation for r in uncovered),
+                )
+            if uncovered:
+                self.stats.with_virtual += 1
+                # Only the uncovered requests go to the VAP: covered relations
+                # are read straight from the store below, and handing them over
+                # anyway would pollute the VAP's temp cache hit/miss accounting
+                # (plan() would just re-derive their coveredness and drop them).
+                temps = self.vap.materialize(uncovered)
             else:
-                raise MediatorError(f"no data available for relation {ref!r}")
-        schemas = {alias: rel.schema.rename_relation(alias) for alias, rel in catalog.items()}
-        evaluator = Evaluator(catalog, schemas=schemas, counters=self.store.counters)
-        return evaluator.evaluate(expr, name)
+                self.stats.materialized_only += 1
+                temps = {}
+
+            catalog: Dict[str, Relation] = {}
+            for ref in refs:
+                if ref in temps:
+                    catalog[ref] = temps[ref]
+                elif self.store.has_repo(ref):
+                    catalog[ref] = self.store.repo(ref)
+                else:
+                    raise MediatorError(f"no data available for relation {ref!r}")
+            schemas = {alias: rel.schema.rename_relation(alias) for alias, rel in catalog.items()}
+            evaluator = Evaluator(catalog, schemas=schemas, counters=self.store.counters)
+            with tracer.span("query_evaluate"):
+                answer = evaluator.evaluate(expr, name)
+            span.set(rows=answer.cardinality(), virtual=bool(uncovered))
+            return answer
 
     def query_relation(
         self,

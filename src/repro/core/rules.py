@@ -376,6 +376,17 @@ class BagNodeRule:
             result = result.smash(compiled.delta(child_delta, catalog, counters))
         return result
 
+    @property
+    def is_linear(self) -> bool:
+        """True when ``fire`` is linear in the child delta (no self-join).
+
+        With every compiled part referencing the child exactly once, the
+        delta computation distributes over sub-deltas fired against the
+        same sibling states — the property delta provenance relies on to
+        attribute a joint firing exactly to per-origin sub-firings.
+        """
+        return all(compiled.occurrences == 1 for compiled in self._compiled)
+
     def _relevant_parts(self) -> List[Expression]:
         if isinstance(self.definition, Union):
             return [
@@ -479,6 +490,12 @@ class SetNodeRule:
                     if r in other_support:
                         result = result.smash(_atom(self.parent, r, +1))
         return result
+
+    @property
+    def is_linear(self) -> bool:
+        """Difference rules are support-transition based — never linear in
+        the child delta, so provenance treats their parents as approximate."""
+        return False
 
     def sibling_names(self) -> Tuple[str, ...]:
         """Relations the rule must read besides the incoming delta."""

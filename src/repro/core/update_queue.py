@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas import SetDelta, net_accumulate
+from repro.obs.provenance import TxnOrigin
 
 __all__ = ["QueuedUpdate", "UpdateQueue"]
 
@@ -49,6 +50,12 @@ class QueuedUpdate:
     send_time: Optional[float] = None  # simulated send time, when available
     arrival_time: Optional[float] = None
     seq: Optional[int] = None  # per-source sequence number, when sequenced
+    txn_id: int = 0  # monotone per-source stamp assigned at enqueue
+
+    @property
+    def origin(self) -> TxnOrigin:
+        """This announcement's provenance origin (``source#txn_id``)."""
+        return TxnOrigin(self.source, self.txn_id)
 
 
 class UpdateQueue:
@@ -62,6 +69,7 @@ class UpdateQueue:
         # are polled concurrently; everything touching the entry list takes
         # this lock so arrival order stays a single consistent sequence.
         self._lock = threading.Lock()
+        self._txn_counters: Dict[str, int] = {}
         self.total_enqueued = 0
         self.total_flushed = 0
         self.total_requeued = 0
@@ -85,6 +93,12 @@ class UpdateQueue:
         overtook a lower-numbered same-source message is inserted in
         sequence order rather than arrival order.  Returns True when the
         entry was actually queued.
+
+        Every *accepted* entry is stamped with a monotone per-source
+        ``txn_id`` — the announcement's provenance origin
+        (:class:`~repro.obs.provenance.TxnOrigin`).  Duplicates never
+        consume an id, so one source transaction keeps one identity no
+        matter how many times the network re-delivers it.
         """
         with self._lock:
             if seq is not None:
@@ -93,7 +107,9 @@ class UpdateQueue:
                     self.duplicates_dropped += 1
                     return False
                 seen.add(seq)
-            entry = QueuedUpdate(source, delta, send_time, arrival_time, seq)
+            txn_id = self._txn_counters.get(source, 0) + 1
+            self._txn_counters[source] = txn_id
+            entry = QueuedUpdate(source, delta, send_time, arrival_time, seq, txn_id)
             position = len(self._entries)
             if seq is not None:
                 for i, existing in enumerate(self._entries):

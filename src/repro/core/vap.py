@@ -43,6 +43,9 @@ from repro.core.vap_cache import VAPTempCache
 from repro.core.vdp import AnnotatedVDP, NodeKind
 from repro.deltas import AnyDelta, SetDelta
 from repro.errors import MediatorError, SourceUnavailableError
+from repro.obs.metrics import reset_dataclass_counters
+from repro.obs.provenance import origin_labels
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import (
     TRUE,
     Evaluator,
@@ -94,19 +97,8 @@ class VAPStats:
     poll_wall_time: float = 0.0  # seconds spent waiting on source polls
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.polls = 0
-        self.polled_sources = 0
-        self.polled_rows = 0
-        self.temps_built = 0
-        self.key_based_used = 0
-        self.compensations = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_invalidations = 0
-        self.subsumption_hits = 0
-        self.parallel_poll_batches = 0
-        self.poll_wall_time = 0.0
+        """Zero every counter (fields-derived; new counters reset for free)."""
+        reset_dataclass_counters(self)
 
 
 class VirtualAttributeProcessor:
@@ -124,7 +116,9 @@ class VirtualAttributeProcessor:
         cache_enabled: bool = True,
         parallel_polls: bool = True,
         max_poll_workers: int = 8,
+        tracer: Tracer = NULL_TRACER,
     ):
+        self.tracer = tracer
         self.annotated = annotated
         self.vdp = annotated.vdp
         self.store = store
@@ -157,9 +151,12 @@ class VirtualAttributeProcessor:
         flushed for the update transaction in progress (the IUP context);
         they join the queued deltas in the compensation set.
         """
-        served: Dict[str, Relation] = {}
-        planned = self.plan(requests, served)
-        return self.construct(planned, in_flight or {}, initial=served)
+        with self.tracer.span("vap_materialize") as span:
+            served: Dict[str, Relation] = {}
+            planned = self.plan(requests, served)
+            temps = self.construct(planned, in_flight or {}, initial=served)
+            span.set(temps=sorted(temps))
+            return temps
 
     # ------------------------------------------------------------------
     # Temp cache management
@@ -187,10 +184,30 @@ class VirtualAttributeProcessor:
     def invalidate_cache(self, leaf_deltas: Mapping[str, AnyDelta]) -> int:
         """Drop cache entries whose lineage the applied deltas touch (called
         by the IUP right after the kernel advances the materialized state).
-        Returns the number of entries dropped."""
-        dropped = self.cache.invalidate(leaf_deltas)
-        self.stats.cache_invalidations += dropped
-        return dropped
+        Returns the number of entries dropped.
+
+        With tracing on, each drop is emitted as a ``cache_invalidate``
+        event naming the leaves whose filtered deltas killed the entry and
+        — when provenance tracking is on — the origin set of the source
+        transactions responsible (the union of the triggering leaves'
+        committed origins)."""
+        victims = self.cache.invalidate_detailed(leaf_deltas)
+        self.stats.cache_invalidations += len(victims)
+        tracer = self.tracer
+        if tracer.enabled and victims:
+            prov = tracer.provenance
+            for victim in victims:
+                origins = frozenset().union(
+                    *(prov.origins_of(leaf) for leaf in victim.triggering_leaves)
+                ) if victim.triggering_leaves else frozenset()
+                tracer.event(
+                    "cache_invalidate",
+                    relation=victim.relation,
+                    attrs=sorted(victim.request.attrs),
+                    leaves=sorted(victim.triggering_leaves),
+                    origins=origin_labels(origins),
+                )
+        return len(victims)
 
     def clear_cache(self) -> None:
         """Drop every cached temporary (view re-initialization)."""
@@ -223,34 +240,53 @@ class VirtualAttributeProcessor:
         lands the value in ``served`` and prunes the node's entire subtree
         from the plan — no child requests, no polls.
         """
-        unprocessed: Dict[str, TempRequest] = {}
-        for request in requests:
-            if self._covered_by_storage(request):
-                continue  # answerable straight from the local store
-            self._merge_request(unprocessed, request)
+        tracer = self.tracer
+        with tracer.span("vap_plan") as span:
+            unprocessed: Dict[str, TempRequest] = {}
+            for request in requests:
+                if self._covered_by_storage(request):
+                    continue  # answerable straight from the local store
+                self._merge_request(unprocessed, request)
 
-        processed: List[PlannedTemp] = []
-        seen: Dict[str, int] = {}
-        while unprocessed:
-            # Earliest in parents-first order == highest topological index.
-            name = max(unprocessed, key=lambda n: self._topo_index[n])
-            request = unprocessed.pop(name)
-            if served is not None and self._cacheable(name):
-                hit = self.cache.lookup(request)
-                if hit is not None:
-                    value, subsumed = hit
-                    served[name] = value
-                    self.stats.cache_hits += 1
-                    if subsumed:
-                        self.stats.subsumption_hits += 1
-                    continue  # subtree pruned: children never requested
-                self.stats.cache_misses += 1
-            plan = self._plan_one(request, unprocessed)
-            if name in seen:
-                raise MediatorError(f"VAP planning revisited node {name!r}")
-            seen[name] = len(processed)
-            processed.append(plan)
-        return processed
+            processed: List[PlannedTemp] = []
+            seen: Dict[str, int] = {}
+            while unprocessed:
+                # Earliest in parents-first order == highest topological index.
+                name = max(unprocessed, key=lambda n: self._topo_index[n])
+                request = unprocessed.pop(name)
+                if served is not None and self._cacheable(name):
+                    hit = self.cache.lookup(request)
+                    if hit is not None:
+                        value, subsumed = hit
+                        served[name] = value
+                        self.stats.cache_hits += 1
+                        if subsumed:
+                            self.stats.subsumption_hits += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                "cache_hit", relation=name, subsumption=subsumed
+                            )
+                        continue  # subtree pruned: children never requested
+                    self.stats.cache_misses += 1
+                    if tracer.enabled:
+                        tracer.event("cache_miss", relation=name)
+                elif (
+                    tracer.enabled
+                    and served is not None
+                    and self._cache_bypass
+                    and self.cache_enabled
+                ):
+                    tracer.event("cache_bypass", relation=name)
+                plan = self._plan_one(request, unprocessed)
+                if name in seen:
+                    raise MediatorError(f"VAP planning revisited node {name!r}")
+                seen[name] = len(processed)
+                processed.append(plan)
+            span.set(
+                planned=[f"{p.relation}:{p.strategy}" for p in processed],
+                served=sorted(served) if served else [],
+            )
+            return processed
 
     def _merge_request(self, pending: Dict[str, TempRequest], request: TempRequest) -> None:
         existing = pending.get(request.relation)
@@ -355,6 +391,13 @@ class VirtualAttributeProcessor:
             virtual_children=tuple(virtual_children),
         )
         self.stats.key_based_used += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "key_based",
+                relation=name,
+                key=list(key_attrs),
+                children=list(virtual_children),
+            )
         return plan, fetch_requests
 
     def _find_key(
@@ -390,20 +433,34 @@ class VirtualAttributeProcessor:
         subtrees were pruned from ``planned``).  Every freshly constructed
         temporary for a cacheable relation is offered back to the cache.
         """
-        temps: Dict[str, Relation] = dict(initial) if initial else {}
-        polls = [p for p in planned if p.strategy == "poll"]
-        internals = [p for p in reversed(planned) if p.strategy != "poll"]
+        tracer = self.tracer
+        with tracer.span("vap_construct") as span:
+            temps: Dict[str, Relation] = dict(initial) if initial else {}
+            polls = [p for p in planned if p.strategy == "poll"]
+            internals = [p for p in reversed(planned) if p.strategy != "poll"]
 
-        self._construct_polls(polls, temps, in_flight)
-        for plan in polls:
-            if self._cacheable(plan.relation):
-                self.cache.store(plan.request, temps[plan.relation])
-        for plan in internals:
-            temps[plan.relation] = self._construct_internal(plan, temps)
-            self.stats.temps_built += 1
-            if self._cacheable(plan.relation):
-                self.cache.store(plan.request, temps[plan.relation])
-        return temps
+            self._construct_polls(polls, temps, in_flight)
+            for plan in polls:
+                if self._cacheable(plan.relation):
+                    self.cache.store(plan.request, temps[plan.relation])
+                    if tracer.enabled:
+                        tracer.event("cache_store", relation=plan.relation)
+            for plan in internals:
+                temps[plan.relation] = self._construct_internal(plan, temps)
+                self.stats.temps_built += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "temp_built",
+                        relation=plan.relation,
+                        strategy=plan.strategy,
+                        rows=temps[plan.relation].cardinality(),
+                    )
+                if self._cacheable(plan.relation):
+                    self.cache.store(plan.request, temps[plan.relation])
+                    if tracer.enabled:
+                        tracer.event("cache_store", relation=plan.relation)
+            span.set(built=len(planned))
+            return temps
 
     def _construct_polls(
         self,
@@ -440,9 +497,12 @@ class VirtualAttributeProcessor:
             source: {plan.relation: self._temp_expression(plan) for plan in plans}
             for source, plans in ordered
         }
-        started = time.perf_counter()
-        answers_by_source = self._run_polls(links, queries_by_source)
-        self.stats.poll_wall_time += time.perf_counter() - started
+        tracer = self.tracer
+        with tracer.span("poll_batch") as batch_span:
+            started = time.perf_counter()
+            answers_by_source = self._run_polls(links, queries_by_source)
+            self.stats.poll_wall_time += time.perf_counter() - started
+            batch_span.set(sources=[source for source, _ in ordered])
 
         for source, plans in ordered:
             answers = answers_by_source[source]
@@ -455,6 +515,13 @@ class VirtualAttributeProcessor:
                     plan, answer, source, in_flight
                 )
                 self.stats.temps_built += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "temp_built",
+                        relation=plan.relation,
+                        strategy="poll",
+                        rows=temps[plan.relation].cardinality(),
+                    )
 
     def _run_polls(
         self,
@@ -471,6 +538,7 @@ class VirtualAttributeProcessor:
         downstream merges — and which source's failure surfaces when
         several fail — stay deterministic.
         """
+        tracer = self.tracer
         use_threads = (
             self.parallel_polls
             and len(links) > 1
@@ -480,20 +548,42 @@ class VirtualAttributeProcessor:
             )
         )
         if not use_threads:
-            return {
-                source: links[source].poll_many(queries)
-                for source, queries in sorted(queries_by_source.items())
-            }
+            answers: Dict[str, Dict[str, Relation]] = {}
+            for source, queries in sorted(queries_by_source.items()):
+                with tracer.span("poll", source=source, temps=sorted(queries)):
+                    answers[source] = links[source].poll_many(queries)
+            return answers
         self.stats.parallel_poll_batches += 1
         workers = min(len(links), self.max_poll_workers)
+
+        def timed_poll(source: str, queries: Dict[str, Expression]):
+            # Worker threads never touch the span stack — they just time
+            # their own poll; the main thread backfills completed spans.
+            started = tracer.clock() if tracer.enabled else 0.0
+            result = links[source].poll_many(queries)
+            ended = tracer.clock() if tracer.enabled else 0.0
+            return result, started, ended
+
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="vap-poll"
         ) as pool:
             futures = {
-                source: pool.submit(links[source].poll_many, queries)
+                source: pool.submit(timed_poll, source, queries)
                 for source, queries in sorted(queries_by_source.items())
             }
-            return {source: futures[source].result() for source in sorted(futures)}
+            gathered = {source: futures[source].result() for source in sorted(futures)}
+        if tracer.enabled:
+            for source in sorted(gathered):
+                _, started, ended = gathered[source]
+                tracer.add_completed_span(
+                    "poll",
+                    started,
+                    ended,
+                    source=source,
+                    temps=sorted(queries_by_source[source]),
+                    parallel=True,
+                )
+        return {source: result for source, (result, _, _) in gathered.items()}
 
     def _temp_expression(self, plan: PlannedTemp) -> Expression:
         node = self.vdp.node(plan.relation)
@@ -518,6 +608,13 @@ class VirtualAttributeProcessor:
         if not uncompensated:
             return answer
         self.stats.compensations += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "compensation",
+                relation=plan.relation,
+                source=source,
+                deltas=len(uncompensated),
+            )
         return compensate(
             answer,
             plan.relation,

@@ -55,7 +55,7 @@ from repro.relalg import (
     implies,
 )
 
-__all__ = ["CacheEntry", "VAPTempCache"]
+__all__ = ["CacheEntry", "InvalidatedEntry", "VAPTempCache"]
 
 
 @dataclass
@@ -66,6 +66,19 @@ class CacheEntry:
     request: TempRequest
     value: Relation
     lineage: FrozenSet[str]  # leaf nodes this temp's value derives from
+
+    @property
+    def relation(self) -> str:
+        return self.request.relation
+
+
+@dataclass(frozen=True)
+class InvalidatedEntry:
+    """One dropped cache entry and the leaves whose deltas killed it —
+    the raw material for ``cache_invalidate`` trace events."""
+
+    request: TempRequest
+    triggering_leaves: FrozenSet[str]
 
     @property
     def relation(self) -> str:
@@ -195,14 +208,27 @@ class VAPTempCache:
         lineage, is non-empty — the §6.2 delta-filtering machinery reused
         as an invalidation sieve.  Returns the number of entries dropped.
         """
+        return len(self.invalidate_detailed(leaf_deltas))
+
+    def invalidate_detailed(
+        self, leaf_deltas: Mapping[str, AnyDelta]
+    ) -> List[InvalidatedEntry]:
+        """Like :meth:`invalidate`, but reports each dropped entry together
+        with the set of leaves whose filtered deltas triggered the drop."""
         if not leaf_deltas:
-            return 0
-        dropped = 0
+            return []
+        dropped: List[InvalidatedEntry] = []
         for relation in list(self._entries):
             keep: List[CacheEntry] = []
             for entry in self._entries[relation]:
-                if self._entry_affected(entry, leaf_deltas):
-                    dropped += 1
+                triggers = self._entry_triggers(entry, leaf_deltas)
+                if triggers:
+                    dropped.append(
+                        InvalidatedEntry(
+                            request=entry.request,
+                            triggering_leaves=frozenset(triggers),
+                        )
+                    )
                 else:
                     keep.append(entry)
             if keep:
@@ -211,9 +237,12 @@ class VAPTempCache:
                 del self._entries[relation]
         return dropped
 
-    def _entry_affected(
+    def _entry_triggers(
         self, entry: CacheEntry, leaf_deltas: Mapping[str, AnyDelta]
-    ) -> bool:
+    ) -> List[str]:
+        """The lineage leaves whose applied deltas survive the leaf-parent
+        filters into this entry's subtree (empty == entry survives)."""
+        triggers: List[str] = []
         for leaf in entry.lineage:
             delta = leaf_deltas.get(leaf)
             if delta is None:
@@ -223,10 +252,12 @@ class VAPTempCache:
                     continue  # a leaf-parent outside this entry's subtree
                 filt = self._leaf_parent_filter(parent)
                 if filt is None:
-                    return True  # non-chain definition: be conservative
+                    triggers.append(leaf)  # non-chain: be conservative
+                    break
                 if not filt.filter(delta).is_empty():
-                    return True
-        return False
+                    triggers.append(leaf)
+                    break
+        return triggers
 
     def _leaf_parent_filter(self, leaf_parent: str) -> Optional[LeafParentFilter]:
         if leaf_parent not in self._filters_memo:

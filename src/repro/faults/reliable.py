@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Envelope", "BackoffPolicy", "ReliableInbox", "ReliableSender"]
 
@@ -74,9 +75,15 @@ class BackoffPolicy:
 class ReliableInbox:
     """Receiver-side sequencing: dedup, gap detection, in-order release."""
 
-    def __init__(self, sink: Callable[[Envelope], None], name: str = "inbox"):
+    def __init__(
+        self,
+        sink: Callable[[Envelope], None],
+        name: str = "inbox",
+        tracer: Tracer = NULL_TRACER,
+    ):
         """``sink(envelope)`` is invoked exactly once per sequence number,
         in strictly increasing order."""
+        self.tracer = tracer
         self.sink = sink
         self.name = name
         self.next_seq = 0
@@ -111,10 +118,16 @@ class ReliableInbox:
         seq = envelope.seq
         if seq < self.next_seq or seq in self._buffer:
             self.duplicates_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.event("fault_dedup", inbox=self.name, seq=seq)
             return 0
         if seq > self.next_seq:
             self._buffer[seq] = envelope
             self.gaps_detected += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "fault_gap", inbox=self.name, seq=seq, expected=self.next_seq
+                )
             return 0
         released = 0
         self._release(envelope)
@@ -138,7 +151,15 @@ class ReliableSender:
     whose cumulative-ACK high-water mark the timeout checks consult.
     """
 
-    def __init__(self, channel, inbox: ReliableInbox, simulator, policy: BackoffPolicy):
+    def __init__(
+        self,
+        channel,
+        inbox: ReliableInbox,
+        simulator,
+        policy: BackoffPolicy,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.tracer = tracer
         self.channel = channel
         self.inbox = inbox
         self.simulator = simulator
@@ -178,8 +199,16 @@ class ReliableSender:
         if self.policy.max_retries is not None and attempt >= self.policy.max_retries:
             del self._unacked[seq]
             self.abandoned += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "fault_abandoned", inbox=self.inbox.name, seq=seq, attempts=attempt
+                )
             return
         self.retransmits += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault_retransmit", inbox=self.inbox.name, seq=seq, attempt=attempt + 1
+            )
         self.channel.send(self._unacked[seq], attempt=attempt + 1)
         self._schedule_check(seq, attempt + 1)
 

@@ -1,0 +1,66 @@
+"""Unified observability for the mediator stack (spans, provenance, metrics).
+
+* :mod:`repro.obs.tracer` — nested spans + point events, no-op when
+  disabled, deterministic under the simulated clock;
+* :mod:`repro.obs.provenance` — ``(source, txn_id)`` delta provenance
+  carried through rule firing, queryable via ``Tracer.provenance_of``;
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry the
+  stats dataclasses are re-derived from;
+* :mod:`repro.obs.export` — JSONL export validated against the
+  checked-in ``trace_schema.json``;
+* :mod:`repro.obs.inspect` — the pretty-printers behind ``repro trace``
+  and ``repro stats``.
+
+See ``docs/observability.md`` for the span taxonomy and provenance
+semantics.
+"""
+
+from repro.obs.export import (
+    SCHEMA_PATH,
+    TraceValidationError,
+    export_jsonl,
+    load_schema,
+    validate_jsonl_file,
+    validate_records,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dataclass_counter_items,
+    merge_dataclass_counters,
+    reset_dataclass_counters,
+)
+from repro.obs.harness import SCENARIOS, run_scenario, scenario_names
+from repro.obs.inspect import render_metrics, render_metrics_diff, render_span_tree
+from repro.obs.provenance import ProvenanceTracker, TxnOrigin, origin_labels
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "TxnOrigin",
+    "ProvenanceTracker",
+    "origin_labels",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "dataclass_counter_items",
+    "merge_dataclass_counters",
+    "reset_dataclass_counters",
+    "SCHEMA_PATH",
+    "load_schema",
+    "export_jsonl",
+    "validate_records",
+    "validate_jsonl_file",
+    "TraceValidationError",
+    "SCENARIOS",
+    "run_scenario",
+    "scenario_names",
+    "render_span_tree",
+    "render_metrics",
+    "render_metrics_diff",
+]

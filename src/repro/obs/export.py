@@ -1,0 +1,143 @@
+"""JSONL trace export and schema validation.
+
+One trace record per line.  The record shapes and the **closed** span/event
+taxonomy live in the checked-in ``trace_schema.json`` next to this module —
+the CI trace-smoke step re-validates every exported trace against it, so an
+instrumentation site emitting a name outside the taxonomy fails the build
+instead of silently growing an undocumented vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "SCHEMA_PATH",
+    "load_schema",
+    "export_jsonl",
+    "validate_records",
+    "validate_jsonl_file",
+    "TraceValidationError",
+]
+
+SCHEMA_PATH = pathlib.Path(__file__).resolve().parent / "trace_schema.json"
+
+
+class TraceValidationError(ValueError):
+    """An exported trace violates the checked-in schema."""
+
+
+def load_schema(path: Optional[Union[str, pathlib.Path]] = None) -> Dict[str, Any]:
+    """The trace schema (the checked-in one unless ``path`` overrides)."""
+    with open(path or SCHEMA_PATH) as handle:
+        return json.load(handle)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of attr values to JSON-stable forms."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(v) for v in value]
+        return sorted(items, key=repr) if isinstance(value, (set, frozenset)) else items
+    return repr(value)
+
+
+def export_jsonl(
+    tracer: Tracer, path: Union[str, pathlib.Path], validate: bool = True
+) -> int:
+    """Write every record of ``tracer`` to ``path`` as JSONL.
+
+    Returns the number of records written.  With ``validate`` (the
+    default) the records are schema-checked *before* the file is written,
+    so an invalid trace never lands on disk.
+    """
+    records = []
+    for record in tracer.records():
+        record = dict(record)
+        record["attrs"] = _jsonable(record.get("attrs", {}))
+        records.append(record)
+    if validate:
+        validate_records(records)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def validate_records(
+    records: Iterable[Mapping[str, Any]],
+    schema: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Check records against the schema; returns how many were checked.
+
+    Raises :class:`TraceValidationError` on: unknown record types, unknown
+    span/event names, missing required fields, unfinished spans, duplicate
+    ids, or parent/span references to ids that never appeared as spans.
+    """
+    schema = schema or load_schema()
+    span_names = set(schema["span_names"])
+    event_names = set(schema["event_names"])
+    span_required = schema["span_required_fields"]
+    event_required = schema["event_required_fields"]
+    seen_ids: set = set()
+    span_ids: set = set()
+    checked = 0
+    for i, record in enumerate(records):
+        where = f"record {i}"
+        rtype = record.get("type")
+        if rtype not in schema["record_types"]:
+            raise TraceValidationError(f"{where}: unknown record type {rtype!r}")
+        required = span_required if rtype == "span" else event_required
+        for key in required:
+            if key not in record:
+                raise TraceValidationError(f"{where}: missing field {key!r}")
+        rid = record["id"]
+        if rid in seen_ids:
+            raise TraceValidationError(f"{where}: duplicate id {rid}")
+        seen_ids.add(rid)
+        name = record["name"]
+        if rtype == "span":
+            if name not in span_names:
+                raise TraceValidationError(f"{where}: unknown span name {name!r}")
+            if record["end"] is None:
+                raise TraceValidationError(f"{where}: span {name!r} never ended")
+            parent = record["parent"]
+            if parent is not None and parent not in span_ids:
+                raise TraceValidationError(
+                    f"{where}: span {name!r} references unknown parent {parent}"
+                )
+            span_ids.add(rid)
+        else:
+            if name not in event_names:
+                raise TraceValidationError(f"{where}: unknown event name {name!r}")
+            span = record["span"]
+            if span is not None and span not in span_ids:
+                raise TraceValidationError(
+                    f"{where}: event {name!r} references unknown span {span}"
+                )
+        checked += 1
+    return checked
+
+
+def validate_jsonl_file(
+    path: Union[str, pathlib.Path], schema: Optional[Dict[str, Any]] = None
+) -> int:
+    """Validate one exported JSONL file; returns the record count."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TraceValidationError(f"line {line_no}: invalid JSON: {exc}")
+    return validate_records(records, schema)

@@ -1,0 +1,90 @@
+"""Human-readable rendering of traces and metrics (the inspector half of
+``repro trace`` / ``repro stats``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["render_span_tree", "render_metrics", "render_metrics_diff"]
+
+
+def _fmt_attrs(attrs: Mapping[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        elif isinstance(value, (list, tuple)):
+            value = "[" + ",".join(str(v) for v in value) + "]"
+        parts.append(f"{key}={value}")
+    return "  " + " ".join(parts)
+
+
+def _render_node(node: Dict[str, Any], depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    if node["type"] == "span":
+        start, end = node["start"], node["end"]
+        duration = "" if end is None else f" [{(end - start) * 1000:.3f}ms]"
+        lines.append(f"{indent}{node['name']}{duration}{_fmt_attrs(node['attrs'])}")
+        for event in node["events"]:
+            lines.append(f"{indent}  · {event['name']}{_fmt_attrs(event['attrs'])}")
+        for child in node["children"]:
+            _render_node(child, depth + 1, lines)
+    else:
+        lines.append(f"{indent}· {node['name']}{_fmt_attrs(node['attrs'])}")
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """The tracer's records as an indented span/event tree."""
+    lines: List[str] = []
+    for root in tracer.span_tree():
+        _render_node(root, 0, lines)
+    return "\n".join(lines)
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(snapshot: Mapping[str, Any]) -> str:
+    """One metrics snapshot as aligned ``name value`` lines."""
+    if not snapshot:
+        return "(no metrics)"
+    width = max(len(name) for name in snapshot)
+    return "\n".join(
+        f"{name.ljust(width)}  {_fmt_value(snapshot[name])}" for name in sorted(snapshot)
+    )
+
+
+def render_metrics_diff(
+    before: Mapping[str, Any],
+    after: Mapping[str, Any],
+    include_zero: bool = False,
+) -> str:
+    """What changed between two snapshots, as ``name before -> after (+d)``.
+
+    Non-numeric metrics (histogram summaries) are shown whenever their
+    representation changed.
+    """
+    lines: List[str] = []
+    names = sorted(set(before) | set(after))
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        b, a = before.get(name, 0), after.get(name, 0)
+        if isinstance(b, (int, float)) and isinstance(a, (int, float)):
+            delta = a - b
+            if delta == 0 and not include_zero:
+                continue
+            sign = "+" if delta >= 0 else ""
+            lines.append(
+                f"{name.ljust(width)}  {_fmt_value(b)} -> {_fmt_value(a)} ({sign}{_fmt_value(delta)})"
+            )
+        elif b != a:
+            lines.append(f"{name.ljust(width)}  {b!r} -> {a!r}")
+    return "\n".join(lines) if lines else "(no change)"

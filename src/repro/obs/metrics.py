@@ -1,0 +1,263 @@
+"""The metrics registry: one registration point for every counter.
+
+Before this module, each component kept a hand-written stats dataclass and
+``SquirrelMediator.stats()`` copied 20+ fields across by hand — adding a
+counter meant editing three places and silently losing it in any you
+forgot.  The registry inverts that: components register their stats
+dataclasses (every numeric field becomes a ``component.field`` metric) or
+ad-hoc instruments, and snapshots/resets are derived, never enumerated.
+
+Three instrument kinds cover the repo's needs:
+
+* :class:`Counter` — monotone count, ``inc()``;
+* :class:`Gauge` — settable level, ``set()``;
+* :class:`Histogram` — observation stream with count/sum/min/max.
+
+Each instrument supports **labeled children** (``counter.labels("R")``)
+that roll up into the parent — per-relation or per-source breakdowns
+without pre-declaring the label space.
+
+:func:`dataclass_counter_items` / :func:`reset_dataclass_counters` /
+:func:`merge_dataclass_counters` are the ``dataclasses.fields``-driven
+helpers the stats dataclasses now build on, so a newly added field can
+never be silently dropped from a merge, a reset, or a snapshot
+(regression-pinned in ``tests/obs/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "dataclass_counter_items",
+    "reset_dataclass_counters",
+    "merge_dataclass_counters",
+]
+
+
+# ---------------------------------------------------------------------------
+# dataclasses.fields-driven helpers for the existing stats dataclasses
+# ---------------------------------------------------------------------------
+def dataclass_counter_items(obj: Any) -> List[Tuple[str, Any]]:
+    """``(field_name, value)`` for every numeric field of a stats dataclass."""
+    out = []
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out.append((f.name, value))
+    return out
+
+
+def reset_dataclass_counters(obj: Any) -> None:
+    """Reset every field of a stats dataclass to its declared default."""
+    for f in dataclasses.fields(obj):
+        if f.default is not dataclasses.MISSING:
+            setattr(obj, f.name, f.default)
+        elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            setattr(obj, f.name, f.default_factory())  # type: ignore[misc]
+
+
+def merge_dataclass_counters(obj: Any, other: Any) -> None:
+    """Add every numeric field of ``other`` into ``obj`` — derived from
+    ``dataclasses.fields``, so new counters can never be silently dropped."""
+    for f in dataclasses.fields(obj):
+        value = getattr(other, f.name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            setattr(obj, f.name, getattr(obj, f.name) + value)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+class _Instrument:
+    """Shared labeled-children machinery."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._children: Dict[str, "_Instrument"] = {}
+
+    def labels(self, label: str):
+        """The labeled child instrument (created on first use)."""
+        child = self._children.get(label)
+        if child is None:
+            child = type(self)(f"{self.name}{{{label}}}", self.description)
+            self._children[label] = child
+        return child
+
+    def child_items(self) -> List[Tuple[str, "_Instrument"]]:
+        return sorted(self._children.items())
+
+    def reset(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class Counter(_Instrument):
+    """A monotone counter; ``inc`` on a labeled child also bumps the parent."""
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self.value = 0
+        self._parent: Optional["Counter"] = None
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+        if self._parent is not None:
+            self._parent.value += amount
+
+    def labels(self, label: str) -> "Counter":
+        child = super().labels(label)
+        child._parent = self  # type: ignore[attr-defined]
+        return child  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        self.value = 0
+        super().reset()
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge(_Instrument):
+    """A settable level (e.g. stored rows, live cache entries)."""
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+        super().reset()
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Histogram(_Instrument):
+    """An observation stream summarized as count/sum/min/max."""
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        super().reset()
+
+    def snapshot(self) -> Any:
+        return {"count": self.count, "sum": self.sum, "min": self.min, "max": self.max}
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class MetricsRegistry:
+    """Every metric of one mediator, under dotted names.
+
+    Three registration forms:
+
+    * :meth:`register` — an explicit instrument;
+    * :meth:`register_stats` — a stats *dataclass*: each numeric field is
+      exported live as ``prefix.field`` and reset through the object's own
+      ``reset()`` (or field defaults);
+    * :meth:`register_callable` — a derived reading (e.g. total stored
+      rows), excluded from resets.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._stats_objects: Dict[str, Any] = {}
+        self._callables: Dict[str, Callable[[], Any]] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, instrument: _Instrument) -> _Instrument:
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Counter):
+            return existing
+        return self.register(Counter(name, description))  # type: ignore[return-value]
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Gauge):
+            return existing
+        return self.register(Gauge(name, description))  # type: ignore[return-value]
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Histogram):
+            return existing
+        return self.register(Histogram(name, description))  # type: ignore[return-value]
+
+    def register_stats(self, prefix: str, stats: Any) -> None:
+        """Expose every numeric field of a stats dataclass as
+        ``prefix.field`` (read live at snapshot time)."""
+        self._stats_objects[prefix] = stats
+
+    def register_callable(self, name: str, fn: Callable[[], Any]) -> None:
+        self._callables[name] = fn
+
+    # -- reading --------------------------------------------------------
+    def value(self, name: str) -> Any:
+        """One metric's current value by dotted name."""
+        return self.snapshot()[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every metric, flat ``{dotted.name: value}`` (labeled children as
+        ``name{label}``).  Deterministically ordered."""
+        out: Dict[str, Any] = {}
+        for prefix in sorted(self._stats_objects):
+            for field_name, value in dataclass_counter_items(
+                self._stats_objects[prefix]
+            ):
+                out[f"{prefix}.{field_name}"] = value
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            out[name] = instrument.snapshot()
+            for _, child in instrument.child_items():
+                out[child.name] = child.snapshot()
+        for name in sorted(self._callables):
+            out[name] = self._callables[name]()
+        return out
+
+    def snapshot_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every instrument and stats object (derived callables are
+        readings of live state and are left alone)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+        for stats in self._stats_objects.values():
+            if hasattr(stats, "reset"):
+                stats.reset()
+            else:
+                reset_dataclass_counters(stats)

@@ -1,0 +1,242 @@
+"""Structured tracing for the mediator stack.
+
+A :class:`Tracer` records a tree of **spans** (timed, nested phases of
+work: an update transaction, a VAP poll batch, a query evaluation) and
+point-in-time **events** hanging off the active span (one rule firing, a
+cache verdict, a dropped message).  The taxonomy is closed —
+:mod:`repro.obs.export` ships the authoritative name lists and the JSONL
+validator rejects anything outside them — so traces stay machine-checkable
+as the system grows.
+
+Design constraints, in order:
+
+* **Disabled must be free.**  Every instrumentation site in the hot path
+  is either a single ``tracer.enabled`` attribute check or a call that
+  short-circuits on the same check before touching arguments.  The
+  disabled-mode cost is measured (not assumed) by
+  ``benchmarks/bench_obs_overhead.py``.
+* **Deterministic under the simulator.**  The clock is injectable: pass a
+  simulated :class:`~repro.sim.clock.Clock`'s ``lambda: clock.now`` (the
+  runtime driver does) and identical runs produce byte-identical traces.
+  Span/event ids are a plain counter, never wall-clock derived.
+* **Thread-tolerant.**  Record appends take a lock (VAP poll workers run
+  concurrently); the *span stack* is deliberately not thread-local —
+  worker threads never open spans themselves, the VAP instead reports
+  per-source timings after the gather and the tracer backfills completed
+  spans via :meth:`Tracer.add_completed_span`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.provenance import ProvenanceTracker
+
+__all__ = ["Span", "Tracer", "NULL_TRACER"]
+
+
+class Span:
+    """One entered span; also its own context manager."""
+
+    __slots__ = ("tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: Dict[str, Any]):
+        self.tracer = tracer
+        self.record = record
+
+    @property
+    def id(self) -> int:
+        return self.record["id"]
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to this span (merged into ``attrs``)."""
+        self.record["attrs"].update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.tracer._exit_span(self, error=exc is not None)
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span: every disabled-tracer call lands here."""
+
+    __slots__ = ()
+    id = 0
+    name = ""
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and events for one mediator (or one workload run).
+
+    ``enabled=False`` (the production default — see :data:`NULL_TRACER`)
+    turns every method into a constant-time no-op.  ``clock`` is any
+    zero-argument callable returning a monotone float; it defaults to
+    ``time.perf_counter`` and is typically replaced by a simulated clock.
+    ``provenance=True`` additionally activates the per-transaction delta
+    provenance machinery (:class:`~repro.obs.provenance.ProvenanceTracker`),
+    which the IUP consults to attribute node deltas to source transactions.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        provenance: bool = False,
+    ):
+        self.enabled = enabled
+        self.clock = clock if clock is not None else time.perf_counter
+        self.provenance = ProvenanceTracker(enabled=enabled and provenance)
+        self._records: List[Dict[str, Any]] = []
+        self._stack: List[int] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        with self._lock:
+            record = {
+                "type": "span",
+                "id": self._next_id,
+                "parent": self._stack[-1] if self._stack else None,
+                "name": name,
+                "start": self.clock(),
+                "end": None,
+                "attrs": dict(attrs),
+            }
+            self._next_id += 1
+            self._records.append(record)
+            self._stack.append(record["id"])
+        return Span(self, record)
+
+    def _exit_span(self, span: Span, error: bool = False) -> None:
+        with self._lock:
+            span.record["end"] = self.clock()
+            if error:
+                span.record["attrs"].setdefault("error", True)
+            # Pop through to this span: tolerate a caller forgetting to
+            # close an inner span rather than corrupting the whole tree.
+            while self._stack:
+                top = self._stack.pop()
+                if top == span.record["id"]:
+                    break
+
+    def add_completed_span(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> None:
+        """Record a span measured elsewhere (e.g. inside a poll worker
+        thread), parented under the currently active span."""
+        if not self.enabled:
+            return
+        with self._lock:
+            record = {
+                "type": "span",
+                "id": self._next_id,
+                "parent": self._stack[-1] if self._stack else None,
+                "name": name,
+                "start": start,
+                "end": end,
+                "attrs": dict(attrs),
+            }
+            self._next_id += 1
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event under the currently active span."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._records.append(
+                {
+                    "type": "event",
+                    "id": self._next_id,
+                    "span": self._stack[-1] if self._stack else None,
+                    "name": name,
+                    "time": self.clock(),
+                    "attrs": dict(attrs),
+                }
+            )
+            self._next_id += 1
+
+    # ------------------------------------------------------------------
+    # Provenance façade
+    # ------------------------------------------------------------------
+    def provenance_of(self, node: str):
+        """The origin set (``frozenset`` of
+        :class:`~repro.obs.provenance.TxnOrigin`) recorded for ``node``'s
+        most recent delta — empty when the node never changed or
+        provenance tracking is off."""
+        return self.provenance.origins_of(node)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot copy of every record, in creation order."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def record_count(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        """Drop all records (span ids keep counting — ids stay unique)."""
+        with self._lock:
+            self._records.clear()
+            self._stack.clear()
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """The records as a forest: each span dict gains ``children``
+        (sub-spans, in order) and ``events`` (its direct events)."""
+        roots: List[Dict[str, Any]] = []
+        spans: Dict[int, Dict[str, Any]] = {}
+        for record in self.records():
+            if record["type"] == "span":
+                record["children"] = []
+                record["events"] = []
+                spans[record["id"]] = record
+                parent = spans.get(record["parent"])
+                (parent["children"] if parent else roots).append(record)
+            else:
+                parent = spans.get(record["span"])
+                if parent is not None:
+                    parent["events"].append(record)
+                else:
+                    roots.append(record)
+        return roots
+
+
+#: The shared disabled tracer every component defaults to — one instance,
+#: so the "is tracing on?" check is a plain attribute read with no
+#: allocation anywhere on the default path.
+NULL_TRACER = Tracer(enabled=False)

@@ -93,14 +93,21 @@ class EvalCounters:
     index_rebuilds: int = 0
 
     def merge(self, other: "EvalCounters") -> None:
-        """Accumulate another counter set into this one."""
-        self.rows_scanned += other.rows_scanned
-        self.rows_produced += other.rows_produced
-        self.joins_executed += other.joins_executed
-        self.hash_probes += other.hash_probes
-        self.rows_hashed += other.rows_hashed
-        self.index_probes += other.index_probes
-        self.index_rebuilds += other.index_rebuilds
+        """Accumulate another counter set into this one.
+
+        Derived from ``dataclasses.fields`` — adding a counter field can
+        never silently drop it from merges (regression-pinned in
+        ``tests/relalg/test_eval_counters.py``).
+        """
+        from repro.obs.metrics import merge_dataclass_counters
+
+        merge_dataclass_counters(self, other)
+
+    def reset(self) -> None:
+        """Zero every counter (fields-derived, like :meth:`merge`)."""
+        from repro.obs.metrics import reset_dataclass_counters
+
+        reset_dataclass_counters(self)
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@ from repro.correctness import IntegrationTrace
 from repro.deltas import SetDelta
 from repro.errors import SimulationError, SourceUnavailableError
 from repro.faults import BackoffPolicy, Envelope, FaultPlan, ReliableInbox, ReliableSender
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import Evaluator, Expression, Relation
 from repro.sim import Channel, EnvironmentDelays, Simulator
 from repro.sources.base import SourceDatabase
@@ -163,14 +164,21 @@ class SimulatedEnvironment:
         record_updates: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         backoff: Optional[BackoffPolicy] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         """``flush_period`` defaults to ``delays.u_hold_delay_med`` (the
         worst-case queue-holding time *is* the flush period under a periodic
         policy); it must be positive.  ``fault_plan`` (keyed by source name)
         makes every channel faulty and every link reliability-aware;
         ``backoff`` tunes the retransmission policy (defaults to a base
-        timeout of one flush period, doubling, capped at 8 periods)."""
+        timeout of one flush period, doubling, capped at 8 periods).
+        ``tracer`` is threaded through the channels, the reliability layer,
+        and the mediator; an enabled tracer is re-clocked onto the
+        simulated clock, so identical runs yield byte-identical traces."""
         self.sim = Simulator(fault_plan=fault_plan)
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.clock = lambda: self.sim.now
         self.delays = delays
         self.sources = dict(sources)
         self.record_updates = record_updates
@@ -204,10 +212,15 @@ class SimulatedEnvironment:
                     profile.comm_delay,
                     deliver=self._make_deliver(name),
                     name=f"{name}->mediator",
+                    tracer=tracer,
                 )
                 links[name] = ChannelLink(source, channel, announces)
             else:
-                inbox = ReliableInbox(self._make_sink(name), name=f"{name}->mediator inbox")
+                inbox = ReliableInbox(
+                    self._make_sink(name),
+                    name=f"{name}->mediator inbox",
+                    tracer=tracer,
+                )
                 channel = Channel(
                     self.sim,
                     profile.comm_delay,
@@ -215,8 +228,11 @@ class SimulatedEnvironment:
                     name=f"{name}->mediator",
                     plan=fault_plan,
                     fault_key=name,
+                    tracer=tracer,
                 )
-                sender = ReliableSender(channel, inbox, self.sim, self.backoff)
+                sender = ReliableSender(
+                    channel, inbox, self.sim, self.backoff, tracer=tracer
+                )
                 self._inboxes[name] = inbox
                 self._senders[name] = sender
                 links[name] = ReliableChannelLink(source, channel, announces, sender, inbox)
@@ -233,6 +249,7 @@ class SimulatedEnvironment:
             eca_enabled=eca_enabled,
             key_based_enabled=key_based_enabled,
             vap_cache_enabled=vap_cache_enabled,
+            tracer=tracer,
         )
         self.mediator.initialize()
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import Event
 from repro.sim.scheduler import Simulator
 
@@ -59,14 +60,17 @@ class Channel:
         name: str = "channel",
         plan=None,
         fault_key: Optional[str] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         """``deliver(message, send_time)`` is invoked at delivery time.
 
         ``plan`` is an optional :class:`~repro.faults.FaultPlan`; when
         omitted, the simulator's ``fault_plan`` (if any) applies.
         ``fault_key`` is the name the plan knows this channel by (defaults
-        to the channel name).
+        to the channel name).  ``tracer`` receives ``fault_drop`` /
+        ``fault_duplicate`` / ``fault_outage`` events when the plan acts.
         """
+        self.tracer = tracer
         self.simulator = simulator
         self.delay = delay
         self.deliver = deliver
@@ -104,6 +108,8 @@ class Channel:
         if decision is not None and not decision.drop:
             for _ in range(decision.duplicates):
                 self.messages_duplicated += 1
+                if self.tracer.enabled:
+                    self.tracer.event("fault_duplicate", channel=self.fault_key)
                 self._dispatch(message, send_time, decision, duplicate=True)
 
     def _dispatch(self, message, send_time, decision, duplicate: bool = False) -> None:
@@ -138,6 +144,10 @@ class Channel:
             record.dropped = True
             record.event.cancel()
             self.messages_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "fault_drop", channel=self.fault_key, duplicate=duplicate
+                )
             self.simulator.schedule_at(
                 delivery_time,
                 lambda: self._discard(record),
@@ -157,6 +167,8 @@ class Channel:
             # The link is down at arrival time: the message is lost even
             # though it was healthy when sent.
             self.messages_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.event("fault_outage", channel=self.fault_key, at="delivery")
             return
         self.messages_delivered += 1
         self.deliver(record.message, record.send_time)
@@ -201,6 +213,10 @@ class Channel:
                 continue  # condemned at send time; drop already counted
             if outage:
                 self.messages_dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "fault_outage", channel=self.fault_key, at="expedite"
+                    )
                 continue
             self.messages_delivered += 1
             delivered += 1

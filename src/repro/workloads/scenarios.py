@@ -22,6 +22,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core import AnnotatedVDP, SquirrelMediator, annotate, build_vdp
 from repro.core.vdp import VDP
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import Attribute, RelationSchema
 from repro.sources import MemorySource, SourceDatabase
 
@@ -142,6 +143,7 @@ def figure1_mediator(
     indexing_enabled: bool = True,
     vap_cache_enabled: bool = True,
     parallel_polls: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
     annotations (``"ex21"``, ``"ex22"``, ``"ex23"``)."""
@@ -157,6 +159,7 @@ def figure1_mediator(
         indexing_enabled=indexing_enabled,
         vap_cache_enabled=vap_cache_enabled,
         parallel_polls=parallel_polls,
+        tracer=tracer,
     )
     mediator.initialize()
     return mediator, sources
@@ -182,6 +185,7 @@ def chain_mediator(
     rows_per_source: int = 30,
     seed: int = 37,
     default_annotation: str = "m",
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A join chain of the given depth: ``Ni = N(i-1) ⋈_{v(i-1)=ki} Ti``.
 
@@ -207,7 +211,9 @@ def chain_mediator(
         views=views,
         exports=[f"N{depth}"],
     )
-    mediator = SquirrelMediator(annotate(vdp, {}, default=default_annotation), sources)
+    mediator = SquirrelMediator(
+        annotate(vdp, {}, default=default_annotation), sources, tracer=tracer
+    )
     mediator.initialize()
     return mediator, sources
 
@@ -257,12 +263,14 @@ def union_vdp() -> VDP:
 
 
 def union_mediator(
-    overrides: Optional[Mapping[str, str]] = None, seed: int = 23
+    overrides: Optional[Mapping[str, str]] = None,
+    seed: int = 23,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed union-scenario mediator (fully materialized by default)."""
     sources = union_sources(seed=seed)
     annotated = annotate(union_vdp(), dict(overrides or {}))
-    mediator = SquirrelMediator(annotated, sources)
+    mediator = SquirrelMediator(annotated, sources, tracer=tracer)
     mediator.initialize()
     return mediator, sources
 
@@ -395,6 +403,7 @@ def figure4_mediator(
     indexing_enabled: bool = True,
     vap_cache_enabled: bool = True,
     parallel_polls: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed Figure-4 mediator.
 
@@ -428,6 +437,7 @@ def figure4_mediator(
         indexing_enabled=indexing_enabled,
         vap_cache_enabled=vap_cache_enabled,
         parallel_polls=parallel_polls,
+        tracer=tracer,
     )
     mediator.initialize()
     return mediator, sources

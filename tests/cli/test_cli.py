@@ -125,3 +125,38 @@ def test_cli_module_entrypoint(spec_file, data_file):
     )
     assert result.returncode == 0
     assert "[1 rows]" in result.stdout
+
+
+def test_cli_trace_exports_validated_jsonl(tmp_path):
+    from repro.obs import validate_jsonl_file
+
+    path = tmp_path / "trace.jsonl"
+    out = io.StringIO()
+    assert main(["trace", "ex21", "--out", str(path)], out=out) == 0
+    text = out.getvalue()
+    assert f"records to {path}" in text
+    assert "update_txn" in text  # the span tree rendering
+    assert validate_jsonl_file(path) > 0
+
+
+def test_cli_trace_quiet_suppresses_tree(tmp_path):
+    out = io.StringIO()
+    assert main(["trace", "ex21", "--quiet"], out=out) == 0
+    assert "update_txn" not in out.getvalue()
+
+
+def test_cli_trace_rejects_unknown_scenario():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["trace", "no_such_scenario"], out=io.StringIO())
+
+
+def test_cli_stats_prints_metrics_and_provenance():
+    out = io.StringIO()
+    assert main(["stats", "ex23"], out=out) == 0
+    text = out.getvalue()
+    assert "iup.rules_fired" in text
+    assert "qp.queries" in text
+    assert "delta provenance" in text
+    assert "db1#1" in text

@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry and the stats-dataclass derivation."""
+
+import dataclasses
+
+from repro.core import STATS_METRICS, MediatorStats, SquirrelMediator
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dataclass_counter_items,
+    merge_dataclass_counters,
+    reset_dataclass_counters,
+)
+from repro.workloads import figure1_mediator
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+def test_counter_labels_roll_up():
+    c = Counter("vap.polls")
+    c.labels("db1").inc()
+    c.labels("db1").inc(2)
+    c.labels("db2").inc()
+    assert c.value == 4
+    assert c.labels("db1").value == 3
+    assert c.labels("db2").value == 1
+    c.reset()
+    assert c.value == 0 and c.labels("db1").value == 0
+
+
+def test_gauge_set_and_add():
+    g = Gauge("store.rows")
+    g.set(10)
+    g.add(5)
+    assert g.snapshot() == 15
+    g.reset()
+    assert g.snapshot() == 0
+
+
+def test_histogram_summary():
+    h = Histogram("poll.wall")
+    for v in (2.0, 1.0, 4.0):
+        h.observe(v)
+    assert h.snapshot() == {"count": 3, "sum": 7.0, "min": 1.0, "max": 4.0}
+    h.reset()
+    assert h.snapshot() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+def test_registry_snapshot_includes_children_and_callables():
+    registry = MetricsRegistry()
+    registry.counter("iup.rules_fired").labels("R->R_p").inc()
+    registry.register_callable("store.rows", lambda: 42)
+    snap = registry.snapshot()
+    assert snap["iup.rules_fired"] == 1
+    assert snap["iup.rules_fired{R->R_p}"] == 1
+    assert snap["store.rows"] == 42
+    registry.reset()
+    snap = registry.snapshot()
+    assert snap["iup.rules_fired"] == 0
+    assert snap["store.rows"] == 42  # callables are live readings, not reset
+
+
+def test_registry_register_stats_reads_live():
+    @dataclasses.dataclass
+    class Stats:
+        hits: int = 0
+        label: str = "x"  # non-numeric fields stay out of the snapshot
+
+    registry = MetricsRegistry()
+    stats = Stats()
+    registry.register_stats("cache", stats)
+    assert registry.snapshot() == {"cache.hits": 0}
+    stats.hits += 3
+    assert registry.value("cache.hits") == 3
+    registry.reset()
+    assert stats.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# dataclasses.fields-driven helpers
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class _Sample:
+    a: int = 0
+    b: float = 0.0
+    name: str = "n"
+
+
+def test_dataclass_counter_helpers():
+    s = _Sample(a=2, b=1.5)
+    assert dataclass_counter_items(s) == [("a", 2), ("b", 1.5)]
+    merge_dataclass_counters(s, _Sample(a=3, b=0.5))
+    assert (s.a, s.b) == (5, 2.0)
+    reset_dataclass_counters(s)
+    assert (s.a, s.b, s.name) == (0, 0.0, "n")
+
+
+def test_all_stats_dataclasses_merge_and_reset_every_field():
+    """Regression: no stats dataclass may hand-enumerate its fields.
+
+    Every numeric field must survive a merge and a reset — a field silently
+    dropped from either would corrupt benchmark accounting.
+    """
+    from repro.core.iup import IUPStats
+    from repro.core.query_processor import QPStats
+    from repro.core.vap import VAPStats
+    from repro.relalg import EvalCounters
+
+    for cls in (QPStats, IUPStats, VAPStats, EvalCounters):
+        numeric = [name for name, _ in dataclass_counter_items(cls())]
+        assert numeric, cls
+        loaded = cls(**{name: 2 for name in numeric})
+        if hasattr(loaded, "merge"):
+            target = cls(**{name: 1 for name in numeric})
+            target.merge(loaded)
+            for name in numeric:
+                assert getattr(target, name) == 3, f"{cls.__name__}.{name} dropped by merge"
+        loaded.reset()
+        for name in numeric:
+            assert getattr(loaded, name) == 0, f"{cls.__name__}.{name} dropped by reset"
+
+
+# ---------------------------------------------------------------------------
+# MediatorStats derivation
+# ---------------------------------------------------------------------------
+def test_stats_metrics_covers_every_mediator_stats_field():
+    declared = {f.name for f in dataclasses.fields(MediatorStats)}
+    assert set(STATS_METRICS) == declared
+
+
+def test_mediator_stats_derived_from_registry():
+    mediator, sources = figure1_mediator("ex23")
+    mediator.query_relation("T")
+    snap = mediator.metrics.snapshot()
+    stats = mediator.stats()
+    for field, metric in STATS_METRICS.items():
+        assert getattr(stats, field) == snap[metric], (field, metric)
+    assert stats.queries == 1
+    assert stats.polls > 0
+
+
+def test_mediator_stats_diff():
+    mediator, sources = figure1_mediator("ex21")
+    before = mediator.stats()
+    mediator.query_relation("T")
+    mediator.query_relation("T")
+    delta = mediator.stats().diff(before)
+    assert delta.queries == 2
+    assert delta.materialized_only_queries == 2
+    assert delta.update_transactions == 0
+    assert set(delta.as_dict()) == set(STATS_METRICS)
+
+
+def test_reset_stats_goes_through_registry():
+    mediator, _ = figure1_mediator("ex21")
+    mediator.query_relation("T")
+    assert mediator.stats().queries == 1
+    mediator.reset_stats()
+    stats = mediator.stats()
+    assert stats.queries == 0
+    assert stats.rules_fired == 0
+    # Gauges over live state survive a counter reset.
+    assert stats.stored_rows > 0

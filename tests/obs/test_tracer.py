@@ -1,0 +1,134 @@
+"""Unit tests for the span/event tracer."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("update_txn", messages=3) as span:
+        span.set(rules_fired=2)
+        tracer.event("rule_fire", edge="R->R_p")
+        with tracer.span("queue_flush"):
+            pass
+    tracer.add_completed_span("poll", 0.0, 1.0, source="db1")
+    assert tracer.record_count() == 0
+    assert tracer.records() == []
+
+
+def test_disabled_span_is_shared_singleton():
+    # The no-op path must not allocate: every disabled span() call returns
+    # the same object.
+    tracer = Tracer(enabled=False)
+    assert tracer.span("a") is tracer.span("b") is NULL_TRACER.span("c")
+
+
+def test_span_nesting_and_parenting():
+    tracer = Tracer(enabled=True, clock=FakeClock())
+    with tracer.span("update_txn") as outer:
+        with tracer.span("queue_flush") as inner:
+            assert inner.record["parent"] == outer.id
+        tracer.event("rule_fire", edge="R->R_p")
+    records = tracer.records()
+    assert [r["name"] for r in records] == ["update_txn", "queue_flush", "rule_fire"]
+    event = records[2]
+    assert event["type"] == "event"
+    assert event["span"] == outer.id  # inner already closed -> hangs off outer
+    assert all(r["end"] is not None for r in records if r["type"] == "span")
+
+
+def test_injected_clock_orders_timestamps():
+    tracer = Tracer(enabled=True, clock=FakeClock())
+    with tracer.span("query"):
+        tracer.event("cache_hit")
+    span, event = tracer.records()
+    assert span["start"] == 1.0
+    assert event["time"] == 2.0
+    assert span["end"] == 3.0
+
+
+def test_span_attrs_merge():
+    tracer = Tracer(enabled=True)
+    with tracer.span("query", answer="T") as span:
+        span.set(rows=5, virtual=True)
+    (record,) = tracer.records()
+    assert record["attrs"] == {"answer": "T", "rows": 5, "virtual": True}
+
+
+def test_add_completed_span_parents_under_active_span():
+    tracer = Tracer(enabled=True)
+    with tracer.span("poll_batch") as batch:
+        tracer.add_completed_span("poll", 1.5, 2.5, source="db1", parallel=True)
+    poll = tracer.records()[1]
+    assert poll["parent"] == batch.id
+    assert (poll["start"], poll["end"]) == (1.5, 2.5)
+    assert poll["attrs"]["parallel"] is True
+
+
+def test_exception_marks_span_and_unwinds_stack():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with tracer.span("update_txn"):
+            raise RuntimeError("boom")
+    with tracer.span("query"):
+        pass
+    txn, query = tracer.records()
+    assert txn["attrs"]["error"] is True
+    assert query["parent"] is None  # the failed span was popped
+
+
+def test_unclosed_inner_span_does_not_corrupt_tree():
+    tracer = Tracer(enabled=True)
+    outer = tracer.span("update_txn")
+    tracer.span("queue_flush")  # never exited
+    outer.__exit__(None, None, None)
+    with tracer.span("query") as query:
+        pass
+    assert query.record["parent"] is None
+
+
+def test_span_tree_shape():
+    tracer = Tracer(enabled=True)
+    with tracer.span("update_txn"):
+        with tracer.span("rule_fire_batch"):
+            tracer.event("rule_fire", edge="R->R_p")
+        tracer.event("cache_invalidate", relation="T")
+    roots = tracer.span_tree()
+    assert len(roots) == 1
+    (root,) = roots
+    assert root["name"] == "update_txn"
+    assert [c["name"] for c in root["children"]] == ["rule_fire_batch"]
+    assert [e["name"] for e in root["events"]] == ["cache_invalidate"]
+    assert [e["name"] for e in root["children"][0]["events"]] == ["rule_fire"]
+
+
+def test_clear_keeps_ids_unique():
+    tracer = Tracer(enabled=True)
+    with tracer.span("query"):
+        pass
+    first_id = tracer.records()[0]["id"]
+    tracer.clear()
+    assert tracer.record_count() == 0
+    with tracer.span("query"):
+        pass
+    assert tracer.records()[0]["id"] > first_id
+
+
+def test_provenance_facade_defaults_empty():
+    tracer = Tracer(enabled=True)  # provenance not requested
+    assert tracer.provenance_of("T") == frozenset()
+    assert not tracer.provenance.enabled
+    enabled = Tracer(enabled=True, provenance=True)
+    assert enabled.provenance.enabled
+    disabled = Tracer(enabled=False, provenance=True)
+    assert not disabled.provenance.enabled  # provenance rides on tracing

@@ -1,0 +1,136 @@
+"""Property test: delta provenance is exact against from-scratch recompute.
+
+The contract (``repro.obs.provenance``): after an update transaction, for
+every node whose attribution is *exact* (``is_approx`` false), the recorded
+origin set equals the set of source transactions whose exclusion changes
+the node's from-scratch recomputed value; for approximate nodes the
+recorded set is an upper bound (never an omission).
+
+Hypothesis drives random batches of effective source transactions (fresh
+inserts and deletes of distinct existing rows — each transaction really
+changes its source) against the Figure-1 ex21 mediator, flushes them as a
+single update transaction, then replays every leave-one-out subset of the
+transactions onto pristine sources and recomputes the whole VDP.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correctness import recompute_all
+from repro.deltas import SetDelta
+from repro.obs import Tracer
+from repro.relalg import row
+from repro.workloads import figure1_mediator, figure1_sources
+from repro.workloads.scenarios import figure1_vdp
+
+R_ROWS, S_ROWS, JOIN_DOMAIN = 10, 8, 6
+SOURCE_KW = dict(r_rows=R_ROWS, s_rows=S_ROWS, seed=7, join_domain=JOIN_DOMAIN)
+
+_initial = figure1_sources(**SOURCE_KW)
+INITIAL_R = sorted(
+    (dict(r) for r, _ in _initial["db1"].state()["R"].items()),
+    key=lambda d: d["r1"],
+)
+INITIAL_S = sorted(
+    (dict(r) for r, _ in _initial["db2"].state()["S"].items()),
+    key=lambda d: d["s1"],
+)
+
+# One op per transaction.  Inserts use fresh keys/payloads so they always
+# take effect; deletes pick distinct existing rows (dedup below).
+r_insert = st.tuples(
+    st.just("insert_r"),
+    st.integers(0, JOIN_DOMAIN + 1),  # r2: may or may not join / may miss S'
+    st.sampled_from([100, 200]),       # r4: passes or fails the R_p filter
+)
+s_insert = st.tuples(
+    st.just("insert_s"),
+    st.integers(0, JOIN_DOMAIN + 1),  # s1: join value
+    st.integers(0, 99),                # s3: passes or fails the S_p filter
+)
+r_delete = st.tuples(st.just("delete_r"), st.integers(0, len(INITIAL_R) - 1), st.just(0))
+s_delete = st.tuples(st.just("delete_s"), st.integers(0, len(INITIAL_S) - 1), st.just(0))
+
+ops = st.lists(st.one_of(r_insert, s_insert, r_delete, s_delete), min_size=1, max_size=5)
+
+
+def build_transactions(op_list):
+    """(source, SetDelta) per transaction; duplicate delete targets dropped."""
+    txns = []
+    used_r, used_s = set(), set()
+    for i, (kind, a, b) in enumerate(op_list):
+        delta = SetDelta()
+        if kind == "insert_r":
+            delta.insert("R", row(r1=1000 + i, r2=a, r3=i, r4=b))
+            txns.append(("db1", delta))
+        elif kind == "insert_s":
+            delta.insert("S", row(s1=a, s2=1000 + i, s3=b))
+            txns.append(("db2", delta))
+        elif kind == "delete_r":
+            if a in used_r:
+                continue
+            used_r.add(a)
+            delta.delete("R", row(**INITIAL_R[a]))
+            txns.append(("db1", delta))
+        else:
+            if a in used_s:
+                continue
+            used_s.add(a)
+            delta.delete("S", row(**INITIAL_S[a]))
+            txns.append(("db2", delta))
+    return txns
+
+
+def apply_to_fresh_sources(txns, skip=None):
+    sources = figure1_sources(**SOURCE_KW)
+    for label, (source, delta) in txns:
+        if label != skip:
+            sources[source].execute(delta)
+    return sources
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_origin_sets_match_leave_one_out_recompute(op_list):
+    txns = build_transactions(op_list)
+    if not txns:
+        return
+
+    tracer = Tracer(enabled=True, provenance=True)
+    sources = figure1_sources(**SOURCE_KW)
+    mediator, _ = figure1_mediator("ex21", sources=sources, tracer=tracer)
+
+    labeled = []
+    counters = {"db1": 0, "db2": 0}
+    for source, delta in txns:
+        counters[source] += 1
+        labeled.append((f"{source}#{counters[source]}", (source, delta)))
+        sources[source].execute(delta)
+        # Collect each announcement separately: a source nets consecutive
+        # transactions into one pending announcement, and one announcement
+        # is the mediator's unit of provenance attribution.
+        mediator.collect_announcements()
+    mediator.run_update_transaction()
+
+    vdp = figure1_vdp()
+    truth_full = recompute_all(vdp, sources)
+    prov = tracer.provenance
+    nodes = prov.tracked_nodes()
+    assert nodes, "the transaction touched no tracked node"
+
+    for label, _ in labeled:
+        truth_without = recompute_all(vdp, apply_to_fresh_sources(labeled, skip=label))
+        for node in nodes:
+            changes = truth_without[node] != truth_full[node]
+            blamed = label in {o.label for o in prov.origins_of(node)}
+            if changes:
+                # Never an omission, exact or not.
+                assert blamed, f"{label} changes {node} but is not in its origin set"
+            elif not prov.is_approx(node):
+                assert not blamed, (
+                    f"{label} blamed for {node} but its exclusion leaves it unchanged"
+                )
+
+    # The mediator's materialized state agrees with ground truth throughout.
+    for node in ("R_p", "S_p", "T"):
+        assert mediator.store.repo(node) == truth_full[node]

@@ -1,0 +1,56 @@
+"""Regression tests for :class:`repro.relalg.EvalCounters` merge/reset.
+
+``merge`` and ``reset`` are derived from ``dataclasses.fields`` so a newly
+added counter field can never be silently dropped.  These tests pin that
+contract: every declared field participates in ``merge``, ``reset`` zeroes
+all of them, and the field set itself is what the metrics helpers see.
+"""
+
+import dataclasses
+
+from repro.obs.metrics import dataclass_counter_items
+from repro.relalg import EvalCounters
+
+
+def distinct_counters(offset):
+    """An EvalCounters whose fields hold distinct non-zero values."""
+    counters = EvalCounters()
+    for i, field in enumerate(dataclasses.fields(EvalCounters)):
+        setattr(counters, field.name, offset + i)
+    return counters
+
+
+def test_merge_accumulates_every_declared_field():
+    a = distinct_counters(offset=10)
+    b = distinct_counters(offset=100)
+    a.merge(b)
+    for i, field in enumerate(dataclasses.fields(EvalCounters)):
+        assert getattr(a, field.name) == (10 + i) + (100 + i), field.name
+
+
+def test_merge_leaves_the_other_side_untouched():
+    a, b = distinct_counters(10), distinct_counters(100)
+    a.merge(b)
+    assert b == distinct_counters(100)
+
+
+def test_reset_zeroes_every_declared_field():
+    counters = distinct_counters(offset=7)
+    counters.reset()
+    assert counters == EvalCounters()
+    for field in dataclasses.fields(EvalCounters):
+        assert getattr(counters, field.name) == 0, field.name
+
+
+def test_merge_onto_fresh_instance_is_copy():
+    fresh = EvalCounters()
+    fresh.merge(distinct_counters(42))
+    assert fresh == distinct_counters(42)
+
+
+def test_counter_items_cover_exactly_the_declared_fields():
+    # The metrics registry derives its view from the same field list that
+    # merge/reset use; a drifting field would show up here first.
+    declared = {f.name for f in dataclasses.fields(EvalCounters)}
+    assert {name for name, _ in dataclass_counter_items(EvalCounters())} == declared
+    assert "rows_hashed" in declared and "index_rebuilds" in declared
