@@ -1,0 +1,262 @@
+"""Experiment RC — warm-restart recovery cost vs database size.
+
+Section 2's economic argument for materialization — never re-read the
+sources wholesale — must survive a mediator crash, or every restart pays
+the cold build the architecture exists to avoid.  This experiment deploys
+the Figure 1 environment at three database sizes, runs an identical
+committed workload under a :class:`~repro.durability.DurabilityManager`
+(checkpoint every 4 transactions), "kills" the mediator (the object is
+abandoned; only the durability directory and the autonomous sources
+survive), and recovers.
+
+What the counters must show, at every size:
+
+* **the replay suffix is flat** — the recovery replays exactly the WAL
+  records past the last checkpoint and the source-log transactions past
+  the recorded cursors, regardless of how many rows the database holds;
+* **zero full-node recomputes** — with intact source logs no source is
+  selectively re-initialized and no leaf is re-snapshotted;
+* **WAL overhead is bounded** — bytes logged per committed transaction
+  are a function of the *delta*, not the database, so they are identical
+  across sizes;
+* **the recovered state is correct** — it equals a from-scratch
+  recompute (``assert_view_correct`` + ``assert_materialized_correct``).
+
+Wall-clock columns (recover vs cold rebuild) are printed live and masked
+in the committed copy; the deterministic counters are the regression
+baseline: ``python benchmarks/bench_recovery.py --check BENCH_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.core import SquirrelMediator, annotate
+from repro.correctness import assert_materialized_correct, assert_view_correct
+from repro.durability import CheckpointPolicy, DurabilityManager, RecoveryManager
+from repro.workloads import FIGURE1_ANNOTATIONS, figure1_sources, figure1_vdp
+
+try:
+    from _util import report
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from _util import report
+
+#: (r_rows, s_rows) per size step; the workload below is identical at all
+#: three, so every per-transaction counter must be too.
+SIZES = [(200, 60), (800, 60), (3200, 60)]
+COMMITS = 14          # checkpoints land at txns 4, 8, 12 → a 2-record WAL tail
+SILENT_COMMITS = 2    # committed at the sources after the last refresh
+EVERY_TXNS = 4
+SEED = 17
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+
+
+def _workload_delta(k: int):
+    from repro.deltas import SetDelta
+    from repro.relalg import row
+
+    delta = SetDelta()
+    if k % 3 == 2:
+        delta.insert("S", row(s1=k, s2=7000 + k, s3=5))
+    else:
+        delta.insert("R", row(r1=50_000 + k, r2=k % 50, r3=k * 11 % 1000, r4=100))
+    return delta
+
+
+def run_size(r_rows: int, s_rows: int) -> dict:
+    annotated = annotate(figure1_vdp(), FIGURE1_ANNOTATIONS["ex21"])
+    sources = figure1_sources(r_rows=r_rows, s_rows=s_rows, seed=SEED)
+    with tempfile.TemporaryDirectory() as directory:
+        mediator = SquirrelMediator(annotated, sources)
+        mediator.initialize()
+        manager = DurabilityManager.attach(
+            mediator,
+            directory,
+            policy=CheckpointPolicy(every_txns=EVERY_TXNS, every_wal_bytes=0),
+        )
+        for k in range(COMMITS):
+            source = "db2" if k % 3 == 2 else "db1"
+            sources[source].execute(_workload_delta(k))
+            mediator.refresh()
+        wal_bytes = manager.stats.wal_bytes
+        wal_records = manager.stats.wal_records
+        checkpoints = manager.stats.checkpoints
+        # The mediator dies *now*: two more transactions commit at the
+        # sources while it is down, then we recover from the directory.
+        for k in range(COMMITS, COMMITS + SILENT_COMMITS):
+            source = "db2" if k % 3 == 2 else "db1"
+            sources[source].execute(_workload_delta(k))
+        manager.close()
+        del mediator
+
+        started = time.perf_counter()
+        result = RecoveryManager(directory).recover(annotated, sources)
+        recover_s = time.perf_counter() - started
+        assert_view_correct(result.mediator)
+        assert_materialized_correct(result.mediator)
+
+        started = time.perf_counter()
+        cold = SquirrelMediator(annotated, sources)
+        cold.initialize()
+        cold_s = time.perf_counter() - started
+
+    return {
+        "r_rows": r_rows,
+        "s_rows": s_rows,
+        "commits": COMMITS + SILENT_COMMITS,
+        "wal_records": wal_records,
+        "wal_bytes_per_txn": wal_bytes // wal_records,
+        "checkpoints": checkpoints,
+        "checkpoint_id": result.checkpoint_id,
+        "wal_records_replayed": result.wal_records_replayed,
+        "replayed_txns": result.replayed_txns,
+        "reinitialized_sources": len(result.reinitialized_sources),
+        "recovery_update_txns": result.mediator.iup.stats.transactions,
+        "converged": True,  # the asserts above would have raised otherwise
+        "_recover_s": recover_s,
+        "_cold_s": cold_s,
+    }
+
+
+def collect() -> list:
+    return [run_size(r, s) for r, s in SIZES]
+
+
+def _stable(results: list) -> list:
+    """The committed baseline: every deterministic counter, no wall clock."""
+    return [{k: v for k, v in r.items() if not k.startswith("_")} for r in results]
+
+
+def render(results) -> None:
+    from repro.bench import shape_line
+
+    rows = [
+        [
+            r["r_rows"] + r["s_rows"],
+            r["commits"],
+            r["wal_records_replayed"],
+            r["replayed_txns"],
+            r["reinitialized_sources"],
+            r["wal_bytes_per_txn"],
+            f"{r['_recover_s'] * 1e3:.1f}",
+            f"{r['_cold_s'] * 1e3:.1f}",
+        ]
+        for r in results
+    ]
+    first = results[0]
+    report(
+        "RC_recovery",
+        "RC: warm-restart recovery vs database size (Figure 1 / ex21)",
+        [
+            "db rows",
+            "commits",
+            "wal replayed",
+            "src txns replayed",
+            "reinit sources",
+            "wal bytes/txn",
+            "recover wall ms",
+            "cold init wall ms",
+        ],
+        rows,
+        shapes=[
+            shape_line(
+                "replay suffix flat in db size (only txns past the checkpoint)",
+                all(
+                    r["wal_records_replayed"] == first["wal_records_replayed"]
+                    and r["replayed_txns"] == first["replayed_txns"]
+                    for r in results
+                ),
+            ),
+            shape_line(
+                "zero full-node recomputes with intact source logs",
+                all(r["reinitialized_sources"] == 0 for r in results),
+            ),
+            shape_line(
+                "per-txn WAL overhead independent of db size",
+                len({r["wal_bytes_per_txn"] for r in results}) == 1,
+            ),
+            shape_line(
+                "recovered state equals from-scratch recompute at every size",
+                all(r["converged"] for r in results),
+            ),
+        ],
+        note="counters are deterministic; JSON baseline: BENCH_recovery.json",
+    )
+
+
+def test_recovery_baseline():
+    """Pytest entry point: regenerate the table and pin the shape claims."""
+    results = collect()
+    render(results)
+    first = results[0]
+    assert first["wal_records_replayed"] == COMMITS - 3 * EVERY_TXNS
+    assert first["replayed_txns"] == SILENT_COMMITS
+    for r in results:
+        assert r["wal_records_replayed"] == first["wal_records_replayed"]
+        assert r["replayed_txns"] == first["replayed_txns"]
+        assert r["reinitialized_sources"] == 0
+        assert r["recovery_update_txns"] == 1  # one propagation pass, total
+        assert r["wal_bytes_per_txn"] == first["wal_bytes_per_txn"]
+    baseline = DEFAULT_BASELINE
+    if baseline.exists():
+        assert json.loads(baseline.read_text())["results"] == _stable(results), (
+            "deterministic counters diverged from BENCH_recovery.json — "
+            "regenerate with: python benchmarks/bench_recovery.py --write"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="verify deterministic counters against a baseline JSON",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="(re)write the baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results = collect()
+    render(results)
+    stable = _stable(results)
+
+    payload = {
+        "experiment": "RC_recovery",
+        "workload": {
+            "sizes": SIZES,
+            "commits": COMMITS,
+            "silent_commits": SILENT_COMMITS,
+            "checkpoint_every_txns": EVERY_TXNS,
+            "seed": SEED,
+        },
+        "results": stable,
+    }
+    if args.check:
+        expected = json.loads(pathlib.Path(args.check).read_text())
+        if expected["results"] != stable:
+            print(f"MISMATCH against {args.check}", file=sys.stderr)
+            print(json.dumps(stable, indent=2), file=sys.stderr)
+            return 1
+        print(f"baseline {args.check} verified", file=sys.stderr)
+        return 0
+    path = pathlib.Path(args.write or DEFAULT_BASELINE)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,15 @@ Usage::
     python -m repro repl SPEC                     # interactive session
     python -m repro trace ex23 --out t.jsonl      # traced canned scenario
     python -m repro stats ex23                    # metrics after a scenario
+    python -m repro checkpoint SPEC --dir DIR     # write a durable checkpoint
+    python -m repro recover SPEC --dir DIR        # recover a mediator from DIR
+
+``checkpoint`` deploys a mediator from the spec (+ data) and writes a full
+checkpoint into ``--dir`` (creating the write-ahead log alongside it);
+``recover`` rebuilds a mediator from that directory *without* re-reading
+the sources wholesale — checkpoint chain, WAL tail, then source-log
+catch-up — and prints what recovery did (optionally answering ``--query``
+against the recovered state).  See :mod:`repro.durability`.
 
 ``trace`` and ``stats`` drive a canned scenario (one of
 ``repro.obs.harness.SCENARIOS``) with tracing and delta provenance on;
@@ -160,6 +169,55 @@ def _cmd_stats(args, out) -> int:
     return 0
 
 
+def _cmd_checkpoint(args, out) -> int:
+    from repro.durability import DurabilityManager
+
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    manager = DurabilityManager(mediator, args.dir)
+    try:
+        ckpt_id = manager.checkpoint(full=True)
+        print(
+            f"checkpoint {ckpt_id} written to {args.dir} "
+            f"({manager.stats.checkpoint_nodes} nodes, "
+            f"{manager.stats.checkpoint_rows} rows)",
+            file=out,
+        )
+    finally:
+        manager.close()
+    return 0
+
+
+def _cmd_recover(args, out) -> int:
+    from repro.durability import RecoveryManager
+    from repro.generator import build_annotated_from_spec
+
+    with open(args.spec) as handle:
+        spec = parse_spec(handle.read())
+    annotated = build_annotated_from_spec(spec)
+    sources = make_sources(spec, initial=_load_data(args.data), backend=args.backend)
+    result = RecoveryManager(args.dir).recover(
+        annotated, sources, on_stale=args.on_stale
+    )
+    print(
+        f"recovered from checkpoint {result.checkpoint_id}: "
+        f"{result.wal_records_replayed} WAL records, "
+        f"{result.replayed_txns} source transactions replayed",
+        file=out,
+    )
+    if result.reinitialized_sources:
+        print(
+            "selectively reinitialized "
+            + ", ".join(result.reinitialized_sources)
+            + " (nodes: "
+            + ", ".join(result.reinitialized_nodes)
+            + ")",
+            file=out,
+        )
+    if args.query:
+        _print_relation(result.mediator.query(args.query), out)
+    return 0
+
+
 def _cmd_repl(args, out) -> int:
     mediator = build_mediator_from_files(args.spec, args.data, args.backend)
     print("squirrel mediator ready; \\vdp \\stats \\refresh \\insert \\delete \\quit", file=out)
@@ -225,6 +283,24 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     )
     p_stats.add_argument("scenario", choices=scenario_names())
 
+    p_ckpt = subparsers.add_parser(
+        "checkpoint", help="deploy a mediator and write a durable checkpoint"
+    )
+    p_ckpt.add_argument("spec")
+    p_ckpt.add_argument("--dir", required=True, help="durability directory")
+
+    p_recover = subparsers.add_parser(
+        "recover", help="recover a mediator from a durability directory"
+    )
+    p_recover.add_argument("spec")
+    p_recover.add_argument("--dir", required=True, help="durability directory")
+    p_recover.add_argument(
+        "--on-stale", dest="on_stale", choices=("reinit", "raise"), default="reinit",
+        help="when a source log no longer reaches the saved cursor: "
+        "selectively reinitialize it (default) or fail",
+    )
+    p_recover.add_argument("--query", help="run one query against the recovered state")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "describe":
@@ -235,6 +311,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_trace(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args, out)
+        if args.command == "recover":
+            return _cmd_recover(args, out)
         return _cmd_repl(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -100,6 +100,12 @@ class IncrementalUpdateProcessor:
         self.queue = queue
         self.tracer = tracer
         self.stats = IUPStats()
+        #: A :class:`~repro.durability.DurabilityManager`, when attached.
+        #: Notified at commit time — after the kernel has applied every
+        #: delta and the entries were marked reflected, so the logged record
+        #: describes only state the store durably reflects (a deferred
+        #: transaction never reaches the hook and never logs).
+        self.durability = None
 
     # ------------------------------------------------------------------
     # The general IUP algorithm
@@ -174,6 +180,8 @@ class IncrementalUpdateProcessor:
                 kernel_span.set(nodes=list(processed), rules_fired=fired)
             prov.commit()
             self.queue.mark_reflected(entries)
+            if self.durability is not None:
+                self.durability.on_transaction_commit(entries, processed)
             # The kernel just advanced the materialized state past these
             # leaf deltas, so cached VAP temporaries whose lineage they
             # touch are now stale — exactly here, and only here, do they

@@ -29,7 +29,9 @@ from repro.sources.base import SourceDatabase
 
 __all__ = ["SourceLink", "DirectLink", "DelayedLink"]
 
-AnnouncementSink = Callable[[str, SetDelta], None]
+#: ``sink(source_name, delta, cursor=...)`` — cursor is the source-log
+#: position the delta brings the reader up to (durability metadata).
+AnnouncementSink = Callable[..., None]
 
 
 class SourceLink:
@@ -101,10 +103,12 @@ class DirectLink(SourceLink):
     def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
         # Flush-before-answer and the snapshot form one source transaction:
         # no commit can land between them, so the snapshot reflects exactly
-        # the announcements delivered so far.
-        announcement, snapshot = self.source.poll_transaction()
+        # the announcements delivered so far.  The cursor rides along so
+        # the durability layer can record how far into the source's log the
+        # delivered announcement reaches.
+        announcement, cursor, snapshot = self.source.poll_transaction_versioned()
         if announcement is not None and self.announces and self.announcement_sink is not None:
-            self.announcement_sink(self.source_name, announcement)
+            self.announcement_sink(self.source_name, announcement, cursor=cursor)
         # Non-announcing (virtual-contributor) sources simply drop the
         # accumulated net update: nothing materialized depends on it.
         self.source.query_count += len(queries)

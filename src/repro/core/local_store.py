@@ -149,6 +149,25 @@ class LocalStore:
         self._initialized = True
         self._build_declared_indexes()
 
+    def reinitialize_node(self, name: str, full_value: Relation) -> None:
+        """Replace one storing node's repository with a fresh full value.
+
+        Selective re-initialization (recovery after a source-log gap)
+        recomputes the affected subtree from scratch and swaps each node's
+        stored projection wholesale: declared indexes are rebuilt on the
+        new repository and any accumulated ΔR is discarded (it described
+        changes to the replaced population).
+        """
+        ann = self.annotated.annotation(name)
+        if not ann.materialized_attrs:
+            raise MediatorError(f"node {name!r} stores nothing; cannot reinitialize")
+        self._repos[name] = self._stored_projection(name, full_value, ann)
+        self._deltas.pop(name, None)
+        stored_attrs = set(self._repos[name].schema.attribute_names)
+        for keys in sorted(self._index_requirements.get(name, ())):
+            if set(keys) <= stored_attrs:
+                self._repos[name].ensure_index(keys, self.counters)
+
     def _stored_projection(self, name: str, full_value: Relation, ann: Annotation) -> Relation:
         node = self.vdp.node(name)
         if ann.fully_materialized:

@@ -21,7 +21,7 @@ through the source links (flow 2), and queries enter through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple, Union as TypingUnion
 
 from repro.core.iup import IncrementalUpdateProcessor, UpdateTransactionResult
 from repro.core.links import DirectLink, SourceLink
@@ -198,6 +198,10 @@ class SquirrelMediator:
         self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
         self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
         self._initialized = False
+        # Sources whose materialized contributions are being rebuilt after a
+        # recovery found their logs truncated (selective re-initialization
+        # in flight).  Answers served meanwhile disclose them as stale.
+        self._resyncing: Set[str] = set()
 
     def _check_sources(self) -> None:
         for leaf in self.vdp.leaves():
@@ -231,12 +235,14 @@ class SquirrelMediator:
             leaf_values: Dict[str, Relation] = {}
             for source_name in sorted({self.vdp.source_of_leaf(l) for l in self.vdp.leaves()}):
                 source = self.sources[source_name]
-                snapshot = source.state()
+                # One atomic source transaction: the pending announcement is
+                # discarded (the snapshot already reflects it) and the
+                # returned cursor is exactly the log position the snapshot
+                # corresponds to — the durability layer's replay origin.
+                snapshot, cursor = source.initial_snapshot()
                 for leaf in self.vdp.leaves_of_source(source_name):
                     leaf_values[leaf] = snapshot[leaf]
-                # Announcements covering the snapshot are already reflected;
-                # discard anything pending so it is not double-applied.
-                source.take_announcement()
+                self.queue.note_reflected_cursor(source_name, cursor)
             self.store.initialize(leaf_values)
             # Any cached temporaries reflect the pre-initialization state.
             self.vap.clear_cache()
@@ -286,17 +292,20 @@ class SquirrelMediator:
         send_time: Optional[float] = None,
         arrival_time: Optional[float] = None,
         seq: Optional[int] = None,
+        cursor: Optional[int] = None,
     ) -> None:
         """Receive one announcement message from a source.
 
         ``seq`` (per-source sequence number, supplied by reliability-aware
         drivers) lets the queue smash duplicates idempotently and hold
         overtaking arrivals in sequence order — see
-        :meth:`UpdateQueue.enqueue`.
+        :meth:`UpdateQueue.enqueue`.  ``cursor`` (the source-log position
+        the message brings a reader up to) feeds the durability layer's
+        write-ahead log when present.
         """
         if source_name not in self.sources:
             raise MediatorError(f"announcement from unknown source {source_name!r}")
-        self.queue.enqueue(source_name, delta, send_time, arrival_time, seq=seq)
+        self.queue.enqueue(source_name, delta, send_time, arrival_time, seq=seq, cursor=cursor)
 
     def collect_announcements(self) -> int:
         """Pull pending net updates from every announcing source (the
@@ -307,9 +316,9 @@ class SquirrelMediator:
         for name, kind in sorted(self.contributor_kinds.items()):
             if not kind.announces:
                 continue
-            announcement = self.sources[name].take_announcement()
+            announcement, cursor = self.sources[name].take_announcement_versioned()
             if announcement is not None:
-                self.enqueue_update(name, announcement)
+                self.enqueue_update(name, announcement, cursor=cursor)
                 collected += 1
         return collected
 
@@ -353,6 +362,25 @@ class SquirrelMediator:
         """Sources whose links report an active outage, sorted."""
         return tuple(sorted(n for n, up in self.source_availability().items() if not up))
 
+    def begin_resync(self, source_name: str) -> None:
+        """Mark a source's materialized contributions as mid-rebuild.
+
+        Recovery calls this when a source's log was truncated past the
+        saved cursor: until :meth:`end_resync`, staleness tags disclose the
+        source with unbounded staleness so degraded answers stay honest.
+        """
+        if source_name not in self.sources:
+            raise MediatorError(f"cannot resync unknown source {source_name!r}")
+        self._resyncing.add(source_name)
+
+    def end_resync(self, source_name: str) -> None:
+        """Clear the mid-rebuild marker set by :meth:`begin_resync`."""
+        self._resyncing.discard(source_name)
+
+    def resyncing_sources(self) -> Tuple[str, ...]:
+        """Sources currently flagged as mid-rebuild, sorted."""
+        return tuple(sorted(self._resyncing))
+
     def staleness_tag(self, now: Optional[float] = None) -> StalenessTag:
         """The staleness disclosure for answers served right now.
 
@@ -378,6 +406,11 @@ class SquirrelMediator:
                 # the simulated clock started at t=0.  Unknown otherwise.
                 reflected = 0.0 if outage_end is not None else None
             staleness[name] = float("inf") if reflected is None else max(0.0, now - reflected)
+        # A source mid-resync may be perfectly reachable, yet its
+        # materialized contributions are a rebuild-in-progress: disclose it
+        # with unbounded staleness until the resync transaction lands.
+        for name in self._resyncing:
+            staleness[name] = float("inf")
         return StalenessTag(time=now, staleness=staleness)
 
     def query_relation_tagged(

@@ -51,6 +51,11 @@ class QueuedUpdate:
     arrival_time: Optional[float] = None
     seq: Optional[int] = None  # per-source sequence number, when sequenced
     txn_id: int = 0  # monotone per-source stamp assigned at enqueue
+    #: The source-log cursor this announcement brings a reader up to (the
+    #: source's transaction count at announcement-take time), when the
+    #: collector threads it through.  Durability records it in the WAL so a
+    #: restart knows where each source's log replay should resume.
+    cursor: Optional[int] = None
 
     @property
     def origin(self) -> TxnOrigin:
@@ -65,6 +70,7 @@ class UpdateQueue:
         self._entries: List[QueuedUpdate] = []
         self._seen_seqs: Dict[str, Set[int]] = {}
         self._last_flushed_send: Dict[str, float] = {}
+        self._reflected_cursors: Dict[str, int] = {}
         # Announcement sinks fire from VAP poll worker threads when sources
         # are polled concurrently; everything touching the entry list takes
         # this lock so arrival order stays a single consistent sequence.
@@ -85,6 +91,7 @@ class UpdateQueue:
         send_time: Optional[float] = None,
         arrival_time: Optional[float] = None,
         seq: Optional[int] = None,
+        cursor: Optional[int] = None,
     ) -> bool:
         """Accept one announcement (a single indivisible net-update message).
 
@@ -109,7 +116,9 @@ class UpdateQueue:
                 seen.add(seq)
             txn_id = self._txn_counters.get(source, 0) + 1
             self._txn_counters[source] = txn_id
-            entry = QueuedUpdate(source, delta, send_time, arrival_time, seq, txn_id)
+            entry = QueuedUpdate(
+                source, delta, send_time, arrival_time, seq, txn_id, cursor
+            )
             position = len(self._entries)
             if seq is not None:
                 for i, existing in enumerate(self._entries):
@@ -195,6 +204,36 @@ class UpdateQueue:
             if entry.send_time is not None:
                 previous = self._last_flushed_send.get(entry.source, float("-inf"))
                 self._last_flushed_send[entry.source] = max(previous, entry.send_time)
+            if entry.cursor is not None:
+                self.note_reflected_cursor(entry.source, entry.cursor)
+
+    def note_reflected_cursor(self, source: str, cursor: int) -> None:
+        """Record that the materialized data reflects ``source``'s log
+        through ``cursor`` (monotone — lower values never regress it).
+        Seeded at view initialization and advanced by
+        :meth:`mark_reflected` for cursor-carrying entries."""
+        previous = self._reflected_cursors.get(source, -1)
+        self._reflected_cursors[source] = max(previous, cursor)
+
+    def reflected_cursor(self, source: str) -> Optional[int]:
+        """The highest source-log cursor known to be reflected in the
+        materialized data, or ``None`` when no cursor was ever threaded
+        through for this source."""
+        return self._reflected_cursors.get(source)
+
+    def discard_source(self, source: str) -> int:
+        """Drop every queued entry of one source; returns how many.
+
+        Selective re-initialization replaces a source's materialized
+        contributions with a fresh snapshot — announcements queued before
+        the swap describe transactions the snapshot already reflects, and
+        flushing them afterwards would double-apply.
+        """
+        with self._lock:
+            kept = [e for e in self._entries if e.source != source]
+            dropped = len(self._entries) - len(kept)
+            self._entries = kept
+            return dropped
 
     def pending_for_source(self, source: str) -> List[SetDelta]:
         """Queued (unflushed) deltas of one source, in arrival order."""

@@ -74,6 +74,51 @@ class SourceUnavailableError(MediatorError):
         super().__init__(message)
 
 
+class SnapshotStaleError(MediatorError):
+    """A persisted snapshot's cursors outrun a source's transaction log.
+
+    Raised by :func:`repro.core.persistence.restore_mediator` (and the
+    recovery path built on it) when a source's log has been truncated past
+    the saved cursor, so the missed updates can no longer be replayed.
+    ``gaps`` maps each such source to ``(saved_cursor, log_floor)`` where
+    ``log_floor`` is the lowest transaction sequence the log still holds
+    (``source.txn_count + 1`` when the log is empty) — the caller can see
+    exactly how far each log fell short.  Pass ``on_stale="reinit"`` to
+    fall back to selective re-initialization of only the stale sources'
+    subtrees instead.
+    """
+
+    def __init__(self, gaps, message=None):
+        self.gaps = dict(gaps)
+        if message is None:
+            detail = ", ".join(
+                f"{source}: cursor {cursor} < log floor {floor}"
+                for source, (cursor, floor) in sorted(self.gaps.items())
+            )
+            message = (
+                f"snapshot stale for {len(self.gaps)} source(s) ({detail}); "
+                'replay impossible — pass on_stale="reinit" for selective '
+                "re-initialization"
+            )
+        super().__init__(message)
+
+
+class SimulatedCrash(ReproError):
+    """A crash-injection point fired: the mediator process "dies" here.
+
+    Raised by the durability layer's crash injector
+    (:class:`repro.faults.CrashPoint` schedules) so crash-recovery tests can
+    kill a mediator at a precisely chosen instant — after a WAL append,
+    mid-checkpoint, or mid-record — and then drive recovery over whatever
+    the filesystem holds.  Never raised in production configurations.
+    """
+
+    def __init__(self, phase: str, txn: int):
+        self.phase = phase
+        self.txn = txn
+        super().__init__(f"injected crash at txn {txn} ({phase})")
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misconfigured or used out of order."""
 

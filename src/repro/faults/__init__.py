@@ -20,8 +20,11 @@ layer may import it freely.
 """
 
 from repro.faults.plan import (
+    CRASH_PHASES,
     NO_FAULTS,
     ChannelFaults,
+    CrashPoint,
+    CrashSchedule,
     FaultDecision,
     FaultPlan,
     OutageWindow,
@@ -35,6 +38,9 @@ __all__ = [
     "FaultDecision",
     "OutageWindow",
     "NO_FAULTS",
+    "CRASH_PHASES",
+    "CrashPoint",
+    "CrashSchedule",
     "Envelope",
     "ReliableInbox",
     "ReliableSender",

@@ -33,11 +33,20 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["OutageWindow", "ChannelFaults", "FaultDecision", "FaultPlan", "NO_FAULTS"]
+__all__ = [
+    "OutageWindow",
+    "ChannelFaults",
+    "FaultDecision",
+    "FaultPlan",
+    "NO_FAULTS",
+    "CRASH_PHASES",
+    "CrashPoint",
+    "CrashSchedule",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,72 @@ class ChannelFaults:
 
 
 NO_FAULTS = ChannelFaults()
+
+
+#: Where a :class:`CrashPoint` can kill the mediator, relative to the
+#: durability protocol's write ordering (see ``docs/durability.md``):
+#:
+#: * ``post-wal-append`` — the WAL record for the transaction is fully on
+#:   disk, but no checkpoint has absorbed it;
+#: * ``torn-wal`` — the crash lands *inside* the append: only a prefix of
+#:   the record's bytes reach the file (the classic torn tail);
+#: * ``mid-checkpoint`` — the checkpoint image is written but the atomic
+#:   publish (rename) never happens, leaving a partial ``.tmp`` behind.
+CRASH_PHASES = ("post-wal-append", "torn-wal", "mid-checkpoint")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Kill the mediator at one precisely chosen durability instant.
+
+    ``txn`` is the 1-based committed-update-transaction index at which the
+    crash fires (the Nth non-empty IUP transaction after durability was
+    attached); ``phase`` picks the instant within that transaction's
+    durability work (:data:`CRASH_PHASES`).  A ``mid-checkpoint`` point
+    fires only if that transaction actually triggers a checkpoint — pair it
+    with a :class:`~repro.durability.CheckpointPolicy` whose period divides
+    ``txn`` (or force one).
+    """
+
+    txn: int
+    phase: str = "post-wal-append"
+
+    def __post_init__(self) -> None:
+        if self.txn < 1:
+            raise SimulationError(f"crash txn must be >= 1, got {self.txn}")
+        if self.phase not in CRASH_PHASES:
+            raise SimulationError(
+                f"unknown crash phase {self.phase!r}; choose from {CRASH_PHASES}"
+            )
+
+
+class CrashSchedule:
+    """The crash half of a fault plan: which :class:`CrashPoint`\\ s fire.
+
+    Deterministic by construction (the points are given explicitly, not
+    drawn), so a crash-chaos example replays exactly.  The durability
+    manager consults :meth:`take` at each instant; a point fires at most
+    once.
+    """
+
+    def __init__(self, points: Sequence[CrashPoint] = ()):
+        self.points = list(points)
+        self._fired: List[CrashPoint] = []
+
+    def take(self, phase: str, txn: int) -> Optional[CrashPoint]:
+        """The not-yet-fired point matching ``(phase, txn)``, consumed."""
+        for point in self.points:
+            if point.txn == txn and point.phase == phase and point not in self._fired:
+                self._fired.append(point)
+                return point
+        return None
+
+    def fired(self) -> Tuple[CrashPoint, ...]:
+        """Points that have fired, in firing order."""
+        return tuple(self._fired)
+
+    def __repr__(self) -> str:
+        return f"<CrashSchedule points={self.points} fired={len(self._fired)}>"
 
 _CLEAN = None  # sentinel replaced below (FaultDecision defined first)
 

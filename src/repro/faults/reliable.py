@@ -27,6 +27,8 @@ Algorithm requires even when announcements were lost in transit.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -52,12 +54,22 @@ class BackoffPolicy:
     ``max_retries`` of ``None`` means retry until acknowledged (the fault
     plan's ``fault_free_after_attempt`` guarantees termination); a finite
     value abandons the message afterwards (counted, never silent).
+
+    ``jitter="decorrelated"`` switches to decorrelated jitter: each delay
+    is drawn uniformly from ``[base_timeout, previous * 3]`` and capped,
+    which desynchronizes retry storms across senders that failed at the
+    same instant.  The draw is a pure function of ``(jitter_seed, key,
+    attempt)`` — same inputs, same delay — so chaos runs stay exactly
+    replayable; pass a distinct ``key`` per message stream to decorrelate
+    streams from each other.
     """
 
     base_timeout: float = 1.0
     multiplier: float = 2.0
     max_backoff: float = 30.0
     max_retries: Optional[int] = None
+    jitter: str = "none"
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.base_timeout <= 0:
@@ -66,10 +78,29 @@ class BackoffPolicy:
             raise SimulationError("multiplier must be >= 1")
         if self.max_backoff < self.base_timeout:
             raise SimulationError("max_backoff must be >= base_timeout")
+        if self.jitter not in ("none", "decorrelated"):
+            raise SimulationError("jitter must be 'none' or 'decorrelated'")
 
-    def delay(self, attempt: int) -> float:
+    def delay(self, attempt: int, key: str = "") -> float:
         """The wait before the ``attempt``-th timeout check (0-based)."""
-        return min(self.base_timeout * (self.multiplier ** attempt), self.max_backoff)
+        if self.jitter == "none":
+            return min(
+                self.base_timeout * (self.multiplier ** attempt), self.max_backoff
+            )
+        # Decorrelated jitter, replayed deterministically: rebuild the
+        # chain d0 = base, d_n = min(cap, U(base, 3 * d_{n-1})) with each
+        # step's uniform draw seeded from (seed, key, step).
+        delay = self.base_timeout
+        for step in range(1, attempt + 1):
+            rng = random.Random(self._draw_seed(key, step))
+            delay = min(
+                self.max_backoff, rng.uniform(self.base_timeout, delay * 3.0)
+            )
+        return min(delay, self.max_backoff)
+
+    def _draw_seed(self, key: str, step: int) -> int:
+        material = f"{self.jitter_seed}:{key}:{step}".encode()
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
 
 
 class ReliableInbox:
@@ -185,7 +216,7 @@ class ReliableSender:
 
     def _schedule_check(self, seq: int, attempt: int) -> None:
         self.simulator.schedule(
-            self.policy.delay(attempt),
+            self.policy.delay(attempt, key=f"{self.inbox.name}#{seq}"),
             lambda: self._check(seq, attempt),
             f"{self.inbox.name}: ack check #{seq} (attempt {attempt})",
         )

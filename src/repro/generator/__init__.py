@@ -1,6 +1,11 @@
 """The Squirrel generator: mediator specs → deployed mediators."""
 
-from repro.generator.generate import build_vdp_from_spec, generate_mediator, make_sources
+from repro.generator.generate import (
+    build_annotated_from_spec,
+    build_vdp_from_spec,
+    generate_mediator,
+    make_sources,
+)
 from repro.generator.spec import (
     MediatorSpec,
     RelationSpec,
@@ -15,6 +20,7 @@ __all__ = [
     "RelationSpec",
     "ViewSpec",
     "parse_spec",
+    "build_annotated_from_spec",
     "build_vdp_from_spec",
     "generate_mediator",
     "make_sources",

@@ -25,7 +25,12 @@ from repro.planner import WorkloadProfile, suggest_annotation
 from repro.sources.base import SourceDatabase
 from repro.sources.memory import MemorySource
 
-__all__ = ["build_vdp_from_spec", "generate_mediator", "make_sources"]
+__all__ = [
+    "build_annotated_from_spec",
+    "build_vdp_from_spec",
+    "generate_mediator",
+    "make_sources",
+]
 
 SpecInput = TypingUnion[str, MediatorSpec]
 
@@ -72,21 +77,16 @@ def make_sources(
     return sources
 
 
-def generate_mediator(
-    spec: SpecInput,
-    sources: Mapping[str, SourceDatabase],
-    plan_profile: Optional[WorkloadProfile] = None,
-    eca_enabled: bool = True,
-    key_based_enabled: bool = True,
-) -> SquirrelMediator:
-    """Generate, wire, and initialize a mediator from a specification.
+def build_annotated_from_spec(
+    spec: SpecInput, plan_profile: Optional[WorkloadProfile] = None
+):
+    """Resolve a spec's annotations into an :class:`AnnotatedVDP`.
 
-    When ``plan_profile`` is given, relations the spec leaves unannotated
-    get planner-suggested annotations instead of defaulting to fully
-    materialized; explicit spec annotations always win.
+    This is the declarative half of :func:`generate_mediator` — recovery
+    needs it on its own, because a recovered mediator is *not* initialized
+    from the sources (its repositories come from the checkpoint chain).
     """
     spec = _resolve(spec)
-    _check_sources_match(spec, sources)
     vdp = build_vdp_from_spec(spec)
 
     overrides: Dict[str, Annotation] = {}
@@ -108,10 +108,26 @@ def generate_mediator(
             name: overrides.get(name, suggested.annotation(name))
             for name in vdp.non_leaves()
         }
-        annotated = annotate(vdp, resolved)
-    else:
-        annotated = annotate(vdp, overrides)
+        return annotate(vdp, resolved)
+    return annotate(vdp, overrides)
 
+
+def generate_mediator(
+    spec: SpecInput,
+    sources: Mapping[str, SourceDatabase],
+    plan_profile: Optional[WorkloadProfile] = None,
+    eca_enabled: bool = True,
+    key_based_enabled: bool = True,
+) -> SquirrelMediator:
+    """Generate, wire, and initialize a mediator from a specification.
+
+    When ``plan_profile`` is given, relations the spec leaves unannotated
+    get planner-suggested annotations instead of defaulting to fully
+    materialized; explicit spec annotations always win.
+    """
+    spec = _resolve(spec)
+    _check_sources_match(spec, sources)
+    annotated = build_annotated_from_spec(spec, plan_profile)
     mediator = SquirrelMediator(
         annotated,
         sources,

@@ -97,6 +97,31 @@ class SourceDatabase:
         with self._lock:
             return self.take_announcement(), self._snapshot()
 
+    def poll_transaction_versioned(
+        self,
+    ) -> Tuple[Optional[SetDelta], int, Dict[str, SetRelation]]:
+        """:meth:`poll_transaction` plus the cursor the answer reflects.
+
+        The cursor is this source's transaction count at take time — the
+        announced state covers exactly transactions ``1..cursor``, which is
+        what the durability layer records so a restart knows where to
+        resume this source's log.
+        """
+        with self._lock:
+            return self.take_announcement(), self.txn_count, self._snapshot()
+
+    def initial_snapshot(self) -> Tuple[Dict[str, SetRelation], int]:
+        """One atomic (snapshot, cursor) pair for view initialization.
+
+        Discards the pending announcement (the snapshot already reflects
+        it — delivering it afterwards would double-apply) and returns the
+        transaction cursor the snapshot corresponds to, all under one
+        source transaction so no commit can slip between the three reads.
+        """
+        with self._lock:
+            self.take_announcement()
+            return self._snapshot(), self.txn_count
+
     def relation(self, name: str) -> SetRelation:
         """A snapshot copy of one relation."""
         snap = self._snapshot()
@@ -199,6 +224,30 @@ class SourceDatabase:
                 announcement = self._prefilter(announcement)
             return announcement if not announcement.is_empty() else None
 
+    def take_announcement_versioned(self) -> Tuple[Optional[SetDelta], int]:
+        """:meth:`take_announcement` plus the cursor the message covers.
+
+        The cursor is the source's transaction count at take time: the
+        returned net delta (possibly ``None``) brings a reader that was
+        current through the *previous* announcement up to exactly
+        transaction ``cursor``.  Durability-aware collectors thread this
+        through the update queue so the write-ahead log can record, per
+        committed mediator transaction, how far into each source's log the
+        materialized state has advanced.
+        """
+        with self._lock:
+            return self.take_announcement(), self.txn_count
+
+    def pending_announcement(self) -> SetDelta:
+        """A copy of the unannounced accumulator (peek — nothing is reset).
+
+        Selective re-initialization uses this to compensate a current
+        snapshot back to the last-announced state without consuming the
+        announcement.
+        """
+        with self._lock:
+            return self._pending.copy()
+
     def _prefilter(self, delta: SetDelta) -> SetDelta:
         """Keep each atom that is relevant to at least one leaf-parent.
 
@@ -227,6 +276,31 @@ class SourceDatabase:
     def log(self) -> List[Tuple[int, SetDelta]]:
         """The committed transaction log: ``(txn_seq, delta)`` pairs."""
         return list(self._log)
+
+    def compact_log(self, through_seq: int) -> int:
+        """Drop log entries with ``seq <= through_seq``; returns how many.
+
+        Autonomous sources reclaim log space on their own schedule — the
+        mediator cannot stop them.  A mediator whose saved cursor falls
+        below the compacted floor can no longer catch up by replay and must
+        selectively re-initialize that source's subtree (see
+        :class:`~repro.errors.SnapshotStaleError`).
+        """
+        with self._lock:
+            before = len(self._log)
+            self._log = [(seq, delta) for seq, delta in self._log if seq > through_seq]
+            return before - len(self._log)
+
+    def log_reaches(self, cursor: int) -> bool:
+        """True when every transaction in ``(cursor, txn_count]`` is logged.
+
+        This is the replayability test: a reader current through ``cursor``
+        can catch up iff no entry it needs has been compacted away.
+        """
+        with self._lock:
+            needed = set(range(cursor + 1, self.txn_count + 1))
+            present = {seq for seq, _ in self._log}
+            return needed <= present
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} relations={sorted(self.schemas)}>"

@@ -160,3 +160,42 @@ def test_cli_stats_prints_metrics_and_provenance():
     assert "qp.queries" in text
     assert "delta provenance" in text
     assert "db1#1" in text
+
+
+def test_cli_checkpoint_then_recover_roundtrip(spec_file, data_file, tmp_path):
+    durdir = str(tmp_path / "dur")
+    out = io.StringIO()
+    assert main(["--data", data_file, "checkpoint", spec_file, "--dir", durdir], out=out) == 0
+    assert "checkpoint 0 written" in out.getvalue()
+    assert (tmp_path / "dur" / "ckpt-00000000.json").exists()
+    assert (tmp_path / "dur" / "wal.log").exists()
+
+    out = io.StringIO()
+    code = main(
+        [
+            "--data", data_file,
+            "recover", spec_file, "--dir", durdir,
+            "--query", "project[r1, s2](V)",
+        ],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "recovered from checkpoint 0" in text
+    assert "1 | 111" in text  # the recovered view answers correctly
+
+
+def test_cli_checkpoint_is_repeatable(spec_file, data_file, tmp_path):
+    durdir = str(tmp_path / "dur")
+    assert main(["--data", data_file, "checkpoint", spec_file, "--dir", durdir], out=io.StringIO()) == 0
+    out = io.StringIO()
+    assert main(["--data", data_file, "checkpoint", spec_file, "--dir", durdir], out=out) == 0
+    assert "checkpoint 1 written" in out.getvalue()
+
+
+def test_cli_recover_without_checkpoint_fails(spec_file, data_file, tmp_path):
+    code = main(
+        ["--data", data_file, "recover", spec_file, "--dir", str(tmp_path / "empty")],
+        out=io.StringIO(),
+    )
+    assert code == 1

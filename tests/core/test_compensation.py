@@ -65,7 +65,7 @@ def test_compensate_multiple_deltas_in_order():
 def test_direct_link_flush_before_answer():
     source = MemorySource("db", [R], initial={"R": [(1, 10)]})
     delivered = []
-    link = DirectLink(source, announcement_sink=lambda n, d: delivered.append((n, d)))
+    link = DirectLink(source, announcement_sink=lambda n, d, **kw: delivered.append((n, d)))
     source.insert("R", a=2, b=20)
     answers = link.poll_many({"Q": scan("R")})
     # The pending announcement reached the sink BEFORE the answer was built,
@@ -81,7 +81,7 @@ def test_direct_link_virtual_contributor_drops_announcements():
     source = MemorySource("db", [R], initial={"R": [(1, 10)]})
     delivered = []
     link = DirectLink(
-        source, announcement_sink=lambda n, d: delivered.append((n, d)), announces=False
+        source, announcement_sink=lambda n, d, **kw: delivered.append((n, d)), announces=False
     )
     source.insert("R", a=2, b=20)
     link.poll_many({"Q": scan("R")})

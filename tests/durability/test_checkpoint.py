@@ -1,0 +1,84 @@
+"""Tests for checkpoint policy, atomic publish, and chain resolution."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability import CheckpointPolicy, CheckpointStore
+from repro.errors import MediatorError
+
+
+def payload(ckpt_id, parent, nodes, wal_txn=0):
+    return {
+        "id": ckpt_id,
+        "parent": parent,
+        "wal_txn": wal_txn,
+        "source_seqs": {},
+        "cursors": {},
+        "nodes": {name: {"columns": ["a"], "rows": [[[ckpt_id], 1]]} for name in nodes},
+    }
+
+
+def test_policy_triggers():
+    policy = CheckpointPolicy(every_txns=4, every_wal_bytes=1000)
+    assert not policy.due(3, 999)
+    assert policy.due(4, 0)
+    assert policy.due(0, 1000)
+    disabled = CheckpointPolicy(every_txns=0, every_wal_bytes=0)
+    assert not disabled.due(10_000, 10_000_000)
+
+
+def test_write_load_roundtrip(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write(payload(0, None, ["A", "B"]))
+    loaded = store.load_all()
+    assert set(loaded) == {0}
+    assert loaded[0]["complete"] is True
+    assert set(loaded[0]["nodes"]) == {"A", "B"}
+
+
+def test_aborted_publish_leaves_only_tmp(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    tmp = store.write(payload(0, None, ["A"]), abort_before_publish=True)
+    assert tmp.endswith(".tmp") and os.path.exists(tmp)
+    assert store.load_all() == {}
+
+
+def test_chain_resolution_newest_node_wins(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write(payload(0, None, ["A", "B"], wal_txn=0))   # base
+    store.write(payload(1, 0, ["A"], wal_txn=4))           # A dirtied
+    store.write(payload(2, 1, ["B"], wal_txn=8))           # B dirtied
+    meta, nodes = store.resolve_chain(["A", "B"])
+    assert meta["id"] == 2 and meta["wal_txn"] == 8
+    assert nodes["B"]["rows"] == [[[2], 1]]   # from checkpoint 2
+    assert nodes["A"]["rows"] == [[[1], 1]]   # newest image is checkpoint 1's
+
+
+def test_broken_chain_falls_back_to_older_candidate(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write(payload(0, None, ["A", "B"]))
+    store.write(payload(1, 0, ["A"]))
+    store.write(payload(3, 2, ["B"]))  # parent 2 never published (crashed)
+    meta, nodes = store.resolve_chain(["A", "B"])
+    assert meta["id"] == 1
+
+
+def test_unparseable_checkpoint_is_skipped(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write(payload(0, None, ["A"]))
+    with open(store.path_for(1), "w") as fh:
+        fh.write("{ not json")
+    meta, _ = store.resolve_chain(["A"])
+    assert meta["id"] == 0
+
+
+def test_no_usable_chain_raises(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(MediatorError):
+        store.resolve_chain(["A"])
+    # A chain that never covers node B is unusable too.
+    store.write(payload(0, None, ["A"]))
+    with pytest.raises(MediatorError):
+        store.resolve_chain(["A", "B"])

@@ -91,11 +91,50 @@ def test_backoff_delays_grow_exponentially_and_cap():
         {"base_timeout": 0.0},
         {"multiplier": 0.5},
         {"base_timeout": 2.0, "max_backoff": 1.0},
+        {"jitter": "full"},
     ],
 )
 def test_backoff_validation(kwargs):
     with pytest.raises(SimulationError):
         BackoffPolicy(**kwargs)
+
+
+def test_decorrelated_jitter_is_deterministic_under_seed():
+    policy = BackoffPolicy(
+        base_timeout=1.0, max_backoff=20.0, jitter="decorrelated", jitter_seed=42
+    )
+    same = BackoffPolicy(
+        base_timeout=1.0, max_backoff=20.0, jitter="decorrelated", jitter_seed=42
+    )
+    delays = [policy.delay(a, key="db1#0") for a in range(6)]
+    assert delays == [same.delay(a, key="db1#0") for a in range(6)]
+    # Attempt 0 is always the base; every delay respects base and cap.
+    assert delays[0] == 1.0
+    assert all(1.0 <= d <= 20.0 for d in delays)
+
+
+def test_decorrelated_jitter_decorrelates_keys_and_seeds():
+    policy = BackoffPolicy(
+        base_timeout=1.0, max_backoff=1000.0, jitter="decorrelated", jitter_seed=42
+    )
+    other_seed = BackoffPolicy(
+        base_timeout=1.0, max_backoff=1000.0, jitter="decorrelated", jitter_seed=43
+    )
+    a = [policy.delay(n, key="db1#0") for n in range(1, 8)]
+    b = [policy.delay(n, key="db2#0") for n in range(1, 8)]
+    c = [other_seed.delay(n, key="db1#0") for n in range(1, 8)]
+    assert a != b  # distinct streams draw distinct schedules
+    assert a != c  # and distinct seeds reshuffle the same stream
+
+
+def test_decorrelated_jitter_grows_toward_cap():
+    policy = BackoffPolicy(
+        base_timeout=1.0, max_backoff=8.0, jitter="decorrelated", jitter_seed=7
+    )
+    # d_n <= min(cap, 3 * d_{n-1}); after enough attempts the cap binds.
+    delays = [policy.delay(n, key="k") for n in range(12)]
+    assert all(d <= 8.0 for d in delays)
+    assert max(delays) > 1.0
 
 
 # ----------------------------------------------------------------------
