@@ -1,0 +1,233 @@
+"""Experiment SK — attach backfill cost: joining source's data, not federation size.
+
+The Section 8 dynamicity claim for the soak suite: when a source joins a
+running federation, the backfill touches only the subtree the joiner
+contributes, so its cost is a function of the *joining source's* data and
+join fan-in — never of how many other sources happen to be federated.
+
+Two sweeps over the seeded federation generator pin that shape:
+
+* **federation sweep** — the same joiner (same seed-derived data, no join
+  partners, so its payload is identical everywhere) attaches to
+  federations of 50 / 100 / 200 sources: backfilled rows and nodes must
+  be *constant* across sizes;
+* **volume sweep** — at a fixed 50-source federation, the joiner commits
+  0 / 32 / 128 extra rows while detached before attaching: backfilled
+  rows must grow exactly with the extra volume.
+
+All counters are deterministic (the generator draws every value from the
+federation seed), so ``BENCH_soak.json`` at the repo root is an exact
+regression baseline:
+``python benchmarks/bench_soak.py --check BENCH_soak.json``.
+Wall time appears in the printed table only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.generator import generate_mediator, make_federation, make_sources
+from repro.generator.federation import KEY_DOMAIN
+
+try:
+    from _util import BENCH_SEED, report, time_callable
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from _util import BENCH_SEED, report, time_callable
+
+FEDERATION_SIZES = [50, 100, 200]
+EXTRA_ROWS = [0, 32, 128]
+VOLUME_FEDERATION = 50
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_soak.json"
+
+
+def pick_isolated_joiner() -> str:
+    """A non-bulk source with no join partners even in the largest
+    federation.
+
+    Per-source draws are keyed by ``(seed, name)``, so the first
+    ``min(FEDERATION_SIZES)`` sources — and every join whose endpoints
+    fall among them — are identical across all sizes; a partner-free
+    source among them brings a byte-identical attach payload to each
+    federation, making the sweep a pure federation-size comparison.
+    """
+    largest = make_federation(max(FEDERATION_SIZES), seed=BENCH_SEED)
+    for s in largest.sources:
+        if s.index >= min(FEDERATION_SIZES):
+            break
+        if s.tier != "bulk" and not largest.joins_of(s.name, largest.names):
+            return s.name
+    raise AssertionError("no isolated non-bulk source in the first block")
+
+
+def attach_once(n_sources: int, joiner: str, extra_rows: int = 0) -> dict:
+    """Build an ``n``-source federation without ``joiner``, optionally
+    commit extra rows at the absent source, then attach it."""
+    fed = make_federation(n_sources, seed=BENCH_SEED)
+    members = [name for name in fed.names if name != joiner]
+    sources = make_sources(fed.spec_text_for(members), fed.initial_data(members))
+    mediator = generate_mediator(fed.spec_text_for(members), sources)
+
+    joining = make_sources(fed.spec_text_for([joiner]), fed.initial_data([joiner]))[
+        joiner
+    ]
+    k, a, b = fed.attributes(joiner)
+    for i in range(extra_rows):
+        joining.insert(
+            fed.relation(joiner), **{k: KEY_DOMAIN + i, a: i % KEY_DOMAIN, b: i}
+        )
+    views, annotations = fed.attach_payload(joiner, members)
+    result = mediator.attach_source(joining, views, annotations)
+    return {
+        "federation": n_sources,
+        "joiner_rows": fed.source(joiner).rows + extra_rows,
+        "extra_rows": extra_rows,
+        "new_nodes": len(result.new_nodes),
+        "backfill_nodes": len(result.backfill_nodes),
+        "backfill_rows": result.backfill_rows,
+    }
+
+
+def collect() -> dict:
+    joiner = pick_isolated_joiner()
+    return {
+        "joiner": joiner,
+        "federation_sweep": [attach_once(n, joiner) for n in FEDERATION_SIZES],
+        "volume_sweep": [
+            attach_once(VOLUME_FEDERATION, joiner, extra_rows=extra)
+            for extra in EXTRA_ROWS
+        ],
+    }
+
+
+def render(results, times=None) -> None:
+    from repro.bench import shape_line
+
+    sweep = results["federation_sweep"]
+    volume = results["volume_sweep"]
+    rows = []
+    for i, r in enumerate(sweep):
+        rows.append(
+            [
+                r["federation"],
+                r["joiner_rows"],
+                r["new_nodes"],
+                r["backfill_nodes"],
+                r["backfill_rows"],
+                f"{times[i] * 1e3:.1f}" if times else "-",
+            ]
+        )
+    for r in volume:
+        rows.append(
+            [
+                f"{r['federation']} (+{r['extra_rows']} rows)",
+                r["joiner_rows"],
+                r["new_nodes"],
+                r["backfill_nodes"],
+                r["backfill_rows"],
+                "-",
+            ]
+        )
+    constant = len({(r["backfill_rows"], r["backfill_nodes"]) for r in sweep}) == 1
+    base = volume[0]["backfill_rows"]
+    proportional = all(
+        r["backfill_rows"] == base + r["extra_rows"] for r in volume
+    )
+    report(
+        "SK_attach_backfill",
+        f"SK: attach backfill cost (joiner {results['joiner']!r})",
+        [
+            "federation",
+            "joiner rows",
+            "new nodes",
+            "backfill nodes",
+            "backfill rows",
+            "wall ms (build+attach)",
+        ],
+        rows,
+        shapes=[
+            shape_line(
+                "backfill is constant across federation sizes", constant
+            ),
+            shape_line(
+                "backfill grows exactly with the joiner's data", proportional
+            ),
+        ],
+        note="counters are deterministic; JSON baseline: BENCH_soak.json",
+    )
+
+
+def test_soak_backfill_baseline():
+    """Pytest entry point: regenerate the sweeps and pin the shape claims."""
+    results = collect()
+    render(results)
+    sweep = results["federation_sweep"]
+    assert len({r["backfill_rows"] for r in sweep}) == 1
+    assert len({r["backfill_nodes"] for r in sweep}) == 1
+    volume = results["volume_sweep"]
+    base = volume[0]["backfill_rows"]
+    for r in volume:
+        assert r["backfill_rows"] == base + r["extra_rows"]
+    baseline = DEFAULT_BASELINE
+    if baseline.exists():
+        assert json.loads(baseline.read_text())["results"] == results, (
+            "deterministic counters diverged from BENCH_soak.json — "
+            "regenerate with: python benchmarks/bench_soak.py --write"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="verify deterministic counters against a baseline JSON",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="(re)write the baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    joiner = pick_isolated_joiner()
+    times = [
+        time_callable(lambda n=n: attach_once(n, joiner), repeats=1)
+        for n in FEDERATION_SIZES
+    ]
+    results = collect()
+    render(results, times=times)
+
+    payload = {
+        "experiment": "SK_attach_backfill",
+        "workload": {
+            "federation_sizes": FEDERATION_SIZES,
+            "extra_rows": EXTRA_ROWS,
+            "volume_federation": VOLUME_FEDERATION,
+            "seed": BENCH_SEED,
+        },
+        "results": results,
+    }
+    if args.check:
+        expected = json.loads(pathlib.Path(args.check).read_text())
+        if expected["results"] != results:
+            print(f"MISMATCH against {args.check}", file=sys.stderr)
+            print(json.dumps(results, indent=2), file=sys.stderr)
+            return 1
+        print(f"baseline {args.check} verified", file=sys.stderr)
+        return 0
+    path = pathlib.Path(args.write or DEFAULT_BASELINE)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

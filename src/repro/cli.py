@@ -9,6 +9,14 @@ Usage::
     python -m repro stats ex23                    # metrics after a scenario
     python -m repro checkpoint SPEC --dir DIR     # write a durable checkpoint
     python -m repro recover SPEC --dir DIR        # recover a mediator from DIR
+    python -m repro soak --sources 200 --seed 7   # churn & soak workload
+
+``soak`` generates a seeded federation (:mod:`repro.generator.federation`)
+and drives it through a churn schedule — sources joining, leaving, and
+suffering outages while updates cross a faulty simulated network — with
+periodic convergence checkpoints (churned ≡ static) and a freshness-SLO
+report; ``--crash TXN:PHASE`` composes in the durability crash schedule.
+Exits non-zero on any convergence or SLO violation.
 
 ``checkpoint`` deploys a mediator from the spec (+ data) and writes a full
 checkpoint into ``--dir`` (creating the write-ahead log alongside it);
@@ -218,6 +226,65 @@ def _cmd_recover(args, out) -> int:
     return 0
 
 
+def _cmd_soak(args, out) -> int:
+    from repro.soak import SoakConfig, run_soak, write_slo_report
+
+    crash_points = tuple(
+        (int(txn), phase)
+        for txn, _, phase in (point.partition(":") for point in args.crash or ())
+    )
+    config = SoakConfig(
+        sources=args.sources,
+        seed=args.seed,
+        steps=args.steps,
+        checkpoint_every=args.checkpoint_every,
+        staleness_bound=args.staleness_bound,
+        crash_points=crash_points,
+        durability_dir=args.durability_dir,
+    )
+    result = run_soak(config)
+    if args.report:
+        write_slo_report(result, args.report)
+        print(f"freshness-SLO report written to {args.report}", file=out)
+    stats = result.stats
+    print(
+        f"soak: {result.steps_run} steps over {config.sources} sources "
+        f"(seed {config.seed}); final membership {len(result.final_members)}",
+        file=out,
+    )
+    print(
+        f"  churn: {stats.attaches} attaches ({stats.backfill_rows} backfill rows), "
+        f"{stats.detaches} detaches, {stats.outages} outages, "
+        f"{stats.updates_applied} source updates",
+        file=out,
+    )
+    print(
+        f"  network: {stats.messages_sent} sent, {stats.messages_delivered} delivered, "
+        f"{stats.messages_dropped} dropped, {stats.retransmissions} retransmitted, "
+        f"{stats.duplicates} duplicated",
+        file=out,
+    )
+    print(
+        f"  durability: {stats.crashes} crashes, {stats.recoveries} recoveries; "
+        f"{stats.convergence_checks} convergence checkpoints",
+        file=out,
+    )
+    worst = max(result.worst_staleness.values(), default=0.0)
+    print(
+        f"  freshness: worst tagged staleness {worst:.1f} steps "
+        f"(bound {config.staleness_bound:.1f})",
+        file=out,
+    )
+    for violation in result.convergence_violations:
+        print(f"  CONVERGENCE VIOLATION: {violation}", file=out)
+    for violation in result.slo_violations:
+        print(f"  SLO VIOLATION: {violation}", file=out)
+    if result.ok:
+        print("  zero convergence violations, freshness SLO held", file=out)
+        return 0
+    return 1
+
+
 def _cmd_repl(args, out) -> int:
     mediator = build_mediator_from_files(args.spec, args.data, args.backend)
     print("squirrel mediator ready; \\vdp \\stats \\refresh \\insert \\delete \\quit", file=out)
@@ -301,6 +368,31 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     )
     p_recover.add_argument("--query", help="run one query against the recovered state")
 
+    p_soak = subparsers.add_parser(
+        "soak", help="run a seeded churn & soak workload with convergence checks"
+    )
+    p_soak.add_argument("--sources", type=int, default=50, help="federation size")
+    p_soak.add_argument("--seed", type=int, default=0, help="scenario seed")
+    p_soak.add_argument("--steps", type=int, default=40, help="schedule length")
+    p_soak.add_argument(
+        "--checkpoint-every", type=int, default=10, dest="checkpoint_every",
+        help="convergence-checkpoint cadence (steps)",
+    )
+    p_soak.add_argument(
+        "--staleness-bound", type=float, default=15.0, dest="staleness_bound",
+        help="freshness-SLO bound in steps (see docs/scenarios.md)",
+    )
+    p_soak.add_argument(
+        "--crash", action="append", metavar="TXN:PHASE",
+        help="inject a crash at committed transaction TXN in PHASE "
+        "(post-wal-append, torn-wal, mid-checkpoint); repeatable",
+    )
+    p_soak.add_argument(
+        "--durability-dir", dest="durability_dir",
+        help="durability directory (default: a temp dir when --crash is given)",
+    )
+    p_soak.add_argument("--report", help="write the freshness-SLO report JSON here")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "describe":
@@ -315,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_checkpoint(args, out)
         if args.command == "recover":
             return _cmd_recover(args, out)
+        if args.command == "soak":
+            return _cmd_soak(args, out)
         return _cmd_repl(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,13 +18,19 @@ Public surface:
 """
 
 from repro.core.annotations import MATERIALIZED, VIRTUAL, Annotation
-from repro.core.builder import annotate, build_vdp
+from repro.core.builder import annotate, build_vdp, extend_vdp
 from repro.core.compensation import compensate
 from repro.core.derived_from import TempRequest, child_requirements, derived_from
 from repro.core.iup import IncrementalUpdateProcessor, IUPStats, UpdateTransactionResult
 from repro.core.links import DelayedLink, DirectLink, SourceLink
 from repro.core.local_store import LocalStore
-from repro.core.mediator import STATS_METRICS, MediatorStats, SquirrelMediator
+from repro.core.mediator import (
+    STATS_METRICS,
+    AttachResult,
+    DetachResult,
+    MediatorStats,
+    SquirrelMediator,
+)
 from repro.core.persistence import restore_mediator, save_mediator
 from repro.core.query_processor import QPStats, QueryProcessor
 from repro.core.rulebase import RuleBase
@@ -44,6 +50,7 @@ __all__ = [
     "NodeKind",
     "classify_definition",
     "build_vdp",
+    "extend_vdp",
     "annotate",
     "TempRequest",
     "derived_from",
@@ -67,6 +74,8 @@ __all__ = [
     "QueryProcessor",
     "QPStats",
     "SquirrelMediator",
+    "AttachResult",
+    "DetachResult",
     "MediatorStats",
     "STATS_METRICS",
     "DirectLink",

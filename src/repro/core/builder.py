@@ -41,7 +41,7 @@ from repro.relalg import (
     parse_expression,
 )
 
-__all__ = ["build_vdp", "annotate"]
+__all__ = ["build_vdp", "extend_vdp", "annotate"]
 
 ViewDef = TypingUnion[str, Expression]
 
@@ -101,6 +101,87 @@ def build_vdp(
         nodes.append(VDPNode(leaf, source_schemas[leaf], NodeKind.LEAF, source=source))
 
     return VDP(nodes, exports)
+
+
+def extend_vdp(
+    vdp: VDP,
+    source_schemas: Mapping[str, RelationSchema],
+    source_of: Mapping[str, str],
+    views: Mapping[str, ViewDef],
+    exports: Sequence[str] = (),
+) -> VDP:
+    """Grow an existing VDP with new source relations and views.
+
+    The dynamic-membership half of the generator pipeline: a joining
+    source contributes relations (``source_schemas`` / ``source_of``) and
+    view definitions that may reference both the new relations and any
+    *existing* node of ``vdp``.  Chains over the new source relations are
+    hoisted into leaf-parents exactly as :func:`build_vdp` does; existing
+    nodes are carried over untouched (same objects), so the extension
+    never perturbs unrelated subtrees.  The result is re-validated wholly
+    — in particular the "maximal node must be exported" rule applies, so
+    a new top view must appear in ``exports``.
+    """
+    existing = dict(vdp.nodes)
+    for name in source_schemas:
+        if name in existing:
+            raise VDPError(f"new source relation {name!r} clashes with an existing node")
+    parsed: Dict[str, Expression] = {}
+    for name, definition in views.items():
+        if name in existing or name in source_schemas:
+            raise VDPError(f"new view {name!r} clashes with an existing name")
+        parsed[name] = parse_expression(definition) if isinstance(definition, str) else definition
+
+    # Existing nodes act as opaque base relations for dependency ordering
+    # and schema inference; only chains over *new* source relations hoist.
+    base_schemas: Dict[str, RelationSchema] = {
+        name: node.schema for name, node in existing.items()
+    }
+    base_schemas.update(source_schemas)
+    ordered = _dependency_order(parsed, base_schemas)
+    hoisted: Dict[str, Expression] = {}
+    hoist_counter: Dict[str, int] = {}
+
+    schemas: Dict[str, RelationSchema] = dict(base_schemas)
+    used_leaves: set = set()
+    new_nodes: List[VDPNode] = []
+
+    def add_view_node(name: str, definition: Expression) -> None:
+        kind = classify_definition(definition)
+        schema = definition.infer_schema(schemas, name).rename_relation(name)
+        schemas[name] = schema
+        new_nodes.append(VDPNode(name, schema, kind, definition=definition))
+
+    for name in ordered:
+        definition = parsed[name]
+        refs = definition.relation_names()
+        direct_sources = refs & set(source_schemas)
+        is_chain_over_source = (
+            len(refs) == 1 and direct_sources and _is_chain(definition)
+        )
+        if direct_sources and not is_chain_over_source:
+            definition = _hoist_source_chains(
+                definition, source_schemas, hoisted, hoist_counter
+            )
+        used_leaves |= definition.relation_names() & set(source_schemas)
+        parsed[name] = definition
+
+    for lp_name, lp_def in hoisted.items():
+        if lp_name in existing:
+            raise VDPError(f"hoisted node name {lp_name!r} collides; rename your views")
+        used_leaves |= lp_def.relation_names()
+        add_view_node(lp_name, lp_def)
+    for name in ordered:
+        add_view_node(name, parsed[name])
+
+    for leaf in sorted(used_leaves):
+        source = source_of.get(leaf)
+        if source is None:
+            raise VDPError(f"no source database declared for relation {leaf!r}")
+        new_nodes.append(VDPNode(leaf, source_schemas[leaf], NodeKind.LEAF, source=source))
+
+    all_exports = list(vdp.exports) + [e for e in exports if e not in vdp.exports]
+    return VDP(list(vdp.nodes.values()) + new_nodes, all_exports)
 
 
 def _dependency_order(

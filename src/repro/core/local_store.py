@@ -264,6 +264,18 @@ class LocalStore:
             )
             projected.apply_to(repo, name)
 
+    def retire_node(self, name: str) -> None:
+        """Forget one node's storage entirely (repository, ΔR, indexes).
+
+        Dynamic detach removes a subtree from the VDP; the store must drop
+        the retired nodes' repositories so space is reclaimed and stale
+        populations can never be read back.  Safe to call for nodes that
+        never stored anything.
+        """
+        self._repos.pop(name, None)
+        self._deltas.pop(name, None)
+        self._index_requirements.pop(name, None)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -23,6 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple, Union as TypingUnion
 
+from repro.core.annotations import Annotation
+from repro.core.builder import extend_vdp
+from repro.core.derived_from import TempRequest
 from repro.core.iup import IncrementalUpdateProcessor, UpdateTransactionResult
 from repro.core.links import DirectLink, SourceLink
 from repro.core.local_store import LocalStore
@@ -30,23 +33,27 @@ from repro.core.query_processor import QueryProcessor
 from repro.core.rulebase import RuleBase
 from repro.core.update_queue import UpdateQueue
 from repro.core.vap import VirtualAttributeProcessor
-from repro.core.vdp import AnnotatedVDP
+from repro.core.vap_cache import VAPTempCache
+from repro.core.vdp import VDP, AnnotatedVDP
 from repro.deltas import SetDelta
-from repro.errors import MediatorError, SourceUnavailableError
+from repro.errors import AnnotationError, MediatorError, SourceUnavailableError
 from repro.faults.staleness import StalenessTag, TaggedAnswer
 from repro.obs.metrics import MetricsRegistry, dataclass_counter_items
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import (
     TRUE,
+    Evaluator,
     Expression,
     Predicate,
+    Project,
     Relation,
+    Scan,
     parse_expression,
 )
 from repro.sources.base import SourceDatabase
 from repro.sources.contributors import ContributorKind
 
-__all__ = ["MediatorStats", "STATS_METRICS", "SquirrelMediator"]
+__all__ = ["AttachResult", "DetachResult", "MediatorStats", "STATS_METRICS", "SquirrelMediator"]
 
 QueryInput = TypingUnion[str, Expression]
 
@@ -121,6 +128,27 @@ STATS_METRICS: Dict[str, str] = {
     "index_rebuilds": "eval.index_rebuilds",
     "propagation_passes": "iup.propagation_passes",
 }
+
+
+@dataclass(frozen=True)
+class AttachResult:
+    """What one dynamic :meth:`SquirrelMediator.attach_source` did."""
+
+    source: str
+    new_nodes: Tuple[str, ...]      # every node the extension added, topologically
+    backfill_nodes: Tuple[str, ...]  # the storing subset that was populated
+    backfill_rows: int               # total multiplicity backfilled
+    cursor: int                      # the source-log position the backfill reflects
+
+
+@dataclass(frozen=True)
+class DetachResult:
+    """What one dynamic :meth:`SquirrelMediator.detach_source` did."""
+
+    source: str
+    removed_nodes: Tuple[str, ...]   # leaves + every ancestor that left with them
+    retired_repos: Tuple[str, ...]   # removed nodes whose storage was dropped
+    dropped_messages: int            # queued announcements discarded with the source
 
 
 class SquirrelMediator:
@@ -281,6 +309,256 @@ class SquirrelMediator:
             self.sources[source_name].set_prefilters(filters)
             installed += len(filters)
         return installed
+
+    # ------------------------------------------------------------------
+    # Dynamic federation membership (Section 8 — "Dynamicity")
+    # ------------------------------------------------------------------
+    def attach_source(
+        self,
+        source: SourceDatabase,
+        views: Mapping[str, TypingUnion[str, Expression]],
+        annotations: Optional[Mapping[str, TypingUnion[str, Annotation]]] = None,
+        exports: Optional[Sequence[str]] = None,
+        link: Optional[SourceLink] = None,
+    ) -> AttachResult:
+        """Grow the federation with a new source at runtime.
+
+        ``views`` defines the nodes the source contributes (they may
+        reference existing VDP nodes — joins against the current federation
+        are the normal case); ``annotations`` annotates the new nodes
+        (``"m"``/``"materialized"``, ``"v"``/``"virtual"``, the paper's
+        bracket form, or :class:`Annotation` objects — unmentioned new
+        nodes, hoisted leaf-parents included, default to fully
+        materialized); ``exports`` defaults to every new view name.
+
+        The attach does **not** quiesce unrelated subtrees.  New storing
+        nodes are backfilled through the ordinary VAP path: polls are
+        pinned to the state the materialized data already reflects by the
+        Eager Compensation Algorithm, so announcements sitting in the queue
+        are excluded from the backfill and propagate through the new rules
+        on the next update transaction — exactly once either way.  During
+        the backfill the new source is flagged mid-resync, so tagged
+        answers disclose it honestly.  With a durability manager attached,
+        the attach commits a full checkpoint (the structural change
+        invalidates incremental chains).
+        """
+        self._require_init()
+        name = source.name
+        if name in self.sources:
+            raise MediatorError(f"source {name!r} is already attached")
+        source_schemas = dict(source.schemas)
+        source_of = {rel: name for rel in source.schemas}
+        export_list = sorted(views) if exports is None else list(exports)
+        new_vdp = extend_vdp(self.vdp, source_schemas, source_of, views, export_list)
+        old_names = set(self.vdp.nodes)
+        new_names = tuple(n for n in new_vdp.topological_order() if n not in old_names)
+        new_annotated = AnnotatedVDP(
+            new_vdp, self._resolve_new_annotations(new_vdp, new_names, annotations)
+        )
+        new_kinds = new_annotated.contributor_kinds()
+
+        # Existing sources the extension flips to announcing: their pending
+        # accumulators cover transactions the backfill polls are about to
+        # reflect — drain (and discard) them now so they are never
+        # delivered post-flip and double-applied.
+        for other in sorted(self.sources):
+            kind = new_kinds.get(other)
+            old_kind = self.contributor_kinds.get(other)
+            if kind and kind.announces and not (old_kind and old_kind.announces):
+                _, other_cursor = self.sources[other].take_announcement_versioned()
+                self.queue.note_reflected_cursor(other, other_cursor)
+
+        # One atomic (drain, cursor) on the joining source: the backfill
+        # polls that follow observe exactly transactions 1..cursor, and any
+        # later commit reaches the queue as an ordinary announcement.
+        _, cursor = source.initial_snapshot()
+        self.sources[name] = source
+        joining_kind = new_kinds.get(name)
+        if link is None:
+            link = DirectLink(
+                source,
+                announcement_sink=self.enqueue_update,
+                announces=bool(joining_kind and joining_kind.announces),
+            )
+        self.links[name] = link
+        self.queue.note_reflected_cursor(name, cursor)
+        self._install_structure(new_annotated)
+
+        storing = tuple(
+            n
+            for n in new_names
+            if not new_vdp.node(n).is_leaf
+            and new_annotated.annotation(n).materialized_attrs
+        )
+        backfill_rows = 0
+        self.begin_resync(name)
+        try:
+            with self.tracer.span(
+                "backfill", source=name, nodes=sorted(storing)
+            ) as span:
+                if storing:
+                    requests = [
+                        TempRequest(
+                            n, frozenset(new_vdp.node(n).schema.attribute_names)
+                        )
+                        for n in storing
+                    ]
+                    values = self.vap.materialize(requests, {})
+                    for n in storing:
+                        value = values[n]
+                        # Temps carry attributes in request (sorted) order;
+                        # repositories must use the node's declared order.
+                        want = new_vdp.node(n).schema.attribute_names
+                        if value.schema.attribute_names != want:
+                            value = Evaluator({n: value}).evaluate(
+                                Project(Scan(n), list(want)), n
+                            )
+                        self.store.reinitialize_node(n, value)
+                        backfill_rows += value.cardinality()
+                span.set(rows=backfill_rows)
+        finally:
+            self.end_resync(name)
+        # Temps cached while the new repositories were still absent would
+        # bypass them afterwards; start the cache clean over the new VDP.
+        self.vap.clear_cache()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "source_attach",
+                source=name,
+                nodes=sorted(new_names),
+                backfill_nodes=sorted(storing),
+                backfill_rows=backfill_rows,
+            )
+        if self.iup.durability is not None:
+            self.iup.durability.checkpoint(full=True)
+        return AttachResult(name, new_names, storing, backfill_rows, cursor)
+
+    def detach_source(self, name: str) -> DetachResult:
+        """Shrink the federation: remove a source and its dependent subtree.
+
+        Every leaf of the source leaves the VDP together with all its
+        ancestors (any node whose value depends on the departed data).
+        Remaining nodes are untouched — their repositories, ΔR state and
+        queued announcements survive; exports shrink to the surviving
+        names, with any newly-maximal surviving node auto-exported to keep
+        the VDP valid.  All queue state of the departed source (queued
+        entries included — a deferred transaction's requeued messages among
+        them) is forgotten, so a later re-attach starts a fresh timeline.
+        """
+        self._require_init()
+        if name not in self.sources:
+            raise MediatorError(f"cannot detach unknown source {name!r}")
+        removed: Set[str] = set()
+        for leaf in self.vdp.leaves_of_source(name):
+            removed.add(leaf)
+            removed |= set(self.vdp.ancestors(leaf))
+        remaining_nodes = [
+            node for node_name, node in self.vdp.nodes.items() if node_name not in removed
+        ]
+        remaining = {n.name for n in remaining_nodes}
+        exports = [e for e in self.vdp.exports if e in remaining]
+        # A surviving non-leaf whose every parent departed is newly maximal
+        # and must be exported for the VDP to stay valid.
+        for node in remaining_nodes:
+            if node.is_leaf or node.name in exports:
+                continue
+            if not any(p in remaining for p in self.vdp.parents(node.name)):
+                exports.append(node.name)
+        new_vdp = VDP(remaining_nodes, exports)
+        new_annotated = AnnotatedVDP(
+            new_vdp,
+            {
+                n: ann
+                for n, ann in self.annotated.annotations.items()
+                if n in remaining
+            },
+        )
+        retired = tuple(sorted(n for n in removed if self.store.has_repo(n)))
+        for n in removed:
+            self.store.retire_node(n)
+        dropped = self.queue.forget_source(name)
+        self.sources.pop(name)
+        self.links.pop(name, None)
+        self._resyncing.discard(name)
+        self._install_structure(new_annotated)
+        self.vap.clear_cache()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "source_detach",
+                source=name,
+                removed_nodes=sorted(removed),
+                dropped_messages=dropped,
+            )
+        if self.iup.durability is not None:
+            self.iup.durability.checkpoint(full=True)
+        return DetachResult(name, tuple(sorted(removed)), retired, dropped)
+
+    def _resolve_new_annotations(
+        self,
+        new_vdp: VDP,
+        new_names: Sequence[str],
+        overrides: Optional[Mapping[str, TypingUnion[str, Annotation]]],
+    ) -> Dict[str, Annotation]:
+        resolved = dict(self.annotated.annotations)
+        pending = dict(overrides or {})
+        for node_name in new_names:
+            node = new_vdp.node(node_name)
+            if node.is_leaf:
+                continue
+            override = pending.pop(node_name, None)
+            attrs = node.schema.attribute_names
+            if override is None or override in ("m", "materialized"):
+                resolved[node_name] = Annotation.all_materialized(attrs)
+            elif isinstance(override, Annotation):
+                resolved[node_name] = override
+            elif override in ("v", "virtual"):
+                resolved[node_name] = Annotation.all_virtual(attrs)
+            else:
+                resolved[node_name] = Annotation.parse(override)
+        if pending:
+            raise AnnotationError(
+                f"annotations for unknown new nodes: {sorted(pending)}"
+            )
+        return resolved
+
+    def _install_structure(self, annotated: AnnotatedVDP) -> None:
+        """Swap every component onto a new annotated VDP, in place.
+
+        The store's repositories, the update queue, the links, all counters
+        and the durability hook survive — only the structural views of the
+        world (VDP, annotations, rulebase, contributor kinds, VAP cache and
+        planning memos) are replaced.  Callers must have ``self.sources``
+        already matching the new VDP's leaves.
+        """
+        self.annotated = annotated
+        self.vdp = annotated.vdp
+        self.contributor_kinds = annotated.contributor_kinds()
+        self._check_sources()
+        self.store.annotated = annotated
+        self.store.vdp = annotated.vdp
+        self.rulebase = RuleBase(self.vdp)
+        self.store.declare_index_requirements(self.rulebase.index_requirements())
+        vap = self.vap
+        vap.annotated = annotated
+        vap.vdp = annotated.vdp
+        vap.links = dict(self.links)
+        vap.contributor_kinds = dict(self.contributor_kinds)
+        vap.cache = VAPTempCache(self.vdp)
+        vap._cacheable_memo = {}
+        vap._topo_index = {
+            node: i for i, node in enumerate(self.vdp.topological_order())
+        }
+        self.iup.annotated = annotated
+        self.iup.vdp = annotated.vdp
+        self.iup.rulebase = self.rulebase
+        self.qp.annotated = annotated
+        self.qp.vdp = annotated.vdp
+        # Contributor kinds may have flipped for surviving sources (a new
+        # materialized consumer, or the last one leaving).
+        for source_name, source_link in self.links.items():
+            if hasattr(source_link, "announces"):
+                kind = self.contributor_kinds.get(source_name)
+                source_link.announces = bool(kind and kind.announces)
 
     # ------------------------------------------------------------------
     # Flow 1: incremental updates

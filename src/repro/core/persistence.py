@@ -45,7 +45,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.core.mediator import SquirrelMediator
 from repro.core.vdp import AnnotatedVDP, NodeKind
 from repro.deltas import SetDelta, net_accumulate
-from repro.errors import MediatorError, SnapshotStaleError
+from repro.errors import MediatorError, OrphanStateError, SnapshotStaleError
 from repro.relalg import BagRelation, Evaluator, Relation, RelationSchema, Row, SetRelation
 
 __all__ = [
@@ -209,6 +209,7 @@ def restore_mediator(
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
     on_stale: str = "raise",
+    on_orphan: str = "drop",
 ) -> SquirrelMediator:
     """Rebuild a mediator from a snapshot and catch up from source logs.
 
@@ -226,9 +227,20 @@ def restore_mediator(
       selectively re-initialize just the stale sources' leaf relations and
       the materialized subtree above them (:func:`reinitialize_sources`)
       from fresh snapshots.  Intact sources still catch up incrementally.
+
+    ``on_orphan`` decides what happens when the snapshot holds *more* than
+    the current federation: nodes imaged for a source that has since been
+    detached (or cursors for it).  ``"drop"`` (default) discards the
+    orphan state — a detach is an intentional shrink, and the surviving
+    repositories restore normally; ``"raise"`` raises
+    :class:`~repro.errors.OrphanStateError` naming the orphan nodes and
+    cursors.  A snapshot *missing* nodes the annotation stores is always
+    an error — those repositories cannot be conjured.
     """
     if on_stale not in ("raise", "reinit"):
         raise MediatorError(f"on_stale must be 'raise' or 'reinit', got {on_stale!r}")
+    if on_orphan not in ("drop", "raise"):
+        raise MediatorError(f"on_orphan must be 'drop' or 'raise', got {on_orphan!r}")
     cursors, node_columns, rows = _load_snapshot(path)
     mediator = SquirrelMediator(
         annotated,
@@ -238,10 +250,22 @@ def restore_mediator(
     )
 
     expected = set(annotated.nodes_with_storage())
-    if expected != set(node_columns):
+    present = set(node_columns)
+    missing = expected - present
+    if missing:
         raise MediatorError(
-            f"snapshot covers nodes {sorted(node_columns)}, annotation stores {sorted(expected)}"
+            f"snapshot covers nodes {sorted(present)}, annotation stores {sorted(expected)}"
         )
+    orphan_nodes = present - expected
+    orphan_cursors = set(cursors) - set(mediator.sources)
+    if orphan_nodes or orphan_cursors:
+        if on_orphan == "raise":
+            raise OrphanStateError(orphan_nodes, orphan_cursors)
+        for node_name in orphan_nodes:
+            node_columns.pop(node_name)
+            rows.pop(node_name, None)
+        for source_name in orphan_cursors:
+            cursors.pop(source_name)
 
     # Populate repositories straight from the snapshot.
     for node_name, columns in node_columns.items():

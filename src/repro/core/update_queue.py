@@ -235,6 +235,27 @@ class UpdateQueue:
             self._entries = kept
             return dropped
 
+    def forget_source(self, source: str) -> int:
+        """Drop *all* state of one source: queued entries, dedup history,
+        txn counter, cursors, send times.  Returns how many queued entries
+        were dropped.
+
+        Used when a source leaves the federation.  Unlike
+        :meth:`discard_source` (which keeps sequencing state so the same
+        source's later announcements still deduplicate), this forgets the
+        source completely — if it ever re-attaches it starts a fresh
+        sequencing timeline, exactly like a source never seen before.
+        """
+        with self._lock:
+            kept = [e for e in self._entries if e.source != source]
+            dropped = len(self._entries) - len(kept)
+            self._entries = kept
+            self._seen_seqs.pop(source, None)
+            self._txn_counters.pop(source, None)
+            self._reflected_cursors.pop(source, None)
+            self._last_flushed_send.pop(source, None)
+            return dropped
+
     def pending_for_source(self, source: str) -> List[SetDelta]:
         """Queued (unflushed) deltas of one source, in arrival order."""
         with self._lock:

@@ -103,6 +103,30 @@ class SnapshotStaleError(MediatorError):
         super().__init__(message)
 
 
+class OrphanStateError(MediatorError):
+    """A persisted snapshot holds state for sources no longer federated.
+
+    Raised by :func:`repro.core.persistence.restore_mediator` with
+    ``on_orphan="raise"`` when the snapshot images nodes (or carries
+    cursors) belonging to a source that was detached between save and
+    restore.  The default policy (``on_orphan="drop"``) silently discards
+    the orphan state instead — a detach is an intentional shrink of the
+    federation, not corruption.  ``nodes`` lists the orphan storing nodes,
+    ``cursors`` the orphan source cursors.
+    """
+
+    def __init__(self, nodes, cursors, message=None):
+        self.nodes = sorted(nodes)
+        self.cursors = sorted(cursors)
+        if message is None:
+            message = (
+                f"snapshot holds orphan state (nodes {self.nodes}, "
+                f"cursors {self.cursors}) for sources outside the current "
+                'federation; pass on_orphan="drop" to discard it'
+            )
+        super().__init__(message)
+
+
 class SimulatedCrash(ReproError):
     """A crash-injection point fired: the mediator process "dies" here.
 

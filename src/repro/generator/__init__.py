@@ -1,5 +1,13 @@
 """The Squirrel generator: mediator specs → deployed mediators."""
 
+from repro.generator.federation import (
+    ChurnEvent,
+    ChurnPlan,
+    FederationSource,
+    FederationSpec,
+    make_federation,
+    plan_events,
+)
 from repro.generator.generate import (
     build_annotated_from_spec,
     build_vdp_from_spec,
@@ -24,4 +32,10 @@ __all__ = [
     "build_vdp_from_spec",
     "generate_mediator",
     "make_sources",
+    "FederationSource",
+    "FederationSpec",
+    "ChurnEvent",
+    "ChurnPlan",
+    "make_federation",
+    "plan_events",
 ]

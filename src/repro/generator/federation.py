@@ -1,0 +1,361 @@
+"""Randomized large federations with seeded churn schedules.
+
+The soak suite (:mod:`repro.soak`) needs federations of hundreds of
+autonomous sources whose membership changes while updates flow.  This
+module generates them deterministically from a single seed:
+
+* :func:`make_federation` — ``n`` sources in three *tiers* (``curated`` /
+  ``expanded`` / ``bulk``) that map onto the paper's annotation spectrum
+  (fully materialized / hybrid / fully virtual), each contributing one
+  relation ``R<i>(k<i> key, a<i>, b<i>)`` and a leaf-parent view, plus a
+  sparse layer of materialized join views between partner sources;
+* :meth:`FederationSpec.spec_text_for` — the mediator-spec text for any
+  member subset, byte-identical for equal inputs (the determinism
+  contract pinned by the suite);
+* :meth:`FederationSpec.attach_payload` — the views/annotations a source
+  brings when it joins a running federation via
+  :meth:`~repro.core.SquirrelMediator.attach_source`;
+* :func:`plan_events` — a seeded churn schedule (join / leave / outage /
+  update events) whose membership simulation matches what a harness
+  replaying it will observe.
+
+Every random draw goes through :func:`_subrng`, a SHA-256 sub-generator
+keyed by the federation seed and a stable label — never by dict or set
+iteration order — so the same seed always yields the same federation,
+the same spec text, and the same schedule.
+
+Key and join-attribute values share one small domain (:data:`KEY_DOMAIN`)
+so the generated join conditions actually produce rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "KEY_DOMAIN",
+    "TIERS",
+    "ChurnEvent",
+    "ChurnPlan",
+    "FederationSource",
+    "FederationSpec",
+    "make_federation",
+    "plan_events",
+]
+
+#: Shared value domain for keys and join attributes.
+KEY_DOMAIN = 64
+
+#: Data-volume tiers, mapped onto annotation styles: curated sources are
+#: small and fully materialized, expanded sources are hybrid (key and join
+#: attribute materialized, payload virtual), bulk sources are larger and
+#: fully virtual.
+TIERS = ("curated", "expanded", "bulk")
+
+_TIER_ROWS = {"curated": (3, 6), "expanded": (6, 12), "bulk": (12, 24)}
+_TIER_WEIGHTS = (0.35, 0.35, 0.30)
+
+
+def _subrng(seed: int, *parts) -> random.Random:
+    """A deterministic sub-generator keyed by seed and stable labels."""
+    material = ":".join([str(seed), *(str(p) for p in parts)]).encode()
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class FederationSource:
+    """One generated source: its tier and initial data volume."""
+
+    name: str
+    index: int
+    tier: str
+    rows: int
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership or workload event.
+
+    ``kind`` is ``"join"`` / ``"leave"`` / ``"outage"`` / ``"update"``;
+    ``duration`` (steps) applies to outages only.
+    """
+
+    step: int
+    kind: str
+    source: str
+    duration: int = 0
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A complete churn schedule: who starts attached, and what happens."""
+
+    initial_members: Tuple[str, ...]
+    events: Tuple[ChurnEvent, ...]
+    steps: int
+
+    def events_at(self, step: int) -> Tuple[ChurnEvent, ...]:
+        """The events scheduled for one step, in execution order."""
+        return tuple(e for e in self.events if e.step == step)
+
+    def final_members(self) -> Tuple[str, ...]:
+        """Membership after the whole schedule runs."""
+        members = set(self.initial_members)
+        for event in self.events:
+            if event.kind == "join":
+                members.add(event.source)
+            elif event.kind == "leave":
+                members.discard(event.source)
+        return tuple(sorted(members))
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """A generated federation: sources, tiers, and the join topology.
+
+    ``joins`` holds ``(left, right)`` source-name pairs with
+    ``index(left) < index(right)``; the join view joins the two sources'
+    leaf parents on ``a<left> = k<right>``.
+    """
+
+    seed: int
+    sources: Tuple[FederationSource, ...]
+    joins: Tuple[Tuple[str, str], ...]
+
+    # -- naming --------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All source names, in index order."""
+        return tuple(s.name for s in self.sources)
+
+    def source(self, name: str) -> FederationSource:
+        """Look up one generated source by name."""
+        for s in self.sources:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def relation(self, name: str) -> str:
+        """The base relation a source contributes."""
+        return f"R{self.source(name).index:03d}"
+
+    def leaf_parent(self, name: str) -> str:
+        """The leaf-parent view name over a source's relation."""
+        return f"{self.relation(name)}_p"
+
+    def attributes(self, name: str) -> Tuple[str, str, str]:
+        """A source relation's attribute names, in ``(k, a, b)`` order."""
+        i = self.source(name).index
+        return (f"k{i:03d}", f"a{i:03d}", f"b{i:03d}")
+
+    def join_name(self, left: str, right: str) -> str:
+        """The join view name between two partner sources."""
+        return f"J_{self.source(left).index:03d}_{self.source(right).index:03d}"
+
+    def joins_of(self, name: str, members: Iterable[str]) -> List[Tuple[str, str]]:
+        """The join pairs involving ``name`` whose other endpoint is a member."""
+        member_set = set(members)
+        out = []
+        for left, right in self.joins:
+            if left == name and right in member_set:
+                out.append((left, right))
+            elif right == name and left in member_set:
+                out.append((left, right))
+        return out
+
+    # -- definitions ---------------------------------------------------
+    def _attr(self, name: str, prefix: str) -> str:
+        return f"{prefix}{self.source(name).index:03d}"
+
+    def _leaf_parent_def(self, name: str) -> str:
+        k, a, b = (self._attr(name, p) for p in ("k", "a", "b"))
+        return f"project[{k}, {a}, {b}]({self.relation(name)})"
+
+    def _join_def(self, left: str, right: str) -> str:
+        kl, al = self._attr(left, "k"), self._attr(left, "a")
+        kr, ar = self._attr(right, "k"), self._attr(right, "a")
+        return (
+            f"project[{kl}, {al}, {kr}, {ar}]"
+            f"({self.leaf_parent(left)} join[{al} = {kr}] {self.leaf_parent(right)})"
+        )
+
+    def annotation_for(self, name: str) -> str:
+        """The leaf-parent annotation text a source's tier prescribes."""
+        tier = self.source(name).tier
+        if tier == "curated":
+            return "materialized"
+        if tier == "bulk":
+            return "virtual"
+        k, a, b = (self._attr(name, p) for p in ("k", "a", "b"))
+        return f"[{k}^m, {a}^m, {b}^v]"
+
+    # -- spec text -----------------------------------------------------
+    def spec_text_for(self, members: Optional[Iterable[str]] = None) -> str:
+        """The mediator-spec text for a member subset (default: everyone).
+
+        Byte-identical for equal ``(seed, members)``: sources, views, and
+        annotations are emitted in sorted index order, never in set or
+        dict iteration order.
+        """
+        member_list = sorted(self.names if members is None else members)
+        member_set = set(member_list)
+        unknown = member_set - set(self.names)
+        if unknown:
+            raise KeyError(f"unknown federation members {sorted(unknown)}")
+        lines: List[str] = []
+        for name in member_list:
+            k, a, b = (self._attr(name, p) for p in ("k", "a", "b"))
+            lines.append(
+                f"source {name} {{ relation {self.relation(name)}({k} key, {a}, {b}) }}"
+            )
+        for name in member_list:
+            lines.append(f"export {self.leaf_parent(name)} = {self._leaf_parent_def(name)}")
+        live_joins = [
+            (l, r) for l, r in self.joins if l in member_set and r in member_set
+        ]
+        for left, right in live_joins:
+            lines.append(
+                f"export {self.join_name(left, right)} = {self._join_def(left, right)}"
+            )
+        for name in member_list:
+            lines.append(f"annotate {self.leaf_parent(name)} {self.annotation_for(name)}")
+        for left, right in live_joins:
+            lines.append(f"annotate {self.join_name(left, right)} materialized")
+        return "\n".join(lines) + "\n"
+
+    # -- data ----------------------------------------------------------
+    def initial_rows(self, name: str) -> List[Tuple[int, int, int]]:
+        """A source's initial rows, as value tuples in ``(k, a, b)`` order.
+
+        Derived from the federation seed and the source name alone, so
+        the same source carries the same data into every federation size
+        (the backfill-cost benchmark depends on this)."""
+        src = self.source(name)
+        rng = _subrng(self.seed, "rows", name)
+        keys = rng.sample(range(KEY_DOMAIN), src.rows)
+        return [
+            (k, rng.randrange(KEY_DOMAIN), rng.randrange(1000)) for k in keys
+        ]
+
+    def initial_data(
+        self, members: Optional[Iterable[str]] = None
+    ) -> Dict[str, Dict[str, List[Tuple[int, int, int]]]]:
+        """Initial data for :func:`repro.generator.make_sources`."""
+        member_list = sorted(self.names if members is None else members)
+        return {
+            name: {self.relation(name): self.initial_rows(name)}
+            for name in member_list
+        }
+
+    # -- dynamic membership --------------------------------------------
+    def attach_payload(
+        self, name: str, members: Iterable[str]
+    ) -> Tuple[Dict[str, str], Dict[str, str]]:
+        """The ``(views, annotations)`` a joining source contributes.
+
+        ``members`` is the membership *before* the join.  The payload is
+        the source's leaf parent plus every join view whose other
+        endpoint is currently attached — so after any join order, the
+        running VDP holds exactly the joins with both endpoints present,
+        matching :meth:`spec_text_for` of the new membership.
+        """
+        member_set = set(members) - {name}
+        views: Dict[str, str] = {self.leaf_parent(name): self._leaf_parent_def(name)}
+        annotations: Dict[str, str] = {self.leaf_parent(name): self.annotation_for(name)}
+        for left, right in self.joins_of(name, member_set):
+            join = self.join_name(left, right)
+            views[join] = self._join_def(left, right)
+            annotations[join] = "materialized"
+        return views, annotations
+
+
+def make_federation(
+    n_sources: int,
+    seed: int = 0,
+    join_prob: float = 0.6,
+) -> FederationSpec:
+    """Generate a tiered federation of ``n_sources`` sources.
+
+    Each source past the first draws (with probability ``join_prob``) one
+    partner among earlier sources, yielding a sparse join layer whose
+    views are materialized over leaf parents of mixed annotation.
+    """
+    if n_sources < 2:
+        raise ValueError("a federation needs at least 2 sources")
+    sources: List[FederationSource] = []
+    joins: List[Tuple[str, str]] = []
+    for i in range(n_sources):
+        name = f"s{i:03d}"
+        rng = _subrng(seed, "source", name)
+        tier = rng.choices(TIERS, weights=_TIER_WEIGHTS)[0]
+        lo, hi = _TIER_ROWS[tier]
+        sources.append(FederationSource(name, i, tier, rng.randint(lo, hi)))
+        if i > 0 and rng.random() < join_prob:
+            partner = sources[rng.randrange(i)].name
+            joins.append((partner, name))
+    return FederationSpec(seed=seed, sources=tuple(sources), joins=tuple(joins))
+
+
+def plan_events(
+    fed: FederationSpec,
+    steps: int,
+    initial_members: Optional[Sequence[str]] = None,
+    min_members: Optional[int] = None,
+    leave_prob: float = 0.12,
+    join_prob: float = 0.25,
+    outage_prob: float = 0.15,
+    max_outage: int = 3,
+    updates_per_step: Optional[int] = None,
+) -> ChurnPlan:
+    """Schedule ``steps`` of churn over a federation, deterministically.
+
+    Per step, at most one leave (never below ``min_members``), at most
+    one join of an absent source, at most one outage (1..``max_outage``
+    steps), and a round-robin batch of update events covering every
+    member within a few steps (the freshness-SLO bound in
+    :mod:`repro.soak` depends on that cadence).  Events within a step are
+    ordered leave → join → outage → update, which is also the order a
+    harness must execute them in for the membership simulation here to
+    match.
+    """
+    names = list(fed.names)
+    if initial_members is None:
+        initial_members = names[: max(2, (len(names) * 2) // 3)]
+    else:
+        initial_members = sorted(initial_members)
+    members = set(initial_members)
+    if min_members is None:
+        min_members = max(2, len(names) // 4)
+    events: List[ChurnEvent] = []
+    outage_until: Dict[str, int] = {}
+    for step in range(steps):
+        rng = _subrng(fed.seed, "churn", step)
+        outage_active = any(end > step for end in outage_until.values())
+        if len(members) > min_members and rng.random() < leave_prob:
+            victim = rng.choice(sorted(members))
+            members.discard(victim)
+            events.append(ChurnEvent(step, "leave", victim))
+        absent = sorted(set(names) - members)
+        # A join's backfill may need to poll a virtual-contributor partner,
+        # so joins are never scheduled while any outage window is active.
+        if absent and not outage_active and rng.random() < join_prob:
+            joiner = rng.choice(absent)
+            members.add(joiner)
+            events.append(ChurnEvent(step, "join", joiner))
+        ordered = sorted(members)
+        if rng.random() < outage_prob:
+            target = rng.choice(ordered)
+            duration = rng.randint(1, max_outage)
+            outage_until[target] = step + duration
+            events.append(ChurnEvent(step, "outage", target, duration=duration))
+        k = updates_per_step or max(1, len(ordered) // 3)
+        k = min(k, len(ordered))
+        for i in range(k):
+            events.append(ChurnEvent(step, "update", ordered[(step * k + i) % len(ordered)]))
+    return ChurnPlan(
+        initial_members=tuple(initial_members), events=tuple(events), steps=steps
+    )

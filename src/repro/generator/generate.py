@@ -21,6 +21,7 @@ from repro.core.annotations import Annotation
 from repro.core.vdp import VDP
 from repro.errors import ParseError, SourceError
 from repro.generator.spec import MediatorSpec, parse_spec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.planner import WorkloadProfile, suggest_annotation
 from repro.sources.base import SourceDatabase
 from repro.sources.memory import MemorySource
@@ -66,7 +67,11 @@ def make_sources(
     if backend not in ("memory", "sqlite"):
         raise SourceError(f"unknown source backend {backend!r}")
     sources: Dict[str, SourceDatabase] = {}
-    for name, source_spec in spec.sources.items():
+    # Iterate in sorted-name order, not dict insertion order: creation order
+    # is observable (SQLite connection ids, RNG draws in callers that zip
+    # over the result), and determinism must derive from the spec alone.
+    for name in sorted(spec.sources):
+        source_spec = spec.sources[name]
         data = (initial or {}).get(name)
         if backend == "memory":
             sources[name] = MemorySource(name, source_spec.schemas(), initial=data)
@@ -118,6 +123,7 @@ def generate_mediator(
     plan_profile: Optional[WorkloadProfile] = None,
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> SquirrelMediator:
     """Generate, wire, and initialize a mediator from a specification.
 
@@ -133,6 +139,7 @@ def generate_mediator(
         sources,
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
+        tracer=tracer,
     )
     mediator.initialize()
     return mediator

@@ -1,0 +1,591 @@
+"""The churn & soak harness: seeded chaos with provable convergence.
+
+One :class:`SoakHarness` run executes a :class:`~repro.generator.ChurnPlan`
+against a live mediator, step by step:
+
+1. **churn** — ``leave`` events detach sources (dropping their in-flight
+   messages), ``join`` events attach new or previously detached sources
+   with staleness-tagged backfill, ``outage`` events take links down for a
+   window of steps, ``update`` events commit deterministic source
+   transactions;
+2. **messaging** — announcements are taken from announcing members and
+   pushed through a :class:`~repro.faults.FaultPlan`: drops retransmit on
+   later steps, delays hold delivery, duplicates exercise the queue's
+   sequence-number dedup.  All of it is a pure function of the seed;
+3. **propagation** — one IUP transaction per step; transactions deferred
+   by an outage retry on later steps.  A :class:`~repro.faults.CrashSchedule`
+   may kill the mediator mid-durability-protocol, after which the harness
+   runs full recovery (:class:`~repro.durability.RecoveryManager`) and
+   carries on;
+4. **freshness** — each step's staleness tag is checked against the
+   Theorem 7.2 SLO bound for announcing members (see
+   ``docs/scenarios.md`` for the bound's derivation and the attach-age
+   adjustment);
+5. **convergence checkpoints** — periodically the harness clears
+   outages, drains the network, quiesces, and proves *churned ≡ static*:
+   every export equals a freshly generated mediator over the same member
+   set and live sources, and every materialized repository equals a
+   from-scratch rebuild.
+
+Any discrepancy is recorded as a violation in the :class:`SoakResult`
+(the ``repro soak`` CLI turns violations into a non-zero exit).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.correctness import (
+    assert_materialized_correct,
+    assert_view_correct,
+    check_tagged_staleness,
+)
+from repro.deltas import SetDelta
+from repro.durability import (
+    CheckpointPolicy,
+    DurabilityManager,
+    RecoveryManager,
+)
+from repro.errors import SimulatedCrash, SourceUnavailableError
+from repro.faults import CrashPoint, CrashSchedule, ChannelFaults, FaultPlan
+from repro.faults.staleness import StalenessTag
+from repro.generator import (
+    ChurnPlan,
+    FederationSpec,
+    build_annotated_from_spec,
+    generate_mediator,
+    make_federation,
+    make_sources,
+    plan_events,
+)
+from repro.generator.federation import KEY_DOMAIN, _subrng
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.relalg import Row
+from repro.soak.links import SoakLink
+
+__all__ = ["SoakConfig", "SoakHarness", "SoakResult", "SoakStats", "run_soak"]
+
+
+#: Mild default chaos: every channel loses, duplicates, and delays some
+#: messages.  ``fault_free_after_attempt`` (plan default 3) guarantees every
+#: retransmission chain terminates, bounding delivery latency.
+DEFAULT_CHANNEL_FAULTS = ChannelFaults(
+    drop_rate=0.10,
+    duplicate_rate=0.10,
+    delay_rate=0.20,
+    reorder_rate=0.10,
+    delay_range=(1.0, 2.0),
+    max_duplicates=2,
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run's parameters (everything derives from ``seed``)."""
+
+    sources: int = 50
+    seed: int = 0
+    steps: int = 40
+    checkpoint_every: int = 10
+    #: Theorem 7.2 SLO bound (steps) applied to announcing members' tagged
+    #: staleness; see ``docs/scenarios.md`` for the derivation.
+    staleness_bound: float = 15.0
+    updates_per_step: Optional[int] = None
+    faults: Optional[FaultPlan] = None
+    #: ``(txn, phase)`` crash points; non-empty implies durability.
+    crash_points: Tuple[Tuple[int, str], ...] = ()
+    durability_dir: Optional[str] = None
+    eca_enabled: bool = True
+    key_based_enabled: bool = True
+
+
+@dataclass
+class SoakStats:
+    """Counters registered as ``soak.*`` in the mediator's metrics."""
+
+    attaches: int = 0
+    detaches: int = 0
+    outages: int = 0
+    updates_applied: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    deferred_txns: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    convergence_checks: int = 0
+    backfill_rows: int = 0
+
+
+@dataclass
+class SoakResult:
+    """What one soak run observed."""
+
+    config: SoakConfig
+    steps_run: int
+    final_members: Tuple[str, ...]
+    convergence_violations: List[str] = field(default_factory=list)
+    slo_violations: List[str] = field(default_factory=list)
+    worst_staleness: Dict[str, float] = field(default_factory=dict)
+    checkpoints: List[Dict] = field(default_factory=list)
+    stats: SoakStats = field(default_factory=SoakStats)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no convergence or SLO violation was recorded."""
+        return not self.convergence_violations and not self.slo_violations
+
+
+class _Message:
+    """One announcement in flight across the simulated network."""
+
+    __slots__ = ("source", "seq", "delta", "cursor", "send_step", "attempt",
+                 "deliver_at", "retry_at", "copies")
+
+    def __init__(self, source: str, seq: int, delta: SetDelta, cursor: int,
+                 send_step: int):
+        self.source = source
+        self.seq = seq
+        self.delta = delta
+        self.cursor = cursor
+        self.send_step = send_step
+        self.attempt = 0
+        self.deliver_at: Optional[int] = None
+        self.retry_at: Optional[int] = None
+        self.copies = 1
+
+
+class SoakHarness:
+    """Drives one seeded churn & soak run; see the module docstring."""
+
+    def __init__(self, config: SoakConfig, tracer: Tracer = NULL_TRACER):
+        self.config = config
+        self.tracer = tracer
+        self.fed: FederationSpec = make_federation(config.sources, seed=config.seed)
+        self.plan: ChurnPlan = plan_events(
+            self.fed, config.steps, updates_per_step=config.updates_per_step
+        )
+        self.faults = config.faults or FaultPlan(
+            seed=config.seed, default=DEFAULT_CHANNEL_FAULTS
+        )
+        self.step = 0
+        self.members: set = set(self.plan.initial_members)
+        self.stats = SoakStats()
+        self.result = SoakResult(
+            config=config, steps_run=0, final_members=(), stats=self.stats
+        )
+        # All source objects ever created; a source keeps accumulating
+        # committed transactions while detached, so re-attach backfills
+        # real divergence.
+        spec = self.fed.spec_text_for(sorted(self.members))
+        self.sources = make_sources(spec, self.fed.initial_data(sorted(self.members)))
+        self.links: Dict[str, SoakLink] = {
+            name: SoakLink(self.sources[name], self) for name in sorted(self.sources)
+        }
+        self.in_flight: Dict[str, List[_Message]] = {}
+        self._update_counts: Dict[str, int] = {}
+        self._fresh_keys: Dict[str, int] = {}
+        self._live_rows: Dict[str, List[Tuple[int, int, int]]] = {
+            name: list(self.fed.initial_rows(name)) for name in self.sources
+        }
+        # Per-source freshness floor: the latest step at which the
+        # source's state was known fully reflected (init, attach
+        # backfill, recovery catch-up, or a quiesced checkpoint).
+        self.reflected_floor: Dict[str, int] = {name: 0 for name in self.members}
+
+        self.mediator = generate_mediator(
+            spec,
+            self.sources,
+            eca_enabled=config.eca_enabled,
+            key_based_enabled=config.key_based_enabled,
+            tracer=tracer,
+        )
+        # generate_mediator builds its own DirectLinks; swap in the
+        # harness-played links (with correct announce flags) post-init.
+        self._install_links()
+        self.mediator.metrics.register_stats("soak", self.stats)
+
+        self.durability: Optional[DurabilityManager] = None
+        self.durability_dir: Optional[str] = None
+        if config.crash_points or config.durability_dir:
+            self.durability_dir = config.durability_dir or tempfile.mkdtemp(
+                prefix="repro-soak-"
+            )
+            schedule = CrashSchedule(
+                [CrashPoint(txn, phase) for txn, phase in config.crash_points]
+            )
+            self.durability = DurabilityManager.attach(
+                self.mediator, self.durability_dir, crash_schedule=schedule
+            )
+
+    # ------------------------------------------------------------------
+    # Link plumbing
+    # ------------------------------------------------------------------
+    def _install_links(self) -> None:
+        for name in self.mediator.sources:
+            link = self.links[name]
+            kind = self.mediator.contributor_kinds.get(name)
+            link.announces = bool(kind and kind.announces)
+            self.mediator.links[name] = link
+        self.mediator.vap.links = dict(self.mediator.links)
+
+    def deliver_direct(self, source: str, delta: SetDelta, cursor: int) -> None:
+        """Deliver one just-flushed announcement synchronously (poll path)."""
+        self.mediator.enqueue_update(
+            source,
+            delta,
+            send_time=float(self.step),
+            arrival_time=float(self.step),
+            seq=cursor,
+            cursor=cursor,
+        )
+        self.stats.messages_sent += 1
+        self.stats.messages_delivered += 1
+
+    def expedite(self, source: str) -> None:
+        """Force-deliver every in-flight message for one source, in order."""
+        pending = self.in_flight.pop(source, None)
+        if not pending:
+            return
+        for msg in sorted(pending, key=lambda m: m.seq):
+            self._deliver(msg)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: _Message) -> None:
+        for _ in range(max(1, msg.copies)):
+            self.mediator.enqueue_update(
+                msg.source,
+                msg.delta,
+                send_time=float(msg.send_step),
+                arrival_time=float(self.step),
+                seq=msg.seq,
+                cursor=msg.cursor,
+            )
+            self.stats.messages_delivered += 1
+
+    def _transmit(self, msg: _Message) -> None:
+        """Decide one physical transmission's fate per the fault plan."""
+        decision = self.faults.decide(
+            msg.source, msg.seq, msg.attempt, now=float(self.step)
+        )
+        if decision.drop:
+            self.stats.messages_dropped += 1
+            msg.attempt += 1
+            msg.retry_at = self.step + 1
+            msg.deliver_at = None
+        else:
+            msg.retry_at = None
+            msg.deliver_at = self.step + int(round(decision.extra_delay))
+            msg.copies = 1 + decision.duplicates
+            self.stats.duplicates += decision.duplicates
+
+    def _pump(self) -> None:
+        """Take announcements from reachable announcing members and move
+        the in-flight mail one step forward."""
+        for name in sorted(self.members):
+            kind = self.mediator.contributor_kinds.get(name)
+            if not (kind and kind.announces):
+                continue
+            if not self.links[name].is_available():
+                continue  # a down link sends nothing; pending accumulates
+            delta, cursor = self.sources[name].take_announcement_versioned()
+            if delta is None:
+                continue
+            msg = _Message(name, cursor, delta, cursor, self.step)
+            self.stats.messages_sent += 1
+            self._transmit(msg)
+            self.in_flight.setdefault(name, []).append(msg)
+        for name in sorted(self.in_flight):
+            remaining: List[_Message] = []
+            for msg in sorted(self.in_flight[name], key=lambda m: m.seq):
+                if msg.retry_at is not None and self.step >= msg.retry_at:
+                    self.stats.retransmissions += 1
+                    self._transmit(msg)
+                if msg.deliver_at is not None and self.step >= msg.deliver_at:
+                    self._deliver(msg)
+                else:
+                    remaining.append(msg)
+            if remaining:
+                self.in_flight[name] = remaining
+            else:
+                self.in_flight.pop(name, None)
+
+    def _drain_network(self) -> None:
+        for name in sorted(self.in_flight):
+            self.expedite(name)
+
+    # ------------------------------------------------------------------
+    # Churn events
+    # ------------------------------------------------------------------
+    def _apply_update(self, name: str) -> None:
+        count = self._update_counts.get(name, 0)
+        self._update_counts[name] = count + 1
+        rng = _subrng(self.config.seed, "op", name, count)
+        relation = self.fed.relation(name)
+        k, a, b = self.fed.attributes(name)
+        rows = self._live_rows[name]
+        delta = SetDelta()
+        if rows and rng.random() < 0.3:
+            victim = rows.pop(rng.randrange(len(rows)))
+            delta.delete(relation, Row({k: victim[0], a: victim[1], b: victim[2]}))
+        else:
+            key = KEY_DOMAIN + self._fresh_keys.get(name, 0)
+            self._fresh_keys[name] = key - KEY_DOMAIN + 1
+            row = (key, rng.randrange(KEY_DOMAIN), rng.randrange(1000))
+            rows.append(row)
+            delta.insert(relation, Row({k: row[0], a: row[1], b: row[2]}))
+        self.sources[name].execute(delta)
+        self.stats.updates_applied += 1
+
+    def _attach(self, name: str) -> None:
+        if name not in self.sources:
+            spec = self.fed.spec_text_for([name])
+            self.sources.update(make_sources(spec, self.fed.initial_data([name])))
+            self.links[name] = SoakLink(self.sources[name], self)
+            self._live_rows[name] = list(self.fed.initial_rows(name))
+        views, annotations = self.fed.attach_payload(name, sorted(self.members))
+        link = self.links[name]
+        link.down_until = None
+        try:
+            result = self.mediator.attach_source(
+                self.sources[name], views, annotations, link=link
+            )
+        except SourceUnavailableError:
+            # The plan never schedules a join during a *planned* outage,
+            # but crash/recovery timing can still leave a partner down at
+            # backfill time; model the join as waiting out the outage.
+            for other in self.links.values():
+                other.down_until = None
+            result = self.mediator.attach_source(
+                self.sources[name], views, annotations, link=link
+            )
+        self.members.add(name)
+        self.reflected_floor[name] = self.step
+        self.stats.attaches += 1
+        self.stats.backfill_rows += result.backfill_rows
+
+    def _detach(self, name: str) -> None:
+        self.mediator.detach_source(name)
+        self.members.discard(name)
+        self.in_flight.pop(name, None)
+        self.stats.detaches += 1
+
+    def _apply_events(self) -> None:
+        # Tolerant of plan/actual membership divergence: a crash during an
+        # attach/detach checkpoint recovers to the *pre-change* membership,
+        # losing that membership event — later planned events referring to
+        # the diverged state are skipped rather than failed.
+        for event in self.plan.events_at(self.step):
+            try:
+                if event.kind == "leave" and event.source in self.members:
+                    self._detach(event.source)
+                elif event.kind == "join" and event.source not in self.members:
+                    self._attach(event.source)
+                elif event.kind == "outage" and event.source in self.members:
+                    self.links[event.source].down_until = self.step + event.duration
+                    self.stats.outages += 1
+                elif event.kind == "update" and event.source in self.sources:
+                    # Detached sources keep committing — re-attach backfills
+                    # the divergence.
+                    self._apply_update(event.source)
+            except SimulatedCrash:
+                self._recover()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        self.stats.crashes += 1
+        if self.durability is not None:
+            self.durability.close()
+        # In-flight payloads are already in the source logs; recovery's
+        # catch-up replays them from there, so delivering stale copies
+        # afterwards would be wrong.
+        self.in_flight.clear()
+        annotated = build_annotated_from_spec(
+            self.fed.spec_text_for(sorted(self.members))
+        )
+        member_sources = {n: self.sources[n] for n in sorted(self.members)}
+        member_links = {n: self.links[n] for n in sorted(self.members)}
+        recovery = RecoveryManager(self.durability_dir).recover(
+            annotated,
+            member_sources,
+            on_stale="reinit",
+            links=member_links,
+            eca_enabled=self.config.eca_enabled,
+            key_based_enabled=self.config.key_based_enabled,
+            tracer=self.tracer,
+        )
+        self.mediator = recovery.mediator
+        self._install_links()
+        self.mediator.metrics.register_stats("soak", self.stats)
+        self.durability = DurabilityManager.attach(
+            self.mediator,
+            self.durability_dir,
+            crash_schedule=self.durability.crash_schedule if self.durability else None,
+        )
+        # Recovery's catch-up replays every member's source log to its
+        # current end, so every member's state is known reflected as of now.
+        for name in self.members:
+            self.reflected_floor[name] = self.step
+        self.stats.recoveries += 1
+
+    def _run_txn(self) -> None:
+        try:
+            result = self.mediator.run_update_transaction()
+            if result.deferred:
+                self.stats.deferred_txns += 1
+        except SimulatedCrash:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Freshness SLO
+    # ------------------------------------------------------------------
+    def _check_slo(self) -> None:
+        tag = self.mediator.staleness_tag(now=float(self.step))
+        if not tag.staleness:
+            return
+        adjusted: Dict[str, float] = {}
+        for name, value in tag.staleness.items():
+            # The SLO is checked on the *ignorance window* — time since
+            # the newest source state known fully reflected — which is the
+            # queue's now−last_flushed_send measure capped by the floor a
+            # backfill, recovery catch-up, or quiesced checkpoint
+            # established (the queue's bookkeeping restarts empty after a
+            # recovery, so its "stale since init" fallback over-reports).
+            age = float(self.step - self.reflected_floor.get(name, 0))
+            adjusted[name] = min(value, age)
+        bound = {
+            name: self.config.staleness_bound
+            for name in sorted(self.members)
+            if (kind := self.mediator.contributor_kinds.get(name)) and kind.announces
+        }
+        tags = [StalenessTag(time=tag.time, staleness=adjusted)]
+        for violation in check_tagged_staleness(tags, bound):
+            self.result.slo_violations.append(violation)
+        for name, value in adjusted.items():
+            if value > self.result.worst_staleness.get(name, 0.0):
+                self.result.worst_staleness[name] = value
+
+    # ------------------------------------------------------------------
+    # Convergence checkpoints
+    # ------------------------------------------------------------------
+    def _quiesce(self) -> bool:
+        for link in self.links.values():
+            link.down_until = None
+        for _ in range(200):
+            self._drain_network()
+            pumped_any = False
+            for name in sorted(self.members):
+                kind = self.mediator.contributor_kinds.get(name)
+                if not (kind and kind.announces):
+                    continue
+                delta, cursor = self.sources[name].take_announcement_versioned()
+                if delta is not None:
+                    self.deliver_direct(name, delta, cursor)
+                    pumped_any = True
+            try:
+                result = self.mediator.run_update_transaction()
+            except SimulatedCrash:
+                self._recover()
+                continue
+            if (
+                not pumped_any
+                and result.was_empty
+                and not result.deferred
+                and self.mediator.queue.is_empty()
+            ):
+                return True
+        return False
+
+    def _check_convergence(self) -> None:
+        self.stats.convergence_checks += 1
+        step = self.step
+        violations_before = len(self.result.convergence_violations)
+        if not self._quiesce():
+            self.result.convergence_violations.append(
+                f"step {step}: failed to quiesce within the iteration cap"
+            )
+            return
+        for name in self.members:
+            self.reflected_floor[name] = step
+        try:
+            assert_materialized_correct(self.mediator)
+        except AssertionError as exc:
+            self.result.convergence_violations.append(f"step {step}: {exc}")
+        try:
+            assert_view_correct(self.mediator)
+        except AssertionError as exc:
+            self.result.convergence_violations.append(f"step {step}: {exc}")
+        # The headline churned ≡ static property: a mediator *freshly
+        # generated* over the surviving member set and the same live
+        # sources must agree on every export.
+        members = sorted(self.members)
+        fresh = generate_mediator(
+            self.fed.spec_text_for(members),
+            {n: self.sources[n] for n in members},
+            eca_enabled=self.config.eca_enabled,
+            key_based_enabled=self.config.key_based_enabled,
+        )
+        if set(self.mediator.vdp.exports) != set(fresh.vdp.exports):
+            self.result.convergence_violations.append(
+                f"step {step}: export sets diverged "
+                f"(churned {sorted(self.mediator.vdp.exports)}, "
+                f"static {sorted(fresh.vdp.exports)})"
+            )
+        else:
+            for export in sorted(fresh.vdp.exports):
+                churned = self.mediator.query_relation(export)
+                static = fresh.query_relation(export)
+                if churned != static:
+                    self.result.convergence_violations.append(
+                        f"step {step}: export {export!r} diverged from the "
+                        f"statically built mediator"
+                    )
+        self.result.checkpoints.append(
+            {
+                "step": step,
+                "members": len(members),
+                "violations": len(self.result.convergence_violations)
+                - violations_before,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SoakResult:
+        """Execute the whole schedule; returns the populated result."""
+        for step in range(self.config.steps):
+            self.step = step
+            self._apply_events()
+            self._pump()
+            self._run_txn()
+            self._check_slo()
+            self.result.steps_run = step + 1
+            if (step + 1) % self.config.checkpoint_every == 0:
+                self._check_convergence()
+        if self.config.steps % self.config.checkpoint_every != 0:
+            self.step = self.config.steps
+            self._check_convergence()
+        self.result.final_members = tuple(sorted(self.members))
+        self.result.metrics = {
+            name: value
+            for name, value in self.mediator.metrics.snapshot().items()
+            if isinstance(value, (int, float))
+        }
+        if self.durability is not None:
+            self.durability.close()
+        return self.result
+
+
+def run_soak(config: SoakConfig, tracer: Tracer = NULL_TRACER) -> SoakResult:
+    """Run one soak schedule; see :class:`SoakHarness`."""
+    return SoakHarness(config, tracer=tracer).run()

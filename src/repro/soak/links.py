@@ -1,0 +1,73 @@
+"""The soak harness's source link: outage-aware, harness-clocked.
+
+A :class:`SoakLink` is a :class:`~repro.core.DirectLink` whose transport
+is played by the harness: announcements do not flow straight into the
+mediator's queue but through the harness's faulty message pump, and the
+link can be taken down for a window of harness steps (the churn
+schedule's ``outage`` events).
+
+The Eager Compensation Algorithm's FIFO contract — *every announcement
+the source sent before answering a poll is delivered before the answer
+is used* — still holds: before taking the poll snapshot the link makes
+the harness **expedite** every in-flight message for this source
+(dropped-and-awaiting-retransmit ones included, since their payload
+exists only in the harness's buffers once taken from the source), then
+delivers the freshly flushed pending net itself, in sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.links import DirectLink
+from repro.errors import SourceUnavailableError
+from repro.relalg import Evaluator, Expression, Relation
+from repro.sources.base import SourceDatabase
+
+__all__ = ["SoakLink"]
+
+
+class SoakLink(DirectLink):
+    """In-process link whose delivery and availability the harness plays."""
+
+    # The harness drives a single-threaded step clock; polls must not race.
+    supports_parallel_poll = False
+
+    def __init__(self, source: SourceDatabase, harness, announces: bool = True):
+        super().__init__(source, announcement_sink=None, announces=announces)
+        self.harness = harness
+        #: Step until which the link is unreachable (half-open), or None.
+        self.down_until: Optional[int] = None
+
+    # -- availability ---------------------------------------------------
+    def is_available(self) -> bool:
+        return self.down_until is None or self.harness.step >= self.down_until
+
+    def outage_until(self) -> Optional[float]:
+        return None if self.is_available() else float(self.down_until)
+
+    def now(self) -> Optional[float]:
+        return float(self.harness.step)
+
+    # -- polling ---------------------------------------------------------
+    def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        if not self.is_available():
+            raise SourceUnavailableError(
+                f"source {self.source_name!r} is down until step {self.down_until}"
+            )
+        # FIFO / flush-before-answer across the *simulated* network: every
+        # message already sent must land in the queue before this snapshot
+        # is used, no matter what fate the fault plan had decided for it.
+        self.harness.expedite(self.source_name)
+        announcement, cursor, snapshot = self.source.poll_transaction_versioned()
+        if announcement is not None and self.announces:
+            self.harness.deliver_direct(self.source_name, announcement, cursor)
+        self.source.query_count += len(queries)
+        self.poll_count += 1
+        answers: Dict[str, Relation] = {}
+        evaluator = Evaluator(snapshot)
+        for name, expr in queries.items():
+            answer = evaluator.evaluate(expr, name)
+            self.polled_rows += answer.cardinality()
+            answers[name] = answer
+        return answers

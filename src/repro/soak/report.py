@@ -1,0 +1,59 @@
+"""Machine-readable freshness-SLO / convergence report for soak runs.
+
+The report is the artifact the ``soak-smoke`` CI job uploads: a single
+JSON document with the run's configuration, every violation, worst
+observed per-source staleness, checkpoint summaries, and the soak
+counters — enough to audit a run without re-executing it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict
+
+from repro.soak.harness import SoakResult
+
+__all__ = ["slo_report", "write_slo_report"]
+
+
+def slo_report(result: SoakResult) -> Dict:
+    """The report document for one finished run (JSON-serializable)."""
+    config = result.config
+    return {
+        "kind": "soak-slo-report",
+        "version": 1,
+        "ok": result.ok,
+        "config": {
+            "sources": config.sources,
+            "seed": config.seed,
+            "steps": config.steps,
+            "checkpoint_every": config.checkpoint_every,
+            "staleness_bound": config.staleness_bound,
+            "crash_points": [list(p) for p in config.crash_points],
+        },
+        "steps_run": result.steps_run,
+        "final_members": list(result.final_members),
+        "convergence": {
+            "checkpoints": result.checkpoints,
+            "violations": result.convergence_violations,
+        },
+        "freshness": {
+            "bound": config.staleness_bound,
+            "worst_staleness": {
+                name: value
+                for name, value in sorted(result.worst_staleness.items())
+            },
+            "violations": result.slo_violations,
+        },
+        "counters": asdict(result.stats),
+    }
+
+
+def write_slo_report(result: SoakResult, path: str) -> Dict:
+    """Write the report JSON to ``path``; returns the document."""
+    document = slo_report(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document

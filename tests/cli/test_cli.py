@@ -199,3 +199,45 @@ def test_cli_recover_without_checkpoint_fails(spec_file, data_file, tmp_path):
         out=io.StringIO(),
     )
     assert code == 1
+
+
+def test_cli_soak_writes_report_and_exits_zero(tmp_path):
+    report = tmp_path / "slo.json"
+    out = io.StringIO()
+    code = main(
+        [
+            "soak",
+            "--sources", "8",
+            "--seed", "3",
+            "--steps", "12",
+            "--checkpoint-every", "6",
+            "--report", str(report),
+        ],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "soak: 12 steps over 8 sources" in text
+    assert "zero convergence violations, freshness SLO held" in text
+    document = json.loads(report.read_text())
+    assert document["kind"] == "soak-slo-report"
+    assert document["ok"] is True
+
+
+def test_cli_soak_with_crash_points(tmp_path):
+    out = io.StringIO()
+    code = main(
+        [
+            "soak",
+            "--sources", "8",
+            "--seed", "5",
+            "--steps", "12",
+            "--checkpoint-every", "6",
+            "--crash", "2:post-wal-append",
+            "--durability-dir", str(tmp_path / "dur"),
+        ],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "durability: 1 crashes, 1 recoveries" in text

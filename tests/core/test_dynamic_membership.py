@@ -1,0 +1,161 @@
+"""Unit tests for dynamic federation membership (attach/detach)."""
+
+import pytest
+
+from repro.core import AttachResult, DetachResult
+from repro.correctness import assert_view_correct
+from repro.errors import MediatorError
+from repro.generator import generate_mediator, make_sources
+
+SPEC_BOTH = """
+source sa { relation A(a1 key, a2) }
+source sb { relation B(b1 key, b2) }
+export A_p = project[a1, a2](A)
+export B_p = project[b1, b2](B)
+export J = project[a1, b1](A_p join[a2 = b1] B_p)
+annotate J materialized
+"""
+
+SPEC_A_ONLY = """
+source sa { relation A(a1 key, a2) }
+export A_p = project[a1, a2](A)
+annotate A_p materialized
+"""
+
+DATA = {
+    "sa": {"A": [(1, 10), (2, 20), (3, 10)]},
+    "sb": {"B": [(10, 100), (30, 300)]},
+}
+
+B_VIEWS = {
+    "B_p": "project[b1, b2](B)",
+    "J": "project[a1, b1](A_p join[a2 = b1] B_p)",
+}
+
+
+def _single_source_mediator():
+    sources = make_sources(SPEC_BOTH, DATA)
+    mediator = generate_mediator(SPEC_A_ONLY, {"sa": sources["sa"]})
+    return mediator, sources
+
+
+def test_attach_result_describes_the_extension():
+    mediator, sources = _single_source_mediator()
+    result = mediator.attach_source(sources["sb"], B_VIEWS)
+    assert isinstance(result, AttachResult)
+    assert result.source == "sb"
+    assert set(result.new_nodes) >= {"B_p", "J"}
+    # Unannotated new nodes default to fully materialized, so both new
+    # views backfill; J has two matching rows (a2=10 twice against b1=10).
+    assert set(result.backfill_nodes) == {"B_p", "J"}
+    assert result.backfill_rows == 4
+    # New views are exported by default; existing exports survive.
+    assert {"A_p", "B_p", "J"} <= set(mediator.vdp.exports)
+    assert mediator.query_relation("J").to_sorted_list() == [
+        ((1, 10), 1),
+        ((3, 10), 1),
+    ]
+    assert_view_correct(mediator)
+
+
+def test_attach_twice_raises():
+    mediator, sources = _single_source_mediator()
+    mediator.attach_source(sources["sb"], B_VIEWS)
+    with pytest.raises(MediatorError):
+        mediator.attach_source(sources["sb"], B_VIEWS)
+
+
+def test_detach_unknown_source_raises():
+    mediator, _ = _single_source_mediator()
+    with pytest.raises(MediatorError):
+        mediator.detach_source("nobody")
+
+
+def test_detach_removes_dependent_subtree():
+    sources = make_sources(SPEC_BOTH, DATA)
+    mediator = generate_mediator(SPEC_BOTH, sources)
+    result = mediator.detach_source("sb")
+    assert isinstance(result, DetachResult)
+    assert set(result.removed_nodes) == {"B", "B_p", "J"}
+    assert "J" not in mediator.vdp.nodes
+    assert "sb" not in mediator.sources
+    assert set(mediator.vdp.exports) == {"A_p"}
+    assert_view_correct(mediator)
+
+
+def test_detach_auto_exports_newly_maximal_node():
+    """When the only export over a surviving view leaves with the detached
+    source, the survivor is auto-exported to keep the VDP valid."""
+    spec = """
+source sa { relation A(a1 key, a2) }
+source sb { relation B(b1 key, b2) }
+view A_p = project[a1, a2](A)
+view B_p = project[b1, b2](B)
+export J = project[a1, b1](A_p join[a2 = b1] B_p)
+annotate J materialized
+"""
+    sources = make_sources(spec, DATA)
+    mediator = generate_mediator(spec, sources)
+    mediator.detach_source("sb")
+    assert set(mediator.vdp.exports) == {"A_p"}
+    assert mediator.query_relation("A_p").to_sorted_list() == [
+        ((1, 10), 1),
+        ((2, 20), 1),
+        ((3, 10), 1),
+    ]
+
+
+def test_attach_mid_queue_applies_pending_update_exactly_once():
+    """An announcement queued before the attach must propagate through the
+    extended rule base exactly once — the backfill polls exclude it."""
+    mediator, sources = _single_source_mediator()
+    sources["sa"].insert("A", a1=4, a2=30)
+    mediator.collect_announcements()
+
+    mediator.attach_source(sources["sb"], B_VIEWS)
+    mediator.run_update_transaction()
+    assert_view_correct(mediator)
+    assert mediator.query_relation("J").to_sorted_list() == [
+        ((1, 10), 1),
+        ((3, 10), 1),
+        ((4, 30), 1),
+    ]
+
+
+def test_attach_virtual_only_source_does_not_announce():
+    mediator, sources = _single_source_mediator()
+    mediator.attach_source(
+        sources["sb"], B_VIEWS, annotations={"B_p": "virtual", "J": "virtual"}
+    )
+    kind = mediator.contributor_kinds["sb"]
+    assert not kind.announces
+    assert not mediator.links["sb"].announces
+    # The materialized contributor still announces.
+    assert mediator.contributor_kinds["sa"].announces
+
+
+def test_reattach_starts_a_fresh_timeline():
+    """Queue state of a detached source is forgotten; a re-attach backfills
+    the current source state and later commits propagate normally."""
+    sources = make_sources(SPEC_BOTH, DATA)
+    mediator = generate_mediator(SPEC_BOTH, sources)
+    # Leave an undelivered announcement in the queue, then detach.
+    sources["sb"].insert("B", b1=20, b2=200)
+    mediator.collect_announcements()
+    result = mediator.detach_source("sb")
+    assert result.dropped_messages == 1
+
+    # Commits while detached accumulate at the source.
+    sources["sb"].insert("B", b1=40, b2=400)
+    attach = mediator.attach_source(sources["sb"], B_VIEWS)
+    assert attach.backfill_rows > 0
+    assert mediator.query_relation("B_p").to_sorted_list() == [
+        ((10, 100), 1),
+        ((20, 200), 1),
+        ((30, 300), 1),
+        ((40, 400), 1),
+    ]
+    sources["sb"].insert("B", b1=50, b2=500)
+    mediator.refresh()
+    assert_view_correct(mediator)
+    assert ((50, 500), 1) in mediator.query_relation("B_p").to_sorted_list()

@@ -5,7 +5,13 @@ import pytest
 from repro.core import annotate
 from repro.core.persistence import restore_mediator, save_mediator
 from repro.correctness import assert_view_correct
-from repro.errors import MediatorError
+from repro.errors import MediatorError, OrphanStateError
+from repro.generator import (
+    build_annotated_from_spec,
+    generate_mediator,
+    make_federation,
+    make_sources,
+)
 from repro.workloads import (
     FIGURE1_ANNOTATIONS,
     figure1_mediator,
@@ -154,6 +160,84 @@ def test_roundtrip_preserves_set_kind(tmp_path):
         saw_set = saw_set or not original.is_bag
     # figure 4's G is a set node; the scenario must exercise the set path.
     assert saw_set
+
+
+# ---------------------------------------------------------------------------
+# Orphan snapshot state: a source detached between save and restore
+# ---------------------------------------------------------------------------
+def _federation_snapshot(tmp_path):
+    """A 4-source federation snapshot whose s002 (curated, joined to s001)
+    will be detached before the restore — its materialized leaf-parent and
+    join repo become orphans, and so does its cursor."""
+    fed = make_federation(4, seed=21)
+    sources = make_sources(fed.spec_text_for(), fed.initial_data())
+    mediator = generate_mediator(fed.spec_text_for(), sources)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+    survivors = [n for n in fed.names if n != "s002"]
+    annotated = build_annotated_from_spec(fed.spec_text_for(survivors))
+    kept = {n: sources[n] for n in survivors}
+    return fed, sources, annotated, kept, path
+
+
+def test_restore_drops_orphan_state_by_default(tmp_path):
+    fed, sources, annotated, kept, path = _federation_snapshot(tmp_path)
+    restored = restore_mediator(annotated, kept, path)
+    assert "s002" not in restored.sources
+    assert fed.leaf_parent("s002") not in restored.vdp.nodes
+    assert_view_correct(restored)
+    # The shrunken mediator equals one generated from scratch over the
+    # surviving members — orphan images must not leak into survivors.
+    fresh = generate_mediator(fed.spec_text_for(sorted(kept)), kept)
+    for export in sorted(fresh.vdp.exports):
+        assert restored.query_relation(export) == fresh.query_relation(export)
+
+
+def test_restore_drop_orphans_then_catches_up(tmp_path):
+    fed, sources, annotated, kept, path = _federation_snapshot(tmp_path)
+    # Survivors keep committing after the snapshot; the detached source
+    # does too, but its log must simply be ignored.
+    k, a, b = fed.attributes("s000")
+    kept["s000"].insert(fed.relation("s000"), **{k: 999, a: 1, b: 1})
+    k2, a2, b2 = fed.attributes("s002")
+    sources["s002"].insert(fed.relation("s002"), **{k2: 999, a2: 1, b2: 1})
+    restored = restore_mediator(annotated, kept, path)
+    assert_view_correct(restored)
+    values = {v for v, _ in restored.query_relation(fed.leaf_parent("s000")).to_sorted_list()}
+    assert (999, 1, 1) in values
+
+
+def test_restore_raises_on_orphans_when_asked(tmp_path):
+    fed, sources, annotated, kept, path = _federation_snapshot(tmp_path)
+    with pytest.raises(OrphanStateError) as excinfo:
+        restore_mediator(annotated, kept, path, on_orphan="raise")
+    err = excinfo.value
+    assert err.cursors == ["s002"]
+    assert fed.leaf_parent("s002") in err.nodes
+    assert fed.join_name("s001", "s002") in err.nodes
+    # The message points at the recovery knob.
+    assert "on_orphan" in str(err)
+
+
+def test_restore_rejects_unknown_on_orphan_mode(tmp_path):
+    _, _, annotated, kept, path = _federation_snapshot(tmp_path)
+    with pytest.raises(MediatorError):
+        restore_mediator(annotated, kept, path, on_orphan="ignore")
+
+
+def test_restore_missing_nodes_is_an_error_even_with_drop(tmp_path):
+    """Orphans (snapshot ⊃ federation) are recoverable; missing nodes
+    (snapshot ⊂ federation) never are — the repositories can't be conjured."""
+    fed = make_federation(4, seed=21)
+    survivors = [n for n in fed.names if n != "s002"]
+    sources = make_sources(fed.spec_text_for(), fed.initial_data())
+    kept = {n: sources[n] for n in survivors}
+    mediator = generate_mediator(fed.spec_text_for(survivors), kept)
+    path = snapshot_path(tmp_path)
+    save_mediator(mediator, path)
+    annotated = build_annotated_from_spec(fed.spec_text_for())
+    with pytest.raises(MediatorError):
+        restore_mediator(annotated, sources, path, on_orphan="drop")
 
 
 def test_restore_rejects_column_order_mismatch(tmp_path):

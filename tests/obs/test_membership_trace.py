@@ -1,0 +1,70 @@
+"""Trace coverage for dynamic membership: backfill spans, attach/detach
+events, and schema validation of the exported records."""
+
+from repro.generator import generate_mediator, make_federation, make_sources
+from repro.obs import Tracer, export_jsonl, validate_jsonl_file
+
+
+def _traced_attach_detach():
+    fed = make_federation(5, seed=13)
+    names = list(fed.names)
+    members = names[:4]
+    sources = make_sources(fed.spec_text_for(), fed.initial_data())
+    tracer = Tracer(enabled=True)
+    mediator = generate_mediator(
+        fed.spec_text_for(members),
+        {n: sources[n] for n in members},
+        tracer=tracer,
+    )
+    joiner = names[4]
+    views, annotations = fed.attach_payload(joiner, members)
+    attach = mediator.attach_source(sources[joiner], views, annotations)
+    detach = mediator.detach_source(members[0])
+    return tracer, mediator, fed, joiner, members[0], attach, detach
+
+
+def test_attach_emits_backfill_span_and_event():
+    tracer, _, fed, joiner, _, attach, _ = _traced_attach_detach()
+    records = tracer.records()
+    spans = [
+        r for r in records if r["type"] == "span" and r["name"] == "backfill"
+    ]
+    assert spans, "attach recorded no backfill span"
+    span = spans[-1]
+    assert span["attrs"]["source"] == joiner
+    assert span["attrs"]["nodes"] == sorted(attach.backfill_nodes)
+    assert span["attrs"]["rows"] == attach.backfill_rows
+    assert span["end"] is not None
+
+    events = [
+        r for r in records if r["type"] == "event" and r["name"] == "source_attach"
+    ]
+    assert len(events) == 1
+    attrs = events[0]["attrs"]
+    assert attrs["source"] == joiner
+    assert attrs["backfill_rows"] == attach.backfill_rows
+    assert set(attrs["nodes"]) == set(attach.new_nodes)
+
+
+def test_detach_emits_source_detach_event():
+    tracer, _, _, _, leaver, _, detach = _traced_attach_detach()
+    events = [
+        r
+        for r in tracer.records()
+        if r["type"] == "event" and r["name"] == "source_detach"
+    ]
+    assert len(events) == 1
+    attrs = events[0]["attrs"]
+    assert attrs["source"] == leaver
+    assert attrs["removed_nodes"] == sorted(detach.removed_nodes)
+    assert attrs["dropped_messages"] == detach.dropped_messages
+
+
+def test_membership_trace_validates_against_schema(tmp_path):
+    """The closed taxonomy in trace_schema.json covers the membership
+    records: export validates, and re-validating the file passes too."""
+    tracer, _, _, _, _, _, _ = _traced_attach_detach()
+    path = tmp_path / "membership.jsonl"
+    written = export_jsonl(tracer, path, validate=True)
+    assert written == tracer.record_count()
+    assert validate_jsonl_file(path) == written

@@ -1,0 +1,204 @@
+"""Churned ≡ static: the headline dynamic-membership property.
+
+After *any* interleaving of joins, leaves, source commits, and update
+transactions, the churned mediator must be indistinguishable from a
+mediator freshly generated over the final member set and the same live
+sources — every export equal, every materialized repository equal to a
+from-scratch rebuild.  The Hypothesis property drives ≥100 randomized
+interleavings; the targeted tests pin the two nastiest interactions
+(detach of a source the IUP is currently deferred on, and re-attach of a
+source that kept committing while detached).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.links import DirectLink
+from repro.correctness import assert_materialized_correct, assert_view_correct
+from repro.errors import SourceUnavailableError
+from repro.generator import generate_mediator, make_federation, make_sources
+from repro.generator.federation import KEY_DOMAIN
+
+
+def _build(fed, members):
+    members = sorted(members)
+    sources = make_sources(fed.spec_text_for(members), fed.initial_data(members))
+    mediator = generate_mediator(fed.spec_text_for(members), sources)
+    return mediator, sources
+
+
+def _attach(mediator, fed, sources, members, name):
+    if name not in sources:
+        sources.update(
+            make_sources(fed.spec_text_for([name]), fed.initial_data([name]))
+        )
+    views, annotations = fed.attach_payload(name, members)
+    return mediator.attach_source(sources[name], views, annotations)
+
+
+def _insert(fed, sources, name, key):
+    k, a, b = fed.attributes(name)
+    sources[name].insert(
+        fed.relation(name), **{k: key, a: key % KEY_DOMAIN, b: key}
+    )
+
+
+def _assert_matches_static(mediator, fed, sources, members):
+    members = sorted(members)
+    fresh = generate_mediator(
+        fed.spec_text_for(members), {n: sources[n] for n in members}
+    )
+    assert set(mediator.vdp.exports) == set(fresh.vdp.exports)
+    for export in sorted(fresh.vdp.exports):
+        assert mediator.query_relation(export) == fresh.query_relation(export), export
+
+
+@given(
+    n=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_churned_equals_static(n, seed, data):
+    fed = make_federation(n, seed=seed)
+    names = list(fed.names)
+    members = set(names[: max(2, n // 2)])
+    mediator, sources = _build(fed, members)
+    fresh_key = KEY_DOMAIN
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(["join", "leave", "update", "txn"]),
+            min_size=1,
+            max_size=8,
+        ),
+        label="ops",
+    )
+    for op in ops:
+        if op == "join":
+            absent = sorted(set(names) - members)
+            if not absent:
+                continue
+            name = data.draw(st.sampled_from(absent), label="joiner")
+            _attach(mediator, fed, sources, sorted(members), name)
+            members.add(name)
+        elif op == "leave":
+            if len(members) <= 2:
+                continue
+            name = data.draw(st.sampled_from(sorted(members)), label="leaver")
+            mediator.detach_source(name)
+            members.discard(name)
+        elif op == "update":
+            # Detached sources keep committing too — the divergence must
+            # be backfilled if they later rejoin.
+            name = data.draw(st.sampled_from(sorted(sources)), label="updated")
+            _insert(fed, sources, name, fresh_key)
+            fresh_key += 1
+        else:
+            mediator.run_update_transaction()
+    mediator.refresh()
+    assert_view_correct(mediator)
+    assert_materialized_correct(mediator)
+    _assert_matches_static(mediator, fed, sources, members)
+
+
+class _FlakyLink(DirectLink):
+    """A DirectLink with a harness-controlled outage switch."""
+
+    supports_parallel_poll = False
+
+    def __init__(self, source, **kwargs):
+        super().__init__(source, **kwargs)
+        self.down = False
+
+    def is_available(self):
+        return not self.down
+
+    def poll_many(self, queries):
+        if self.down:
+            raise SourceUnavailableError(
+                f"source {self.source_name!r} is down for the test"
+            )
+        return super().poll_many(queries)
+
+
+def _find_fed_with_virtual_join_endpoint():
+    """A federation holding a join whose one endpoint is a bulk (fully
+    virtual) source and whose other endpoint announces."""
+    for seed in range(64):
+        fed = make_federation(8, seed=seed)
+        for left, right in fed.joins:
+            for down in (left, right):
+                other = right if down == left else left
+                if fed.source(down).tier == "bulk" and fed.source(other).tier != "bulk":
+                    return fed, down, other
+    raise AssertionError("no suitable federation found in the seed sweep")
+
+
+def test_detach_during_deferred_iup_converges():
+    """Detaching the very source an update transaction is deferred on must
+    not wedge the IUP: the departed source's requeued messages are
+    forgotten with it, and the next transaction applies the survivors."""
+    fed, down, other = _find_fed_with_virtual_join_endpoint()
+    members = set(fed.names)
+    mediator, sources = _build(fed, members)
+    flaky = _FlakyLink(sources[down], announces=False)
+    mediator.links[down] = flaky
+    mediator.vap.links = dict(mediator.links)
+
+    _insert(fed, sources, other, KEY_DOMAIN + 1)
+    mediator.collect_announcements()
+    flaky.down = True
+    result = mediator.run_update_transaction()
+    assert result.deferred, "the outage must defer the transaction"
+
+    mediator.detach_source(down)
+    members.discard(down)
+    result = mediator.run_update_transaction()
+    assert not result.deferred
+    mediator.refresh()
+    assert_view_correct(mediator)
+    _assert_matches_static(mediator, fed, sources, members)
+
+
+def _find_fed_with_materialized_joiner():
+    """A federation with a curated (fully materialized) source that
+    participates in at least one join — re-attaching it must backfill."""
+    for seed in range(64):
+        fed = make_federation(8, seed=seed)
+        for s in fed.sources:
+            if s.tier == "curated" and fed.joins_of(s.name, fed.names):
+                return fed, s.name
+    raise AssertionError("no suitable federation found in the seed sweep")
+
+
+def test_reattach_backfills_commits_made_while_detached():
+    fed, victim = _find_fed_with_materialized_joiner()
+    members = set(fed.names)
+    mediator, sources = _build(fed, members)
+
+    mediator.detach_source(victim)
+    members.discard(victim)
+    mediator.refresh()
+    _assert_matches_static(mediator, fed, sources, members)
+
+    # The detached source keeps committing on its own timeline.
+    for key in (KEY_DOMAIN + 10, KEY_DOMAIN + 11):
+        _insert(fed, sources, victim, key)
+
+    views, annotations = fed.attach_payload(victim, sorted(members))
+    result = mediator.attach_source(sources[victim], views, annotations)
+    members.add(victim)
+    assert result.backfill_rows > 0
+    assert fed.leaf_parent(victim) in result.backfill_nodes
+    # The backfill reflects the divergence committed while detached.
+    leaf = mediator.query_relation(fed.leaf_parent(victim))
+    assert leaf.cardinality() == len(fed.initial_rows(victim)) + 2
+    mediator.refresh()
+    assert_view_correct(mediator)
+    _assert_matches_static(mediator, fed, sources, members)
+
+    # The re-attached source's timeline is fresh: a post-rejoin commit
+    # propagates like any other announcement.
+    _insert(fed, sources, victim, KEY_DOMAIN + 12)
+    mediator.refresh()
+    _assert_matches_static(mediator, fed, sources, members)

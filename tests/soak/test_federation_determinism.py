@@ -1,0 +1,116 @@
+"""Determinism contract of the federation/churn generator.
+
+Everything the soak suite replays — the federation topology, the spec
+text for any member subset, the initial data, the churn schedule — must
+be a pure function of ``(seed, inputs)``: same seed twice, byte-identical
+artifacts.  Creation order and random draws must never depend on dict or
+set iteration order.
+"""
+
+import pytest
+
+from repro.generator import make_federation, make_sources, plan_events
+from repro.generator.federation import TIERS
+
+
+def test_same_seed_same_federation():
+    assert make_federation(40, seed=11) == make_federation(40, seed=11)
+
+
+def test_different_seeds_differ():
+    assert (
+        make_federation(40, seed=11).spec_text_for()
+        != make_federation(40, seed=12).spec_text_for()
+    )
+
+
+def test_spec_text_byte_identical_across_runs():
+    fed = make_federation(30, seed=5)
+    twin = make_federation(30, seed=5)
+    assert fed.spec_text_for() == twin.spec_text_for()
+    subset = list(fed.names)[::3]
+    # Input order must not matter either: members are a set, the text is
+    # emitted in sorted order.
+    assert fed.spec_text_for(subset) == twin.spec_text_for(reversed(subset))
+
+
+def test_spec_text_rejects_unknown_members():
+    fed = make_federation(6, seed=0)
+    with pytest.raises(KeyError):
+        fed.spec_text_for(["s000", "nobody"])
+
+
+def test_all_tiers_appear_and_volumes_track_tier():
+    fed = make_federation(60, seed=2)
+    seen = {s.tier for s in fed.sources}
+    assert seen == set(TIERS)
+    for s in fed.sources:
+        assert len(fed.initial_rows(s.name)) == s.rows
+
+
+def test_initial_rows_independent_of_federation_size():
+    """A source carries the same data into every federation size — the
+    backfill-cost benchmark (BENCH_soak) depends on exactly this."""
+    small = make_federation(10, seed=7)
+    large = make_federation(200, seed=7)
+    for name in small.names:
+        assert small.initial_rows(name) == large.initial_rows(name)
+        assert small.source(name) == large.source(name)
+
+
+def test_make_sources_deterministic_and_sorted():
+    fed = make_federation(12, seed=3)
+    first = make_sources(fed.spec_text_for(), fed.initial_data())
+    second = make_sources(fed.spec_text_for(), fed.initial_data())
+    assert list(first) == sorted(first)
+    assert list(first) == list(second)
+    for name in first:
+        state_a = first[name].state()
+        state_b = second[name].state()
+        assert set(state_a) == set(state_b)
+        for relation in state_a:
+            assert (
+                state_a[relation].to_sorted_list()
+                == state_b[relation].to_sorted_list()
+            )
+
+
+def test_plan_events_deterministic():
+    fed = make_federation(25, seed=9)
+    assert plan_events(fed, 30) == plan_events(make_federation(25, seed=9), 30)
+
+
+def test_plan_final_members_matches_simulation():
+    fed = make_federation(25, seed=9)
+    plan = plan_events(fed, 40)
+    members = set(plan.initial_members)
+    for event in plan.events:
+        if event.kind == "join":
+            assert event.source not in members
+            members.add(event.source)
+        elif event.kind == "leave":
+            assert event.source in members
+            members.discard(event.source)
+        elif event.kind in ("outage", "update"):
+            # outages target current members; updates may also target
+            # detached sources (they keep committing while away).
+            if event.kind == "outage":
+                assert event.source in members
+    assert tuple(sorted(members)) == plan.final_members()
+
+
+def test_plan_never_schedules_a_join_during_an_outage():
+    """A join's backfill may need to poll a virtual-contributor partner,
+    so the planner must keep joins out of active outage windows."""
+    fed = make_federation(30, seed=4)
+    plan = plan_events(fed, 60, outage_prob=0.5, join_prob=0.5)
+    outage_until = {}
+    saw_overlap_opportunity = False
+    for event in plan.events:  # events are appended in execution order
+        if event.kind == "outage":
+            outage_until[event.source] = event.step + event.duration
+        elif event.kind == "join":
+            assert all(end <= event.step for end in outage_until.values())
+        if any(end > event.step for end in outage_until.values()):
+            saw_overlap_opportunity = True
+    assert saw_overlap_opportunity, "plan produced no outage windows to dodge"

@@ -1,0 +1,96 @@
+"""The soak harness end to end: seeded chaos, crashes, and the report.
+
+Quick bounded runs stay in tier-1; the medium/large federations carry the
+``soak`` marker and run in the dedicated CI job (``pytest -m soak``).
+"""
+
+import json
+
+import pytest
+
+from repro.soak import SoakConfig, run_soak, slo_report, write_slo_report
+
+
+def test_small_soak_run_converges():
+    result = run_soak(SoakConfig(sources=8, seed=3, steps=12, checkpoint_every=6))
+    assert result.ok, (result.convergence_violations, result.slo_violations)
+    assert result.steps_run == 12
+    assert result.final_members
+    assert result.stats.updates_applied > 0
+    assert result.stats.messages_sent > 0
+    assert result.stats.convergence_checks == 2
+    assert len(result.checkpoints) == 2
+    assert all(cp["violations"] == 0 for cp in result.checkpoints)
+    # Soak counters are exported through the mediator's metrics registry.
+    assert result.metrics.get("soak.updates_applied") == result.stats.updates_applied
+
+
+def test_soak_with_crash_points_recovers_and_converges():
+    result = run_soak(
+        SoakConfig(
+            sources=8,
+            seed=5,
+            steps=12,
+            checkpoint_every=6,
+            crash_points=((2, "post-wal-append"), (6, "torn-wal")),
+        )
+    )
+    assert result.ok, (result.convergence_violations, result.slo_violations)
+    assert result.stats.crashes >= 1
+    assert result.stats.recoveries == result.stats.crashes
+
+
+def test_soak_is_deterministic_for_a_seed():
+    config = SoakConfig(sources=8, seed=9, steps=10, checkpoint_every=5)
+    first = run_soak(config)
+    second = run_soak(config)
+    assert first.final_members == second.final_members
+    assert first.stats == second.stats
+    assert first.worst_staleness == second.worst_staleness
+
+
+def test_slo_report_roundtrip(tmp_path):
+    result = run_soak(SoakConfig(sources=6, seed=1, steps=8, checkpoint_every=4))
+    path = tmp_path / "slo.json"
+    document = write_slo_report(result, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == document
+    assert loaded["kind"] == "soak-slo-report"
+    assert loaded["ok"] is True
+    assert loaded["steps_run"] == 8
+    assert loaded["freshness"]["bound"] == result.config.staleness_bound
+    assert loaded["counters"]["updates_applied"] == result.stats.updates_applied
+    assert loaded["convergence"]["checkpoints"]
+    assert sorted(loaded["final_members"]) == list(result.final_members)
+    assert slo_report(result) == document
+
+
+@pytest.mark.soak
+def test_soak_medium_federation_with_churn_and_crashes():
+    result = run_soak(
+        SoakConfig(
+            sources=60,
+            seed=7,
+            steps=30,
+            checkpoint_every=10,
+            crash_points=(
+                (5, "post-wal-append"),
+                (12, "torn-wal"),
+                (20, "mid-checkpoint"),
+            ),
+        )
+    )
+    assert result.ok, (result.convergence_violations, result.slo_violations)
+    assert result.stats.attaches > 0
+    assert result.stats.detaches > 0
+    assert result.stats.recoveries >= 1
+
+
+@pytest.mark.soak
+def test_soak_large_federation_acceptance():
+    """The ISSUE 6 acceptance run: 200 sources, seed 7, zero violations."""
+    result = run_soak(SoakConfig(sources=200, seed=7))
+    assert result.ok, (result.convergence_violations, result.slo_violations)
+    assert result.stats.convergence_checks == 4
+    assert result.stats.attaches > 0
+    assert result.stats.backfill_rows > 0
