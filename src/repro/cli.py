@@ -44,7 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import SquirrelMediator
 from repro.errors import ReproError
@@ -226,13 +226,29 @@ def _cmd_recover(args, out) -> int:
     return 0
 
 
+def _parse_crash_point(point: str) -> Tuple[int, str]:
+    """Parse one ``--crash TXN:PHASE`` value, or raise a usage ReproError."""
+    from repro.faults import CRASH_PHASES
+
+    txn_text, sep, phase = point.partition(":")
+    if not sep or phase not in CRASH_PHASES:
+        raise ReproError(
+            f"--crash expects TXN:PHASE with PHASE one of "
+            f"{', '.join(CRASH_PHASES)}; got {point!r}"
+        )
+    try:
+        txn = int(txn_text)
+    except ValueError:
+        raise ReproError(
+            f"--crash expects an integer transaction index; got {point!r}"
+        ) from None
+    return txn, phase
+
+
 def _cmd_soak(args, out) -> int:
     from repro.soak import SoakConfig, run_soak, write_slo_report
 
-    crash_points = tuple(
-        (int(txn), phase)
-        for txn, _, phase in (point.partition(":") for point in args.crash or ())
-    )
+    crash_points = tuple(_parse_crash_point(point) for point in args.crash or ())
     config = SoakConfig(
         sources=args.sources,
         seed=args.seed,

@@ -341,6 +341,13 @@ class SquirrelMediator:
         answers disclose it honestly.  With a durability manager attached,
         the attach commits a full checkpoint (the structural change
         invalidates incremental chains).
+
+        The attach is atomic: if the backfill fails (a partner link down
+        mid-poll raises ``SourceUnavailableError``, the common case), the
+        source registration, link, queue cursor, and structural swap are
+        all rolled back before the exception propagates, so the mediator
+        is exactly as if the attach was never attempted and the call can
+        simply be retried.
         """
         self._require_init()
         name = source.name
@@ -371,6 +378,7 @@ class SquirrelMediator:
         # One atomic (drain, cursor) on the joining source: the backfill
         # polls that follow observe exactly transactions 1..cursor, and any
         # later commit reaches the queue as an ordinary announcement.
+        prev_annotated = self.annotated
         _, cursor = source.initial_snapshot()
         self.sources[name] = source
         joining_kind = new_kinds.get(name)
@@ -416,6 +424,18 @@ class SquirrelMediator:
                         self.store.reinitialize_node(n, value)
                         backfill_rows += value.cardinality()
                 span.set(rows=backfill_rows)
+        except BaseException:
+            # Atomicity: undo everything installed above so the failed
+            # attach leaves no trace — partially backfilled repositories,
+            # the registration, the link, the queue cursor, and the
+            # extended structure all revert, and the caller may retry.
+            for n in storing:
+                self.store.retire_node(n)
+            self.sources.pop(name, None)
+            self.links.pop(name, None)
+            self.queue.forget_source(name)
+            self._install_structure(prev_annotated)
+            raise
         finally:
             self.end_resync(name)
         # Temps cached while the new repositories were still absent would

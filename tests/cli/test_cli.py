@@ -241,3 +241,21 @@ def test_cli_soak_with_crash_points(tmp_path):
     assert code == 0
     text = out.getvalue()
     assert "durability: 1 crashes, 1 recoveries" in text
+
+
+@pytest.mark.parametrize(
+    "point",
+    [
+        "2",                  # no colon at all
+        "2:",                 # empty phase
+        "2:no-such-phase",    # unknown phase
+        "x:post-wal-append",  # non-integer transaction index
+        ":torn-wal",          # empty transaction index
+    ],
+)
+def test_cli_soak_rejects_malformed_crash_point(point, capsys):
+    code = main(["soak", "--crash", point], out=io.StringIO())
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: --crash")
+    assert repr(point) in err

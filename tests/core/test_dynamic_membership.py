@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core import AttachResult, DetachResult
+from repro.core.links import DirectLink
 from repro.correctness import assert_view_correct
-from repro.errors import MediatorError
+from repro.errors import MediatorError, SourceUnavailableError
 from repro.generator import generate_mediator, make_sources
 
 SPEC_BOTH = """
@@ -132,6 +133,69 @@ def test_attach_virtual_only_source_does_not_announce():
     assert not mediator.links["sb"].announces
     # The materialized contributor still announces.
     assert mediator.contributor_kinds["sa"].announces
+
+
+SPEC_A_VIRTUAL = """
+source sa { relation A(a1 key, a2) }
+export A_p = project[a1, a2](A)
+annotate A_p virtual
+"""
+
+
+class _DownableLink(DirectLink):
+    """A DirectLink with a switchable outage, for failure-path tests."""
+
+    def __init__(self, source, **kwargs):
+        super().__init__(source, **kwargs)
+        self.down = False
+
+    def is_available(self):
+        return not self.down
+
+    def poll_many(self, queries):
+        if self.down:
+            raise SourceUnavailableError(f"source {self.source_name!r} is down")
+        return super().poll_many(queries)
+
+
+def test_failed_backfill_rolls_back_the_attach():
+    """A partner link down mid-backfill must leave the mediator exactly as
+    before the attach — no registration, link, queue cursor, structure
+    extension, or orphan repository survives — and once the partner is
+    back, the identical attach call simply succeeds."""
+    sources = make_sources(SPEC_BOTH, DATA)
+    mediator = generate_mediator(SPEC_A_VIRTUAL, {"sa": sources["sa"]})
+    link = _DownableLink(
+        sources["sa"], announcement_sink=mediator.enqueue_update, announces=False
+    )
+    mediator.links["sa"] = link
+    mediator.vap.links = dict(mediator.links)
+    nodes_before = set(mediator.vdp.nodes)
+    exports_before = set(mediator.vdp.exports)
+
+    # Backfilling J (materialized) needs A_p, which is virtual, so the
+    # attach must poll sa — down, so the backfill fails mid-attach.
+    link.down = True
+    with pytest.raises(SourceUnavailableError):
+        mediator.attach_source(sources["sb"], B_VIEWS)
+
+    assert "sb" not in mediator.sources
+    assert "sb" not in mediator.links
+    assert set(mediator.vdp.nodes) == nodes_before
+    assert set(mediator.vdp.exports) == exports_before
+    assert not mediator.store.has_repo("B_p")
+    assert not mediator.store.has_repo("J")
+    assert mediator.queue.reflected_cursor("sb") is None
+    assert mediator.resyncing_sources() == ()
+
+    link.down = False
+    result = mediator.attach_source(sources["sb"], B_VIEWS)
+    assert set(result.backfill_nodes) == {"B_p", "J"}
+    assert mediator.query_relation("J").to_sorted_list() == [
+        ((1, 10), 1),
+        ((3, 10), 1),
+    ]
+    assert_view_correct(mediator)
 
 
 def test_reattach_starts_a_fresh_timeline():

@@ -9,6 +9,7 @@ import json
 import pytest
 
 from repro.soak import SoakConfig, run_soak, slo_report, write_slo_report
+from repro.soak.harness import SoakHarness
 
 
 def test_small_soak_run_converges():
@@ -47,6 +48,32 @@ def test_soak_is_deterministic_for_a_seed():
     assert first.final_members == second.final_members
     assert first.stats == second.stats
     assert first.worst_staleness == second.worst_staleness
+
+
+def test_join_while_partner_link_down_waits_out_outage_and_converges():
+    """A join scheduled while a partner link is down (the crash/recovery
+    timing the harness's SourceUnavailableError branch models): the first
+    attach attempt fails mid-backfill and rolls back, the harness clears
+    the outage and retries, and the federation still converges."""
+    harness = SoakHarness(SoakConfig(sources=10, seed=0, steps=4, checkpoint_every=2))
+    # s001 joins against s000, whose leaf parent is fully virtual (bulk
+    # tier) — backfilling the join view must poll s000, which is down.
+    joiner, partner = "s001", "s000"
+    assert {joiner, partner} <= harness.members
+    assert harness.fed.source(partner).tier == "bulk"
+    assert (partner, joiner) in harness.fed.joins or (joiner, partner) in harness.fed.joins
+
+    harness._detach(joiner)
+    harness.links[partner].down_until = harness.step + 10_000
+    harness._attach(joiner)
+
+    # down_until is cleared for *partner* links only by the retry branch,
+    # so this proves the first attempt failed and the retry succeeded.
+    assert harness.links[partner].down_until is None
+    assert joiner in harness.members
+    assert harness.stats.attaches == 1
+    harness._check_convergence()
+    assert not harness.result.convergence_violations
 
 
 def test_slo_report_roundtrip(tmp_path):
