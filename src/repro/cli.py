@@ -257,6 +257,7 @@ def _cmd_soak(args, out) -> int:
         staleness_bound=args.staleness_bound,
         crash_points=crash_points,
         durability_dir=args.durability_dir,
+        shards=args.shards,
     )
     result = run_soak(config)
     if args.report:
@@ -406,6 +407,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     p_soak.add_argument(
         "--durability-dir", dest="durability_dir",
         help="durability directory (default: a temp dir when --crash is given)",
+    )
+    p_soak.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition node repositories into N shards and run the "
+        "IUP's linear rule firings in parallel (1 = serial)",
     )
     p_soak.add_argument("--report", help="write the freshness-SLO report JSON here")
 

@@ -38,6 +38,7 @@ from repro.relalg import (
     BagRelation,
     EvalCounters,
     Evaluator,
+    PartitionedRelation,
     Relation,
     RelationSchema,
 )
@@ -56,7 +57,61 @@ class LocalStore:
         self._repos: Dict[str, Relation] = {}
         self._deltas: Dict[str, AnyDelta] = {}
         self._index_requirements: Dict[str, Set[Tuple[str, ...]]] = {}
+        self._shard_plan = None  # Optional[repro.core.sharding.ShardPlan]
         self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Sharded repositories
+    # ------------------------------------------------------------------
+    def set_shard_plan(self, plan) -> None:
+        """Adopt a :class:`~repro.core.sharding.ShardPlan` for repositories.
+
+        Called at mediator wiring (before :meth:`initialize`) and again on
+        every structural swap (attach/detach rebuild the rulebase, so shard
+        keys may change): already-populated repositories whose desired
+        layout differs are repartitioned in place — rows rerouted, declared
+        indexes rebuilt per shard.
+        """
+        self._shard_plan = plan
+        if self._initialized:
+            for name in sorted(self._repos):
+                current = self._repos[name]
+                desired = self._desired_layout(name, current.schema.attribute_names)
+                actual = (
+                    (current.shard_key, current.num_shards)
+                    if isinstance(current, PartitionedRelation)
+                    else None
+                )
+                if desired != actual:
+                    self._repos[name] = self._finalize_stored(name, current)
+            self._build_declared_indexes()
+
+    def _desired_layout(self, name: str, stored_attrs) -> Optional[Tuple[Tuple[str, ...], int]]:
+        if self._shard_plan is None:
+            return None
+        return self._shard_plan.storage_layout(name, tuple(stored_attrs))
+
+    def _finalize_stored(self, name: str, stored: Relation) -> Relation:
+        """Lay a freshly built stored value out per the shard plan."""
+        layout = self._desired_layout(name, stored.schema.attribute_names)
+        if layout is None:
+            if isinstance(stored, PartitionedRelation):
+                return stored.unpartitioned()
+            return stored
+        key, num_shards = layout
+        if (
+            isinstance(stored, PartitionedRelation)
+            and stored.shard_key == key
+            and stored.num_shards == num_shards
+        ):
+            return stored
+        return PartitionedRelation.partition(stored, key, num_shards)
+
+    def install_repo(self, name: str, relation: Relation) -> None:
+        """Install an externally built repository (checkpoint restore),
+        repartitioning it to this store's shard plan so restored state and
+        freshly initialized state share one layout."""
+        self._repos[name] = self._finalize_stored(name, relation)
 
     # ------------------------------------------------------------------
     # Persistent join indexes
@@ -171,14 +226,14 @@ class LocalStore:
     def _stored_projection(self, name: str, full_value: Relation, ann: Annotation) -> Relation:
         node = self.vdp.node(name)
         if ann.fully_materialized:
-            return full_value.copy()
+            return self._finalize_stored(name, full_value.copy())
         # Hybrid: store the bag projection onto the materialized attributes.
         if node.kind is NodeKind.SET:
             raise MediatorError(f"set node {name!r} cannot be hybrid")
         stored = BagRelation(self.stored_schema(name))
         for r, n in full_value.items():
             stored.insert(r.project(ann.materialized_attrs), n)
-        return stored
+        return self._finalize_stored(name, stored)
 
     # ------------------------------------------------------------------
     # Delta repositories (ΔR)

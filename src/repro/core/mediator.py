@@ -31,6 +31,7 @@ from repro.core.links import DirectLink, SourceLink
 from repro.core.local_store import LocalStore
 from repro.core.query_processor import QueryProcessor
 from repro.core.rulebase import RuleBase
+from repro.core.sharding import plan_shards
 from repro.core.update_queue import UpdateQueue
 from repro.core.vap import VirtualAttributeProcessor
 from repro.core.vap_cache import VAPTempCache
@@ -89,6 +90,10 @@ class MediatorStats:
     index_probes: int
     index_rebuilds: int
     propagation_passes: int
+    deltas_compacted: int
+    shard_tasks: int
+    shard_batches: int
+    exchange_reads: int
 
     def diff(self, other: "MediatorStats") -> "MediatorStats":
         """Per-field ``self - other`` — counter deltas across a workload
@@ -127,6 +132,10 @@ STATS_METRICS: Dict[str, str] = {
     "index_probes": "eval.index_probes",
     "index_rebuilds": "eval.index_rebuilds",
     "propagation_passes": "iup.propagation_passes",
+    "deltas_compacted": "queue.deltas_compacted",
+    "shard_tasks": "iup.shard_tasks",
+    "shard_batches": "iup.shard_batches",
+    "exchange_reads": "iup.exchange_reads",
 }
 
 
@@ -164,6 +173,8 @@ class SquirrelMediator:
         indexing_enabled: bool = True,
         vap_cache_enabled: bool = True,
         parallel_polls: bool = True,
+        shards: int = 1,
+        parallel_propagation: Optional[bool] = None,
         tracer: Tracer = NULL_TRACER,
     ):
         """Wire a mediator over the given sources.
@@ -177,6 +188,12 @@ class SquirrelMediator:
         the evaluator falls back to per-firing ephemeral hash joins;
         ``vap_cache_enabled=False`` re-polls sources on every virtual
         query; ``parallel_polls=False`` forces the serial poll loop).
+        ``shards`` hash-partitions node repositories (and their persistent
+        indexes) into that many shards under a planner-chosen key (see
+        :mod:`repro.core.sharding`); ``parallel_propagation`` runs the IUP
+        kernel's linear rule firings as a (rule × shard) task pool — it
+        defaults to on exactly when ``shards > 1``, and can be forced off
+        for the layout-only ablation.  Results are identical either way.
         ``tracer`` (default: the shared disabled :data:`NULL_TRACER`) is
         threaded through every component; pass an enabled
         :class:`~repro.obs.tracer.Tracer` to record spans/events, and
@@ -189,10 +206,20 @@ class SquirrelMediator:
         self.contributor_kinds: Dict[str, ContributorKind] = annotated.contributor_kinds()
         self._check_sources()
 
+        if shards < 1:
+            raise MediatorError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.parallel_propagation = (
+            shards > 1 if parallel_propagation is None else parallel_propagation
+        )
         self.queue = UpdateQueue()
         self.store = LocalStore(annotated, indexing_enabled=indexing_enabled)
         self.rulebase = RuleBase(self.vdp)
         self.store.declare_index_requirements(self.rulebase.index_requirements())
+        self.shard_plan = (
+            plan_shards(self.vdp, self.rulebase, shards) if shards > 1 else None
+        )
+        self.store.set_shard_plan(self.shard_plan)
         self.links: Dict[str, SourceLink] = dict(links) if links else {}
         for name, source in self.sources.items():
             if name not in self.links:
@@ -215,7 +242,14 @@ class SquirrelMediator:
             tracer=tracer,
         )
         self.iup = IncrementalUpdateProcessor(
-            annotated, self.store, self.rulebase, self.vap, self.queue, tracer=tracer
+            annotated,
+            self.store,
+            self.rulebase,
+            self.vap,
+            self.queue,
+            tracer=tracer,
+            shard_plan=self.shard_plan,
+            parallel_propagation=self.parallel_propagation,
         )
         self.qp = QueryProcessor(annotated, self.store, self.vap, tracer=tracer)
         self.metrics = MetricsRegistry()
@@ -223,6 +257,7 @@ class SquirrelMediator:
         self.metrics.register_stats("iup", self.iup.stats)
         self.metrics.register_stats("vap", self.vap.stats)
         self.metrics.register_stats("eval", self.store.counters)
+        self.metrics.register_stats("queue", self.queue.stats)
         self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
         self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
         self._initialized = False
@@ -558,6 +593,15 @@ class SquirrelMediator:
         self.store.vdp = annotated.vdp
         self.rulebase = RuleBase(self.vdp)
         self.store.declare_index_requirements(self.rulebase.index_requirements())
+        # The shard plan is a function of the rulebase: re-infer it so new
+        # nodes get keys and new edges get local/exchange classifications
+        # (existing repositories repartition only when their layout moved).
+        self.shard_plan = (
+            plan_shards(self.vdp, self.rulebase, self.shards)
+            if self.shards > 1
+            else None
+        )
+        self.store.set_shard_plan(self.shard_plan)
         vap = self.vap
         vap.annotated = annotated
         vap.vdp = annotated.vdp
@@ -571,6 +615,7 @@ class SquirrelMediator:
         self.iup.annotated = annotated
         self.iup.vdp = annotated.vdp
         self.iup.rulebase = self.rulebase
+        self.iup.shard_plan = self.shard_plan
         self.qp.annotated = annotated
         self.qp.vdp = annotated.vdp
         # Contributor kinds may have flipped for surviving sources (a new

@@ -210,6 +210,8 @@ def restore_mediator(
     key_based_enabled: bool = True,
     on_stale: str = "raise",
     on_orphan: str = "drop",
+    shards: int = 1,
+    parallel_propagation: "Optional[bool]" = None,
 ) -> SquirrelMediator:
     """Rebuild a mediator from a snapshot and catch up from source logs.
 
@@ -247,6 +249,8 @@ def restore_mediator(
         sources,
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
     )
 
     expected = set(annotated.nodes_with_storage())
@@ -270,12 +274,15 @@ def restore_mediator(
     # Populate repositories straight from the snapshot.
     for node_name, columns in node_columns.items():
         node = annotated.vdp.node(node_name)
-        mediator.store._repos[node_name] = decode_repo(
-            node.kind,
-            mediator.store.stored_schema(node_name),
-            columns,
-            rows[node_name],
+        mediator.store.install_repo(
             node_name,
+            decode_repo(
+                node.kind,
+                mediator.store.stored_schema(node_name),
+                columns,
+                rows[node_name],
+                node_name,
+            ),
         )
     mediator.store._initialized = True
     mediator.store._build_declared_indexes()

@@ -213,10 +213,21 @@ class CompiledSPJ:
         self._join_plans = {id(j): plan_join(j, self._schemas) for j in joins}
 
     def _schemas_for(self, extended: Mapping[str, Relation]) -> Mapping[str, RelationSchema]:
-        """The renamed-schema catalog; lazily completed from ``extended``."""
-        for name, rel in extended.items():
-            if name not in self._schemas:
-                self._schemas[name] = rel.schema.rename_relation(name)
+        """The renamed-schema catalog; lazily completed from ``extended``.
+
+        Completion is copy-on-write: the sharded kernel fires one compiled
+        rule concurrently from several worker threads, so the shared dict
+        is swapped atomically rather than mutated while others read it.
+        (Eagerly compiled rules never take this path — every name is
+        already resolved at construction.)
+        """
+        missing = {
+            name: rel.schema.rename_relation(name)
+            for name, rel in extended.items()
+            if name not in self._schemas
+        }
+        if missing:
+            self._schemas = {**self._schemas, **missing}
         return self._schemas
 
     def index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:

@@ -1,0 +1,161 @@
+"""Shard planning for parallel update propagation.
+
+The IUP kernel (see :mod:`repro.core.iup`) can fire a *linear* rule over
+sub-deltas independently: bag-delta contributions are signed-count sums, and
+``fire(d1 + d2) = fire(d1) ! fire(d2)`` whenever every compiled part
+references the child exactly once (the same distributivity delta provenance
+relies on — :attr:`~repro.core.rules.BagNodeRule.is_linear`).  The shard
+planner decides the data layout and the work split that make those
+independent firings *cheap*:
+
+* a **shard key** per node — the attribute tuple node relations (and their
+  per-shard persistent indexes) are hash-partitioned on, and the key each
+  node's pending delta is split by before parallel firing.  Inference is
+  purely static, from the compiled rulebase: a node's key is the join-key
+  tuple rules probe it on most often (ties broken toward shorter, then
+  lexicographically smaller tuples), because those probes then route to a
+  single shard (:meth:`~repro.relalg.PartitionedRelation.index_lookup`).
+  Nodes no rule probes fall back to their full attribute tuple — any
+  deterministic key splits a delta correctly; it just prunes nothing.
+
+* an **edge classification** — for each propagation edge and each sibling
+  the rule reads, whether every compiled probe on that sibling covers the
+  sibling's shard key (``local``: each probe touches exactly one shard) or
+  not (``exchange``: probes and scans fan out across every shard — the
+  explicit cross-shard exchange read, counted and traced by the kernel).
+
+The plan never affects results, only layout and scheduling: non-linear
+rules (difference nodes, self-joins) always fire serially with the whole
+delta, and shard contributions merge in deterministic (rule, shard) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rulebase import RuleBase
+from repro.core.vdp import VDP
+from repro.deltas import BagDelta
+from repro.relalg.relation import stable_shard_hash
+
+__all__ = ["EdgeShardInfo", "ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class EdgeShardInfo:
+    """Static shard behaviour of one propagation edge ``(parent, child)``."""
+
+    parent: str
+    child: str
+    #: Siblings whose every probe covers their shard key (shard-local reads).
+    local_siblings: Tuple[str, ...]
+    #: Siblings some probe or scan reads across all shards (exchange reads).
+    exchange_siblings: Tuple[str, ...]
+    #: True when the edge rule is linear — its firing may be split by shard.
+    parallelizable: bool
+
+
+@dataclass
+class ShardPlan:
+    """A planner-chosen partitioning of the VDP's relations and work."""
+
+    num_shards: int
+    #: node name -> shard-key attribute tuple (every node gets one).
+    keys: Dict[str, Tuple[str, ...]]
+    #: (parent, child) -> static local/exchange classification.
+    edges: Dict[Tuple[str, str], EdgeShardInfo] = field(default_factory=dict)
+
+    def key_for(self, name: str) -> Optional[Tuple[str, ...]]:
+        """The shard key of one node (None for nodes outside the plan)."""
+        return self.keys.get(name)
+
+    def storage_layout(
+        self, name: str, stored_attrs: Tuple[str, ...]
+    ) -> Optional[Tuple[Tuple[str, ...], int]]:
+        """``(shard_key, num_shards)`` for a repository, or None to store flat.
+
+        A hybrid node's stored projection can only be partitioned when the
+        shard key survives the projection; otherwise the repository stays a
+        single container (reads of it are trivially shard-local).
+        """
+        key = self.keys.get(name)
+        if key is None or self.num_shards <= 1:
+            return None
+        if not set(key) <= set(stored_attrs):
+            return None
+        return key, self.num_shards
+
+    def edge_info(self, parent: str, child: str) -> Optional[EdgeShardInfo]:
+        """The classification of one edge (None for unknown edges)."""
+        return self.edges.get((parent, child))
+
+    def split(self, name: str, delta: BagDelta) -> List[Optional[BagDelta]]:
+        """Split one node's bag delta by its shard key.
+
+        Returns a list of ``num_shards`` entries, ``None`` where the shard
+        receives nothing.  Entry order within each sub-delta follows the
+        source delta, so the split is deterministic given a deterministic
+        input delta; the signed-count sum of the parts is the input.
+        """
+        key = self.keys[name]
+        parts: List[Optional[BagDelta]] = [None] * self.num_shards
+        for row, n in delta.entries_for(name):
+            shard = stable_shard_hash(row.values_for(key)) % self.num_shards
+            sub = parts[shard]
+            if sub is None:
+                sub = BagDelta()
+                parts[shard] = sub
+            sub.add(name, row, n)
+        return parts
+
+
+def plan_shards(vdp: VDP, rulebase: RuleBase, num_shards: int) -> ShardPlan:
+    """Infer shard keys and edge classifications from the compiled rulebase."""
+    # How often each (node, key tuple) is probed across all compiled rules.
+    probe_freq: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+    for parent, child in rulebase.edges():
+        rule = rulebase.edge_rule(parent, child)
+        for base, keysets in rule.index_requirements().items():
+            for keys in keysets:
+                probe_freq[(base, keys)] = probe_freq.get((base, keys), 0) + 1
+
+    keys: Dict[str, Tuple[str, ...]] = {}
+    for name in vdp.topological_order():
+        candidates = [
+            (keyset, count)
+            for (base, keyset), count in probe_freq.items()
+            if base == name
+        ]
+        if candidates:
+            keys[name] = min(
+                candidates, key=lambda pair: (-pair[1], len(pair[0]), pair[0])
+            )[0]
+        else:
+            keys[name] = vdp.node(name).schema.attribute_names
+
+    edges: Dict[Tuple[str, str], EdgeShardInfo] = {}
+    for parent, child in rulebase.edges():
+        rule = rulebase.edge_rule(parent, child)
+        requirements = rule.index_requirements()
+        local: List[str] = []
+        exchange: List[str] = []
+        for sibling in rule.sibling_names():
+            keysets = requirements.get(sibling)
+            shard_key = keys.get(sibling)
+            if (
+                keysets
+                and shard_key
+                and all(set(shard_key) <= set(ks) for ks in keysets)
+            ):
+                local.append(sibling)
+            else:
+                exchange.append(sibling)
+        edges[(parent, child)] = EdgeShardInfo(
+            parent,
+            child,
+            tuple(local),
+            tuple(exchange),
+            bool(getattr(rule, "is_linear", False)),
+        )
+    return ShardPlan(num_shards=num_shards, keys=keys, edges=edges)

@@ -32,13 +32,31 @@ so the next cycle retries them, ahead of anything that arrived since.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas import SetDelta, net_accumulate
 from repro.obs.provenance import TxnOrigin
 
-__all__ = ["QueuedUpdate", "UpdateQueue"]
+__all__ = ["QueueStats", "QueuedUpdate", "UpdateQueue"]
+
+
+@dataclass
+class QueueStats:
+    """Flush-fold counters, registered with the mediator's metrics registry.
+
+    ``deltas_compacted`` counts the atoms the pre-compaction fold removed:
+    the gross atom count of every flushed message minus the atom count of
+    the per-source net deltas actually handed to the IUP.  Cancellation
+    (``+X`` then ``-X``) and coalescing both land here — it is the exact
+    amount of propagation input the fold saved.
+    """
+
+    deltas_compacted: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
 
 @dataclass(frozen=True)
@@ -83,6 +101,7 @@ class UpdateQueue:
         self.reordered_arrivals = 0
         self.batches_flushed = 0
         self.messages_folded = 0
+        self.stats = QueueStats()
 
     def enqueue(
         self,
@@ -176,6 +195,9 @@ class UpdateQueue:
                 per_source[entry.source] = net_accumulate(existing, entry.delta)
         self.batches_flushed += len(source_order)
         self.messages_folded += len(entries)
+        gross = sum(entry.delta.atom_count() for entry in entries)
+        net = sum(delta.atom_count() for delta in per_source.values())
+        self.stats.deltas_compacted += gross - net
         combined = SetDelta()
         for source in source_order:
             combined = net_accumulate(combined, per_source[source])

@@ -46,7 +46,9 @@ class BagDelta:
         """The net bag delta turning ``before`` into ``after``."""
         delta = cls()
         rows = {r for r, _ in before.items()} | {r for r, _ in after.items()}
-        for r in rows:
+        # Sorted for run-to-run determinism: set iteration is hash-ordered,
+        # and atom order is observable downstream (see SetDelta.diff).
+        for r in sorted(rows, key=repr):
             delta.add(name, r, after.count(r) - before.count(r))
         return delta
 

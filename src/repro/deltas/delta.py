@@ -68,9 +68,13 @@ class SetDelta:
         delta = cls()
         before_rows = before.support()
         after_rows = after.support()
-        for r in after_rows - before_rows:
+        # Sort the set differences: frozenset iteration follows hash order,
+        # which varies across processes (PYTHONHASHSEED) — the delta's atom
+        # order must not, or every consumer that walks atoms in insertion
+        # order (propagation, provenance, traces) becomes run-dependent.
+        for r in sorted(after_rows - before_rows, key=repr):
             delta.insert(name, r)
-        for r in before_rows - after_rows:
+        for r in sorted(before_rows - after_rows, key=repr):
             delta.delete(name, r)
         return delta
 

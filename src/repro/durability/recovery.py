@@ -98,12 +98,15 @@ class RecoveryManager:
             )
             for node_name, image in node_images.items():
                 node = annotated.vdp.node(node_name)
-                mediator.store._repos[node_name] = decode_repo(
-                    node.kind,
-                    mediator.store.stored_schema(node_name),
-                    image["columns"],
-                    image["rows"],
+                mediator.store.install_repo(
                     node_name,
+                    decode_repo(
+                        node.kind,
+                        mediator.store.stored_schema(node_name),
+                        image["columns"],
+                        image["rows"],
+                        node_name,
+                    ),
                 )
             mediator.store._initialized = True
             mediator.store._build_declared_indexes()

@@ -123,13 +123,17 @@ def generate_mediator(
     plan_profile: Optional[WorkloadProfile] = None,
     eca_enabled: bool = True,
     key_based_enabled: bool = True,
+    shards: int = 1,
+    parallel_propagation: Optional[bool] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> SquirrelMediator:
     """Generate, wire, and initialize a mediator from a specification.
 
     When ``plan_profile`` is given, relations the spec leaves unannotated
     get planner-suggested annotations instead of defaulting to fully
-    materialized; explicit spec annotations always win.
+    materialized; explicit spec annotations always win.  ``shards`` /
+    ``parallel_propagation`` configure hash-partitioned parallel
+    propagation exactly as on :class:`SquirrelMediator`.
     """
     spec = _resolve(spec)
     _check_sources_match(spec, sources)
@@ -139,6 +143,8 @@ def generate_mediator(
         sources,
         eca_enabled=eca_enabled,
         key_based_enabled=key_based_enabled,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
         tracer=tracer,
     )
     mediator.initialize()

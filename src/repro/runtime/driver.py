@@ -164,6 +164,7 @@ class SimulatedEnvironment:
         record_updates: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         backoff: Optional[BackoffPolicy] = None,
+        shards: int = 1,
         tracer: Tracer = NULL_TRACER,
     ):
         """``flush_period`` defaults to ``delays.u_hold_delay_med`` (the
@@ -249,6 +250,7 @@ class SimulatedEnvironment:
             eca_enabled=eca_enabled,
             key_based_enabled=key_based_enabled,
             vap_cache_enabled=vap_cache_enabled,
+            shards=shards,
             tracer=tracer,
         )
         self.mediator.initialize()

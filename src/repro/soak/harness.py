@@ -99,6 +99,8 @@ class SoakConfig:
     durability_dir: Optional[str] = None
     eca_enabled: bool = True
     key_based_enabled: bool = True
+    #: Hash-partitioned parallel propagation (1 = serial, the default).
+    shards: int = 1
 
 
 @dataclass
@@ -203,6 +205,7 @@ class SoakHarness:
             self.sources,
             eca_enabled=config.eca_enabled,
             key_based_enabled=config.key_based_enabled,
+            shards=config.shards,
             tracer=tracer,
         )
         # generate_mediator builds its own DirectLinks; swap in the
@@ -421,6 +424,7 @@ class SoakHarness:
             links=member_links,
             eca_enabled=self.config.eca_enabled,
             key_based_enabled=self.config.key_based_enabled,
+            shards=self.config.shards,
             tracer=self.tracer,
         )
         self.mediator = recovery.mediator

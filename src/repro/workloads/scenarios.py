@@ -143,6 +143,8 @@ def figure1_mediator(
     indexing_enabled: bool = True,
     vap_cache_enabled: bool = True,
     parallel_polls: bool = True,
+    shards: int = 1,
+    parallel_propagation: Optional[bool] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
@@ -159,6 +161,8 @@ def figure1_mediator(
         indexing_enabled=indexing_enabled,
         vap_cache_enabled=vap_cache_enabled,
         parallel_polls=parallel_polls,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
         tracer=tracer,
     )
     mediator.initialize()
@@ -185,6 +189,8 @@ def chain_mediator(
     rows_per_source: int = 30,
     seed: int = 37,
     default_annotation: str = "m",
+    shards: int = 1,
+    parallel_propagation: Optional[bool] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A join chain of the given depth: ``Ni = N(i-1) ⋈_{v(i-1)=ki} Ti``.
@@ -212,7 +218,11 @@ def chain_mediator(
         exports=[f"N{depth}"],
     )
     mediator = SquirrelMediator(
-        annotate(vdp, {}, default=default_annotation), sources, tracer=tracer
+        annotate(vdp, {}, default=default_annotation),
+        sources,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
+        tracer=tracer,
     )
     mediator.initialize()
     return mediator, sources
@@ -265,12 +275,20 @@ def union_vdp() -> VDP:
 def union_mediator(
     overrides: Optional[Mapping[str, str]] = None,
     seed: int = 23,
+    shards: int = 1,
+    parallel_propagation: Optional[bool] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed union-scenario mediator (fully materialized by default)."""
     sources = union_sources(seed=seed)
     annotated = annotate(union_vdp(), dict(overrides or {}))
-    mediator = SquirrelMediator(annotated, sources, tracer=tracer)
+    mediator = SquirrelMediator(
+        annotated,
+        sources,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
+        tracer=tracer,
+    )
     mediator.initialize()
     return mediator, sources
 
@@ -403,6 +421,8 @@ def figure4_mediator(
     indexing_enabled: bool = True,
     vap_cache_enabled: bool = True,
     parallel_polls: bool = True,
+    shards: int = 1,
+    parallel_propagation: Optional[bool] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed Figure-4 mediator.
@@ -437,6 +457,8 @@ def figure4_mediator(
         indexing_enabled=indexing_enabled,
         vap_cache_enabled=vap_cache_enabled,
         parallel_polls=parallel_polls,
+        shards=shards,
+        parallel_propagation=parallel_propagation,
         tracer=tracer,
     )
     mediator.initialize()

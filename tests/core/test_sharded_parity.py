@@ -1,0 +1,376 @@
+"""Sharded parallel propagation ≡ serial propagation.
+
+The shard plan is pure layout and scheduling: hash-partitioned
+repositories, per-shard indexes, and (rule × shard) parallel firing must
+land every repository in exactly the state the serial kernel produces —
+multiplicities, counters, and export answers included.  Random annotated
+VDPs cover the Section 5.1 node shapes plus a two-parent shape whose
+non-aligned join keys force cross-shard exchange reads.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Annotation, AnnotatedVDP, SquirrelMediator, build_vdp
+from repro.core.sharding import plan_shards
+from repro.correctness import assert_materialized_correct, assert_view_correct
+from repro.deltas import BagDelta
+from repro.errors import AnnotationError, MediatorError
+from repro.relalg import (
+    BagRelation,
+    PartitionedRelation,
+    make_schema,
+    row,
+    stable_shard_hash,
+)
+from repro.sources import MemorySource
+from repro.workloads import figure1_mediator, figure4_mediator
+
+X = make_schema("X", ["x1", "x2", "x3"], key=["x1"])
+Y = make_schema("Y", ["y1", "y2"], key=["y1"])
+
+
+# ---------------------------------------------------------------------------
+# stable_shard_hash / PartitionedRelation units
+# ---------------------------------------------------------------------------
+def test_stable_shard_hash_is_deterministic_and_type_sensitive():
+    assert stable_shard_hash((1, "a")) == stable_shard_hash((1, "a"))
+    # Values that collide under Python's == across types must not collide
+    # here: routing is over the canonical (type, repr) encoding.
+    assert stable_shard_hash((1,)) != stable_shard_hash(("1",))
+    # And it must never depend on the process hash seed (crc32, not hash()).
+    assert stable_shard_hash(("row", 7)) == stable_shard_hash(("row", 7))
+
+
+def _bag_with(rows):
+    rel = BagRelation(X)
+    for values, n in rows:
+        rel.insert(row(x1=values[0], x2=values[1], x3=values[2]), n)
+    return rel
+
+
+def test_partition_round_trips_and_routes():
+    flat = _bag_with([((i, i % 3, i % 5), 1 + i % 2) for i in range(30)])
+    part = PartitionedRelation.partition(flat, ("x2",), 4)
+    assert part.num_shards == 4
+    assert part.cardinality() == flat.cardinality()
+    # Every row lives in exactly the shard its key hashes to.
+    for shard_idx, shard in enumerate(part.shards()):
+        for r, _ in shard.items():
+            assert stable_shard_hash((r["x2"],)) % 4 == shard_idx
+    # Round trip back to a flat relation preserves multiplicities.
+    back = part.unpartitioned()
+    assert back.to_sorted_list() == flat.to_sorted_list()
+
+
+def test_partitioned_relation_mutations_route_to_owner():
+    part = PartitionedRelation(X, ("x1",), 3)
+    r = row(x1=11, x2=0, x3=0)
+    part.insert(r, 2)
+    owner = part.shard_of(r)
+    assert part.shard(owner).count(r) == 2
+    assert part.count(r) == 2
+    part.delete(r, 1)
+    assert part.count(r) == 1
+
+
+def test_partitioned_index_lookup_local_vs_fanout():
+    flat = _bag_with([((i, i % 4, i % 7), 1) for i in range(40)])
+    part = PartitionedRelation.partition(flat, ("x2",), 4)
+    part.ensure_index(("x2",))
+    part.ensure_index(("x3",))
+    # Probe covering the shard key: must agree with a flat scan.
+    expect = sorted(
+        (tuple(sorted(dict(r).items())), n) for r, n in flat.items() if r["x2"] == 2
+    )
+    got = sorted(
+        (tuple(sorted(dict(r).items())), n)
+        for r, n in part.index_lookup(("x2",), (2,))
+    )
+    assert got == expect
+    # Probe NOT covering the shard key: fans out and still agrees.
+    expect = sorted(
+        (tuple(sorted(dict(r).items())), n) for r, n in flat.items() if r["x3"] == 3
+    )
+    got = sorted(
+        (tuple(sorted(dict(r).items())), n)
+        for r, n in part.index_lookup(("x3",), (3,))
+    )
+    assert got == expect
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan units
+# ---------------------------------------------------------------------------
+def test_plan_infers_probed_join_keys_and_classifies_edges():
+    mediator, _ = figure1_mediator("ex21", shards=2)
+    plan = mediator.shard_plan
+    assert plan is not None and plan.num_shards == 2
+    # S_p is probed on its join key s1 by the rule out of R_p — that's the
+    # shard key the planner must pick.
+    assert plan.key_for("S_p") == ("s1",)
+    # Both T-edges read their sibling through a probe that covers the
+    # sibling's shard key: shard-local, no exchange.
+    for parent, child in mediator.rulebase.edges():
+        info = plan.edge_info(parent, child)
+        assert info is not None
+        assert not info.exchange_siblings, (parent, child)
+
+
+def test_plan_split_partitions_delta_exactly():
+    mediator, _ = figure1_mediator("ex21", shards=3)
+    plan = mediator.shard_plan
+    delta = BagDelta()
+    for k in range(20):
+        delta.add("S_p", row(s1=k, s2=k % 5), 1 + k % 2)
+    parts = plan.split("S_p", delta)
+    assert len(parts) == 3
+    merged = BagDelta()
+    for shard_idx, part in enumerate(parts):
+        if part is None:
+            continue
+        for r, n in part.entries_for("S_p"):
+            assert stable_shard_hash((r["s1"],)) % 3 == shard_idx
+        merged = merged.smash(part)
+    assert sorted(merged.entries_for("S_p"), key=repr) == sorted(
+        delta.entries_for("S_p"), key=repr
+    )
+
+
+def test_mediator_rejects_bad_shard_count():
+    with pytest.raises(MediatorError):
+        figure1_mediator("ex21", shards=0)
+
+
+def test_exchange_reads_are_counted_and_traced():
+    from repro.obs import Tracer
+
+    tracer = Tracer(enabled=True)
+    mediator, sources = figure4_mediator("all_m", shards=4, tracer=tracer)
+    mediator.reset_stats()
+    sources["dbC"].insert("C", c1=1, c2=2)
+    mediator.refresh()
+    stats = mediator.stats()
+    assert stats.shard_batches > 0
+    assert stats.exchange_reads > 0
+    events = [r for r in tracer.records() if r.get("name") == "exchange"]
+    assert events, "exchange reads must be traced"
+    spans = [r for r in tracer.records() if r.get("name") == "shard_worker"]
+    assert spans, "parallel firings must record shard_worker spans"
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: sharded ≡ serial on random annotated VDPs
+# ---------------------------------------------------------------------------
+@st.composite
+def vdp_specs(draw):
+    """Random VDPs over the §5.1 shapes plus a two-parent shape whose
+    non-aligned join keys (Yp probed on y1 by one parent, y2 by the other)
+    force cross-shard exchange."""
+    shape = draw(st.sampled_from(["join", "union", "difference", "nonaligned"]))
+    threshold = draw(st.integers(min_value=1, max_value=9))
+    views = {
+        "Xp": f"select[x3 < {threshold}](X)",
+        "Yp": "Y",
+    }
+    if shape == "join":
+        views["V"] = "project[x1, x3, y2](Xp join[x2 = y1] Yp)"
+        exports = ["V"]
+    elif shape == "union":
+        views["V"] = (
+            "project[x1, x2](Xp) union project[x1, x2](rename[y1 = x1, y2 = x2](Yp))"
+        )
+        exports = ["V"]
+    elif shape == "difference":
+        views["V"] = (
+            "project[x2](Xp) minus project[x2](rename[y1 = x2](project[y1](Yp)))"
+        )
+        exports = ["V"]
+    else:
+        views["V"] = "project[x1, x3, y2](Xp join[x2 = y1] Yp)"
+        views["W"] = "project[x1, y1](Xp join[x3 = y2] Yp)"
+        exports = ["V", "W"]
+    return shape, views, exports
+
+
+@st.composite
+def annotations_for(draw, vdp):
+    marks = {}
+    for name in vdp.non_leaves():
+        attrs = vdp.node(name).schema.attribute_names
+        choice = draw(st.sampled_from(["m", "m", "hybrid"]))
+        if choice == "m" or len(attrs) < 2:
+            marks[name] = Annotation.all_materialized(attrs)
+        else:
+            split = draw(st.integers(min_value=1, max_value=len(attrs) - 1))
+            marks[name] = Annotation.of(
+                {a: ("m" if i < split else "v") for i, a in enumerate(attrs)}
+            )
+    return marks
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["ix", "dx", "iy", "dy"]),
+        st.integers(min_value=0, max_value=9_999),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_mediator(views, exports, marks, shards, seed=7):
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views=views,
+        exports=exports,
+    )
+    annotated = AnnotatedVDP(vdp, marks)
+    rng = random.Random(seed)
+    sources = {
+        "sx": MemorySource(
+            "sx",
+            [X],
+            initial={"X": [(i, rng.randrange(10), rng.randrange(10)) for i in range(12)]},
+        ),
+        "sy": MemorySource(
+            "sy", [Y], initial={"Y": [(i, rng.randrange(10)) for i in range(8)]}
+        ),
+    }
+    mediator = SquirrelMediator(annotated, sources, shards=shards)
+    mediator.initialize()
+    return mediator, sources
+
+
+def apply_op(sources, op, arg, counter):
+    if op == "ix":
+        sources["sx"].insert("X", x1=counter, x2=arg % 10, x3=arg % 13)
+    elif op == "iy":
+        sources["sy"].insert("Y", y1=counter, y2=arg % 10)
+    else:
+        source, relation = (
+            (sources["sx"], "X") if op == "dx" else (sources["sy"], "Y")
+        )
+        rows = sorted(source.relation(relation).rows(), key=lambda r: sorted(r.items()))
+        if rows:
+            source.delete(relation, **dict(rows[arg % len(rows)]))
+
+
+def snapshot(mediator):
+    return {
+        name: sorted((tuple(sorted(dict(r).items())), n) for r, n in repo.items())
+        for name, repo in mediator.store.repos().items()
+    }
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_sharded_equals_serial(data):
+    shape, views, exports = data.draw(vdp_specs())
+    vdp = build_vdp(
+        source_schemas={"X": X, "Y": Y},
+        source_of={"X": "sx", "Y": "sy"},
+        views=views,
+        exports=exports,
+    )
+    marks = data.draw(annotations_for(vdp))
+    shards = data.draw(st.sampled_from([2, 3, 4]))
+    try:
+        serial, serial_sources = build_mediator(views, exports, marks, 1)
+        sharded, sharded_sources = build_mediator(views, exports, marks, shards)
+    except AnnotationError:
+        return  # e.g. hybrid on a set node: not a legal configuration
+    ops = data.draw(ops_strategy)
+
+    for counter, (op, arg) in enumerate(ops):
+        apply_op(serial_sources, op, arg, 1000 + counter)
+        apply_op(sharded_sources, op, arg, 1000 + counter)
+    serial.refresh()
+    sharded.refresh()
+
+    assert snapshot(sharded) == snapshot(serial)
+    s_stats, p_stats = serial.stats(), sharded.stats()
+    assert p_stats.rules_fired == s_stats.rules_fired
+    assert p_stats.index_probes == s_stats.index_probes
+    assert_materialized_correct(sharded)
+    assert_view_correct(sharded)
+    if shape == "nonaligned" and p_stats.shard_batches:
+        # Yp's probes (y1 and y2) cannot both cover one shard key, so any
+        # fired batch that read Yp had to take the exchange path.
+        info = [
+            sharded.shard_plan.edge_info(parent, child)
+            for parent, child in sharded.rulebase.edges()
+        ]
+        assert any(i.exchange_siblings for i in info if i is not None)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: repeated runs byte-agree, across process hash seeds too
+# ---------------------------------------------------------------------------
+_DIGEST_SCRIPT = r"""
+import hashlib, json, sys
+from repro.workloads import figure1_mediator, figure1_sources
+
+mediator, sources = figure1_mediator(
+    "ex21", sources=figure1_sources(r_rows=120, s_rows=60, seed=5), shards=4
+)
+sources["db1"].insert("R", r1=900_001, r2=7, r3=3, r4=100)
+sources["db2"].delete("S", **dict(sorted(sources["db2"].relation("S").rows(),
+                                         key=lambda r: sorted(r.items()))[0]))
+mediator.refresh()
+payload = {
+    "repos": {
+        name: sorted((tuple(sorted(dict(r).items())), n) for r, n in repo.items())
+        for name, repo in mediator.store.repos().items()
+    },
+    "stats": mediator.stats().as_dict(),
+}
+print(hashlib.sha256(json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest())
+"""
+
+
+def _run_digest(hash_seed: str) -> str:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    out = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_sharded_run_is_hash_seed_independent():
+    """The same sharded workload under different PYTHONHASHSEED values must
+    produce identical repositories AND identical counters — shard routing
+    (crc32) and delta diff order (sorted) may not leak hash order."""
+    assert _run_digest("1") == _run_digest("2")
+
+
+def test_repeated_sharded_runs_agree_exactly():
+    """Two identical in-process runs: same repositories, same counters,
+    same trace record sequence (deterministic merge order)."""
+    from repro.obs import Tracer
+
+    def one_run():
+        tracer = Tracer(enabled=True, clock=lambda: 0.0)
+        mediator, sources = figure4_mediator("all_m", shards=3, tracer=tracer)
+        sources["dbC"].insert("C", c1=2, c2=4)
+        sources["dbD"].insert("D", d1=2, d2=9)
+        mediator.refresh()
+        names = [r.get("name") for r in tracer.records()]
+        return snapshot(mediator), mediator.stats().as_dict(), names
+
+    first = one_run()
+    second = one_run()
+    assert first == second

@@ -181,3 +181,41 @@ def test_mark_reflected_records_newest_send_time_per_source():
     assert q.last_flushed_send_time("db1") == 3.0
     assert q.last_flushed_send_time("db2") == 2.0
     assert q.last_flushed_send_time("db3") is None
+
+
+def test_flush_counts_compacted_delta_atoms():
+    """deltas_compacted = gross flushed atoms − net atoms handed to the IUP
+    (cancellation AND per-source coalescing both count as saved work)."""
+    q = UpdateQueue()
+    assert q.stats.deltas_compacted == 0
+    # +a then -a from one source: 2 gross atoms, 0 net.
+    q.enqueue("db1", delta_insert("R", a=1))
+    d = SetDelta()
+    d.delete("R", row(a=1))
+    q.enqueue("db1", d)
+    # An unrelated atom from another source: 1 gross, 1 net.
+    q.enqueue("db2", delta_insert("S", b=7))
+    combined, _ = q.flush()
+    assert combined.atom_count() == 1
+    assert q.stats.deltas_compacted == 2
+    # Nothing compacted when every atom survives the fold.
+    q.enqueue("db1", delta_insert("R", a=5))
+    q.flush()
+    assert q.stats.deltas_compacted == 2
+    q.stats.reset()
+    assert q.stats.deltas_compacted == 0
+
+
+def test_compaction_counter_surfaces_through_mediator_stats():
+    from repro.workloads import figure1_mediator
+
+    mediator, _ = figure1_mediator("ex21")
+    mediator.reset_stats()
+    r = row(r1=900_000, r2=1, r3=1, r4=100)
+    plus, minus = SetDelta(), SetDelta()
+    plus.insert("R", r)
+    minus.delete("R", r)
+    mediator.enqueue_update("db1", plus)
+    mediator.enqueue_update("db1", minus)
+    mediator.run_update_transaction()
+    assert mediator.stats().deltas_compacted == 2

@@ -151,3 +151,21 @@ def test_from_atoms():
     d = SetDelta.from_atoms([("R", row(a=1, b=2), 1), ("R", row(a=3, b=4), -1)])
     assert d.sign("R", row(a=1, b=2)) == 1
     assert d.sign("R", row(a=3, b=4)) == -1
+
+
+def test_diff_emits_atoms_in_sorted_order():
+    """diff's atom order must not follow frozenset (hash) iteration: it is
+    observable downstream (propagation, provenance, trace events) and has
+    to be identical across processes and hash seeds."""
+    before = rel((1, 1), (2, 2), (3, 3))
+    after = rel((3, 3), (5, 5), (4, 4), (9, 9))
+    d = SetDelta.diff("R", before, after)
+    atoms = list(d.atoms())
+    inserts = [r for _, r, s in atoms if s > 0]
+    deletes = [r for _, r, s in atoms if s < 0]
+    assert inserts == sorted(inserts, key=repr)
+    assert deletes == sorted(deletes, key=repr)
+    # And inserts are emitted before deletes, as one fixed convention.
+    assert atoms == [(n, r, s) for n, r, s in atoms if s > 0] + [
+        (n, r, s) for n, r, s in atoms if s < 0
+    ]

@@ -222,3 +222,31 @@ def test_provenance_of_survives_queries(ex23_trace):
     origins = tracer.provenance_of("T")
     assert {o.label for o in origins} == {"db1#1", "db2#1"}
     assert not tracer.provenance.is_approx("T")
+
+
+def test_sharded_propagation_trace_validates(tmp_path):
+    """A sharded update transaction exports shard_worker spans and exchange
+    events, both inside the closed taxonomy (schema-validated), with the
+    spans parented under the firing node's process_node span."""
+    from repro.workloads import figure4_mediator
+
+    tracer = Tracer(enabled=True)
+    mediator, sources = figure4_mediator("all_m", shards=4, tracer=tracer)
+    sources["dbC"].insert("C", c1=1, c2=2)
+    sources["dbA"].insert("A", a1=1, a2=1)
+    mediator.refresh()
+
+    path = tmp_path / "sharded.jsonl"
+    written = export_jsonl(tracer, path)
+    assert validate_jsonl_file(path) == written
+
+    tree = tracer.span_tree()
+    workers = spans_named(tree, "shard_worker")
+    assert workers, "parallel firings must emit shard_worker spans"
+    for span in workers:
+        assert span["attrs"]["node"]
+        assert "work" in span["attrs"]
+    exchanges = events_named(tree, "exchange")
+    assert exchanges, "fig4's non-equi E join forces exchange reads"
+    for event in exchanges:
+        assert event["attrs"]["siblings"]
