@@ -65,13 +65,16 @@ def _load_data(path: Optional[str]) -> Dict[str, Dict[str, List[Sequence[Any]]]]
 
 
 def build_mediator_from_files(
-    spec_path: str, data_path: Optional[str] = None, backend: str = "memory"
+    spec_path: str,
+    data_path: Optional[str] = None,
+    backend: str = "memory",
+    layout: str = "row",
 ) -> SquirrelMediator:
     """Deploy an initialized mediator from a spec file (+ optional data)."""
     with open(spec_path) as handle:
         spec = parse_spec(handle.read())
     sources = make_sources(spec, initial=_load_data(data_path), backend=backend)
-    return generate_mediator(spec, sources)
+    return generate_mediator(spec, sources, layout=layout)
 
 
 def _print_relation(relation, out) -> None:
@@ -84,7 +87,7 @@ def _print_relation(relation, out) -> None:
 
 
 def _cmd_describe(args, out) -> int:
-    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend, args.layout)
     print(mediator.annotated.describe(), file=out)
     print(file=out)
     print(
@@ -96,7 +99,7 @@ def _cmd_describe(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
-    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend, args.layout)
     answer = mediator.query(args.expression)
     _print_relation(answer, out)
     return 0
@@ -165,6 +168,19 @@ def _cmd_stats(args, out) -> int:
     tracer = Tracer(enabled=True, provenance=True)
     mediator = run_scenario(args.scenario, tracer)
     print(render_metrics(mediator.metrics.snapshot()), file=out)
+    storage = mediator.store.storage_metrics()
+    if storage:
+        print(file=out)
+        print("storage (per stored node):", file=out)
+        width = max(len(row["node"]) for row in storage)
+        for row in storage:
+            print(
+                f"  {row['node']:<{width}}  {row['rows_stored']:>8} rows "
+                f"({row['distinct_rows']} distinct, ~{row['estimated_bytes']} bytes)",
+                file=out,
+            )
+        total = mediator.store.total_stored_bytes()
+        print(f"  total estimated bytes: {total}", file=out)
     prov = tracer.provenance
     tracked = prov.tracked_nodes()
     if tracked:
@@ -180,7 +196,7 @@ def _cmd_stats(args, out) -> int:
 def _cmd_checkpoint(args, out) -> int:
     from repro.durability import DurabilityManager
 
-    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend, args.layout)
     manager = DurabilityManager(mediator, args.dir)
     try:
         ckpt_id = manager.checkpoint(full=True)
@@ -258,6 +274,7 @@ def _cmd_soak(args, out) -> int:
         crash_points=crash_points,
         durability_dir=args.durability_dir,
         shards=args.shards,
+        layout=args.layout,
     )
     result = run_soak(config)
     if args.report:
@@ -303,7 +320,7 @@ def _cmd_soak(args, out) -> int:
 
 
 def _cmd_repl(args, out) -> int:
-    mediator = build_mediator_from_files(args.spec, args.data, args.backend)
+    mediator = build_mediator_from_files(args.spec, args.data, args.backend, args.layout)
     print("squirrel mediator ready; \\vdp \\stats \\refresh \\insert \\delete \\quit", file=out)
     while True:
         try:
@@ -330,6 +347,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser.add_argument(
         "--backend", choices=("memory", "sqlite"), default="memory",
         help="source database backend",
+    )
+    parser.add_argument(
+        "--layout", choices=("row", "columnar"), default="row",
+        help="node-repository storage layout (columnar = struct-of-arrays)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

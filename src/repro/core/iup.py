@@ -123,6 +123,7 @@ class IncrementalUpdateProcessor:
         shard_plan: Optional[ShardPlan] = None,
         parallel_propagation: bool = False,
         max_shard_workers: int = 8,
+        smash_enabled: bool = True,
     ):
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -135,6 +136,12 @@ class IncrementalUpdateProcessor:
         self.shard_plan = shard_plan
         self.parallel_propagation = parallel_propagation
         self.max_shard_workers = max_shard_workers
+        #: Net-effect compaction (default on): the flushed batch is smashed
+        #: into one per-leaf delta set and costs one kernel pass.  Off (the
+        #: smash ablation), the kernel runs once per flushed message in
+        #: arrival order — each pass is a correct incremental step, so the
+        #: final state is identical; only the work differs.
+        self.smash_enabled = smash_enabled
         self.stats = IUPStats()
         #: A :class:`~repro.durability.DurabilityManager`, when attached.
         #: Notified at commit time — after the kernel has applied every
@@ -160,6 +167,19 @@ class IncrementalUpdateProcessor:
                 return UpdateTransactionResult(0, 0, (), 0, (), 0)
 
             leaf_deltas = self._leaf_deltas(combined)
+            if self.smash_enabled:
+                passes = [leaf_deltas]
+            else:
+                # Smash ablation: one kernel pass per flushed message, in
+                # arrival order.  Sequential incremental passes over the
+                # same temporaries reach exactly the netted single pass's
+                # final state — the cancelled churn is just propagated
+                # instead of vanishing at the queue/ΔR smash.
+                passes = [
+                    p for p in (self._leaf_deltas(e.delta) for e in entries) if p
+                ]
+                if not passes:
+                    passes = [leaf_deltas]
             prov = tracer.provenance
             if prov.enabled:
                 prov.begin_transaction(self._leaf_subs(entries))
@@ -177,7 +197,11 @@ class IncrementalUpdateProcessor:
             # whose per-origin sub-deltas did not are still traversed (for
             # attribution-only firings), so their rules' reads are prepared
             # too.
-            extra_affected = prov.live_nodes() if prov.enabled else ()
+            extra_affected: Set[str] = set(prov.live_nodes()) if prov.enabled else set()
+            for pass_deltas in passes:
+                # Leaves whose net delta cancelled to empty still get
+                # per-message passes with smash off; prepare their reads too.
+                extra_affected |= set(pass_deltas)
             with tracer.span("iup_prepare") as prep_span:
                 requests = self._prepare(leaf_deltas, extra_affected)
                 prep_span.set(temps=sorted(requests))
@@ -209,10 +233,17 @@ class IncrementalUpdateProcessor:
             # per-leaf deltas above, so the whole batch costs exactly one
             # propagation pass.
             self._index_temps(temps)
-            self.stats.propagation_passes += 1
             self.stats.batched_messages += len(entries)
+            processed: List[str] = []
+            fired = 0
             with tracer.span("kernel") as kernel_span:
-                processed, fired = self._kernel(leaf_deltas, temps)
+                for pass_deltas in passes:
+                    self.stats.propagation_passes += 1
+                    pass_processed, pass_fired = self._kernel(pass_deltas, temps)
+                    fired += pass_fired
+                    for n in pass_processed:
+                        if n not in processed:
+                            processed.append(n)
                 kernel_span.set(nodes=list(processed), rules_fired=fired)
             prov.commit()
             self.queue.mark_reflected(entries)
@@ -429,6 +460,7 @@ class IncrementalUpdateProcessor:
                 out.insert(name, r)
             elif sign < 0 and present:
                 out.delete(name, r)
+        self.store.stats.deltas_smashed += delta.atom_count() - out.atom_count()
         return out
 
     def _fire_rules_out_of(

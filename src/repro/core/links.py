@@ -101,6 +101,24 @@ class DirectLink(SourceLink):
         self.announces = announces
 
     def poll_many(self, queries: Mapping[str, Expression]) -> Dict[str, Relation]:
+        # Sources that can execute queries internally (SQLite) answer the
+        # whole poll round inside one database transaction: announcement,
+        # cursor, and answers are taken atomically and no Python snapshot
+        # of the full source is materialized.  The source counts its own
+        # queries (and its pushdown/fallback split), so only the link-side
+        # counters are maintained here.
+        if getattr(self.source, "supports_pushdown", False):
+            announcement, cursor, answers = self.source.poll_and_query(queries)
+            if (
+                announcement is not None
+                and self.announces
+                and self.announcement_sink is not None
+            ):
+                self.announcement_sink(self.source_name, announcement, cursor=cursor)
+            self.poll_count += 1
+            for answer in answers.values():
+                self.polled_rows += answer.cardinality()
+            return answers
         # Flush-before-answer and the snapshot form one source transaction:
         # no commit can land between them, so the snapshot reflects exactly
         # the announcements delivered so far.  The cursor rides along so

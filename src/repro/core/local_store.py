@@ -27,7 +27,8 @@ rule firing.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.annotations import Annotation
 from repro.core.vdp import AnnotatedVDP, NodeKind
@@ -36,6 +37,7 @@ from repro.errors import MediatorError
 from repro.relalg import (
     TRUE,
     BagRelation,
+    ColumnarRelation,
     EvalCounters,
     Evaluator,
     PartitionedRelation,
@@ -43,17 +45,47 @@ from repro.relalg import (
     RelationSchema,
 )
 
-__all__ = ["LocalStore"]
+__all__ = ["LocalStore", "StoreStats"]
+
+#: Storage layouts a store can keep its repositories in.
+LAYOUTS = ("row", "columnar")
+
+
+@dataclass
+class StoreStats:
+    """Net-effect compaction counters for the store's ΔR repositories.
+
+    ``deltas_smashed`` counts atoms/entries cancelled by smashing incoming
+    contributions into accumulated per-node deltas plus atoms dropped as
+    redundant during set-delta normalization — the kernel-level
+    generalization of the update queue's ``deltas_compacted``.
+    """
+
+    deltas_smashed: int = 0
+
+    def reset(self) -> None:
+        from repro.obs.metrics import reset_dataclass_counters
+
+        reset_dataclass_counters(self)
 
 
 class LocalStore:
     """Materialized repositories and per-transaction delta repositories."""
 
-    def __init__(self, annotated: AnnotatedVDP, indexing_enabled: bool = True):
+    def __init__(
+        self,
+        annotated: AnnotatedVDP,
+        indexing_enabled: bool = True,
+        layout: str = "row",
+    ):
+        if layout not in LAYOUTS:
+            raise MediatorError(f"unknown storage layout {layout!r}; expected one of {LAYOUTS}")
         self.annotated = annotated
         self.vdp = annotated.vdp
         self.counters = EvalCounters()
         self.indexing_enabled = indexing_enabled
+        self.layout = layout
+        self.stats = StoreStats()
         self._repos: Dict[str, Relation] = {}
         self._deltas: Dict[str, AnyDelta] = {}
         self._index_requirements: Dict[str, Set[Tuple[str, ...]]] = {}
@@ -92,20 +124,23 @@ class LocalStore:
         return self._shard_plan.storage_layout(name, tuple(stored_attrs))
 
     def _finalize_stored(self, name: str, stored: Relation) -> Relation:
-        """Lay a freshly built stored value out per the shard plan."""
-        layout = self._desired_layout(name, stored.schema.attribute_names)
-        if layout is None:
+        """Lay a freshly built stored value out per the shard plan + layout."""
+        shard_layout = self._desired_layout(name, stored.schema.attribute_names)
+        if shard_layout is None:
             if isinstance(stored, PartitionedRelation):
-                return stored.unpartitioned()
+                stored = stored.unpartitioned()
+            if self.layout == "columnar" and not isinstance(stored, ColumnarRelation):
+                stored = ColumnarRelation.from_relation(stored)
             return stored
-        key, num_shards = layout
+        key, num_shards = shard_layout
         if (
             isinstance(stored, PartitionedRelation)
             and stored.shard_key == key
             and stored.num_shards == num_shards
+            and stored.layout == self.layout
         ):
             return stored
-        return PartitionedRelation.partition(stored, key, num_shards)
+        return PartitionedRelation.partition(stored, key, num_shards, layout=self.layout)
 
     def install_repo(self, name: str, relation: Relation) -> None:
         """Install an externally built repository (checkpoint restore),
@@ -249,17 +284,29 @@ class LocalStore:
         return fresh
 
     def accumulate(self, name: str, delta: AnyDelta) -> None:
-        """Smash an incoming contribution into the node's ΔR repository."""
+        """Smash an incoming contribution into the node's ΔR repository.
+
+        Smashing is the kernel's net-effect compaction: atoms the incoming
+        contribution cancels against the accumulated ΔR vanish here and are
+        never applied or propagated.  The cancellation count is surfaced as
+        ``store.deltas_smashed``.
+        """
         node = self.vdp.node(name)
         current = self.delta(name)
         if node.kind is NodeKind.SET:
             if isinstance(delta, BagDelta):
                 delta = bag_to_set(delta)
-            self._deltas[name] = current.smash(delta)
+            smashed = current.smash(delta)
+            gross = current.atom_count() + delta.atom_count()
+            net = smashed.atom_count()
         else:
             if isinstance(delta, SetDelta):
                 delta = set_to_bag(delta)
-            self._deltas[name] = current.smash(delta)
+            smashed = current.smash(delta)
+            gross = current.entry_count() + delta.entry_count()
+            net = smashed.entry_count()
+        self.stats.deltas_smashed += gross - net
+        self._deltas[name] = smashed
 
     def has_pending_delta(self, name: str) -> bool:
         """True when the node has a non-empty accumulated delta."""
@@ -295,6 +342,7 @@ class LocalStore:
                 out.insert(name, r)
             elif sign < 0 and present:
                 out.delete(name, r)
+        self.stats.deltas_smashed += delta.atom_count() - out.atom_count()
         return out
 
     def apply_delta(self, name: str, delta: AnyDelta) -> None:
@@ -343,6 +391,26 @@ class LocalStore:
         return sum(
             repo.cardinality() * repo.schema.arity for repo in self._repos.values()
         )
+
+    def total_stored_bytes(self) -> int:
+        """Estimated bytes across all repositories (see ``estimated_bytes``)."""
+        return sum(repo.estimated_bytes() for repo in self._repos.values())
+
+    def storage_metrics(self) -> List[Dict[str, object]]:
+        """Per-node storage footprint rows for the stats CLI.
+
+        One entry per storing node, sorted by name: stored multiplicity,
+        distinct rows, and the layout-comparable byte estimate.
+        """
+        return [
+            {
+                "node": name,
+                "rows_stored": repo.cardinality(),
+                "distinct_rows": repo.distinct_size(),
+                "estimated_bytes": repo.estimated_bytes(),
+            }
+            for name, repo in sorted(self._repos.items())
+        ]
 
     @property
     def initialized(self) -> bool:

@@ -91,6 +91,9 @@ class MediatorStats:
     index_rebuilds: int
     propagation_passes: int
     deltas_compacted: int
+    deltas_smashed: int
+    rows_materialized: int
+    cells_scanned: int
     shard_tasks: int
     shard_batches: int
     exchange_reads: int
@@ -133,6 +136,9 @@ STATS_METRICS: Dict[str, str] = {
     "index_rebuilds": "eval.index_rebuilds",
     "propagation_passes": "iup.propagation_passes",
     "deltas_compacted": "queue.deltas_compacted",
+    "deltas_smashed": "store.deltas_smashed",
+    "rows_materialized": "eval.rows_materialized",
+    "cells_scanned": "eval.cells_scanned",
     "shard_tasks": "iup.shard_tasks",
     "shard_batches": "iup.shard_batches",
     "exchange_reads": "iup.exchange_reads",
@@ -175,6 +181,8 @@ class SquirrelMediator:
         parallel_polls: bool = True,
         shards: int = 1,
         parallel_propagation: Optional[bool] = None,
+        layout: str = "row",
+        smash_enabled: bool = True,
         tracer: Tracer = NULL_TRACER,
     ):
         """Wire a mediator over the given sources.
@@ -194,6 +202,16 @@ class SquirrelMediator:
         kernel's linear rule firings as a (rule × shard) task pool — it
         defaults to on exactly when ``shards > 1``, and can be forced off
         for the layout-only ablation.  Results are identical either way.
+        ``layout`` selects the repository storage representation:
+        ``"row"`` (hash containers of ``Row`` dicts, the default) or
+        ``"columnar"`` (struct-of-arrays
+        :class:`~repro.relalg.ColumnarRelation` with slot-based indexes
+        and the evaluator's vectorized chain paths; the set rules'
+        support-probe indexes are declared under this layout only).
+        ``smash_enabled=False`` disables transaction-level net-effect
+        compaction — the kernel runs one propagation pass per queued
+        message instead of one pass over the smashed batch (the smash
+        ablation; final states are identical either way).
         ``tracer`` (default: the shared disabled :data:`NULL_TRACER`) is
         threaded through every component; pass an enabled
         :class:`~repro.obs.tracer.Tracer` to record spans/events, and
@@ -212,10 +230,18 @@ class SquirrelMediator:
         self.parallel_propagation = (
             shards > 1 if parallel_propagation is None else parallel_propagation
         )
+        self.layout = layout
+        self.smash_enabled = smash_enabled
         self.queue = UpdateQueue()
-        self.store = LocalStore(annotated, indexing_enabled=indexing_enabled)
+        self.store = LocalStore(annotated, indexing_enabled=indexing_enabled, layout=layout)
         self.rulebase = RuleBase(self.vdp)
         self.store.declare_index_requirements(self.rulebase.index_requirements())
+        if self.store.layout == "columnar":
+            # Support-probe indexes for the set rules' fast path.  Declared
+            # only here (not through index_requirements) so the shard
+            # planner's key inference — and the row layout's firing
+            # behaviour — are untouched.
+            self.store.declare_index_requirements(self.rulebase.probe_index_requirements())
         self.shard_plan = (
             plan_shards(self.vdp, self.rulebase, shards) if shards > 1 else None
         )
@@ -250,6 +276,7 @@ class SquirrelMediator:
             tracer=tracer,
             shard_plan=self.shard_plan,
             parallel_propagation=self.parallel_propagation,
+            smash_enabled=smash_enabled,
         )
         self.qp = QueryProcessor(annotated, self.store, self.vap, tracer=tracer)
         self.metrics = MetricsRegistry()
@@ -258,6 +285,7 @@ class SquirrelMediator:
         self.metrics.register_stats("vap", self.vap.stats)
         self.metrics.register_stats("eval", self.store.counters)
         self.metrics.register_stats("queue", self.queue.stats)
+        self.metrics.register_stats("store", self.store.stats)
         self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
         self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
         self._initialized = False
@@ -593,6 +621,8 @@ class SquirrelMediator:
         self.store.vdp = annotated.vdp
         self.rulebase = RuleBase(self.vdp)
         self.store.declare_index_requirements(self.rulebase.index_requirements())
+        if self.store.layout == "columnar":
+            self.store.declare_index_requirements(self.rulebase.probe_index_requirements())
         # The shard plan is a function of the rulebase: re-infer it so new
         # nodes get keys and new edges get local/exchange classifications
         # (existing repositories repartition only when their layout moved).

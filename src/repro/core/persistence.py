@@ -212,6 +212,8 @@ def restore_mediator(
     on_orphan: str = "drop",
     shards: int = 1,
     parallel_propagation: "Optional[bool]" = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
 ) -> SquirrelMediator:
     """Rebuild a mediator from a snapshot and catch up from source logs.
 
@@ -251,6 +253,8 @@ def restore_mediator(
         key_based_enabled=key_based_enabled,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
     )
 
     expected = set(annotated.nodes_with_storage())

@@ -60,6 +60,20 @@ class RuleBase:
         """
         return {base: set(keys) for base, keys in self._index_requirements.items()}
 
+    def probe_index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Support-probe index declarations from the set-node rules.
+
+        Collected separately from :meth:`index_requirements` because the
+        shard planner keys off join-probe requirements; the mediator
+        declares these only for the columnar layout (the opt-in gate for
+        the set rules' probe fast path).
+        """
+        out: Dict[str, Set[Tuple[str, ...]]] = {}
+        for rule in self._by_edge.values():
+            for base, keysets in rule.probe_index_requirements().items():
+                out.setdefault(base, set()).update(keysets)
+        return out
+
     def edge_rule(self, parent: str, child: str) -> EdgeRule:
         """The rule attached to edge ``(parent, child)``."""
         try:

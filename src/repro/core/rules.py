@@ -62,9 +62,11 @@ from repro.relalg import (
     Rename,
     RelationSchema,
     Scan,
+    ScanChain,
     Select,
     SetRelation,
     Union,
+    compile_scan_chain,
     plan_join,
 )
 from repro.relalg.tuples import Row
@@ -427,6 +429,26 @@ class BagNodeRule:
                 out.setdefault(base, set()).update(keysets)
         return out
 
+    def probe_index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Bag rules have no support-probe fast path — nothing to declare."""
+        return {}
+
+
+@dataclass(frozen=True)
+class _ProbePlan:
+    """A difference operand lowered to index probes over its base relation.
+
+    ``out_to_base`` maps every operand-output attribute to the base column
+    it is sourced from; ``index_keys`` is the canonical (sorted,
+    de-duplicated) base-attribute tuple a persistent index must cover so
+    that the support count of one output row can be answered by probing
+    the bucket and re-applying the chain — no full operand re-evaluation.
+    """
+
+    chain: ScanChain
+    out_to_base: Tuple[Tuple[str, str], ...]
+    index_keys: Tuple[str, ...]
+
 
 @dataclass
 class SetNodeRule:
@@ -434,7 +456,13 @@ class SetNodeRule:
 
     Construction hoists everything per-fire work used to rebuild: the
     renamed-schema catalog, the per-side operand :class:`CompiledSPJ`
-    instances, and the old-operand/other-side expressions.
+    instances, and the old-operand/other-side expressions.  When both
+    operands of a side are select/project/rename chains whose output
+    attributes trace back to base columns, a :class:`_ProbePlan` pair is
+    compiled as well; ``fire`` uses it whenever the catalog relations
+    carry the matching indexes (declared through
+    :meth:`probe_index_requirements`), replacing the two full operand
+    evaluations per firing with per-delta-row index probes.
     """
 
     parent: str
@@ -454,6 +482,29 @@ class SetNodeRule:
             for name in self.definition.relation_names():
                 self._eval_schemas[name] = self.schemas[name].rename_relation(name)
             self._eval_schemas[self.child] = self.child_schema.rename_relation(self.child)
+        self._probe_plans: List[Tuple[Optional[_ProbePlan], Optional[_ProbePlan]]] = [
+            (self._probe_plan(operand), self._probe_plan(other))
+            for _, operand, other in self._sides
+        ]
+
+    def _probe_plan(self, expr: Expression) -> Optional[_ProbePlan]:
+        if not self._eval_schemas:
+            return None  # lazily-compiled rule: no schemas to trace through
+        chain = compile_scan_chain(expr)
+        if chain is None or chain.base.startswith(DELTA_ALIAS_PREFIX):
+            return None
+        try:
+            out_schema = expr.infer_schema(self._eval_schemas, "operand")
+        except Exception:
+            return None
+        pairs: List[Tuple[str, str]] = []
+        for a in out_schema.attribute_names:
+            b = chain.to_base(a)
+            if b is None:
+                return None
+            pairs.append((a, b))
+        index_keys = tuple(sorted({b for _, b in pairs}))
+        return _ProbePlan(chain, tuple(pairs), index_keys)
 
     def _schemas_for(self, catalog: Mapping[str, Relation]) -> Dict[str, RelationSchema]:
         for name, rel in catalog.items():
@@ -476,31 +527,115 @@ class SetNodeRule:
         feeding both sides fires both parts sequentially.
         """
         result = SetDelta()
-        evaluator = Evaluator(catalog, schemas=self._schemas_for(catalog), counters=counters)
-        for (side, operand, other), compiled in zip(self._sides, self._compiled):
-            old_bag = evaluator.evaluate(operand, "operand_old")
-            delta_bag = compiled.delta(child_delta, catalog, counters)
-            entering, leaving = _support_transitions(old_bag, delta_bag, "operand")
-            other_support = evaluator.evaluate(other, "other").support()
+        evaluator: Optional[Evaluator] = None
+        for (side, operand, other), compiled, (op_plan, other_plan) in zip(
+            self._sides, self._compiled, self._probe_plans
+        ):
+            op_rel = self._probe_target(op_plan, catalog)
+            other_rel = self._probe_target(other_plan, catalog)
+            if op_rel is not None and other_rel is not None:
+                # Probe path: support counts answered from persistent
+                # indexes, touching only base rows matching the delta rows.
+                delta_bag = compiled.delta(child_delta, catalog, counters)
+                entering, leaving = self._probe_transitions(
+                    op_plan, op_rel, delta_bag, counters
+                )
+
+                def in_other(r: Row, _p=other_plan, _rel=other_rel) -> bool:
+                    return self._probe_count(_p, _rel, r, counters) > 0
+
+            else:
+                if evaluator is None:
+                    evaluator = Evaluator(
+                        catalog, schemas=self._schemas_for(catalog), counters=counters
+                    )
+                old_bag = evaluator.evaluate(operand, "operand_old")
+                delta_bag = compiled.delta(child_delta, catalog, counters)
+                entering, leaving = _support_transitions(old_bag, delta_bag, "operand")
+                other_support = evaluator.evaluate(other, "other").support()
+
+                def in_other(r: Row, _s=other_support) -> bool:
+                    return r in _s
+
             if side == "left":
                 # diff1 (corrected): rows entering L join T unless in R;
                 # rows leaving L leave T unless shadowed by R already.
                 for r in entering:
-                    if r not in other_support:
+                    if not in_other(r):
                         result = result.smash(_atom(self.parent, r, +1))
                 for r in leaving:
-                    if r not in other_support:
+                    if not in_other(r):
                         result = result.smash(_atom(self.parent, r, -1))
             else:
                 # diff2: rows entering R evict L-rows from T; rows leaving R
                 # re-admit L-rows into T.
                 for r in entering:
-                    if r in other_support:
+                    if in_other(r):
                         result = result.smash(_atom(self.parent, r, -1))
                 for r in leaving:
-                    if r in other_support:
+                    if in_other(r):
                         result = result.smash(_atom(self.parent, r, +1))
         return result
+
+    # ------------------------------------------------------------------
+    # Probe fast path
+    # ------------------------------------------------------------------
+    def _probe_target(
+        self, plan: Optional[_ProbePlan], catalog: Mapping[str, Relation]
+    ) -> Optional[Relation]:
+        """The base relation, iff it carries the index this plan probes."""
+        if plan is None:
+            return None
+        rel = catalog.get(plan.chain.base)
+        if rel is None or not rel.has_index(plan.index_keys):
+            return None
+        return rel
+
+    def _probe_count(
+        self,
+        plan: _ProbePlan,
+        rel: Relation,
+        row: Row,
+        counters: Optional[EvalCounters],
+    ) -> int:
+        """The operand-support multiplicity of ``row``, via one index probe."""
+        values: Dict[str, object] = {}
+        for a, b in plan.out_to_base:
+            v = row[a]
+            if b in values:
+                if values[b] != v:
+                    return 0  # two output attrs demand different base values
+            else:
+                values[b] = v
+        probe = tuple(values[k] for k in plan.index_keys)
+        if counters is not None:
+            counters.index_probes += 1
+        total = 0
+        for br, bn in rel.index_lookup(plan.index_keys, probe):
+            if plan.chain.apply(br) == row:
+                total += bn
+        return total
+
+    def _probe_transitions(
+        self,
+        plan: _ProbePlan,
+        rel: Relation,
+        delta_bag: BagDelta,
+        counters: Optional[EvalCounters],
+    ) -> Tuple[List[Row], List[Row]]:
+        """:func:`_support_transitions` with probed (not evaluated) counts."""
+        entering: List[Row] = []
+        leaving: List[Row] = []
+        for r, n in delta_bag.entries_for("operand"):
+            before = self._probe_count(plan, rel, r, counters)
+            after = before + n
+            if after < 0:
+                raise VDPError(f"operand multiplicity went negative for row {dict(r)}")
+            if before == 0 and after > 0:
+                entering.append(r)
+            elif before > 0 and after == 0:
+                leaving.append(r)
+        return entering, leaving
 
     @property
     def is_linear(self) -> bool:
@@ -518,6 +653,23 @@ class SetNodeRule:
         for compiled in self._compiled:
             for base, keysets in compiled.index_requirements().items():
                 out.setdefault(base, set()).update(keysets)
+        return out
+
+    def probe_index_requirements(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Support-probe indexes the fast path can use, keyed by base name.
+
+        Kept separate from :meth:`index_requirements` on purpose: the
+        shard planner derives partition keys from join-probe requirements,
+        and support probes must not perturb it.  The mediator declares
+        these only for layouts that opt in (columnar), so the row layout's
+        firing behaviour and committed baselines stay byte-identical.
+        """
+        out: Dict[str, Set[Tuple[str, ...]]] = {}
+        for op_plan, other_plan in self._probe_plans:
+            if op_plan is None or other_plan is None:
+                continue  # fire() needs both sides probe-able to switch paths
+            for plan in (op_plan, other_plan):
+                out.setdefault(plan.chain.base, set()).add(plan.index_keys)
         return out
 
 

@@ -125,6 +125,8 @@ def generate_mediator(
     key_based_enabled: bool = True,
     shards: int = 1,
     parallel_propagation: Optional[bool] = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
 ) -> SquirrelMediator:
     """Generate, wire, and initialize a mediator from a specification.
@@ -133,7 +135,8 @@ def generate_mediator(
     get planner-suggested annotations instead of defaulting to fully
     materialized; explicit spec annotations always win.  ``shards`` /
     ``parallel_propagation`` configure hash-partitioned parallel
-    propagation exactly as on :class:`SquirrelMediator`.
+    propagation and ``layout`` / ``smash_enabled`` the storage layout and
+    net-effect compaction exactly as on :class:`SquirrelMediator`.
     """
     spec = _resolve(spec)
     _check_sources_match(spec, sources)
@@ -145,6 +148,8 @@ def generate_mediator(
         key_based_enabled=key_based_enabled,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
         tracer=tracer,
     )
     mediator.initialize()

@@ -1,0 +1,292 @@
+"""Columnar (struct-of-arrays) relation storage.
+
+:class:`ColumnarRelation` keeps one value array per attribute plus a
+multiplicity array, instead of a hash container of per-row ``Row`` dicts.
+Rows live in *slots*: a slot is an index into every column, freed slots are
+recycled, and the distinct-row lookup structure maps a row's value tuple to
+its slot.  The container implements the full
+:class:`~repro.relalg.relation.Relation` protocol — ``items``/``count``/
+``insert``/``delete``/``ensure_index``/``index_lookup`` — so every existing
+call site (evaluator, delta apply, persistence encoding, sharding) works
+unchanged; a ``layout="columnar"`` mediator simply stores its repositories
+in this container.
+
+What the layout buys:
+
+* **slot-based persistent indexes** — an index bucket is a list of row ids
+  (slots), not a dict of materialized ``Row`` objects; probes return row-id
+  slices and rows are materialized (and cached) only when something
+  actually consumes them;
+* **vectorized chain evaluation** — the evaluator's columnar fast path
+  (:meth:`repro.relalg.evaluator.Evaluator` on select/project/rename
+  chains) reads only the columns a predicate or projection touches,
+  skipping ``Row`` construction for rejected rows entirely;
+* **cheap support probes** — ``count(row)`` is one tuple build plus one
+  dict lookup, which the set-node probe rules
+  (:mod:`repro.core.rules`) lean on to replace full operand re-evaluation.
+
+Set semantics mirror :class:`SetRelation` strictness (duplicate inserts and
+absent deletes raise), bag semantics mirror :class:`BagRelation`; the
+Hypothesis parity suite pins byte-identical behaviour between layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DeltaError
+from repro.relalg.relation import Relation, SetRelation
+from repro.relalg.schema import RelationSchema
+from repro.relalg.tuples import Row
+
+__all__ = ["ColumnarRelation"]
+
+
+class ColumnarRelation(Relation):
+    """A relation stored as per-attribute value arrays + a count array."""
+
+    def __init__(self, schema: RelationSchema, is_bag: bool = True):
+        super().__init__(schema)
+        self.is_bag = is_bag
+        self._names: Tuple[str, ...] = schema.attribute_names
+        self._columns: Dict[str, List[Any]] = {a: [] for a in self._names}
+        self._counts: List[int] = []  # multiplicity per slot; 0 = free slot
+        self._slot_of: Dict[Tuple[Any, ...], int] = {}
+        self._free: List[int] = []
+        # Rows are materialized lazily, once per live slot.
+        self._row_cache: List[Optional[Row]] = []
+        # Slot-based indexes: key tuple -> {key values -> [slot, ...]}.
+        self._slot_indexes: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation, is_bag: Optional[bool] = None) -> "ColumnarRelation":
+        """A columnar copy of any relation (indexes not carried over)."""
+        out = cls(relation.schema, relation.is_bag if is_bag is None else is_bag)
+        for r, n in relation.items():
+            out.insert(r, n)
+        return out
+
+    @classmethod
+    def from_rows(
+        cls, schema: RelationSchema, rows: Iterable[Row], is_bag: bool = True
+    ) -> "ColumnarRelation":
+        """Build from an iterable of rows (duplicates accumulate when a bag)."""
+        rel = cls(schema, is_bag)
+        for r in rows:
+            rel.insert(r)
+        return rel
+
+    @classmethod
+    def from_values(
+        cls,
+        schema: RelationSchema,
+        value_rows: Iterable[Sequence[Any]],
+        is_bag: bool = True,
+    ) -> "ColumnarRelation":
+        """Build from bare value tuples ordered like the schema attributes."""
+        names = schema.attribute_names
+        return cls.from_rows(
+            schema, (Row(dict(zip(names, vals))) for vals in value_rows), is_bag
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def _key(self, row: Row) -> Tuple[Any, ...]:
+        return row.values_for(self._names)
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        for slot, n in enumerate(self._counts):
+            if n > 0:
+                yield self.row_at(slot), n
+
+    def count(self, row: Row) -> int:
+        slot = self._slot_of.get(self._key(row))
+        return 0 if slot is None else self._counts[slot]
+
+    def insert(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        if not self.is_bag:
+            if multiplicity != 1:
+                raise DeltaError(
+                    f"set relation {self.schema.name!r} cannot insert multiplicity {multiplicity}"
+                )
+            if self._key(row) in self._slot_of:
+                raise DeltaError(
+                    f"duplicate insert into set relation {self.schema.name!r}: {row!r}"
+                )
+        elif multiplicity <= 0:
+            raise DeltaError(f"insert multiplicity must be positive, got {multiplicity}")
+        key = self._key(row)
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            self._counts[slot] += multiplicity
+            return
+        if self._free:
+            slot = self._free.pop()
+            for a, v in zip(self._names, key):
+                self._columns[a][slot] = v
+            self._counts[slot] = multiplicity
+            self._row_cache[slot] = row
+        else:
+            slot = len(self._counts)
+            for a, v in zip(self._names, key):
+                self._columns[a].append(v)
+            self._counts.append(multiplicity)
+            self._row_cache.append(row)
+        self._slot_of[key] = slot
+        for keys, index in self._slot_indexes.items():
+            index.setdefault(tuple(key[self._names.index(k)] for k in keys), []).append(slot)
+
+    def delete(self, row: Row, multiplicity: int = 1) -> None:
+        self._check_row(row)
+        key = self._key(row)
+        slot = self._slot_of.get(key)
+        if not self.is_bag:
+            if multiplicity != 1:
+                raise DeltaError(
+                    f"set relation {self.schema.name!r} cannot delete multiplicity {multiplicity}"
+                )
+            if slot is None:
+                raise DeltaError(
+                    f"delete of absent row from set relation {self.schema.name!r}: {row!r}"
+                )
+        else:
+            if multiplicity <= 0:
+                raise DeltaError(f"delete multiplicity must be positive, got {multiplicity}")
+            have = 0 if slot is None else self._counts[slot]
+            if have < multiplicity:
+                raise DeltaError(
+                    f"bag relation {self.schema.name!r} holds {have} of {row!r}, "
+                    f"cannot delete {multiplicity}"
+                )
+        remaining = self._counts[slot] - multiplicity
+        if remaining > 0:
+            self._counts[slot] = remaining
+            return
+        self._counts[slot] = 0
+        self._slot_of.pop(key)
+        self._row_cache[slot] = None
+        self._free.append(slot)
+        for keys, index in self._slot_indexes.items():
+            values = tuple(key[self._names.index(k)] for k in keys)
+            bucket = index.get(values)
+            if bucket is not None:
+                bucket.remove(slot)
+                if not bucket:
+                    del index[values]
+
+    def adjust(self, row: Row, signed: int) -> None:
+        """Apply a signed multiplicity change, insert(+) / delete(-)."""
+        if not self.is_bag:
+            raise DeltaError(f"set relation {self.schema.name!r} has no adjust()")
+        if signed > 0:
+            self.insert(row, signed)
+        elif signed < 0:
+            self.delete(row, -signed)
+
+    def distinct(self, schema: Optional[RelationSchema] = None) -> SetRelation:
+        """Duplicate elimination, matching :meth:`BagRelation.distinct`."""
+        return SetRelation(schema or self.schema, (r for r, _ in self.items()))
+
+    def distinct_size(self) -> int:
+        return len(self._slot_of)
+
+    def copy(self) -> "ColumnarRelation":
+        clone = ColumnarRelation(self.schema, self.is_bag)
+        clone._columns = {a: list(col) for a, col in self._columns.items()}
+        clone._counts = list(self._counts)
+        clone._slot_of = dict(self._slot_of)
+        clone._free = list(self._free)
+        clone._row_cache = list(self._row_cache)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Columnar access (the evaluator's vectorized paths)
+    # ------------------------------------------------------------------
+    def column(self, attr: str) -> List[Any]:
+        """The raw value array of one attribute (free slots hold stale data)."""
+        return self._columns[attr]
+
+    def counts_column(self) -> List[int]:
+        """The multiplicity array (0 marks a free slot)."""
+        return self._counts
+
+    def live_slots(self) -> Iterator[int]:
+        """Slot ids currently holding a row, in slot order."""
+        for slot, n in enumerate(self._counts):
+            if n > 0:
+                yield slot
+
+    def count_at(self, slot: int) -> int:
+        """Multiplicity at one slot."""
+        return self._counts[slot]
+
+    def row_at(self, slot: int) -> Row:
+        """The (cached) materialized row of one live slot."""
+        r = self._row_cache[slot]
+        if r is None:
+            r = Row({a: self._columns[a][slot] for a in self._names})
+            self._row_cache[slot] = r
+        return r
+
+    def estimated_bytes(self) -> int:
+        """A coarse struct-of-arrays footprint estimate (cells + counts)."""
+        import sys
+
+        cells = sum(
+            sys.getsizeof(col[slot])
+            for col in self._columns.values()
+            for slot in range(len(self._counts))
+            if self._counts[slot] > 0
+        )
+        return cells + 8 * len(self._counts)
+
+    # ------------------------------------------------------------------
+    # Slot-based persistent indexes
+    # ------------------------------------------------------------------
+    def ensure_index(self, keys: Sequence[str], counters: Optional[Any] = None) -> None:
+        keys = tuple(keys)
+        if keys in self._slot_indexes:
+            return
+        self.schema.check_attributes(keys)
+        cols = [self._columns[k] for k in keys]
+        index: Dict[Tuple[Any, ...], List[int]] = {}
+        hashed = 0
+        for slot, n in enumerate(self._counts):
+            if n <= 0:
+                continue
+            index.setdefault(tuple(c[slot] for c in cols), []).append(slot)
+            hashed += 1
+        self._slot_indexes[keys] = index
+        if counters is not None:
+            counters.index_rebuilds += 1
+            counters.rows_hashed += hashed
+
+    def has_index(self, keys: Sequence[str]) -> bool:
+        return tuple(keys) in self._slot_indexes
+
+    def index_keysets(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(self._slot_indexes)
+
+    def slot_lookup(self, keys: Sequence[str], values: Tuple[Any, ...]) -> List[int]:
+        """Row-id slice of an index probe: the slots matching ``values``."""
+        return self._slot_indexes[tuple(keys)].get(values, [])
+
+    def index_lookup(
+        self, keys: Sequence[str], values: Tuple[Any, ...]
+    ) -> List[Tuple[Row, int]]:
+        return [
+            (self.row_at(slot), self._counts[slot])
+            for slot in self.slot_lookup(keys, values)
+        ]
+
+    def drop_indexes(self) -> None:
+        self._slot_indexes = {}
+
+    def __repr__(self) -> str:
+        kind = "Bag" if self.is_bag else "Set"
+        return f"<Columnar{kind}Relation {self.schema.name} |{self.cardinality()}|>"

@@ -128,6 +128,20 @@ class Relation:
         """Number of distinct rows, O(1) where the container allows it."""
         return self.distinct_cardinality()
 
+    def estimated_bytes(self) -> int:
+        """A coarse storage-footprint estimate (value cells + count slots).
+
+        Counts each distinct row's cell values once plus a machine word per
+        multiplicity slot, so the row and columnar layouts report
+        comparable figures for equal contents.
+        """
+        import sys
+
+        cells = sum(
+            sys.getsizeof(v) for r, _ in self.items() for v in r.values()
+        )
+        return cells + 8 * self.distinct_size()
+
     # -- persistent hash indexes ------------------------------------------
     def ensure_index(self, keys: Sequence[str], counters: Optional[Any] = None) -> None:
         """Build (once) a hash index on the given attribute-name key tuple.
@@ -212,10 +226,14 @@ class Relation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return (
-            self.schema.attribute_names == other.schema.attribute_names
-            and dict(self.items()) == dict(other.items())
-        )
+        if self.schema.attribute_names != other.schema.attribute_names:
+            return False
+        # Compare sizes first, then probe per row and short-circuit on the
+        # first mismatch: equality runs inside every parity/convergence
+        # check, so it must not materialize dict(self.items()) each time.
+        if self.distinct_size() != other.distinct_size():
+            return False
+        return all(other.count(r) == n for r, n in self.items())
 
     def __hash__(self) -> int:  # relations are mutable; identity hash only
         return id(self)
@@ -400,7 +418,14 @@ class PartitionedRelation(Relation):
     serial on sorted snapshots.
     """
 
-    def __init__(self, schema: RelationSchema, shard_key: Sequence[str], num_shards: int, is_bag: bool = True):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        shard_key: Sequence[str],
+        num_shards: int,
+        is_bag: bool = True,
+        layout: str = "row",
+    ):
         if num_shards < 1:
             raise DeltaError(f"num_shards must be >= 1, got {num_shards}")
         super().__init__(schema)
@@ -408,15 +433,26 @@ class PartitionedRelation(Relation):
         self.shard_key: Tuple[str, ...] = tuple(shard_key)
         self.num_shards = num_shards
         self.is_bag = is_bag
-        make = BagRelation if is_bag else SetRelation
-        self._shards: List[Relation] = [make(schema) for _ in range(num_shards)]
+        self.layout = layout
+        self._shards: List[Relation] = [self._make_shard() for _ in range(num_shards)]
+
+    def _make_shard(self) -> Relation:
+        if self.layout == "columnar":
+            from repro.relalg.columnar import ColumnarRelation
+
+            return ColumnarRelation(self.schema, is_bag=self.is_bag)
+        return BagRelation(self.schema) if self.is_bag else SetRelation(self.schema)
 
     @classmethod
     def partition(
-        cls, relation: Relation, shard_key: Sequence[str], num_shards: int
+        cls,
+        relation: Relation,
+        shard_key: Sequence[str],
+        num_shards: int,
+        layout: str = "row",
     ) -> "PartitionedRelation":
         """Build a partitioned copy of an existing relation (indexes dropped)."""
-        out = cls(relation.schema, shard_key, num_shards, is_bag=relation.is_bag)
+        out = cls(relation.schema, shard_key, num_shards, is_bag=relation.is_bag, layout=layout)
         for r, n in relation.items():
             out.insert(r, n)
         return out
@@ -435,8 +471,13 @@ class PartitionedRelation(Relation):
         return tuple(self._shards)
 
     def unpartitioned(self) -> Relation:
-        """A plain (single-container) copy with the same contents."""
-        flat: Relation = BagRelation(self.schema) if self.is_bag else SetRelation(self.schema)
+        """A plain (single-container) copy with the same contents and layout."""
+        if self.layout == "columnar":
+            from repro.relalg.columnar import ColumnarRelation
+
+            flat: Relation = ColumnarRelation(self.schema, is_bag=self.is_bag)
+        else:
+            flat = BagRelation(self.schema) if self.is_bag else SetRelation(self.schema)
         for r, n in self.items():
             flat.insert(r, n)
         return flat
@@ -469,7 +510,9 @@ class PartitionedRelation(Relation):
         return sum(shard.distinct_size() for shard in self._shards)
 
     def copy(self) -> "PartitionedRelation":
-        clone = PartitionedRelation(self.schema, self.shard_key, self.num_shards, self.is_bag)
+        clone = PartitionedRelation(
+            self.schema, self.shard_key, self.num_shards, self.is_bag, self.layout
+        )
         clone._shards = [shard.copy() for shard in self._shards]
         return clone
 

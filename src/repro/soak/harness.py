@@ -101,6 +101,8 @@ class SoakConfig:
     key_based_enabled: bool = True
     #: Hash-partitioned parallel propagation (1 = serial, the default).
     shards: int = 1
+    #: Node-repository storage layout (``"row"`` or ``"columnar"``).
+    layout: str = "row"
 
 
 @dataclass
@@ -206,6 +208,7 @@ class SoakHarness:
             eca_enabled=config.eca_enabled,
             key_based_enabled=config.key_based_enabled,
             shards=config.shards,
+            layout=config.layout,
             tracer=tracer,
         )
         # generate_mediator builds its own DirectLinks; swap in the
@@ -425,6 +428,7 @@ class SoakHarness:
             eca_enabled=self.config.eca_enabled,
             key_based_enabled=self.config.key_based_enabled,
             shards=self.config.shards,
+            layout=self.config.layout,
             tracer=self.tracer,
         )
         self.mediator = recovery.mediator

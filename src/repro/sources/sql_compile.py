@@ -55,7 +55,7 @@ from repro.relalg.predicates import (
 )
 from repro.relalg.schema import RelationSchema
 
-__all__ = ["compile_expression", "compile_predicate"]
+__all__ = ["compile_expression", "compile_chain_select", "compile_predicate"]
 
 _MAX_UNROLLED_EXPONENT = 8
 
@@ -109,6 +109,112 @@ def _compile_power(term: Arith, params: List[Any]) -> str:
         return "1"
     base = _compile_term(term.left, params)
     return "(" + " * ".join([base] * exponent) + ")"
+
+
+def _rewrite_term(term: Term, mapping: Mapping[str, str]) -> Term:
+    if isinstance(term, Attr):
+        try:
+            return Attr(mapping[term.name])
+        except KeyError as exc:
+            raise EvaluationError(
+                f"attribute {term.name!r} is not visible at this point in the chain"
+            ) from exc
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Arith):
+        return Arith(_rewrite_term(term.left, mapping), term.op, _rewrite_term(term.right, mapping))
+    raise EvaluationError(f"cannot rewrite term node {type(term).__name__}")
+
+
+def _rewrite_predicate(pred: Predicate, mapping: Mapping[str, str]) -> Predicate:
+    """Substitute every attribute reference with its base-table column."""
+    if isinstance(pred, TruePredicate):
+        return pred
+    if isinstance(pred, Comparison):
+        return Comparison(
+            _rewrite_term(pred.left, mapping), pred.op, _rewrite_term(pred.right, mapping)
+        )
+    if isinstance(pred, And):
+        return And(_rewrite_predicate(pred.left, mapping), _rewrite_predicate(pred.right, mapping))
+    if isinstance(pred, Or):
+        return Or(_rewrite_predicate(pred.left, mapping), _rewrite_predicate(pred.right, mapping))
+    if isinstance(pred, Not):
+        return Not(_rewrite_predicate(pred.child, mapping))
+    raise EvaluationError(f"cannot rewrite predicate node {type(pred).__name__}")
+
+
+def compile_chain_select(
+    expr: Expression, schemas: Mapping[str, RelationSchema]
+) -> Tuple[str, List[Any]]:
+    """Compile a select/project/rename chain to one flat ``SELECT``.
+
+    :func:`compile_expression` nests a subquery per algebra node, which
+    keeps the translation obviously correct but hides the base table from
+    SQLite's planner behind a wall of derived tables.  Poll predicates and
+    compiled delta rewrites are overwhelmingly *chains* — selects, projects
+    and renames stacked on a single scan — and for those this emits
+
+        ``SELECT base_col AS out_name, ... FROM "base" WHERE p1 AND p2 ...``
+
+    with every predicate rewritten onto base-table columns, so the WHERE
+    clause sits directly on the stored table and key lookups hit the
+    automatic indexes SQLite builds for PRIMARY KEY / UNIQUE constraints
+    (observable via ``EXPLAIN QUERY PLAN``).
+
+    Raises :class:`~repro.errors.EvaluationError` for any shape it cannot
+    flatten (joins, unions, differences, a deduplicating project below a
+    later project); callers fall back to :func:`compile_expression`.
+    """
+    steps = []
+    node = expr
+    while not isinstance(node, Scan):
+        if isinstance(node, Select):
+            steps.append(("select", node.predicate))
+            node = node.child
+        elif isinstance(node, Project):
+            steps.append(("project", node))
+            node = node.child
+        elif isinstance(node, Rename):
+            steps.append(("rename", node.mapping_dict))
+            node = node.child
+        else:
+            raise EvaluationError(
+                f"cannot flatten expression node {type(node).__name__} into a chain select"
+            )
+    if node.name not in schemas:
+        raise EvaluationError(f"unknown base relation {node.name!r}")
+    steps.reverse()  # innermost-first
+
+    # Walk the chain tracking visible-name -> base-column; rewrite every
+    # selection predicate into base columns as it is encountered.
+    mapping = {a: a for a in schemas[node.name].attribute_names}
+    predicates: List[Predicate] = []
+    distinct = False
+    for kind, payload in steps:
+        if kind == "select":
+            rewritten = _rewrite_predicate(payload, mapping)
+            if not isinstance(rewritten, TruePredicate):
+                predicates.append(rewritten)
+        elif kind == "project":
+            if distinct:
+                # A projection after a dedup can re-introduce duplicates the
+                # flat DISTINCT would erase; only the nested form is safe.
+                raise EvaluationError("cannot flatten a projection applied after a dedup")
+            mapping = {a: mapping[a] for a in payload.attrs}
+            distinct = payload.dedup
+        else:  # rename
+            mapping = {payload.get(name, name): base for name, base in mapping.items()}
+
+    out_names = expr.infer_schema(schemas, "q").attribute_names
+    params: List[Any] = []
+    cols = ", ".join(
+        _quote(mapping[n]) if mapping[n] == n else f"{_quote(mapping[n])} AS {_quote(n)}"
+        for n in out_names
+    )
+    sql = f"SELECT {'DISTINCT ' if distinct else ''}{cols} FROM {_quote(node.name)}"
+    if predicates:
+        sql += " WHERE " + " AND ".join(compile_predicate(p, params) for p in predicates)
+    return sql, params
 
 
 def compile_expression(

@@ -14,12 +14,13 @@ present, is also declared to SQLite.
 from __future__ import annotations
 
 import sqlite3
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.deltas import SetDelta
-from repro.errors import SourceError
+from repro.errors import EvaluationError, SourceError
 from repro.relalg import (
     BagRelation,
+    Evaluator,
     Expression,
     Project,
     Relation,
@@ -29,7 +30,7 @@ from repro.relalg import (
 )
 from repro.relalg.expressions import Difference
 from repro.sources.base import SourceDatabase
-from repro.sources.sql_compile import compile_expression
+from repro.sources.sql_compile import compile_chain_select, compile_expression
 
 __all__ = ["SQLiteSource"]
 
@@ -44,6 +45,11 @@ _AFFINITY = {"int": "INTEGER", "float": "REAL", "str": "TEXT", "any": ""}
 class SQLiteSource(SourceDatabase):
     """A source database backed by a SQLite database."""
 
+    #: Links probe this to route whole poll rounds through
+    #: :meth:`poll_and_query`, which executes the queries inside the
+    #: database instead of snapshotting every relation into Python.
+    supports_pushdown = True
+
     def __init__(
         self,
         name: str,
@@ -52,6 +58,8 @@ class SQLiteSource(SourceDatabase):
         initial: Optional[Dict[str, Sequence[Tuple[Any, ...]]]] = None,
     ):
         super().__init__(name, schemas)
+        self.pushdown_queries = 0
+        self.fallback_queries = 0
         self._conn = sqlite3.connect(path)
         self._conn.isolation_level = None  # explicit transaction control
         self._create_tables()
@@ -143,7 +151,25 @@ class SQLiteSource(SourceDatabase):
                 f"source {self.name!r} cannot answer query over {sorted(unknown)}"
             )
         self.query_count += 1
-        sql, params = compile_expression(expr, self.schemas)
+        return self._execute_pushdown(expr, name)
+
+    def _compile(self, expr: Expression) -> Tuple[str, List[Any]]:
+        """Flat chain select when the shape allows it, nested SQL otherwise.
+
+        The flat form keeps predicates on the base table where SQLite's
+        automatic PRIMARY KEY / UNIQUE indexes can serve them; anything the
+        flattener rejects still compiles through the general nested path.
+        Raises :class:`~repro.errors.EvaluationError` only when *neither*
+        compiler can express the expression (e.g. ``^`` with a non-constant
+        exponent) — the signal for the Python evaluation fallback.
+        """
+        try:
+            return compile_chain_select(expr, self.schemas)
+        except EvaluationError:
+            return compile_expression(expr, self.schemas)
+
+    def _execute_pushdown(self, expr: Expression, name: str) -> Relation:
+        sql, params = self._compile(expr)
         schema = expr.infer_schema(self.schemas, name)
         cur = self._conn.cursor()
         cur.execute(sql, params)
@@ -152,6 +178,57 @@ class SQLiteSource(SourceDatabase):
         if isinstance(expr, Difference) or (isinstance(expr, Project) and expr.dedup):
             return SetRelation(schema, (Row(dict(zip(names, v))) for v in rows))
         return BagRelation.from_rows(schema, (Row(dict(zip(names, v))) for v in rows))
+
+    def poll_and_query(
+        self, queries: Mapping[str, Expression]
+    ) -> Tuple[Optional[SetDelta], int, Dict[str, Relation]]:
+        """One atomic poll round answered *inside* the database.
+
+        The announcement take, the cursor read, and every query execute
+        under the source lock as one source transaction — the same
+        flush-before-answer contract as
+        :meth:`~repro.sources.base.SourceDatabase.poll_transaction_versioned`,
+        but without materializing a full Python snapshot of every relation:
+        each query is compiled to SQL and runs where the data lives.  A
+        query the compiler cannot express (counted in ``fallback_queries``)
+        is answered from a lazily-built snapshot of the same state, so the
+        answer set is identical either way.
+        """
+        with self._lock:
+            announcement = self.take_announcement()
+            cursor = self.txn_count
+            answers: Dict[str, Relation] = {}
+            snapshot: Optional[Dict[str, SetRelation]] = None
+            for name, expr in queries.items():
+                unknown = expr.relation_names() - set(self.schemas)
+                if unknown:
+                    raise SourceError(
+                        f"source {self.name!r} cannot answer query over {sorted(unknown)}"
+                    )
+                self.query_count += 1
+                try:
+                    answers[name] = self._execute_pushdown(expr, name)
+                    self.pushdown_queries += 1
+                except EvaluationError:
+                    if snapshot is None:
+                        snapshot = self._snapshot()
+                    answers[name] = Evaluator(snapshot).evaluate(expr, name)
+                    self.fallback_queries += 1
+            return announcement, cursor, answers
+
+    def explain_query_plan(self, expr: Expression) -> List[str]:
+        """SQLite's query plan for ``expr``, one detail string per step.
+
+        Compiles exactly as :meth:`query` would and runs ``EXPLAIN QUERY
+        PLAN``; tests use this to assert that pushed-down key predicates
+        are served by the automatic indexes (``USING INDEX`` /
+        ``USING COVERING INDEX`` / integer primary-key search) rather than
+        full table scans.
+        """
+        sql, params = self._compile(expr)
+        cur = self._conn.cursor()
+        cur.execute("EXPLAIN QUERY PLAN " + sql, params)
+        return [str(row[-1]) for row in cur.fetchall()]
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""

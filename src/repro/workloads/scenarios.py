@@ -145,6 +145,8 @@ def figure1_mediator(
     parallel_polls: bool = True,
     shards: int = 1,
     parallel_propagation: Optional[bool] = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
@@ -163,6 +165,8 @@ def figure1_mediator(
         parallel_polls=parallel_polls,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
         tracer=tracer,
     )
     mediator.initialize()
@@ -191,6 +195,8 @@ def chain_mediator(
     default_annotation: str = "m",
     shards: int = 1,
     parallel_propagation: Optional[bool] = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A join chain of the given depth: ``Ni = N(i-1) ⋈_{v(i-1)=ki} Ti``.
@@ -222,6 +228,8 @@ def chain_mediator(
         sources,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
         tracer=tracer,
     )
     mediator.initialize()
@@ -277,6 +285,8 @@ def union_mediator(
     seed: int = 23,
     shards: int = 1,
     parallel_propagation: Optional[bool] = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed union-scenario mediator (fully materialized by default)."""
@@ -287,6 +297,8 @@ def union_mediator(
         sources,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
         tracer=tracer,
     )
     mediator.initialize()
@@ -423,6 +435,8 @@ def figure4_mediator(
     parallel_polls: bool = True,
     shards: int = 1,
     parallel_propagation: Optional[bool] = None,
+    layout: str = "row",
+    smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed Figure-4 mediator.
@@ -459,6 +473,8 @@ def figure4_mediator(
         parallel_polls=parallel_polls,
         shards=shards,
         parallel_propagation=parallel_propagation,
+        layout=layout,
+        smash_enabled=smash_enabled,
         tracer=tracer,
     )
     mediator.initialize()

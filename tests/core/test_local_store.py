@@ -120,3 +120,50 @@ def test_normalize_set_delta():
     d.delete("G", row(a1=9, b1=9))   # redundant delete
     normalized = store.normalize_set_delta("G", d)
     assert normalized.is_empty()
+    # Both dropped atoms count as smashed net-effect compaction.
+    assert store.stats.deltas_smashed == 2
+
+
+def test_accumulate_counts_smashed_atoms():
+    store = make_store()
+    assert store.stats.deltas_smashed == 0
+    r = row(r1=9, r3=9, s1=9, s2=9)
+    store.accumulate("T", BagDelta.from_counts("T", {r: 1}))
+    assert store.stats.deltas_smashed == 0  # nothing to cancel yet
+    store.accumulate("T", BagDelta.from_counts("T", {r: -1}))
+    # +1 and -1 annihilate: two gross entries, zero net.
+    assert store.stats.deltas_smashed == 2
+    assert not store.has_pending_delta("T")
+
+
+def test_invalid_layout_rejected():
+    annotated = annotate(figure1_vdp(), {})
+    with pytest.raises(MediatorError):
+        LocalStore(annotated, layout="diagonal")
+
+
+def test_columnar_layout_stores_columnar_repos():
+    from repro.relalg import ColumnarRelation
+
+    annotated = annotate(figure1_vdp(), {})
+    store = LocalStore(annotated, layout="columnar")
+    store.initialize(leaf_values())
+    row_store = make_store()
+    for name in ("R_p", "S_p", "T"):
+        repo = store.repo(name)
+        assert isinstance(repo, ColumnarRelation)
+        assert repo.to_sorted_list() == row_store.repo(name).to_sorted_list()
+
+
+def test_storage_metrics_per_node():
+    store = make_store()
+    metrics = store.storage_metrics()
+    by_node = {m["node"]: m for m in metrics}
+    assert set(by_node) == {"R_p", "S_p", "T"}
+    assert by_node["R_p"]["rows_stored"] == 2
+    assert by_node["T"]["rows_stored"] == 1
+    assert by_node["T"]["distinct_rows"] == 1
+    assert by_node["T"]["estimated_bytes"] > 0
+    assert store.total_stored_bytes() == sum(
+        m["estimated_bytes"] for m in metrics
+    )

@@ -156,3 +156,18 @@ def test_sharded_soak_with_crashes_recovers():
     assert result.ok, (result.convergence_violations, result.slo_violations)
     assert result.stats.crashes >= 1
     assert result.stats.recoveries == result.stats.crashes
+
+
+def test_columnar_soak_converges_and_matches_row():
+    """The churn harness over columnar repositories: attach/detach swaps
+    rebuild struct-of-arrays repos, convergence checkpoints pass, and the
+    run is observably identical to the row-layout run of the same seed."""
+    row = run_soak(SoakConfig(sources=8, seed=3, steps=12, checkpoint_every=6))
+    columnar = run_soak(
+        SoakConfig(sources=8, seed=3, steps=12, checkpoint_every=6, layout="columnar")
+    )
+    assert columnar.ok, (columnar.convergence_violations, columnar.slo_violations)
+    assert columnar.final_members == row.final_members
+    assert columnar.worst_staleness == row.worst_staleness
+    assert all(cp["violations"] == 0 for cp in columnar.checkpoints)
+    assert columnar.stats.updates_applied == row.stats.updates_applied
