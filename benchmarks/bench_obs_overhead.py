@@ -7,11 +7,14 @@ instrumentation site in the hot path short-circuits on a single
 harness pins that claim on the propagation-scaling workload (Figure 1 /
 ex21, update-batch heavy — the same shape as experiment PS):
 
-* the workload runs under three tracer modes — **off** (the default
+* the workload runs under four tracer modes — **off** (the default
   ``NULL_TRACER``), **disabled** (a private ``Tracer(enabled=False)``, the
-  ablation-honest control), and **enabled** (full tracing + provenance) —
-  and all three must land in identical repository states with identical
-  mediator counters: observation must never change behavior;
+  ablation-honest control), **enabled** (full tracing + provenance), and
+  **profiled** (enabled + a live :class:`~repro.obs.profile.CostProfiler`
+  sink) — and all four must land in identical repository states with
+  identical mediator counters: observation must never change behavior.
+  The profiled run additionally proves the profiler's attribution
+  reconciles *exactly* with the mediator counters;
 * the **<2 % disabled overhead** claim is asserted *structurally*, not by
   comparing two noisy wall clocks: the per-call cost of a disabled
   ``span()``/``event()`` is microbenchmarked, multiplied by the number of
@@ -34,7 +37,7 @@ import sys
 import time
 
 from repro.deltas import SetDelta
-from repro.obs import NULL_TRACER, Tracer, validate_records
+from repro.obs import NULL_TRACER, CostProfiler, Tracer, validate_records
 from repro.relalg import row
 from repro.workloads import figure1_mediator, figure1_sources
 
@@ -60,10 +63,17 @@ def build_mediator(tracer):
     return mediator
 
 
-def run_workload(tracer) -> dict:
-    """The PS-shaped workload: update batches interleaved with queries."""
+def run_workload(tracer, profiler=None) -> dict:
+    """The PS-shaped workload: update batches interleaved with queries.
+
+    ``profiler`` (a :class:`CostProfiler`) is attached *after* the build
+    and stats reset, so the profiled window is exactly the counter window
+    and the two must reconcile field-for-field.
+    """
     mediator = build_mediator(tracer)
     mediator.reset_stats()
+    if profiler is not None:
+        profiler.attach(tracer)
     for batch in range(BATCHES):
         delta = SetDelta()
         for k in range(DELTA_ROWS):
@@ -77,11 +87,14 @@ def run_workload(tracer) -> dict:
         name: sorted((tuple(sorted(dict(r).items())), n) for r, n in repo.items())
         for name, repo in mediator.store.repos().items()
     }
-    return {
+    out = {
         "state": state,
         "stats": stats.as_dict(),
         "records": tracer.record_count() if tracer is not NULL_TRACER else 0,
     }
+    if profiler is not None:
+        out["profile_mismatches"] = profiler.profile().reconcile(stats)
+    return out
 
 
 def disabled_call_cost() -> float:
@@ -102,6 +115,8 @@ def collect() -> dict:
     enabled_tracer = Tracer(enabled=True, provenance=True)
     enabled = run_workload(enabled_tracer)
     validate_records(enabled_tracer.records())
+    profiled_tracer = Tracer(enabled=True, provenance=True)
+    profiled = run_workload(profiled_tracer, profiler=CostProfiler())
 
     return {
         "workload": {"db_size": DB_SIZE, "delta_rows": DELTA_ROWS, "batches": BATCHES},
@@ -109,9 +124,13 @@ def collect() -> dict:
             "off": off["records"],
             "disabled": disabled["records"],
             "enabled": enabled["records"],
+            "profiled": profiled["records"],
         },
-        "states_match": off["state"] == disabled["state"] == enabled["state"],
-        "stats_match": off["stats"] == disabled["stats"] == enabled["stats"],
+        "states_match": off["state"] == disabled["state"] == enabled["state"]
+        == profiled["state"],
+        "stats_match": off["stats"] == disabled["stats"] == enabled["stats"]
+        == profiled["stats"],
+        "profile_reconciles": not profiled["profile_mismatches"],
         "workload_counters": {
             "update_transactions": int(off["stats"]["update_transactions"]),
             "rules_fired": int(off["stats"]["rules_fired"]),
@@ -129,6 +148,12 @@ def measure_overhead(results) -> dict:
     wall_enabled = time_callable(
         lambda: run_workload(Tracer(enabled=True, provenance=True)), repeats=3
     )
+    wall_profiled = time_callable(
+        lambda: run_workload(
+            Tracer(enabled=True, provenance=True), profiler=CostProfiler()
+        ),
+        repeats=3,
+    )
     per_call = disabled_call_cost()
     # Every emitted record in the enabled run is one instrumentation site
     # the disabled run also reached (plus pure `.enabled` checks, which are
@@ -139,6 +164,7 @@ def measure_overhead(results) -> dict:
         "wall_off": wall_off,
         "wall_disabled": wall_disabled,
         "wall_enabled": wall_enabled,
+        "wall_profiled": wall_profiled,
         "per_call_us": per_call * 1e6,
         "sites": sites,
         "estimated_disabled_overhead": estimated,
@@ -150,7 +176,7 @@ def render(results, overhead=None) -> None:
     from repro.bench import shape_line
 
     rows = []
-    for mode in ("off", "disabled", "enabled"):
+    for mode in ("off", "disabled", "enabled", "profiled"):
         wall = overhead[f"wall_{mode}"] if overhead else None
         rows.append(
             [
@@ -170,6 +196,10 @@ def render(results, overhead=None) -> None:
             "disabled tracers record nothing; enabled records a full trace",
             results["records"]["off"] == results["records"]["disabled"] == 0
             and results["records"]["enabled"] > 0,
+        ),
+        shape_line(
+            "profiler attribution reconciles exactly with mediator counters",
+            results["profile_reconciles"],
         ),
     ]
     if overhead is not None:
@@ -201,6 +231,10 @@ def check_shapes(results, overhead) -> list:
             results["records"]["off"] == 0 and results["records"]["disabled"] == 0,
         ),
         ("the enabled tracer records a non-trivial trace", results["records"]["enabled"] > 50),
+        (
+            "profiler attribution reconciles exactly with mediator counters",
+            results["profile_reconciles"],
+        ),
         (
             f"estimated disabled-mode overhead under {OVERHEAD_BUDGET:.0%}",
             overhead["overhead_ratio"] < OVERHEAD_BUDGET,

@@ -7,6 +7,8 @@ Usage::
     python -m repro repl SPEC                     # interactive session
     python -m repro trace ex23 --out t.jsonl      # traced canned scenario
     python -m repro stats ex23                    # metrics after a scenario
+    python -m repro profile --scenario figure1    # per-node cost profile
+    python -m repro export-metrics ex23           # Prometheus text format
     python -m repro checkpoint SPEC --dir DIR     # write a durable checkpoint
     python -m repro recover SPEC --dir DIR        # recover a mediator from DIR
     python -m repro soak --sources 200 --seed 7   # churn & soak workload
@@ -29,7 +31,12 @@ against the recovered state).  See :mod:`repro.durability`.
 ``repro.obs.harness.SCENARIOS``) with tracing and delta provenance on;
 ``trace`` prints the span tree (and optionally exports schema-validated
 JSONL), ``stats`` prints the metrics-registry snapshot and the per-node
-provenance summary.
+provenance summary.  ``profile`` runs a scenario under the cost profiler
+(``figure1`` is an alias for ``ex21``, the Figure 1 acceptance workload)
+and prints the per-node cost table — its totals reconcile *exactly* with
+the ``MediatorStats`` counters, and the command exits non-zero if they do
+not.  ``export-metrics`` runs a scenario and emits the metrics snapshot
+in the Prometheus text exposition format (or JSON with ``--format json``).
 
 ``SPEC`` is a mediator specification file (see :mod:`repro.generator.spec`).
 Initial data is loaded from an optional ``--data FILE.json`` whose shape is
@@ -193,6 +200,97 @@ def _cmd_stats(args, out) -> int:
     return 0
 
 
+def _cmd_profile(args, out) -> int:
+    from repro.obs import CostProfiler, Tracer, run_scenario
+
+    # "figure1" names the acceptance workload; it is the ex21 scenario.
+    scenario = "ex21" if args.scenario == "figure1" else args.scenario
+    tracer = Tracer(enabled=True, retain=False)
+    profiler = CostProfiler().attach(tracer)
+    mediator = run_scenario(scenario, tracer)
+    profile = profiler.profile()
+    if args.json:
+        print(profile.to_json(indent=2), file=out)
+    else:
+        nodes = sorted(
+            profile.nodes.items(),
+            key=lambda item: (-item[1].propagation_time, item[0]),
+        )
+        header = (
+            f"{'node':<14} {'prop_ms':>8} {'fires':>6} {'rows':>7} "
+            f"{'constructs':>10} {'poll_rows':>9} {'hit/miss':>9} "
+            f"{'queries':>7} {'query_ms':>9}"
+        )
+        print(f"cost profile: scenario {scenario!r} (per node)", file=out)
+        print(header, file=out)
+        for name, cost in nodes:
+            print(
+                f"{name:<14} {cost.propagation_time * 1000:>8.3f} "
+                f"{cost.fires_out:>6} {cost.apply_rows:>7} "
+                f"{cost.constructs:>10} {cost.poll_rows:>9} "
+                f"{cost.cache_hits:>4}/{cost.cache_misses:<4} "
+                f"{cost.queries:>7} {cost.query_time * 1000:>9.3f}",
+                file=out,
+            )
+        totals = (
+            f"{'TOTAL':<14} {profile.total('propagation_time') * 1000:>8.3f} "
+            f"{int(profile.total('fires_out')):>6} "
+            f"{int(profile.total('apply_rows')):>7} "
+            f"{int(profile.total('constructs')):>10} "
+            f"{int(profile.total('poll_rows')):>9} "
+            f"{int(profile.total('cache_hits')):>4}/"
+            f"{int(profile.total('cache_misses')):<4} "
+            f"{profile.queries.count:>7} {profile.queries.time * 1000:>9.3f}"
+        )
+        print(totals, file=out)
+        if profile.sources:
+            print(file=out)
+            print("per source:", file=out)
+            for name in sorted(profile.sources):
+                cost = profile.sources[name]
+                print(
+                    f"  {name}: {cost.polls} polls, {cost.poll_rows} answer rows, "
+                    f"{cost.poll_time * 1000:.3f} ms, "
+                    f"{cost.compensations} compensations",
+                    file=out,
+                )
+        if args.top:
+            print(file=out)
+            print(f"top {args.top} by propagation time:", file=out)
+            for name, value in profile.top(args.top):
+                print(f"  {name}: {value * 1000:.3f} ms", file=out)
+    # In --json mode stdout stays pure JSON; the verdict goes to stderr.
+    verdict_out = sys.stderr if args.json else out
+    mismatches = profile.reconcile(mediator.stats())
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"RECONCILIATION MISMATCH: {mismatch}", file=verdict_out)
+        return 1
+    print(
+        "reconciliation: profile totals match MediatorStats counters exactly",
+        file=verdict_out,
+    )
+    return 0
+
+
+def _cmd_export_metrics(args, out) -> int:
+    from repro.obs import NULL_TRACER, render_prometheus, run_scenario
+
+    mediator = run_scenario(args.scenario, NULL_TRACER)
+    snapshot = mediator.metrics.snapshot()
+    if args.format == "prometheus":
+        text = render_prometheus(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics for {args.scenario!r} to {args.out}", file=out)
+    else:
+        print(text, end="", file=out)
+    return 0
+
+
 def _cmd_checkpoint(args, out) -> int:
     from repro.durability import DurabilityManager
 
@@ -275,6 +373,8 @@ def _cmd_soak(args, out) -> int:
         durability_dir=args.durability_dir,
         shards=args.shards,
         layout=args.layout,
+        telemetry_dir=args.telemetry_dir,
+        telemetry_cadence=args.telemetry_cadence,
     )
     result = run_soak(config)
     if args.report:
@@ -309,6 +409,19 @@ def _cmd_soak(args, out) -> int:
         f"(bound {config.staleness_bound:.1f})",
         file=out,
     )
+    if result.telemetry_dir:
+        print(
+            f"  telemetry: metrics.jsonl, trace.jsonl, profile.json in "
+            f"{result.telemetry_dir}; {len(result.alerts)} burn-rate alerts",
+            file=out,
+        )
+        for alert in result.alerts:
+            print(
+                f"  BURN-RATE ALERT: step {alert.step:.0f} source {alert.source} "
+                f"staleness {alert.staleness:.1f}/{alert.bound:.1f} "
+                f"(fast {alert.fast_burn:.2f}, slow {alert.slow_burn:.2f})",
+                file=out,
+            )
     for violation in result.convergence_violations:
         print(f"  CONVERGENCE VIOLATION: {violation}", file=out)
     for violation in result.slo_violations:
@@ -388,6 +501,36 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     )
     p_stats.add_argument("scenario", choices=scenario_names())
 
+    p_profile = subparsers.add_parser(
+        "profile",
+        help="run a canned scenario under the cost profiler and print the "
+        "per-node cost table (totals reconcile exactly with MediatorStats)",
+    )
+    p_profile.add_argument(
+        "--scenario", default="figure1",
+        choices=["figure1"] + scenario_names(),
+        help="scenario to profile (figure1 = the ex21 Figure 1 workload)",
+    )
+    p_profile.add_argument(
+        "--json", action="store_true",
+        help="emit the full CostProfile as JSON instead of the table",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=0, metavar="K",
+        help="also print the K most expensive nodes by propagation time",
+    )
+
+    p_export = subparsers.add_parser(
+        "export-metrics",
+        help="run a canned scenario and export its metrics snapshot",
+    )
+    p_export.add_argument("scenario", choices=scenario_names())
+    p_export.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (Prometheus text exposition or JSON)",
+    )
+    p_export.add_argument("--out", help="write to this path instead of stdout")
+
     p_ckpt = subparsers.add_parser(
         "checkpoint", help="deploy a mediator and write a durable checkpoint"
     )
@@ -435,6 +578,16 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "IUP's linear rule firings in parallel (1 = serial)",
     )
     p_soak.add_argument("--report", help="write the freshness-SLO report JSON here")
+    p_soak.add_argument(
+        "--telemetry-dir", dest="telemetry_dir",
+        help="stream continuous telemetry (metrics.jsonl, trace.jsonl, "
+        "profile.json) into this directory, with live burn-rate alerting "
+        "on the freshness SLO",
+    )
+    p_soak.add_argument(
+        "--telemetry-cadence", dest="telemetry_cadence", type=int, default=1,
+        help="steps between metrics snapshots in the telemetry stream",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -446,6 +599,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_trace(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
+        if args.command == "profile":
+            return _cmd_profile(args, out)
+        if args.command == "export-metrics":
+            return _cmd_export_metrics(args, out)
         if args.command == "checkpoint":
             return _cmd_checkpoint(args, out)
         if args.command == "recover":

@@ -40,6 +40,7 @@ from repro.deltas import SetDelta
 from repro.errors import AnnotationError, MediatorError, SourceUnavailableError
 from repro.faults.staleness import StalenessTag, TaggedAnswer
 from repro.obs.metrics import MetricsRegistry, dataclass_counter_items
+from repro.obs.profile import CostProfile, CostProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import (
     TRUE,
@@ -97,6 +98,9 @@ class MediatorStats:
     shard_tasks: int
     shard_batches: int
     exchange_reads: int
+    pushdown_queries: int
+    fallback_queries: int
+    stored_bytes: int
 
     def diff(self, other: "MediatorStats") -> "MediatorStats":
         """Per-field ``self - other`` — counter deltas across a workload
@@ -142,6 +146,9 @@ STATS_METRICS: Dict[str, str] = {
     "shard_tasks": "iup.shard_tasks",
     "shard_batches": "iup.shard_batches",
     "exchange_reads": "iup.exchange_reads",
+    "pushdown_queries": "sources.pushdown_queries",
+    "fallback_queries": "sources.fallback_queries",
+    "stored_bytes": "store.stored_bytes",
 }
 
 
@@ -184,6 +191,7 @@ class SquirrelMediator:
         layout: str = "row",
         smash_enabled: bool = True,
         tracer: Tracer = NULL_TRACER,
+        profiling_enabled: bool = False,
     ):
         """Wire a mediator over the given sources.
 
@@ -216,7 +224,18 @@ class SquirrelMediator:
         threaded through every component; pass an enabled
         :class:`~repro.obs.tracer.Tracer` to record spans/events, and
         construct it with ``provenance=True`` for delta provenance.
+        ``profiling_enabled`` attaches a
+        :class:`~repro.obs.profile.CostProfiler` to the tracer (creating
+        a retain-free enabled tracer if the default disabled one was
+        passed, so profiling alone never accumulates a trace); read the
+        folded profile via :meth:`profile`.
         """
+        if profiling_enabled:
+            if not tracer.enabled:
+                tracer = Tracer(enabled=True, retain=False)
+            self.profiler: Optional[CostProfiler] = CostProfiler().attach(tracer)
+        else:
+            self.profiler = None
         self.tracer = tracer
         self.annotated = annotated
         self.vdp = annotated.vdp
@@ -288,6 +307,19 @@ class SquirrelMediator:
         self.metrics.register_stats("store", self.store.stats)
         self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
         self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
+        self.metrics.register_callable("store.stored_bytes", self.store.total_stored_bytes)
+        self.metrics.register_callable(
+            "sources.pushdown_queries",
+            lambda: sum(
+                getattr(s, "pushdown_queries", 0) for s in self.sources.values()
+            ),
+        )
+        self.metrics.register_callable(
+            "sources.fallback_queries",
+            lambda: sum(
+                getattr(s, "fallback_queries", 0) for s in self.sources.values()
+            ),
+        )
         self._initialized = False
         # Sources whose materialized contributions are being rebuilt after a
         # recovery found their logs truncated (selective re-initialization
@@ -834,11 +866,25 @@ class SquirrelMediator:
             **{field: snapshot[metric] for field, metric in STATS_METRICS.items()}
         )
 
+    def profile(self) -> CostProfile:
+        """The live cost profile folded from the trace stream (requires
+        ``profiling_enabled=True`` at construction).  The profile's
+        counters reconcile exactly with :meth:`stats` — see
+        :meth:`~repro.obs.profile.CostProfile.reconcile`."""
+        if self.profiler is None:
+            raise MediatorError(
+                "profiling is off; construct with profiling_enabled=True"
+            )
+        return self.profiler.profile()
+
     def reset_stats(self) -> None:
         """Zero every component counter (benchmark hygiene).  Fields-derived
         through the registry: new counters on any registered stats object
-        reset for free."""
+        reset for free.  An attached profiler resets too, so its window
+        stays the counter window and :meth:`profile` keeps reconciling."""
         self.metrics.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
 
     def _require_init(self) -> None:
         if not self._initialized:

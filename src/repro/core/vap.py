@@ -510,7 +510,19 @@ class VirtualAttributeProcessor:
             self.stats.polled_sources += 1
             for plan in plans:
                 answer = answers[plan.relation]
-                self.stats.polled_rows += answer.cardinality()
+                answer_rows = answer.cardinality()
+                self.stats.polled_rows += answer_rows
+                if tracer.enabled:
+                    # Pre-compensation cardinality, emitted exactly where
+                    # VAPStats.polled_rows accrues — the profiler's
+                    # per-source row attribution reconciles against the
+                    # counter 1:1 (temp_built rows are post-compensation).
+                    tracer.event(
+                        "poll_answer",
+                        source=source,
+                        relation=plan.relation,
+                        rows=answer_rows,
+                    )
                 temps[plan.relation] = self._maybe_compensate(
                     plan, answer, source, in_flight
                 )

@@ -128,6 +128,7 @@ def generate_mediator(
     layout: str = "row",
     smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
+    profiling_enabled: bool = False,
 ) -> SquirrelMediator:
     """Generate, wire, and initialize a mediator from a specification.
 
@@ -151,6 +152,7 @@ def generate_mediator(
         layout=layout,
         smash_enabled=smash_enabled,
         tracer=tracer,
+        profiling_enabled=profiling_enabled,
     )
     mediator.initialize()
     return mediator

@@ -8,6 +8,12 @@
   stats dataclasses are re-derived from;
 * :mod:`repro.obs.export` — JSONL export validated against the
   checked-in ``trace_schema.json``;
+* :mod:`repro.obs.profile` — the cost profiler: folds the trace stream
+  into per-node/per-edge/per-source cost profiles (the annotation
+  advisor's input), reconciled exactly against the stats counters;
+* :mod:`repro.obs.telemetry` — continuous telemetry: JSONL metrics
+  streams, the Prometheus text renderer, and freshness burn-rate
+  alerting for long soak runs;
 * :mod:`repro.obs.inspect` — the pretty-printers behind ``repro trace``
   and ``repro stats``.
 
@@ -34,7 +40,16 @@ from repro.obs.metrics import (
 )
 from repro.obs.harness import SCENARIOS, run_scenario, scenario_names
 from repro.obs.inspect import render_metrics, render_metrics_diff, render_span_tree
+from repro.obs.profile import CostProfile, CostProfiler
 from repro.obs.provenance import ProvenanceTracker, TxnOrigin, origin_labels
+from repro.obs.telemetry import (
+    BurnRateAlert,
+    FreshnessBurnRateMonitor,
+    MetricsStream,
+    TelemetryPipeline,
+    render_prometheus,
+    validate_telemetry_file,
+)
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -57,6 +72,14 @@ __all__ = [
     "validate_records",
     "validate_jsonl_file",
     "TraceValidationError",
+    "CostProfile",
+    "CostProfiler",
+    "BurnRateAlert",
+    "FreshnessBurnRateMonitor",
+    "MetricsStream",
+    "TelemetryPipeline",
+    "render_prometheus",
+    "validate_telemetry_file",
     "SCENARIOS",
     "run_scenario",
     "scenario_names",

@@ -49,6 +49,16 @@ def render_span_tree(tracer: Tracer) -> str:
 def _fmt_value(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
+    if isinstance(value, Mapping) and "count" in value:
+        # Histogram summary: count/sum/min/max + deterministic quantiles.
+        parts = []
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            if key in value:
+                reading = value[key]
+                parts.append(
+                    f"{key}={reading:.6g}" if isinstance(reading, float) else f"{key}={reading}"
+                )
+        return " ".join(parts)
     return str(value)
 
 

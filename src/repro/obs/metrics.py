@@ -11,7 +11,8 @@ Three instrument kinds cover the repo's needs:
 
 * :class:`Counter` — monotone count, ``inc()``;
 * :class:`Gauge` — settable level, ``set()``;
-* :class:`Histogram` — observation stream with count/sum/min/max.
+* :class:`Histogram` — observation stream with count/sum/min/max plus
+  deterministic p50/p95/p99 from fixed log-width buckets (no sampling).
 
 Each instrument supports **labeled children** (``counter.labels("R")``)
 that roll up into the parent — per-relation or per-source breakdowns
@@ -28,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -147,7 +149,20 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """An observation stream summarized as count/sum/min/max."""
+    """An observation stream summarized as count/sum/min/max + quantiles.
+
+    Quantiles are **deterministic**: every observation lands in a fixed
+    log-width bucket (:data:`BUCKETS_PER_DECADE` per power of ten — no
+    sampling, no reservoirs), so identical runs produce identical
+    p50/p95/p99 readings.  A quantile answer is the upper bound of the
+    bucket holding that rank, clamped to the observed min/max; the
+    relative error is bounded by the bucket width
+    (``10**(1/BUCKETS_PER_DECADE) - 1``, about 17%).  Non-positive
+    observations share one underflow bucket reported as ``0.0``.
+    """
+
+    #: Fixed log-bucket resolution shared by every histogram.
+    BUCKETS_PER_DECADE = 16
 
     def __init__(self, name: str, description: str = ""):
         super().__init__(name, description)
@@ -155,22 +170,61 @@ class Histogram(_Instrument):
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+        self._underflow = 0  # observations <= 0
+
+    def _bucket_index(self, value: float) -> int:
+        return math.floor(math.log10(value) * self.BUCKETS_PER_DECADE)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > 0:
+            index = self._bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        else:
+            self._underflow += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The deterministic ``q``-quantile (``0 < q <= 1``) of every
+        observation so far, or ``None`` before the first observation."""
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self._underflow:
+            return 0.0
+        seen = self._underflow
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                upper = 10.0 ** ((index + 1) / self.BUCKETS_PER_DECADE)
+                # Clamp to the observed range: a single-value stream
+                # reports that exact value at every quantile.
+                assert self.min is not None and self.max is not None
+                return min(max(upper, self.min), self.max)
+        return self.max
 
     def reset(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.min = None
         self.max = None
+        self._buckets.clear()
+        self._underflow = 0
         super().reset()
 
     def snapshot(self) -> Any:
-        return {"count": self.count, "sum": self.sum, "min": self.min, "max": self.max}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
 
 # ---------------------------------------------------------------------------

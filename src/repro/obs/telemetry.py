@@ -1,0 +1,394 @@
+"""Continuous telemetry: metrics streams, Prometheus export, burn-rate SLOs.
+
+PR 6's soak harness proved the Theorem 7.2 freshness bound but reported it
+only *terminally* — a production operator (or the future annotation
+advisor) needs the live signal.  This module adds the three missing
+pieces:
+
+* :func:`render_prometheus` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot in the Prometheus text exposition format (histograms become
+  ``summary`` families with deterministic p50/p95/p99 quantile series);
+* :class:`MetricsStream` / :class:`TelemetryPipeline` — cadence-driven
+  JSONL metrics snapshots (one ``{"kind": "metrics", ...}`` record per
+  sample) with the record shapes checked into ``trace_schema.json`` and
+  enforced by :func:`validate_telemetry_file`;
+* :class:`FreshnessBurnRateMonitor` — the SRE-style multi-window alerting
+  rule over the staleness/bound **burn ratio**: a fast window catches
+  "it is on fire now", a slow window refuses to page on a single spike;
+  an alert fires on the rising edge of (fast ≥ fast_threshold AND
+  slow ≥ slow_threshold) per source and re-arms when the fast window
+  clears.  Alerts land in the stream (``{"kind": "alert", ...}``) *and*
+  in the trace (``slo_alert`` events), not only in the terminal report.
+
+Everything is step-indexed (the soak harness's logical clock), never
+wall-clock, so fixed-seed runs emit byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.obs.export import TraceValidationError, load_schema
+from repro.obs.metrics import Histogram
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "render_prometheus",
+    "MetricsStream",
+    "BurnRateAlert",
+    "FreshnessBurnRateMonitor",
+    "TelemetryPipeline",
+    "validate_telemetry_file",
+]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _prom_name(name: str, namespace: str) -> str:
+    cleaned = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _split_label(name: str) -> Tuple[str, Optional[str]]:
+    # Registry children are exported as ``base{label}``.
+    if name.endswith("}") and "{" in name:
+        base, label = name[:-1].split("{", 1)
+        return base, label
+    return name, None
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], namespace: str = "repro"
+) -> str:
+    """A registry snapshot in the Prometheus text exposition format.
+
+    Scalar readings render as untyped samples; histogram snapshots render
+    as a ``summary`` family: ``_count`` / ``_sum`` plus one series per
+    deterministic quantile, e.g.::
+
+        # TYPE repro_durability_checkpoint_ms summary
+        repro_durability_checkpoint_ms{quantile="0.5"} 1.33
+        repro_durability_checkpoint_ms_count 4
+        repro_durability_checkpoint_ms_sum 5.2
+
+    Labeled children (``name{label}``) become ``{label="..."}`` series of
+    the parent family.  Output is deterministically ordered.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        base, label = _split_label(name)
+        prom = _prom_name(base, namespace)
+        suffix = f'{{label="{label}"}}' if label is not None else ""
+        if isinstance(value, Mapping):  # histogram summary
+            if not suffix:
+                lines.append(f"# TYPE {prom} summary")
+            for q_key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                reading = value.get(q_key)
+                if reading is None:
+                    continue
+                if label is not None:
+                    lines.append(
+                        f'{prom}{{label="{label}",quantile="{q}"}} {reading}'
+                    )
+                else:
+                    lines.append(f'{prom}{{quantile="{q}"}} {reading}')
+            lines.append(f"{prom}_count{suffix} {value.get('count', 0)}")
+            lines.append(f"{prom}_sum{suffix} {value.get('sum', 0.0)}")
+        elif isinstance(value, bool):
+            lines.append(f"{prom}{suffix} {int(value)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{prom}{suffix} {value}")
+        # non-numeric readings (lists, strings) have no Prometheus form
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# JSONL metrics stream
+# ---------------------------------------------------------------------------
+class MetricsStream:
+    """Appends schema-checked telemetry records to one JSONL file.
+
+    Record kinds (see ``telemetry_record_kinds`` in ``trace_schema.json``):
+    ``meta`` (stream header), ``metrics`` (one registry snapshot),
+    ``alert`` (one burn-rate alert), ``profile`` (a final cost profile).
+    ``seq`` increases strictly; ``step`` is the producer's logical clock.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self.path = pathlib.Path(path)
+        self._seq = 0
+        self._handle = open(self.path, "w")
+
+    def write(self, kind: str, step: float, **fields: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": kind, "seq": self._seq, "step": step}
+        record.update(fields)
+        self._seq += 1
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MetricsStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def validate_telemetry_file(
+    path: Union[str, pathlib.Path], schema: Optional[Dict[str, Any]] = None
+) -> int:
+    """Validate one metrics-stream JSONL file; returns the record count.
+
+    Checks every line against the ``telemetry_*`` section of the trace
+    schema: known ``kind``, required fields present, strictly increasing
+    ``seq``, and a ``meta`` header first.
+    """
+    schema = schema or load_schema()
+    kinds = set(schema["telemetry_record_kinds"])
+    required = schema["telemetry_required_fields"]
+    count = 0
+    last_seq = -1
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"line {line_no}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceValidationError(f"{where}: invalid JSON: {exc}")
+            kind = record.get("kind")
+            if kind not in kinds:
+                raise TraceValidationError(f"{where}: unknown record kind {kind!r}")
+            if count == 0 and kind != "meta":
+                raise TraceValidationError(
+                    f"{where}: stream must start with a 'meta' record, got {kind!r}"
+                )
+            for key in required[kind]:
+                if key not in record:
+                    raise TraceValidationError(
+                        f"{where}: {kind!r} record missing field {key!r}"
+                    )
+            seq = record["seq"]
+            if seq <= last_seq:
+                raise TraceValidationError(
+                    f"{where}: seq {seq} not greater than previous {last_seq}"
+                )
+            last_seq = seq
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Burn-rate alerting over the freshness SLO
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BurnRateAlert:
+    """One rising-edge burn-rate alert for one source."""
+
+    step: float
+    source: str
+    staleness: float
+    bound: float
+    fast_burn: float   # mean staleness/bound over the fast window
+    slow_burn: float   # mean staleness/bound over the slow window
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class FreshnessBurnRateMonitor:
+    """Multi-window burn-rate alerting on the Theorem 7.2 staleness bound.
+
+    Each step the harness reports every announcing source's *adjusted*
+    staleness (the same value the SLO check uses).  The burn ratio is
+    ``staleness / bound`` — 1.0 means the freshness budget is fully
+    burned.  A source alerts when its fast-window mean burn reaches
+    ``fast_threshold`` **and** its slow-window mean burn reaches
+    ``slow_threshold`` (the classic two-window rule: the slow window
+    filters one-step spikes, the fast window guarantees the condition is
+    still live).  Alerts are rising-edge per source: no re-alert until
+    the fast window drops back below threshold.
+    """
+
+    def __init__(
+        self,
+        bound: float,
+        fast_window: int = 5,
+        slow_window: int = 20,
+        fast_threshold: float = 1.0,
+        slow_threshold: float = 0.5,
+    ):
+        if bound <= 0:
+            raise ValueError(f"staleness bound must be positive, got {bound!r}")
+        if fast_window < 1 or slow_window < fast_window:
+            raise ValueError(
+                f"need 1 <= fast_window <= slow_window, got "
+                f"{fast_window} / {slow_window}"
+            )
+        self.bound = bound
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.fast_threshold = fast_threshold
+        self.slow_threshold = slow_threshold
+        self._burns: Dict[str, Deque[float]] = {}
+        self._firing: Dict[str, bool] = {}
+        self.alerts: List[BurnRateAlert] = []
+
+    def observe(self, step: float, staleness: Mapping[str, float]) -> List[BurnRateAlert]:
+        """Fold one step's per-source staleness readings; returns the
+        alerts that fired *this* step (also appended to :attr:`alerts`)."""
+        fired: List[BurnRateAlert] = []
+        for source in sorted(staleness):
+            value = staleness[source]
+            window = self._burns.get(source)
+            if window is None:
+                window = self._burns[source] = deque(maxlen=self.slow_window)
+            window.append(value / self.bound)
+            fast = list(window)[-self.fast_window:]
+            fast_burn = sum(fast) / len(fast)
+            slow_burn = sum(window) / len(window)
+            hot = (
+                fast_burn >= self.fast_threshold
+                and slow_burn >= self.slow_threshold
+            )
+            if hot and not self._firing.get(source, False):
+                alert = BurnRateAlert(
+                    step=step,
+                    source=source,
+                    staleness=value,
+                    bound=self.bound,
+                    fast_burn=fast_burn,
+                    slow_burn=slow_burn,
+                )
+                fired.append(alert)
+                self.alerts.append(alert)
+            if fast_burn < self.fast_threshold:
+                self._firing[source] = False
+            elif hot:
+                self._firing[source] = True
+        # Sources that stopped reporting (detached) re-arm implicitly: their
+        # windows stay frozen and a re-attach starts a fresh edge.
+        return fired
+
+
+# ---------------------------------------------------------------------------
+# The pipeline: cadence snapshots + live SLO monitoring over one stream
+# ---------------------------------------------------------------------------
+class TelemetryPipeline:
+    """Continuous telemetry for one long-running (soak) workload.
+
+    Wires a :class:`MetricsStream`, a :class:`FreshnessBurnRateMonitor`,
+    and a snapshot provider together:
+
+    * every ``cadence`` steps, one ``metrics`` record holding the merged
+      registry snapshot (plus the pipeline's own ``telemetry.*``
+      instruments: a staleness histogram and an alert counter);
+    * every step, the burn-rate monitor folds the adjusted staleness map;
+      rising-edge alerts are written to the stream immediately and
+      mirrored as ``slo_alert`` trace events.
+
+    ``snapshot_fn`` is a zero-argument callable returning the *current*
+    registry snapshot — a callable, not a registry, because the soak
+    harness replaces the mediator (and its registry) on crash recovery
+    while the pipeline must keep streaming.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        snapshot_fn: Callable[[], Mapping[str, Any]],
+        bound: float,
+        cadence: int = 1,
+        monitor: Optional[FreshnessBurnRateMonitor] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if cadence < 1:
+            raise ValueError(f"cadence must be >= 1, got {cadence!r}")
+        self.stream = MetricsStream(path)
+        self.snapshot_fn = snapshot_fn
+        self.cadence = cadence
+        self.monitor = monitor or FreshnessBurnRateMonitor(bound)
+        self.tracer = tracer
+        self.staleness_histogram = Histogram(
+            "telemetry.staleness", "adjusted per-source staleness per step"
+        )
+        self._snapshots = 0
+        self.stream.write(
+            "meta", step=0, cadence=cadence, bound=self.monitor.bound
+        )
+
+    @property
+    def alerts(self) -> List[BurnRateAlert]:
+        return self.monitor.alerts
+
+    def _merged_snapshot(self) -> Dict[str, Any]:
+        merged = dict(self.snapshot_fn())
+        merged["telemetry.staleness"] = self.staleness_histogram.snapshot()
+        merged["telemetry.alerts"] = len(self.monitor.alerts)
+        return merged
+
+    def observe(self, step: float, staleness: Mapping[str, float]) -> List[BurnRateAlert]:
+        """Fold one step: monitor the SLO, snapshot on cadence."""
+        for source in sorted(staleness):
+            self.staleness_histogram.observe(staleness[source])
+        fired = self.monitor.observe(step, staleness)
+        for alert in fired:
+            self.stream.write("alert", **alert.as_dict())
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "slo_alert",
+                    source=alert.source,
+                    staleness=alert.staleness,
+                    bound=alert.bound,
+                    fast_burn=alert.fast_burn,
+                    slow_burn=alert.slow_burn,
+                )
+        if int(step) % self.cadence == 0:
+            self.snapshot(step)
+        return fired
+
+    def snapshot(self, step: float) -> Dict[str, Any]:
+        """Write one ``metrics`` record now (also used for the final
+        end-of-run sample)."""
+        record = self.stream.write(
+            "metrics", step=step, metrics=self._merged_snapshot()
+        )
+        self._snapshots += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "metrics_snapshot", step=step, seq=record["seq"]
+            )
+        return record
+
+    def write_profile(self, step: float, profile_dict: Mapping[str, Any]) -> None:
+        """Append a final ``profile`` record (a serialized CostProfile)."""
+        self.stream.write("profile", step=step, profile=dict(profile_dict))
+
+    def close(self, step: Optional[float] = None) -> None:
+        """Final snapshot (unless ``step`` is None) and stream close."""
+        if step is not None:
+            self.snapshot(step)
+        self.stream.close()

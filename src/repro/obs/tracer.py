@@ -24,6 +24,13 @@ Design constraints, in order:
   worker threads never open spans themselves, the VAP instead reports
   per-source timings after the gather and the tracer backfills completed
   spans via :meth:`Tracer.add_completed_span`.
+* **Streamable.**  Consumers that fold records incrementally (the cost
+  profiler, a telemetry pipeline) register via :meth:`Tracer.add_sink`
+  and receive each record once it is *complete*: events and backfilled
+  spans immediately, context-managed spans when they exit.  Sinks are
+  invoked outside the record lock.  A tracer created with
+  ``retain=False`` feeds sinks without accumulating ``_records`` —
+  bounded memory for profile-only runs.
 """
 
 from __future__ import annotations
@@ -104,14 +111,38 @@ class Tracer:
         enabled: bool = True,
         clock: Optional[Callable[[], float]] = None,
         provenance: bool = False,
+        retain: bool = True,
     ):
         self.enabled = enabled
         self.clock = clock if clock is not None else time.perf_counter
         self.provenance = ProvenanceTracker(enabled=enabled and provenance)
+        self.retain = retain
         self._records: List[Dict[str, Any]] = []
         self._stack: List[int] = []
         self._lock = threading.Lock()
         self._next_id = 1
+        self._sinks: List[Callable[[Dict[str, Any]], None]] = []
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Register a callable fed every *completed* record (span records
+        on exit, events immediately).  No-op registration on a disabled
+        tracer is allowed but the sink will never fire."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Unregister a previously added sink (ignores unknown sinks)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def _notify(self, record: Dict[str, Any]) -> None:
+        # Called outside the lock: sinks may inspect the tracer freely.
+        for sink in self._sinks:
+            sink(record)
 
     # ------------------------------------------------------------------
     # Spans
@@ -131,7 +162,8 @@ class Tracer:
                 "attrs": dict(attrs),
             }
             self._next_id += 1
-            self._records.append(record)
+            if self.retain:
+                self._records.append(record)
             self._stack.append(record["id"])
         return Span(self, record)
 
@@ -146,6 +178,8 @@ class Tracer:
                 top = self._stack.pop()
                 if top == span.record["id"]:
                     break
+        if self._sinks:
+            self._notify(span.record)
 
     def add_completed_span(
         self, name: str, start: float, end: float, **attrs: Any
@@ -165,7 +199,10 @@ class Tracer:
                 "attrs": dict(attrs),
             }
             self._next_id += 1
-            self._records.append(record)
+            if self.retain:
+                self._records.append(record)
+        if self._sinks:
+            self._notify(record)
 
     # ------------------------------------------------------------------
     # Events
@@ -175,17 +212,19 @@ class Tracer:
         if not self.enabled:
             return
         with self._lock:
-            self._records.append(
-                {
-                    "type": "event",
-                    "id": self._next_id,
-                    "span": self._stack[-1] if self._stack else None,
-                    "name": name,
-                    "time": self.clock(),
-                    "attrs": dict(attrs),
-                }
-            )
+            record = {
+                "type": "event",
+                "id": self._next_id,
+                "span": self._stack[-1] if self._stack else None,
+                "name": name,
+                "time": self.clock(),
+                "attrs": dict(attrs),
+            }
+            if self.retain:
+                self._records.append(record)
             self._next_id += 1
+        if self._sinks:
+            self._notify(record)
 
     # ------------------------------------------------------------------
     # Provenance façade

@@ -33,6 +33,7 @@ Any discrepancy is recorded as a violation in the :class:`SoakResult`
 
 from __future__ import annotations
 
+import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -61,6 +62,9 @@ from repro.generator import (
     plan_events,
 )
 from repro.generator.federation import KEY_DOMAIN, _subrng
+from repro.obs.export import export_jsonl
+from repro.obs.profile import CostProfiler
+from repro.obs.telemetry import BurnRateAlert, TelemetryPipeline
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import Row
 from repro.soak.links import SoakLink
@@ -103,6 +107,13 @@ class SoakConfig:
     shards: int = 1
     #: Node-repository storage layout (``"row"`` or ``"columnar"``).
     layout: str = "row"
+    #: When set, the run streams continuous telemetry into this directory:
+    #: ``metrics.jsonl`` (cadenced registry snapshots + burn-rate alerts),
+    #: ``trace.jsonl`` (the schema-validated trace), and ``profile.json``
+    #: (the folded :class:`~repro.obs.profile.CostProfile`).
+    telemetry_dir: Optional[str] = None
+    #: Steps between metrics snapshots in the telemetry stream.
+    telemetry_cadence: int = 1
 
 
 @dataclass
@@ -138,6 +149,9 @@ class SoakResult:
     checkpoints: List[Dict] = field(default_factory=list)
     stats: SoakStats = field(default_factory=SoakStats)
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Burn-rate alerts raised by the live SLO monitor (telemetry runs only).
+    alerts: List[BurnRateAlert] = field(default_factory=list)
+    telemetry_dir: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -169,7 +183,25 @@ class SoakHarness:
 
     def __init__(self, config: SoakConfig, tracer: Tracer = NULL_TRACER):
         self.config = config
+        # Telemetry needs a live trace stream (for the profiler and the
+        # exported trace.jsonl); upgrade the default disabled tracer.
+        if config.telemetry_dir and not tracer.enabled:
+            tracer = Tracer(enabled=True)
         self.tracer = tracer
+        self.profiler: Optional[CostProfiler] = None
+        self.telemetry: Optional[TelemetryPipeline] = None
+        if config.telemetry_dir:
+            os.makedirs(config.telemetry_dir, exist_ok=True)
+            self.profiler = CostProfiler().attach(tracer)
+            self.telemetry = TelemetryPipeline(
+                os.path.join(config.telemetry_dir, "metrics.jsonl"),
+                # A callable, not a registry: crash recovery replaces the
+                # mediator (and its registry) mid-run.
+                snapshot_fn=lambda: self.mediator.metrics.snapshot(),
+                bound=config.staleness_bound,
+                cadence=config.telemetry_cadence,
+                tracer=tracer,
+            )
         self.fed: FederationSpec = make_federation(config.sources, seed=config.seed)
         self.plan: ChurnPlan = plan_events(
             self.fed, config.steps, updates_per_step=config.updates_per_step
@@ -458,8 +490,6 @@ class SoakHarness:
     # ------------------------------------------------------------------
     def _check_slo(self) -> None:
         tag = self.mediator.staleness_tag(now=float(self.step))
-        if not tag.staleness:
-            return
         adjusted: Dict[str, float] = {}
         for name, value in tag.staleness.items():
             # The SLO is checked on the *ignorance window* — time since
@@ -475,12 +505,19 @@ class SoakHarness:
             for name in sorted(self.members)
             if (kind := self.mediator.contributor_kinds.get(name)) and kind.announces
         }
-        tags = [StalenessTag(time=tag.time, staleness=adjusted)]
-        for violation in check_tagged_staleness(tags, bound):
-            self.result.slo_violations.append(violation)
-        for name, value in adjusted.items():
-            if value > self.result.worst_staleness.get(name, 0.0):
-                self.result.worst_staleness[name] = value
+        if adjusted:
+            tags = [StalenessTag(time=tag.time, staleness=adjusted)]
+            for violation in check_tagged_staleness(tags, bound):
+                self.result.slo_violations.append(violation)
+            for name, value in adjusted.items():
+                if value > self.result.worst_staleness.get(name, 0.0):
+                    self.result.worst_staleness[name] = value
+        if self.telemetry is not None:
+            # The burn monitor sees every announcing member every step —
+            # a fresh reading when the tag has one, a zero burn otherwise
+            # — so the fast/slow windows stay step-aligned across sources.
+            observed = {name: adjusted.get(name, 0.0) for name in sorted(bound)}
+            self.result.alerts.extend(self.telemetry.observe(self.step, observed))
 
     # ------------------------------------------------------------------
     # Convergence checkpoints
@@ -589,6 +626,17 @@ class SoakHarness:
             for name, value in self.mediator.metrics.snapshot().items()
             if isinstance(value, (int, float))
         }
+        if self.telemetry is not None and self.profiler is not None:
+            final_step = float(self.config.steps)
+            profile = self.profiler.profile()
+            self.telemetry.write_profile(final_step, profile.to_dict())
+            self.telemetry.close(step=final_step)
+            telemetry_dir = self.config.telemetry_dir
+            assert telemetry_dir is not None
+            with open(os.path.join(telemetry_dir, "profile.json"), "w") as handle:
+                handle.write(profile.to_json(indent=2) + "\n")
+            export_jsonl(self.tracer, os.path.join(telemetry_dir, "trace.jsonl"))
+            self.result.telemetry_dir = telemetry_dir
         if self.durability is not None:
             self.durability.close()
         return self.result

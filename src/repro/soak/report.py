@@ -45,7 +45,9 @@ def slo_report(result: SoakResult) -> Dict:
                 for name, value in sorted(result.worst_staleness.items())
             },
             "violations": result.slo_violations,
+            "burn_rate_alerts": [alert.as_dict() for alert in result.alerts],
         },
+        "telemetry_dir": result.telemetry_dir,
         "counters": asdict(result.stats),
     }
 

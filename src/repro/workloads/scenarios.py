@@ -148,6 +148,7 @@ def figure1_mediator(
     layout: str = "row",
     smash_enabled: bool = True,
     tracer: Tracer = NULL_TRACER,
+    profiling_enabled: bool = False,
 ) -> Tuple[SquirrelMediator, Dict[str, SourceDatabase]]:
     """A deployed, initialized Figure-1 mediator under one of the paper's
     annotations (``"ex21"``, ``"ex22"``, ``"ex23"``)."""
@@ -168,6 +169,7 @@ def figure1_mediator(
         layout=layout,
         smash_enabled=smash_enabled,
         tracer=tracer,
+        profiling_enabled=profiling_enabled,
     )
     mediator.initialize()
     return mediator, sources

@@ -43,9 +43,52 @@ def test_histogram_summary():
     h = Histogram("poll.wall")
     for v in (2.0, 1.0, 4.0):
         h.observe(v)
-    assert h.snapshot() == {"count": 3, "sum": 7.0, "min": 1.0, "max": 4.0}
+    snap = h.snapshot()
+    assert {k: snap[k] for k in ("count", "sum", "min", "max")} == {
+        "count": 3,
+        "sum": 7.0,
+        "min": 1.0,
+        "max": 4.0,
+    }
     h.reset()
-    assert h.snapshot() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+    assert h.snapshot() == {
+        "count": 0,
+        "sum": 0.0,
+        "min": None,
+        "max": None,
+        "p50": None,
+        "p95": None,
+        "p99": None,
+    }
+
+
+def test_histogram_quantiles_are_deterministic_and_bounded():
+    h = Histogram("lat.ms")
+    values = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0]
+    for v in values:
+        h.observe(v)
+    snap = h.snapshot()
+    # Log-bucket answers are clamped to the observed range and within one
+    # bucket width (10**(1/16) ≈ 1.155×) of the true rank statistic.
+    assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
+    assert snap["p50"] <= 8.0 * 1.155
+    assert snap["p99"] == 89.0
+    # Deterministic: a second identical stream reads identically.
+    h2 = Histogram("lat.ms")
+    for v in values:
+        h2.observe(v)
+    assert h2.snapshot() == snap
+
+
+def test_histogram_single_value_and_underflow():
+    h = Histogram("one")
+    h.observe(7.0)
+    snap = h.snapshot()
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 7.0
+    z = Histogram("zeros")
+    z.observe(0.0)
+    z.observe(0.0)
+    assert z.quantile(0.5) == 0.0
 
 
 def test_registry_snapshot_includes_children_and_callables():

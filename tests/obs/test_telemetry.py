@@ -1,0 +1,218 @@
+"""The telemetry pipeline: Prometheus rendering, the JSONL metrics stream,
+and multi-window burn-rate alerting on the freshness SLO."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FreshnessBurnRateMonitor,
+    MetricsStream,
+    TelemetryPipeline,
+    TraceValidationError,
+    Tracer,
+    render_prometheus,
+    validate_telemetry_file,
+)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def test_render_prometheus_scalars_labels_and_namespace():
+    text = render_prometheus(
+        {
+            "iup.rules_fired": 12,
+            "soak.ok": True,
+            "queue.depth{db1}": 3,
+            "soak.members": ["s0", "s1"],  # non-numeric: skipped
+        }
+    )
+    lines = text.splitlines()
+    assert "repro_iup_rules_fired 12" in lines
+    assert "repro_soak_ok 1" in lines
+    assert 'repro_queue_depth{label="db1"} 3' in lines
+    assert not any("members" in line for line in lines)
+    assert text.endswith("\n")
+    # Deterministic: same snapshot, same bytes.
+    assert text == render_prometheus(
+        {
+            "soak.members": ["s0", "s1"],
+            "queue.depth{db1}": 3,
+            "soak.ok": True,
+            "iup.rules_fired": 12,
+        }
+    )
+
+
+def test_render_prometheus_histograms_become_summaries():
+    summary = {"count": 4, "sum": 10.0, "min": 1.0, "max": 4.0, "p50": 2.0, "p95": 4.0, "p99": 4.0}
+    text = render_prometheus({"durability.checkpoint_ms": summary})
+    lines = text.splitlines()
+    assert "# TYPE repro_durability_checkpoint_ms summary" in lines
+    assert 'repro_durability_checkpoint_ms{quantile="0.5"} 2.0' in lines
+    assert 'repro_durability_checkpoint_ms{quantile="0.99"} 4.0' in lines
+    assert "repro_durability_checkpoint_ms_count 4" in lines
+    assert "repro_durability_checkpoint_ms_sum 10.0" in lines
+    # Empty histograms (quantiles None) render only count/sum.
+    empty = render_prometheus({"h": {"count": 0, "sum": 0.0, "p50": None, "p95": None, "p99": None}})
+    assert "quantile" not in empty
+    assert "repro_h_count 0" in empty
+
+
+# ---------------------------------------------------------------------------
+# Metrics stream + schema validation
+# ---------------------------------------------------------------------------
+def test_metrics_stream_round_trips_and_validates(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    with MetricsStream(path) as stream:
+        stream.write("meta", step=0, cadence=1, bound=4.0)
+        stream.write("metrics", step=1, metrics={"iup.rules_fired": 2})
+        stream.write(
+            "alert",
+            step=2,
+            source="s001",
+            staleness=9.0,
+            bound=4.0,
+            fast_burn=2.25,
+            slow_burn=1.1,
+        )
+        stream.write("profile", step=3, profile={"kind": "cost-profile"})
+    assert validate_telemetry_file(path) == 4
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["kind"] for r in records] == ["meta", "metrics", "alert", "profile"]
+    assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+
+def write_lines(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def test_validation_rejects_malformed_streams(tmp_path):
+    meta = {"kind": "meta", "seq": 0, "step": 0, "cadence": 1, "bound": 4.0}
+    cases = [
+        ([{"kind": "metrics", "seq": 0, "step": 1, "metrics": {}}], "must start with a 'meta'"),
+        ([meta, {"kind": "mystery", "seq": 1, "step": 1}], "unknown record kind"),
+        ([meta, {"kind": "metrics", "seq": 1, "step": 1}], "missing field 'metrics'"),
+        ([meta, {"kind": "metrics", "seq": 0, "step": 1, "metrics": {}}], "not greater than"),
+    ]
+    for index, (records, match) in enumerate(cases):
+        path = write_lines(tmp_path / f"bad{index}.jsonl", records)
+        with pytest.raises(TraceValidationError, match=match):
+            validate_telemetry_file(path)
+    garbled = tmp_path / "garbled.jsonl"
+    garbled.write_text("not json\n")
+    with pytest.raises(TraceValidationError, match="invalid JSON"):
+        validate_telemetry_file(garbled)
+
+
+# ---------------------------------------------------------------------------
+# Burn-rate alerting
+# ---------------------------------------------------------------------------
+def test_single_spike_does_not_page_but_sustained_burn_does():
+    monitor = FreshnessBurnRateMonitor(
+        bound=4.0, fast_window=1, slow_window=4, slow_threshold=0.9
+    )
+    for step in range(3):
+        assert monitor.observe(step, {"s0": 0.0}) == []
+    # One-step spike: the fast window is hot (burn 5/4 = 1.25) but the slow
+    # mean over the quiet history is 0.31 < 0.9 — filtered, no page.
+    assert monitor.observe(3, {"s0": 5.0}) == []
+    # Sustained burn: the slow mean crosses at step 5 -> exactly one
+    # rising-edge alert, no re-alert while it keeps burning.
+    fired = []
+    for step in (4, 5, 6):
+        fired += monitor.observe(step, {"s0": 5.0})
+    assert len(fired) == 1
+    alert = fired[0]
+    assert alert.step == 5
+    assert alert.source == "s0" and alert.bound == 4.0
+    assert alert.fast_burn == 1.25 and alert.staleness == 5.0
+    assert monitor.alerts == [alert]
+
+
+def test_alerts_re_arm_after_the_fast_window_clears():
+    monitor = FreshnessBurnRateMonitor(
+        bound=2.0, fast_window=1, slow_window=2, slow_threshold=0.5
+    )
+    first = monitor.observe(0, {"s0": 4.0})
+    assert len(first) == 1
+    assert monitor.observe(1, {"s0": 4.0}) == []  # still firing: no re-alert
+    assert monitor.observe(2, {"s0": 0.0}) == []  # clears -> re-arms
+    second = monitor.observe(3, {"s0": 4.0})
+    assert len(second) == 1
+    assert len(monitor.alerts) == 2
+
+
+def test_monitor_tracks_sources_independently():
+    monitor = FreshnessBurnRateMonitor(bound=1.0, fast_window=1, slow_window=1)
+    fired = monitor.observe(0, {"a": 2.0, "b": 0.0})
+    assert [alert.source for alert in fired] == ["a"]
+    fired = monitor.observe(1, {"a": 2.0, "b": 3.0})
+    assert [alert.source for alert in fired] == ["b"]
+
+
+def test_monitor_validates_configuration():
+    with pytest.raises(ValueError, match="bound must be positive"):
+        FreshnessBurnRateMonitor(bound=0.0)
+    with pytest.raises(ValueError, match="fast_window <= slow_window"):
+        FreshnessBurnRateMonitor(bound=1.0, fast_window=5, slow_window=2)
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+def test_pipeline_snapshots_on_cadence_and_streams_alerts(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    tracer = Tracer(enabled=True)
+    registry = {"iup.rules_fired": 0}
+    pipeline = TelemetryPipeline(
+        path,
+        snapshot_fn=lambda: dict(registry),
+        bound=2.0,
+        cadence=2,
+        monitor=FreshnessBurnRateMonitor(
+            bound=2.0, fast_window=1, slow_window=1
+        ),
+        tracer=tracer,
+    )
+    for step in range(1, 6):
+        registry["iup.rules_fired"] += 3
+        staleness = 5.0 if step == 3 else 0.0
+        fired = pipeline.observe(step, {"s0": staleness})
+        assert len(fired) == (1 if step == 3 else 0)
+    pipeline.close(step=5.0)
+    assert validate_telemetry_file(path) > 0
+
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[0]["kind"] == "meta"
+    assert records[0]["cadence"] == 2 and records[0]["bound"] == 2.0
+    snapshots = [r for r in records if r["kind"] == "metrics"]
+    # Cadence 2 samples steps 2 and 4, plus the forced close() sample.
+    assert [r["step"] for r in snapshots] == [2, 4, 5.0]
+    assert snapshots[0]["metrics"]["iup.rules_fired"] == 6
+    # The pipeline's own instruments ride along in every snapshot.
+    assert snapshots[0]["metrics"]["telemetry.alerts"] == 0
+    assert snapshots[-1]["metrics"]["telemetry.alerts"] == 1
+    assert snapshots[-1]["metrics"]["telemetry.staleness"]["count"] == 5
+    alerts = [r for r in records if r["kind"] == "alert"]
+    assert len(alerts) == 1 and alerts[0]["step"] == 3
+    assert alerts[0]["source"] == "s0" and alerts[0]["staleness"] == 5.0
+    # Alerts and snapshots are mirrored into the trace.
+    names = [r["name"] for r in tracer.records()]
+    assert names.count("slo_alert") == 1
+    assert names.count("metrics_snapshot") == len(snapshots)
+
+
+def test_pipeline_writes_profile_records_and_rejects_bad_cadence(tmp_path):
+    with pytest.raises(ValueError, match="cadence"):
+        TelemetryPipeline(tmp_path / "x.jsonl", snapshot_fn=dict, bound=1.0, cadence=0)
+    path = tmp_path / "metrics.jsonl"
+    pipeline = TelemetryPipeline(path, snapshot_fn=dict, bound=1.0, cadence=10)
+    pipeline.write_profile(7.0, {"kind": "cost-profile", "version": 1})
+    pipeline.close()
+    assert validate_telemetry_file(path) == 2  # meta + profile, no snapshot
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[1]["kind"] == "profile"
+    assert records[1]["profile"]["kind"] == "cost-profile"

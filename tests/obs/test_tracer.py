@@ -132,3 +132,40 @@ def test_provenance_facade_defaults_empty():
     assert enabled.provenance.enabled
     disabled = Tracer(enabled=False, provenance=True)
     assert not disabled.provenance.enabled  # provenance rides on tracing
+
+
+def test_sinks_receive_records_on_completion():
+    tracer = Tracer(enabled=True, clock=FakeClock())
+    seen = []
+    tracer.add_sink(seen.append)
+    with tracer.span("update_txn"):
+        tracer.event("rule_fire", edge="R->R_p")
+        assert [r["name"] for r in seen] == ["rule_fire"]  # span still open
+    tracer.add_completed_span("poll", 0.0, 1.0, source="db1")
+    # Spans are delivered at *exit*, so sinks only ever see complete records.
+    assert [r["name"] for r in seen] == ["rule_fire", "update_txn", "poll"]
+    assert all(r["end"] is not None for r in seen if r["type"] == "span")
+    tracer.remove_sink(seen.append)
+    tracer.event("cache_hit", relation="T")
+    assert len(seen) == 3
+    tracer.remove_sink(seen.append)  # removing twice is a no-op
+
+
+def test_retain_free_tracer_feeds_sinks_without_accumulating():
+    tracer = Tracer(enabled=True, retain=False)
+    seen = []
+    tracer.add_sink(seen.append)
+    with tracer.span("query", rows=1):
+        tracer.event("cache_miss", relation="T")
+    assert [r["name"] for r in seen] == ["cache_miss", "query"]
+    assert tracer.record_count() == 0  # nothing retained: bounded memory
+    assert tracer.records() == []
+
+
+def test_disabled_tracer_never_calls_sinks():
+    tracer = Tracer(enabled=False)
+    seen = []
+    tracer.add_sink(seen.append)
+    with tracer.span("query"):
+        tracer.event("cache_hit", relation="T")
+    assert seen == []
