@@ -1,0 +1,250 @@
+"""Experiment RF — replication fleet scaling: shipping, routing, failover.
+
+The replication layer's economics mirror Section 2's argument for
+materialization: a read replica answers ``π_A σ_f R`` from its own copies
+— zero load on the primary or the sources — so read capacity should
+scale with fleet size while the primary's only extra cost is shipping
+each committed WAL record once per replica.  This experiment deploys the
+:class:`~repro.replication.ReplicationHarness` (Figure 1 / ex21) at four
+fleet sizes, runs an identical committed workload through faulted
+shipping channels, routes an identical read load, then kills the primary
+(two more transactions commit at the autonomous sources over the corpse)
+and promotes.
+
+What the counters must show, at every fleet size:
+
+* **shipping is linear in the fleet** — records shipped ≥ commits × N,
+  never more than the fault-plan retransmissions explain;
+* **read load spreads evenly** — round-robin routing serves every
+  replica the same ±1 share of the in-budget reads;
+* **convergence is exact** — after drain every replica's exports equal a
+  from-scratch recompute over the live sources, at zero lag;
+* **failover loses nothing** — the promoted replica recovers both
+  silent source-side transactions (source-log catch-up), and its exports
+  equal the ground truth again.
+
+Counters are deterministic (integer-step clock, seeded fault plans); the
+regression baseline is checked with
+``python benchmarks/bench_replication.py --check BENCH_replication.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.faults import ChannelFaults, FaultPlan
+from repro.replication import ReplicationHarness
+
+try:
+    from _util import report
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from _util import report
+
+FLEETS = [1, 2, 4, 8]
+COMMITS = 12
+SILENT_COMMITS = 2     # committed at the sources after the primary dies
+READS_PER_REPLICA = 6  # routed load: fleet size × this many budget reads
+SEED = 23
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_replication.json"
+)
+
+
+def _fault_plan(replicas: int) -> FaultPlan:
+    channels = {
+        f"ship:replica-{i}": ChannelFaults(
+            drop_rate=0.2,
+            duplicate_rate=0.1,
+            delay_rate=0.2,
+            reorder_rate=0.1,
+            delay_range=(1.0, 2.0),
+        )
+        for i in range(replicas)
+    }
+    return FaultPlan(seed=SEED, channels=channels)
+
+
+def run_fleet(replicas: int) -> dict:
+    h = ReplicationHarness(
+        replicas=replicas,
+        seed=SEED,
+        faults=_fault_plan(replicas),
+        heartbeat_timeout=3.0,
+    )
+    try:
+        h.run(commits=COMMITS)
+        h.drain()
+        h.assert_converged()  # raises on divergence
+        now = float(h.step)
+        worst_lag = max(r.lag(now) for r in h.replicas)
+
+        export = sorted(h.primary.vdp.exports)[0]
+        for _ in range(READS_PER_REPLICA * replicas):
+            h.router.query(export, now, staleness_budget=0.0)
+        served = sorted(h.router.served.values())
+
+        h.kill_primary()
+        for _ in range(SILENT_COMMITS):
+            h.silent_commit()
+        now = h.advance_past_timeout()
+        promotion = h.coordinator.check(now)
+        assert promotion is not None
+        promoted_ok = h.replica_exports(h.coordinator.promoted) == h.expected_exports()
+
+        return {
+            "replicas": replicas,
+            "commits": COMMITS,
+            "records_shipped": h.primary.replication.records_shipped,
+            "resyncs": h.primary.replication.replica_resyncs,
+            "worst_lag_after_drain": worst_lag,
+            "reads_routed": READS_PER_REPLICA * replicas,
+            "served_min": served[0],
+            "served_max": served[-1],
+            "failover_wal_replayed": promotion.wal_records_replayed,
+            "failover_txns_replayed": promotion.replayed_txns,
+            "promoted_converged": promoted_ok,
+        }
+    finally:
+        h.close()
+
+
+def collect() -> list:
+    return [run_fleet(n) for n in FLEETS]
+
+
+def _stable(results: list) -> list:
+    """The committed baseline: every counter here is deterministic."""
+    return [{k: v for k, v in r.items() if not k.startswith("_")} for r in results]
+
+
+def render(results) -> None:
+    from repro.bench import shape_line
+
+    rows = [
+        [
+            r["replicas"],
+            r["commits"],
+            r["records_shipped"],
+            r["resyncs"],
+            r["worst_lag_after_drain"],
+            r["reads_routed"],
+            f"{r['served_min']}..{r['served_max']}",
+            r["failover_wal_replayed"],
+            r["failover_txns_replayed"],
+            "yes" if r["promoted_converged"] else "NO",
+        ]
+        for r in results
+    ]
+    report(
+        "RF_replication",
+        "RF: replication fleet scaling — shipping, routing, failover (Figure 1 / ex21)",
+        [
+            "replicas",
+            "commits",
+            "shipped",
+            "resyncs",
+            "worst lag",
+            "reads",
+            "served/replica",
+            "failover wal",
+            "failover src txns",
+            "promoted ok",
+        ],
+        rows,
+        shapes=[
+            shape_line(
+                "shipping linear in fleet size (>= commits x N at every size)",
+                all(r["records_shipped"] >= COMMITS * r["replicas"] for r in results),
+            ),
+            shape_line(
+                "read load spread evenly (served max - min <= 1)",
+                all(r["served_max"] - r["served_min"] <= 1 for r in results),
+            ),
+            shape_line(
+                "zero-lag convergence after drain at every fleet size",
+                all(r["worst_lag_after_drain"] == 0.0 for r in results),
+            ),
+            shape_line(
+                "promotion recovers every silent source txn, exports converge",
+                all(
+                    r["failover_txns_replayed"] >= SILENT_COMMITS
+                    and r["promoted_converged"]
+                    for r in results
+                ),
+            ),
+        ],
+        note="counters are deterministic; JSON baseline: BENCH_replication.json",
+    )
+
+
+def test_replication_baseline():
+    """Pytest entry point: regenerate the table and pin the shape claims."""
+    results = collect()
+    render(results)
+    for r in results:
+        assert r["records_shipped"] >= COMMITS * r["replicas"]
+        assert r["served_max"] - r["served_min"] <= 1
+        assert r["worst_lag_after_drain"] == 0.0
+        assert r["failover_txns_replayed"] >= SILENT_COMMITS
+        assert r["promoted_converged"]
+    baseline = DEFAULT_BASELINE
+    if baseline.exists():
+        assert json.loads(baseline.read_text())["results"] == _stable(results), (
+            "deterministic counters diverged from BENCH_replication.json — "
+            "regenerate with: python benchmarks/bench_replication.py --write"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="verify deterministic counters against a baseline JSON",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="(re)write the baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results = collect()
+    render(results)
+    stable = _stable(results)
+
+    payload = {
+        "experiment": "RF_replication",
+        "workload": {
+            "fleets": FLEETS,
+            "commits": COMMITS,
+            "silent_commits": SILENT_COMMITS,
+            "reads_per_replica": READS_PER_REPLICA,
+            "seed": SEED,
+        },
+        "results": stable,
+    }
+    if args.check:
+        expected = json.loads(pathlib.Path(args.check).read_text())
+        if expected["results"] != stable:
+            print(f"MISMATCH against {args.check}", file=sys.stderr)
+            print(json.dumps(stable, indent=2), file=sys.stderr)
+            return 1
+        print(f"baseline {args.check} verified", file=sys.stderr)
+        return 0
+    path = pathlib.Path(args.write or DEFAULT_BASELINE)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -373,6 +373,8 @@ def _cmd_soak(args, out) -> int:
         durability_dir=args.durability_dir,
         shards=args.shards,
         layout=args.layout,
+        replicas=args.replicas,
+        sqlite_sources=args.sqlite_sources,
         telemetry_dir=args.telemetry_dir,
         telemetry_cadence=args.telemetry_cadence,
     )
@@ -409,6 +411,16 @@ def _cmd_soak(args, out) -> int:
         f"(bound {config.staleness_bound:.1f})",
         file=out,
     )
+    if config.replicas > 0:
+        worst_lag = max(result.replica_worst_lag.values(), default=0.0)
+        print(
+            f"  replication: {config.replicas} replicas, "
+            f"{result.metrics.get('replication.records_shipped', 0):.0f} records "
+            f"shipped, {result.metrics.get('replication.replica_resyncs', 0):.0f} "
+            f"resyncs ({stats.replica_rebuilds} fleet rebuilds); "
+            f"worst replica lag {worst_lag:.1f} steps",
+            file=out,
+        )
     if result.telemetry_dir:
         print(
             f"  telemetry: metrics.jsonl, trace.jsonl, profile.json in "
@@ -576,6 +588,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "--shards", type=int, default=1,
         help="hash-partition node repositories into N shards and run the "
         "IUP's linear rule firings in parallel (1 = serial)",
+    )
+    p_soak.add_argument(
+        "--replicas", type=int, default=0,
+        help="attach N WAL-shipped read replicas (implies durability); each "
+        "is lag-SLO monitored and checked replica ≡ primary at every "
+        "convergence checkpoint",
+    )
+    p_soak.add_argument(
+        "--sqlite-sources", dest="sqlite_sources", type=int, default=None,
+        help="back the first N members with SQLite instead of memory "
+        "(default: 1 when --replicas is set, else 0)",
     )
     p_soak.add_argument("--report", help="write the freshness-SLO report JSON here")
     p_soak.add_argument(

@@ -29,6 +29,7 @@ from repro.core.mediator import (
     AttachResult,
     DetachResult,
     MediatorStats,
+    ReplicationStats,
     SquirrelMediator,
 )
 from repro.core.persistence import restore_mediator, save_mediator
@@ -77,6 +78,7 @@ __all__ = [
     "AttachResult",
     "DetachResult",
     "MediatorStats",
+    "ReplicationStats",
     "STATS_METRICS",
     "DirectLink",
     "DelayedLink",

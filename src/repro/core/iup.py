@@ -149,6 +149,12 @@ class IncrementalUpdateProcessor:
         #: describes only state the store durably reflects (a deferred
         #: transaction never reaches the hook and never logs).
         self.durability = None
+        #: The current transaction's repository writes, in apply order —
+        #: exactly the arguments of every :meth:`_apply_to_node` since the
+        #: transaction began.  Handed to the durability commit hook so WAL
+        #: shipping can replicate stored state physically (replicas replay
+        #: these instead of re-running propagation, which may poll).
+        self._txn_applies: List[Tuple[str, AnyDelta]] = []
 
     # ------------------------------------------------------------------
     # The general IUP algorithm
@@ -234,6 +240,7 @@ class IncrementalUpdateProcessor:
             # propagation pass.
             self._index_temps(temps)
             self.stats.batched_messages += len(entries)
+            self._txn_applies = []
             processed: List[str] = []
             fired = 0
             with tracer.span("kernel") as kernel_span:
@@ -248,7 +255,9 @@ class IncrementalUpdateProcessor:
             prov.commit()
             self.queue.mark_reflected(entries)
             if self.durability is not None:
-                self.durability.on_transaction_commit(entries, processed)
+                self.durability.on_transaction_commit(
+                    entries, processed, self._txn_applies
+                )
             # The kernel just advanced the materialized state past these
             # leaf deltas, so cached VAP temporaries whose lineage they
             # touch are now stale — exactly here, and only here, do they
@@ -699,6 +708,7 @@ class IncrementalUpdateProcessor:
             self.stats.delta_atoms_applied += delta.atom_count()
         else:
             self.stats.delta_atoms_applied += delta.entry_count()
+        self._txn_applies.append((name, delta))
         self.store.apply_delta(name, delta)
         temp = temps.get(name)
         if temp is not None:

@@ -55,9 +55,33 @@ from repro.relalg import (
 from repro.sources.base import SourceDatabase
 from repro.sources.contributors import ContributorKind
 
-__all__ = ["AttachResult", "DetachResult", "MediatorStats", "STATS_METRICS", "SquirrelMediator"]
+__all__ = [
+    "AttachResult",
+    "DetachResult",
+    "MediatorStats",
+    "ReplicationStats",
+    "STATS_METRICS",
+    "SquirrelMediator",
+]
 
 QueryInput = TypingUnion[str, Expression]
+
+
+@dataclass
+class ReplicationStats:
+    """Counters for the WAL-shipping replication layer (``repro.replication``).
+
+    Registered as ``replication.*`` on **every** mediator so the
+    :data:`STATS_METRICS` derivation is total; a mediator with no
+    :class:`~repro.replication.WalShipper` attached simply reports zeros.
+    ``replica_lag`` is a gauge — the worst current replica ignorance
+    window (Theorem 7.2 terms), not a monotone counter.
+    """
+
+    records_shipped: int = 0
+    replica_lag: float = 0.0
+    replica_resyncs: int = 0
+    failovers: int = 0
 
 
 @dataclass
@@ -101,6 +125,10 @@ class MediatorStats:
     pushdown_queries: int
     fallback_queries: int
     stored_bytes: int
+    records_shipped: int
+    replica_lag: float
+    replica_resyncs: int
+    failovers: int
 
     def diff(self, other: "MediatorStats") -> "MediatorStats":
         """Per-field ``self - other`` — counter deltas across a workload
@@ -149,6 +177,10 @@ STATS_METRICS: Dict[str, str] = {
     "pushdown_queries": "sources.pushdown_queries",
     "fallback_queries": "sources.fallback_queries",
     "stored_bytes": "store.stored_bytes",
+    "records_shipped": "replication.records_shipped",
+    "replica_lag": "replication.replica_lag",
+    "replica_resyncs": "replication.replica_resyncs",
+    "failovers": "replication.failovers",
 }
 
 
@@ -305,6 +337,10 @@ class SquirrelMediator:
         self.metrics.register_stats("eval", self.store.counters)
         self.metrics.register_stats("queue", self.queue.stats)
         self.metrics.register_stats("store", self.store.stats)
+        # Zero until a repro.replication.WalShipper attaches to this
+        # mediator's durability manager and starts updating them.
+        self.replication = ReplicationStats()
+        self.metrics.register_stats("replication", self.replication)
         self.metrics.register_callable("store.stored_rows", self.store.total_stored_rows)
         self.metrics.register_callable("store.stored_cells", self.store.total_stored_cells)
         self.metrics.register_callable("store.stored_bytes", self.store.total_stored_bytes)

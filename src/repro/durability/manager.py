@@ -34,6 +34,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
+from typing import Callable
+
 from repro.core.persistence import encode_repo_rows, source_cursor
 from repro.core.update_queue import QueuedUpdate
 from repro.deltas import SetDelta, net_accumulate
@@ -110,6 +112,16 @@ class DurabilityManager:
             "durability.checkpoint_ms", "wall-clock milliseconds per checkpoint"
         )
         mediator.iup.durability = self
+        #: Called with each committed :class:`WalRecord` *after* it is
+        #: durable (and after any injected crash point) — the WAL-shipping
+        #: tap.  A record a crash prevented from reaching an observer is
+        #: still acknowledged: it is on disk, and failover recovery replays
+        #: it from there.
+        self.observers: List[Callable[[WalRecord], None]] = []
+        #: The newest committed transaction's ``(node, delta)`` repository
+        #: writes, in apply order — valid exactly while its record is the
+        #: latest; observers snapshot it synchronously.
+        self.last_node_applies: tuple = ()
 
     @classmethod
     def attach(
@@ -160,13 +172,20 @@ class DurabilityManager:
     # The IUP commit hook
     # ------------------------------------------------------------------
     def on_transaction_commit(
-        self, entries: Sequence[QueuedUpdate], processed: Sequence[str]
+        self,
+        entries: Sequence[QueuedUpdate],
+        processed: Sequence[str],
+        node_applies: Sequence = (),
     ) -> None:
         """Log one committed update transaction; checkpoint if due.
 
         ``entries`` are the flushed-and-reflected queue entries;
         ``processed`` the non-leaf nodes whose repositories changed (the
-        dirty set for the next incremental checkpoint).
+        dirty set for the next incremental checkpoint); ``node_applies``
+        the transaction's ``(node, delta)`` repository writes in apply
+        order — not logged (the WAL replays through propagation), but
+        exposed as :attr:`last_node_applies` so WAL-shipping observers can
+        replicate stored state physically.
         """
         txn = self._txn + 1
         per_source: Dict[str, SetDelta] = {}
@@ -217,6 +236,9 @@ class DurabilityManager:
         point = self._take_crash("post-wal-append", txn)
         if point is not None:
             self._crash("post-wal-append", txn)
+        self.last_node_applies = tuple(node_applies)
+        for observer in self.observers:
+            observer(record)
 
         storing = set(self.mediator.annotated.nodes_with_storage())
         self._dirty.update(set(processed) & storing)

@@ -74,6 +74,31 @@ class SourceUnavailableError(MediatorError):
         super().__init__(message)
 
 
+class StaleReadError(MediatorError):
+    """No read replica can satisfy a query's staleness budget.
+
+    Raised by :class:`repro.replication.ReadRouter` when routing with
+    ``on_stale="reject"``: every replica's lag exceeds the per-query
+    budget (a resyncing replica's lag is unbounded).  ``budget`` is the
+    budget that failed; ``lags`` maps each replica to its lag at routing
+    time, so callers can see how close the freshest copy came — or route
+    again with ``on_stale="degrade"`` to accept a tagged stale answer.
+    """
+
+    def __init__(self, budget, lags, message=None):
+        self.budget = budget
+        self.lags = dict(lags)
+        if message is None:
+            detail = ", ".join(
+                f"{name}: {lag:g}" for name, lag in sorted(self.lags.items())
+            )
+            message = (
+                f"no replica within staleness budget {budget:g} "
+                f"(lags: {detail or 'no replicas'})"
+            )
+        super().__init__(message)
+
+
 class SnapshotStaleError(MediatorError):
     """A persisted snapshot's cursors outrun a source's transaction log.
 

@@ -29,7 +29,13 @@ from repro.faults.plan import (
     FaultPlan,
     OutageWindow,
 )
-from repro.faults.reliable import BackoffPolicy, Envelope, ReliableInbox, ReliableSender
+from repro.faults.reliable import (
+    BackoffPolicy,
+    Envelope,
+    ReliableInbox,
+    ReliableSender,
+    StreamBackoff,
+)
 from repro.faults.staleness import StalenessTag, TaggedAnswer
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "ReliableInbox",
     "ReliableSender",
     "BackoffPolicy",
+    "StreamBackoff",
     "StalenessTag",
     "TaggedAnswer",
 ]

@@ -35,7 +35,13 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER, Tracer
 
-__all__ = ["Envelope", "BackoffPolicy", "ReliableInbox", "ReliableSender"]
+__all__ = [
+    "Envelope",
+    "BackoffPolicy",
+    "StreamBackoff",
+    "ReliableInbox",
+    "ReliableSender",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,41 @@ class BackoffPolicy:
     def _draw_seed(self, key: str, step: int) -> int:
         material = f"{self.jitter_seed}:{key}:{step}".encode()
         return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+class StreamBackoff:
+    """Retry pacing for one *long-lived* stream sharing one policy.
+
+    :class:`ReliableSender` keeps a per-message attempt counter, which is
+    the right shape for independent announcements.  A shipping stream is
+    different: one logical peer, an unbounded message sequence, one shared
+    notion of "is the peer reachable right now".  Naively feeding a
+    stream-lifetime retry count into :meth:`BackoffPolicy.delay` pins a
+    replica that recovers after a long outage at ``max_backoff`` forever —
+    the counter only ever grows.  This wrapper owns the stream's attempt
+    counter and **resets it on acknowledged progress**, so the first
+    retransmit after a recovered outage waits ``base_timeout`` again.
+    """
+
+    def __init__(self, policy: BackoffPolicy, key: str = ""):
+        self.policy = policy
+        self.key = key
+        self.attempt = 0
+
+    def next_delay(self) -> float:
+        """The wait before the next retransmission; escalates the counter."""
+        delay = self.policy.delay(self.attempt, key=self.key)
+        self.attempt += 1
+        return delay
+
+    def record_success(self) -> None:
+        """Acknowledged progress: the peer is reachable, reset to base."""
+        self.attempt = 0
+
+    @property
+    def current_delay(self) -> float:
+        """What the next :meth:`next_delay` call would return."""
+        return self.policy.delay(self.attempt, key=self.key)
 
 
 class ReliableInbox:

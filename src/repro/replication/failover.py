@@ -1,0 +1,90 @@
+"""Failover: detect a dead primary, promote the most-caught-up replica.
+
+Liveness is judged from heartbeats: the :class:`WalShipper` stamps every
+replica on every tick, so "no replica has heard a heartbeat within
+``heartbeat_timeout``" means the *shipper* — the primary process —
+stopped running.  Detection is deliberately conservative: one slow
+replica proves nothing (its channel may be in an outage window), so the
+coordinator looks at the **newest** heartbeat across the fleet.
+
+Promotion picks the replica with the highest applied transaction index
+(ties broken by name for determinism), skipping replicas mid-resync —
+their state is a checkpoint plus a partial tail, strictly behind any
+healthy peer.  The winner then runs :meth:`ReplicaMediator.promote`,
+which replays the primary's durable WAL tail and catches up from the
+source logs before the replica answers as primary — so **no acknowledged
+transaction is lost**, even ones committed after the last record the
+shipper managed to deliver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.replication.replica import PromotionResult, ReplicaMediator
+from repro.replication.shipper import WalShipper
+
+__all__ = ["FailoverCoordinator"]
+
+
+class FailoverCoordinator:
+    """Watches heartbeats and promotes when the primary goes silent."""
+
+    def __init__(self, shipper: WalShipper, heartbeat_timeout: float = 5.0):
+        self.shipper = shipper
+        self.heartbeat_timeout = heartbeat_timeout
+        self.promoted: Optional[ReplicaMediator] = None
+
+    @property
+    def replicas(self) -> List[ReplicaMediator]:
+        return self.shipper.replicas
+
+    def newest_heartbeat(self) -> Optional[float]:
+        """The most recent heartbeat any replica has observed."""
+        beats = [
+            r.last_heartbeat for r in self.replicas if r.last_heartbeat is not None
+        ]
+        return max(beats) if beats else None
+
+    def primary_alive(self, now: float) -> bool:
+        """True while some replica heard the primary recently enough.
+
+        A fleet that never heard a heartbeat at all is treated as alive —
+        the shipper simply has not ticked yet; failover before the first
+        contact would promote over a perfectly healthy primary.
+        """
+        if self.promoted is not None:
+            return False
+        newest = self.newest_heartbeat()
+        if newest is None:
+            return True
+        return now - newest <= self.heartbeat_timeout
+
+    def candidates(self) -> List[ReplicaMediator]:
+        """Promotion candidates, best first: most caught up, not mid-gap."""
+        healthy = [r for r in self.replicas if not r.needs_resync and r.mediator]
+        return sorted(healthy, key=lambda r: (-r.applied_txn, r.name))
+
+    def check(self, now: float) -> Optional[PromotionResult]:
+        """Detect-and-promote: returns the promotion when one happened.
+
+        Idempotent after the first promotion (``promoted`` stays set).
+        Raises when the primary is dead but no healthy candidate exists —
+        silent unavailability would be worse than a loud one.
+        """
+        if self.promoted is not None or self.primary_alive(now):
+            return None
+        ranked = self.candidates()
+        if not ranked:
+            raise RuntimeError(
+                "primary is dead and no replica is promotable "
+                "(all mid-resync or uninitialized)"
+            )
+        winner = ranked[0]
+        result = winner.promote(now)
+        self.promoted = winner
+        return result
+
+    def __repr__(self) -> str:
+        state = self.promoted.name if self.promoted else "watching"
+        return f"<FailoverCoordinator {state} timeout={self.heartbeat_timeout}>"

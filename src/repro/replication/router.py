@@ -1,0 +1,135 @@
+"""Bounded-staleness read routing across replicas.
+
+A :class:`ReadRouter` answers ``π_A σ_f R`` reads from the replica fleet
+under a per-query **staleness budget**: the caller's bound on how stale
+an answer may be, compared against each replica's Theorem 7.2 ignorance
+window (:meth:`ReplicaMediator.lag`).  Replicas within budget share the
+load round-robin.  When *no* replica qualifies, the ``on_stale`` policy
+decides — and on every path the answer is honest:
+
+* ``"degrade"`` (default) — serve from the least-lagged replica, tagged
+  with its actual staleness (the caller sees exactly how far over budget
+  the answer is; never silently wrong);
+* ``"primary"`` — fall back to the primary mediator for a fresh answer
+  (when one was supplied and is alive);
+* ``"reject"`` — raise :class:`~repro.errors.StaleReadError` carrying
+  every replica's lag.
+
+A resyncing replica's lag is ``inf``: it can never satisfy a finite
+budget, so gap-healing replicas drain out of the serving rotation
+automatically and rejoin once caught up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mediator import SquirrelMediator
+from repro.errors import MediatorError, StaleReadError
+from repro.faults.staleness import StalenessTag, TaggedAnswer
+from repro.obs.tracer import NULL_TRACER
+from repro.relalg import TRUE
+
+from repro.replication.replica import ReplicaMediator
+
+__all__ = ["ReadRouter"]
+
+_INF = float("inf")
+_POLICIES = ("degrade", "primary", "reject")
+
+
+class ReadRouter:
+    """Routes tagged reads across replicas under staleness budgets."""
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaMediator],
+        primary: Optional[SquirrelMediator] = None,
+        default_budget: float = _INF,
+        on_stale: str = "degrade",
+        tracer=NULL_TRACER,
+    ):
+        if on_stale not in _POLICIES:
+            raise MediatorError(
+                f"on_stale must be one of {_POLICIES}, got {on_stale!r}"
+            )
+        self.replicas = list(replicas)
+        self.primary = primary
+        self.default_budget = default_budget
+        self.on_stale = on_stale
+        self.tracer = tracer
+        self._rr = 0
+        self.served: Dict[str, int] = {r.name: 0 for r in self.replicas}
+        self.degraded = 0
+        self.primary_fallbacks = 0
+        self.rejected = 0
+
+    def lags(self, now: float) -> Dict[str, float]:
+        """Every replica's current lag, by name."""
+        return {r.name: r.lag(now) for r in self.replicas}
+
+    def route(self, now: float, staleness_budget: Optional[float] = None):
+        """The replica that would serve a read at ``now``, or ``None``.
+
+        Round-robin over the replicas whose lag fits the budget, so load
+        spreads evenly across every copy that is fresh enough.
+        """
+        budget = self.default_budget if staleness_budget is None else staleness_budget
+        eligible = [r for r in self.replicas if r.lag(now) <= budget]
+        if not eligible:
+            return None
+        choice = eligible[self._rr % len(eligible)]
+        self._rr += 1
+        return choice
+
+    def query(
+        self,
+        relation: str,
+        now: float,
+        staleness_budget: Optional[float] = None,
+        on_stale: Optional[str] = None,
+        attrs=None,
+        predicate=TRUE,
+    ) -> TaggedAnswer:
+        """One bounded-staleness read; the tag always tells the truth.
+
+        Raises :class:`StaleReadError` only under ``on_stale="reject"``
+        with no in-budget replica; the ``"degrade"`` and ``"primary"``
+        policies always produce an answer (tagged, or fresh).
+        """
+        budget = self.default_budget if staleness_budget is None else staleness_budget
+        policy = self.on_stale if on_stale is None else on_stale
+        if policy not in _POLICIES:
+            raise MediatorError(f"on_stale must be one of {_POLICIES}, got {policy!r}")
+
+        replica = self.route(now, budget)
+        if replica is not None:
+            self.served[replica.name] = self.served.get(replica.name, 0) + 1
+            return replica.query_tagged(relation, now, attrs, predicate)
+
+        if policy == "primary" and self.primary is not None:
+            self.primary_fallbacks += 1
+            answer = self.primary.query_relation(relation, attrs, predicate)
+            return TaggedAnswer(answer, self.primary.staleness_tag(now))
+        if policy == "reject" or (policy == "primary" and self.primary is None):
+            self.rejected += 1
+            raise StaleReadError(budget, self.lags(now))
+
+        # Degrade: the least-lagged replica, with full disclosure.
+        best = min(self.replicas, key=lambda r: (r.lag(now), r.name), default=None)
+        if best is None:
+            raise StaleReadError(budget, {})
+        self.degraded += 1
+        self.served[best.name] = self.served.get(best.name, 0) + 1
+        answer = best.query_tagged(relation, now, attrs, predicate)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "stale_answer",
+                replica=best.name,
+                budget=None if budget == _INF else budget,
+                staleness=None if answer.tag.worst() == _INF else answer.tag.worst(),
+            )
+        return answer
+
+    def __repr__(self) -> str:
+        return f"<ReadRouter replicas={[r.name for r in self.replicas]}>"

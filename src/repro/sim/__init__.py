@@ -16,7 +16,7 @@ from repro.faults.plan import ChannelFaults, FaultDecision, FaultPlan, OutageWin
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import Channel
-from repro.sim.profiles import DelayProfile, EnvironmentDelays
+from repro.sim.profiles import DelayProfile, EnvironmentDelays, ReplicationDelays
 from repro.sim.scheduler import Simulator
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "Simulator",
     "DelayProfile",
     "EnvironmentDelays",
+    "ReplicationDelays",
     "FaultPlan",
     "ChannelFaults",
     "FaultDecision",

@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Sequence
 
 from repro.errors import SimulationError
 
-__all__ = ["DelayProfile", "EnvironmentDelays"]
+__all__ = ["DelayProfile", "EnvironmentDelays", "ReplicationDelays"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +117,23 @@ class EnvironmentDelays:
         p = self.profile(source)
         return p.ann_delay + p.comm_delay + self.u_hold_delay_med + self.u_proc_delay_med
 
+    def replica_freshness_bound(
+        self,
+        replication: "ReplicationDelays",
+        materialized: Sequence[str],
+        hybrid: Sequence[str] = (),
+        virtual: Sequence[str] = (),
+    ) -> Dict[str, float]:
+        """Theorem 7.2 extended to a WAL-shipped read replica.
+
+        A replica's copy of the view lags the primary's by the shipping
+        pipeline on top of every primary-side term: each source's
+        freshness bound grows by :meth:`ReplicationDelays.lag_bound`.
+        """
+        primary = self.freshness_bound(materialized, hybrid, virtual)
+        extra = replication.lag_bound()
+        return {name: value + extra for name, value in primary.items()}
+
     @classmethod
     def uniform(
         cls,
@@ -136,3 +153,31 @@ class EnvironmentDelays:
             u_proc_delay_med,
             q_proc_delay_med,
         )
+
+
+@dataclass(frozen=True)
+class ReplicationDelays:
+    """Replica-side delay terms: the shipping pipeline's contribution.
+
+    A WAL-shipped replica sees a committed transaction after
+    ``ship_delay`` (commit-to-ship plus one-way channel latency) and
+    applies it within ``apply_delay``.  Between records the replica only
+    learns it is *current* from heartbeats, so one ``heartbeat_interval``
+    of ignorance is always possible — :meth:`lag_bound` is the worst-case
+    ignorance window a healthy (non-resyncing) replica can accumulate,
+    the per-replica term the :class:`~repro.replication.ReadRouter`
+    compares staleness budgets against.
+    """
+
+    ship_delay: float = 1.0
+    apply_delay: float = 0.0
+    heartbeat_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("ship_delay", "apply_delay", "heartbeat_interval"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be non-negative")
+
+    def lag_bound(self) -> float:
+        """Worst-case healthy-replica ignorance window (time units)."""
+        return self.ship_delay + self.apply_delay + self.heartbeat_interval

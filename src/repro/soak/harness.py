@@ -62,11 +62,17 @@ from repro.generator import (
     plan_events,
 )
 from repro.generator.federation import KEY_DOMAIN, _subrng
+from repro.faults.reliable import BackoffPolicy
 from repro.obs.export import export_jsonl
 from repro.obs.profile import CostProfiler
-from repro.obs.telemetry import BurnRateAlert, TelemetryPipeline
+from repro.obs.telemetry import (
+    BurnRateAlert,
+    FreshnessBurnRateMonitor,
+    TelemetryPipeline,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relalg import Row
+from repro.replication import ReplicaMediator, WalShipper
 from repro.soak.links import SoakLink
 
 __all__ = ["SoakConfig", "SoakHarness", "SoakResult", "SoakStats", "run_soak"]
@@ -107,6 +113,15 @@ class SoakConfig:
     shards: int = 1
     #: Node-repository storage layout (``"row"`` or ``"columnar"``).
     layout: str = "row"
+    #: WAL-shipped read replicas fed by the durability manager (implies
+    #: durability).  Each replica applies shipped records over the fault
+    #: plan's ``ship:replica-<i>`` channels, is checked for lag-SLO burn
+    #: every step, and must equal the primary's materialized state at
+    #: every convergence checkpoint.
+    replicas: int = 0
+    #: How many members (lowest-sorted names) are backed by SQLite rather
+    #: than memory; defaults to 1 when replicas are enabled, else 0.
+    sqlite_sources: Optional[int] = None
     #: When set, the run streams continuous telemetry into this directory:
     #: ``metrics.jsonl`` (cadenced registry snapshots + burn-rate alerts),
     #: ``trace.jsonl`` (the schema-validated trace), and ``profile.json``
@@ -134,6 +149,8 @@ class SoakStats:
     recoveries: int = 0
     convergence_checks: int = 0
     backfill_rows: int = 0
+    #: Replica-fleet rebuilds forced by membership changes or recovery.
+    replica_rebuilds: int = 0
 
 
 @dataclass
@@ -149,8 +166,11 @@ class SoakResult:
     checkpoints: List[Dict] = field(default_factory=list)
     stats: SoakStats = field(default_factory=SoakStats)
     metrics: Dict[str, float] = field(default_factory=dict)
-    #: Burn-rate alerts raised by the live SLO monitor (telemetry runs only).
+    #: Burn-rate alerts raised by the live SLO monitors (the telemetry
+    #: pipeline's per-source monitor and the per-replica lag monitor).
     alerts: List[BurnRateAlert] = field(default_factory=list)
+    #: Worst observed per-replica lag (steps), by replica name.
+    replica_worst_lag: Dict[str, float] = field(default_factory=dict)
     telemetry_dir: Optional[str] = None
 
     @property
@@ -220,6 +240,20 @@ class SoakHarness:
         # real divergence.
         spec = self.fed.spec_text_for(sorted(self.members))
         self.sources = make_sources(spec, self.fed.initial_data(sorted(self.members)))
+        # Heterogeneous backends: the first N sorted members live in
+        # SQLite, exercising the pushdown source under churn, shipping,
+        # and recovery exactly like the memory-backed ones.
+        n_sqlite = config.sqlite_sources
+        if n_sqlite is None:
+            n_sqlite = 1 if config.replicas > 0 else 0
+        for name in sorted(self.members)[:n_sqlite]:
+            self.sources.update(
+                make_sources(
+                    self.fed.spec_text_for([name]),
+                    self.fed.initial_data([name]),
+                    backend="sqlite",
+                )
+            )
         self.links: Dict[str, SoakLink] = {
             name: SoakLink(self.sources[name], self) for name in sorted(self.sources)
         }
@@ -250,7 +284,7 @@ class SoakHarness:
 
         self.durability: Optional[DurabilityManager] = None
         self.durability_dir: Optional[str] = None
-        if config.crash_points or config.durability_dir:
+        if config.crash_points or config.durability_dir or config.replicas > 0:
             self.durability_dir = config.durability_dir or tempfile.mkdtemp(
                 prefix="repro-soak-"
             )
@@ -260,6 +294,86 @@ class SoakHarness:
             self.durability = DurabilityManager.attach(
                 self.mediator, self.durability_dir, crash_schedule=schedule
             )
+
+        self.shipper: Optional[WalShipper] = None
+        self.replicas: List[ReplicaMediator] = []
+        self.replica_monitor: Optional[FreshnessBurnRateMonitor] = None
+        if config.replicas > 0:
+            self.replica_monitor = FreshnessBurnRateMonitor(
+                bound=config.staleness_bound
+            )
+            self._rebuild_replication()
+
+    # ------------------------------------------------------------------
+    # Read replicas
+    # ------------------------------------------------------------------
+    def _rebuild_replication(self) -> None:
+        """(Re)build the replica fleet against the current membership.
+
+        Called at startup and after any event that invalidates the fleet's
+        schema or shipping tap: attach/detach (the member set changed, and
+        both leave a fresh full checkpoint to resync from) and crash
+        recovery (the durability manager itself was replaced).  Each
+        rebuild bootstraps every replica from the newest checkpoint chain
+        plus the live WAL tail — counted in ``replication.replica_resyncs``.
+        """
+        if self.config.replicas <= 0 or self.durability is None:
+            return
+        if self.shipper is not None:
+            self.shipper.close()
+            self.stats.replica_rebuilds += 1
+        self.shipper = WalShipper(
+            self.durability,
+            faults=self.faults,
+            policy=BackoffPolicy(),
+            tracer=self.tracer,
+        )
+        members = sorted(self.members)
+        member_sources = {n: self.sources[n] for n in members}
+        self.replicas = []
+        for i in range(self.config.replicas):
+            replica = ReplicaMediator(
+                f"replica-{i}",
+                build_annotated_from_spec(self.fed.spec_text_for(members)),
+                member_sources,
+                self.durability_dir,
+                tracer=self.tracer,
+                eca_enabled=self.config.eca_enabled,
+                key_based_enabled=self.config.key_based_enabled,
+                # Promotion is the only moment a replica propagates (and so
+                # polls); serial polls keep thread-bound SQLite sources safe.
+                parallel_polls=False,
+            )
+            self.replicas.append(replica)
+            self.shipper.attach_replica(replica, now=float(self.step))
+
+    def _tick_replication(self) -> None:
+        """Advance shipping one step and check every replica's lag SLO."""
+        if self.shipper is None:
+            return
+        now = float(self.step)
+        self.shipper.tick(now)
+        observed: Dict[str, float] = {}
+        for replica in self.replicas:
+            lag = replica.lag(now)
+            # A mid-resync replica's lag is unbounded; feed the monitor a
+            # finite over-bound reading so the burn-rate math stays sane
+            # while still guaranteeing an alert if it persists.
+            value = (
+                lag
+                if lag != float("inf")
+                else 2.0 * self.config.staleness_bound
+            )
+            observed[replica.name] = value
+            if value > self.result.replica_worst_lag.get(replica.name, 0.0):
+                self.result.replica_worst_lag[replica.name] = value
+        if self.replica_monitor is not None and observed:
+            for alert in self.replica_monitor.observe(self.step, observed):
+                self.result.alerts.append(alert)
+                self.result.slo_violations.append(
+                    f"step {alert.step}: replica {alert.source} lag burn-rate "
+                    f"alert ({alert.staleness:g} vs bound {alert.bound:g})"
+                )
 
     # ------------------------------------------------------------------
     # Link plumbing
@@ -346,7 +460,21 @@ class SoakHarness:
                 if msg.retry_at is not None and self.step >= msg.retry_at:
                     self.stats.retransmissions += 1
                     self._transmit(msg)
-                if msg.deliver_at is not None and self.step >= msg.deliver_at:
+                # Head-of-line blocking restores Section 4's per-source
+                # in-order contract across steps: once one message is held
+                # back (dropped awaiting retry, or delayed), every
+                # later-seq sibling waits behind it.  Without this, a
+                # delayed insert can be overtaken by the matching delete —
+                # the queue's in-queue reorder defense cannot help when the
+                # earlier message is still on the wire at flush time, and
+                # the reversed fold corrupts leaf-parent bag
+                # multiplicities.  (The replication path gets the same
+                # guarantee from :class:`~repro.faults.ReliableInbox`.)
+                if (
+                    not remaining
+                    and msg.deliver_at is not None
+                    and self.step >= msg.deliver_at
+                ):
                     self._deliver(msg)
                 else:
                     remaining.append(msg)
@@ -408,12 +536,16 @@ class SoakHarness:
         self.reflected_floor[name] = self.step
         self.stats.attaches += 1
         self.stats.backfill_rows += result.backfill_rows
+        # attach_source checkpoints (full) under durability, so the fleet
+        # can re-baseline against the widened membership immediately.
+        self._rebuild_replication()
 
     def _detach(self, name: str) -> None:
         self.mediator.detach_source(name)
         self.members.discard(name)
         self.in_flight.pop(name, None)
         self.stats.detaches += 1
+        self._rebuild_replication()
 
     def _apply_events(self) -> None:
         # Tolerant of plan/actual membership divergence: a crash during an
@@ -476,6 +608,9 @@ class SoakHarness:
         for name in self.members:
             self.reflected_floor[name] = self.step
         self.stats.recoveries += 1
+        # The shipper's tap died with the old durability manager; rebuild
+        # the fleet against the recovered one.
+        self._rebuild_replication()
 
     def _run_txn(self) -> None:
         try:
@@ -594,6 +729,29 @@ class SoakHarness:
                         f"step {step}: export {export!r} diverged from the "
                         f"statically built mediator"
                     )
+        # Replica ≡ primary: after a full drain of the shipping pipeline
+        # every replica's materialized repositories must equal the
+        # primary's, node for node.  (Repos, not exports: bulk-tier
+        # exports are virtual, and a replica never polls a source.)
+        if self.shipper is not None:
+            self.shipper.drain(float(step))
+            primary_repos = self.mediator.store.repos()
+            for replica in self.replicas:
+                assert replica.mediator is not None
+                replica_repos = replica.mediator.store.repos()
+                if set(replica_repos) != set(primary_repos):
+                    self.result.convergence_violations.append(
+                        f"step {step}: {replica.name} node sets diverged "
+                        f"(replica {sorted(replica_repos)}, "
+                        f"primary {sorted(primary_repos)})"
+                    )
+                    continue
+                for node in sorted(primary_repos):
+                    if replica_repos[node] != primary_repos[node]:
+                        self.result.convergence_violations.append(
+                            f"step {step}: {replica.name} diverged from the "
+                            f"primary on node {node!r}"
+                        )
         self.result.checkpoints.append(
             {
                 "step": step,
@@ -613,6 +771,7 @@ class SoakHarness:
             self._apply_events()
             self._pump()
             self._run_txn()
+            self._tick_replication()
             self._check_slo()
             self.result.steps_run = step + 1
             if (step + 1) % self.config.checkpoint_every == 0:
@@ -637,6 +796,8 @@ class SoakHarness:
                 handle.write(profile.to_json(indent=2) + "\n")
             export_jsonl(self.tracer, os.path.join(telemetry_dir, "trace.jsonl"))
             self.result.telemetry_dir = telemetry_dir
+        if self.shipper is not None:
+            self.shipper.close()
         if self.durability is not None:
             self.durability.close()
         return self.result

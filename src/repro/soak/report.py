@@ -31,6 +31,7 @@ def slo_report(result: SoakResult) -> Dict:
             "checkpoint_every": config.checkpoint_every,
             "staleness_bound": config.staleness_bound,
             "crash_points": [list(p) for p in config.crash_points],
+            "replicas": config.replicas,
         },
         "steps_run": result.steps_run,
         "final_members": list(result.final_members),
@@ -46,6 +47,13 @@ def slo_report(result: SoakResult) -> Dict:
             },
             "violations": result.slo_violations,
             "burn_rate_alerts": [alert.as_dict() for alert in result.alerts],
+        },
+        "replication": {
+            "replicas": config.replicas,
+            "worst_lag": {
+                name: value
+                for name, value in sorted(result.replica_worst_lag.items())
+            },
         },
         "telemetry_dir": result.telemetry_dir,
         "counters": asdict(result.stats),

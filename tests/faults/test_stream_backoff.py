@@ -1,0 +1,53 @@
+"""StreamBackoff: the per-stream attempt counter resets on progress.
+
+Regression for the outage-recovery bug: feeding a stream-lifetime retry
+count into :meth:`BackoffPolicy.delay` pins a replica that recovers from
+a long outage at ``max_backoff`` forever.  :class:`StreamBackoff` owns
+the counter and must drop back to ``base_timeout`` the moment the peer
+acknowledges progress.
+"""
+
+from repro.faults import BackoffPolicy
+from repro.faults.reliable import StreamBackoff
+
+
+def _policy():
+    return BackoffPolicy(base_timeout=1.0, multiplier=2.0, max_backoff=8.0)
+
+
+def test_delays_escalate_to_the_cap():
+    backoff = StreamBackoff(_policy())
+    assert [backoff.next_delay() for _ in range(5)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+
+def test_record_success_resets_to_base():
+    backoff = StreamBackoff(_policy())
+    for _ in range(6):  # a long outage: pinned at max_backoff
+        backoff.next_delay()
+    assert backoff.current_delay == 8.0
+    backoff.record_success()
+    assert backoff.attempt == 0
+    assert backoff.current_delay == 1.0  # not stuck at the cap
+    assert backoff.next_delay() == 1.0
+
+
+def test_current_delay_peeks_without_escalating():
+    backoff = StreamBackoff(_policy())
+    assert backoff.current_delay == 1.0
+    assert backoff.current_delay == 1.0  # peeking twice changes nothing
+    assert backoff.next_delay() == 1.0
+    assert backoff.current_delay == 2.0
+
+
+def test_jittered_delays_stay_deterministic_per_key():
+    policy = BackoffPolicy(
+        base_timeout=1.0, multiplier=2.0, max_backoff=8.0, jitter="decorrelated"
+    )
+    a1 = StreamBackoff(policy, key="ship:replica-0")
+    a2 = StreamBackoff(policy, key="ship:replica-0")
+    b = StreamBackoff(policy, key="ship:replica-1")
+    seq_a1 = [a1.next_delay() for _ in range(4)]
+    seq_a2 = [a2.next_delay() for _ in range(4)]
+    seq_b = [b.next_delay() for _ in range(4)]
+    assert seq_a1 == seq_a2  # same key → same jitter → replayable schedules
+    assert seq_a1 != seq_b

@@ -1,0 +1,97 @@
+"""Chaos property: replicated state equals serial recompute, always.
+
+The headline invariant of the replication layer, in the fault subsystem's
+house style (see ``tests/faults/test_chaos_convergence.py``): drive the
+full stack — primary, WAL shipper, replica fleet — through a randomized
+workload under a randomized :class:`FaultPlan` (drops, duplicates,
+delays, reorders at up to ~40% each, plus injected sender-buffer gaps and
+scheduled crashes), then demand that
+
+* every surviving replica's exports equal a **from-scratch recompute**
+  over the live sources (drain path), and
+* after a scheduled crash, the promoted replica's exports do too — i.e.
+  no acknowledged transaction was lost (failover path).
+
+Everything is a pure function of the Hypothesis-drawn seeds (the harness
+clock is an integer step counter), so every failing example replays
+exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import ChannelFaults, CrashPoint, FaultPlan
+from repro.replication import ReplicationHarness
+
+
+@st.composite
+def fault_plans(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    channels = {}
+    for i in range(draw(st.integers(min_value=1, max_value=2))):
+        channels[f"ship:replica-{i}"] = ChannelFaults(
+            drop_rate=draw(st.floats(min_value=0.0, max_value=0.4)),
+            duplicate_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+            delay_rate=draw(st.floats(min_value=0.0, max_value=0.4)),
+            reorder_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+            delay_range=(1.0, float(draw(st.integers(min_value=1, max_value=4)))),
+        )
+    return FaultPlan(seed=seed, channels=channels)
+
+
+@given(
+    plan=fault_plans(),
+    seed=st.integers(min_value=0, max_value=999),
+    commits=st.integers(min_value=5, max_value=20),
+    gap_at=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+)
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_replicas_converge_under_random_faults(plan, seed, commits, gap_at):
+    replicas = len(plan.channels)
+    h = ReplicationHarness(replicas=replicas, seed=seed, faults=plan)
+    try:
+        for k in range(commits):
+            h.commit()
+            h.tick()
+            if gap_at is not None and k == gap_at:
+                h.shipper.inject_gap("replica-0")
+        h.assert_converged()
+        now = float(h.step)
+        for replica in h.replicas:
+            assert replica.lag(now) < float("inf")
+            assert replica.applied_txn == h.durability._txn
+    finally:
+        h.close()
+
+
+@given(
+    plan=fault_plans(),
+    seed=st.integers(min_value=0, max_value=999),
+    crash_txn=st.integers(min_value=2, max_value=10),
+    silent=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_promotion_loses_nothing_under_random_faults(plan, seed, crash_txn, silent):
+    replicas = len(plan.channels)
+    h = ReplicationHarness(
+        replicas=replicas,
+        seed=seed,
+        faults=plan,
+        crash_points=[CrashPoint(crash_txn, "post-wal-append")],
+        heartbeat_timeout=3.0,
+    )
+    try:
+        for _ in range(crash_txn + 3):
+            if not h.commit():
+                break
+            h.tick()
+        assert h.primary_dead  # the schedule guarantees the crash fired
+        for _ in range(silent):
+            h.silent_commit()
+        now = h.advance_past_timeout()
+        result = h.coordinator.check(now)
+        assert result is not None
+        promoted = h.coordinator.promoted
+        assert h.replica_exports(promoted) == h.expected_exports()
+    finally:
+        h.close()

@@ -1,0 +1,130 @@
+"""Bounded-staleness read routing: budgets, policies, honest tags."""
+
+import pytest
+
+from repro.errors import MediatorError, StaleReadError
+from repro.replication import ReadRouter, ReplicationHarness
+
+
+def _lagged_harness(commits_behind: int = 3, replicas: int = 2):
+    """A harness whose replicas are exactly ``commits_behind`` steps stale.
+
+    The shipper is closed (not ticked), so commits after the drain reach
+    the primary but never the replicas, and each tick widens every
+    replica's ignorance window by one step.
+    """
+    h = ReplicationHarness(replicas=replicas, seed=8)
+    h.run(commits=6)
+    h.drain()
+    h.shipper.close()
+    for _ in range(commits_behind):
+        h.commits += 1  # advance the key space without shipping
+        h.step += 1
+    return h
+
+
+def test_fresh_replicas_share_load_round_robin():
+    h = ReplicationHarness(replicas=2, seed=8)
+    try:
+        h.run(commits=6)
+        h.drain()
+        export = sorted(h.primary.vdp.exports)[0]
+        for _ in range(10):
+            h.router.query(export, float(h.step), staleness_budget=0.0)
+        assert h.router.served["replica-0"] == 5
+        assert h.router.served["replica-1"] == 5
+        assert h.router.degraded == 0
+    finally:
+        h.close()
+
+
+def test_degrade_serves_least_lagged_with_honest_tag():
+    h = _lagged_harness(commits_behind=4)
+    try:
+        export = sorted(h.primary.vdp.exports)[0]
+        answer = h.router.query(export, float(h.step), staleness_budget=1.0)
+        assert h.router.degraded == 1
+        assert answer.tag.worst() == pytest.approx(4.0)
+    finally:
+        h.close()
+
+
+def test_reject_raises_with_every_lag_disclosed():
+    h = _lagged_harness(commits_behind=3)
+    try:
+        export = sorted(h.primary.vdp.exports)[0]
+        with pytest.raises(StaleReadError) as err:
+            h.router.query(
+                export, float(h.step), staleness_budget=0.5, on_stale="reject"
+            )
+        message = str(err.value)
+        assert "0.5" in message
+        assert "replica-0" in message and "replica-1" in message
+        assert h.router.rejected == 1
+    finally:
+        h.close()
+
+
+def test_primary_fallback_serves_fresh_answer():
+    h = _lagged_harness(commits_behind=3)
+    try:
+        export = sorted(h.primary.vdp.exports)[0]
+        answer = h.router.query(
+            export, float(h.step), staleness_budget=0.5, on_stale="primary"
+        )
+        assert h.router.primary_fallbacks == 1
+        assert answer.value == h.primary.query_relation(export)
+    finally:
+        h.close()
+
+
+def test_primary_policy_without_primary_rejects():
+    h = _lagged_harness(commits_behind=3)
+    try:
+        router = ReadRouter(h.replicas, primary=None, on_stale="primary")
+        export = sorted(h.primary.vdp.exports)[0]
+        with pytest.raises(StaleReadError):
+            router.query(export, float(h.step), staleness_budget=0.5)
+    finally:
+        h.close()
+
+
+def test_resyncing_replica_leaves_the_rotation():
+    h = ReplicationHarness(replicas=2, seed=12)
+    try:
+        h.run(commits=6)
+        h.drain()
+        h.replicas[0].needs_resync = True  # simulate a mid-heal replica
+        export = sorted(h.primary.vdp.exports)[0]
+        for _ in range(4):
+            h.router.query(export, float(h.step), staleness_budget=0.0)
+        assert h.router.served["replica-0"] == 0
+        assert h.router.served["replica-1"] == 4
+    finally:
+        h.replicas[0].needs_resync = False
+        h.close()
+
+
+def test_replica_answers_match_primary_when_current():
+    h = ReplicationHarness(replicas=2, seed=14)
+    try:
+        h.run(commits=9)
+        h.drain()
+        for export in sorted(h.primary.vdp.exports):
+            expected = h.primary.query_relation(export)
+            answer = h.router.query(export, float(h.step), staleness_budget=0.0)
+            assert answer.value == expected
+    finally:
+        h.close()
+
+
+def test_invalid_policy_rejected():
+    h = ReplicationHarness(replicas=1, seed=1)
+    try:
+        with pytest.raises(MediatorError):
+            ReadRouter(h.replicas, on_stale="wing-it")
+        export = sorted(h.primary.vdp.exports)[0]
+        with pytest.raises(MediatorError):
+            h.router.query(export, 0.0, on_stale="wing-it")
+    finally:
+        h.close()

@@ -1,0 +1,146 @@
+"""WAL shipping: clean streaming, faulted channels, gap healing, tracing."""
+
+from repro.faults import ChannelFaults, FaultPlan
+from repro.obs import Tracer
+from repro.replication import ReplicationHarness
+
+
+def test_clean_stream_converges_with_zero_lag():
+    h = ReplicationHarness(replicas=2, seed=3)
+    try:
+        h.run(commits=12)
+        h.assert_converged()
+        for replica in h.replicas:
+            assert replica.lag(float(h.step)) == 0.0
+            assert replica.applied_txn == h.durability._txn
+        assert h.primary.replication.records_shipped > 0
+        assert h.primary.replication.replica_lag == 0.0
+    finally:
+        h.close()
+
+
+def test_faulted_stream_converges():
+    faults = FaultPlan(
+        seed=11,
+        channels={
+            "ship:replica-0": ChannelFaults(
+                drop_rate=0.3,
+                duplicate_rate=0.2,
+                delay_rate=0.3,
+                reorder_rate=0.2,
+                delay_range=(1.0, 3.0),
+            ),
+            "ship:replica-1": ChannelFaults(drop_rate=0.4, delay_rate=0.3),
+        },
+    )
+    h = ReplicationHarness(replicas=2, seed=11, faults=faults)
+    try:
+        h.run(commits=18)
+        h.assert_converged()
+    finally:
+        h.close()
+
+
+def test_replay_is_idempotent_under_duplicates():
+    """Duplicate deliveries must never double-apply a physical write."""
+    faults = FaultPlan(
+        seed=5,
+        channels={"ship:replica-0": ChannelFaults(duplicate_rate=0.9)},
+    )
+    h = ReplicationHarness(replicas=1, seed=5, faults=faults)
+    try:
+        h.run(commits=15)
+        h.assert_converged()
+    finally:
+        h.close()
+
+
+def test_injected_gap_heals_by_checkpoint_resync():
+    faults = FaultPlan(
+        seed=7,
+        channels={"ship:replica-0": ChannelFaults(delay_rate=1.0, delay_range=(4.0, 4.0))},
+    )
+    h = ReplicationHarness(replicas=1, seed=7, faults=faults)
+    try:
+        h.run(commits=4)
+        dropped = h.shipper.inject_gap("replica-0")
+        assert dropped >= 0
+        resyncs_before = h.primary.replication.replica_resyncs
+        h.run(commits=6)
+        h.assert_converged()
+        assert h.primary.replication.replica_resyncs > resyncs_before
+        assert h.replicas[0].resyncs >= 2  # bootstrap + at least one heal
+        assert not h.replicas[0].needs_resync
+    finally:
+        h.close()
+
+
+def test_mark_gap_makes_lag_unbounded_until_resync():
+    h = ReplicationHarness(replicas=1, seed=2)
+    try:
+        h.run(commits=3)
+        replica = h.replicas[0]
+        replica.mark_gap()
+        assert replica.lag(float(h.step)) == float("inf")
+        h.tick()  # the shipper notices needs_resync and heals it
+        h.drain()
+        assert replica.lag(float(h.step)) < float("inf")
+        h.assert_converged()
+    finally:
+        h.close()
+
+
+def test_detach_stops_shipping_to_that_replica():
+    h = ReplicationHarness(replicas=2, seed=4)
+    try:
+        h.run(commits=4)
+        h.drain()
+        frozen = h.replicas[0].applied_txn
+        h.shipper.detach_replica("replica-0")
+        h.run(commits=4)
+        h.drain()
+        assert h.replicas[0].applied_txn == frozen
+        assert h.replicas[1].applied_txn == h.durability._txn
+    finally:
+        h.close()
+
+
+def test_shipping_emits_spans_and_events():
+    tracer = Tracer(enabled=True)
+    h = ReplicationHarness(replicas=1, seed=9, tracer=tracer)
+    try:
+        h.run(commits=6)
+        h.drain()
+        records = tracer.records()
+        ships = [
+            r for r in records if r["type"] == "event" and r["name"] == "wal_ship"
+        ]
+        assert ships, "no wal_ship events traced"
+        assert ships[-1]["attrs"]["replicas"] == ["replica-0"]
+        applies = [
+            r for r in records if r["type"] == "span" and r["name"] == "replica_apply"
+        ]
+        assert applies, "no replica_apply spans traced"
+        assert applies[-1]["attrs"]["replica"] == "replica-0"
+        assert applies[-1]["attrs"]["txn"] >= 1
+        resyncs = [
+            r for r in records if r["type"] == "span" and r["name"] == "replica_resync"
+        ]
+        assert resyncs, "bootstrap resync recorded no span"
+        assert resyncs[0]["attrs"]["replica"] == "replica-0"
+    finally:
+        h.close()
+
+
+def test_stats_surface_in_metrics_registry():
+    h = ReplicationHarness(replicas=2, seed=6)
+    try:
+        h.run(commits=6)
+        h.drain()
+        snapshot = h.primary.metrics.snapshot()
+        assert snapshot["replication.records_shipped"] > 0
+        assert snapshot["replication.replica_resyncs"] >= 2  # both bootstraps
+        assert snapshot["replication.replica_lag"] == 0.0
+        assert snapshot["replication.failovers"] == 0
+    finally:
+        h.close()
